@@ -1,0 +1,124 @@
+//! Shared collection helpers for the baseline profilers.
+
+use fingrav_core::backend::PowerBackend;
+use fingrav_core::error::MethodologyResult;
+use fingrav_sim::kernel::KernelHandle;
+use fingrav_sim::script::Script;
+use fingrav_sim::time::SimDuration;
+use fingrav_sim::trace::RunTrace;
+
+/// Common knobs shared by the baselines so comparisons against FinGraV run
+/// under like-for-like conditions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineConfig {
+    /// Number of profiling runs.
+    pub runs: u32,
+    /// Kernel executions per run.
+    pub executions_per_run: u32,
+    /// Upper bound of the random pre-launch delay (same as FinGraV's).
+    pub random_delay_max: SimDuration,
+    /// Idle time between runs.
+    pub inter_run_idle: SimDuration,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            runs: 50,
+            executions_per_run: 12,
+            random_delay_max: SimDuration::from_millis(1),
+            inter_run_idle: SimDuration::from_millis(8),
+        }
+    }
+}
+
+/// Executes one instrumented run. `with_ts_reads` controls whether the
+/// script reads GPU timestamps (baselines that skip sync skip the reads),
+/// `coarse` switches to the amd-smi-like coarse logger.
+pub fn collect_run<B: PowerBackend>(
+    backend: &mut B,
+    kernel: KernelHandle,
+    cfg: &BaselineConfig,
+    with_ts_reads: bool,
+    coarse: bool,
+) -> MethodologyResult<RunTrace> {
+    let window = backend.logger_window();
+    let mut b = Script::builder().begin_run();
+    b = if coarse {
+        b.start_coarse_logger()
+    } else {
+        b.start_power_logger()
+    };
+    if with_ts_reads {
+        b = b.read_gpu_timestamp();
+    }
+    b = b
+        .sleep_uniform(SimDuration::ZERO, cfg.random_delay_max)
+        .launch_timed(kernel, cfg.executions_per_run)
+        .sleep(window + SimDuration::from_micros(100));
+    if with_ts_reads {
+        b = b.read_gpu_timestamp();
+    }
+    b = if coarse {
+        b.stop_coarse_logger()
+    } else {
+        b.stop_power_logger()
+    };
+    let script = b.sleep(cfg.inter_run_idle).build();
+    backend.run_script(&script)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fingrav_sim::config::SimConfig;
+    use fingrav_sim::engine::Simulation;
+    use fingrav_sim::kernel::KernelDesc;
+    use fingrav_sim::power::Activity;
+
+    fn kernel() -> KernelDesc {
+        KernelDesc {
+            name: "k".into(),
+            base_exec: SimDuration::from_micros(100),
+            freq_insensitive_frac: 0.3,
+            activity: Activity::new(0.7, 0.4, 0.3),
+            compute_utilization: 0.6,
+            flops: 1.0,
+            hbm_bytes: 1.0,
+            llc_bytes: 1.0,
+            workgroups: 64,
+        }
+    }
+
+    #[test]
+    fn fine_run_produces_logs_and_reads() {
+        let mut sim = Simulation::new(SimConfig::default(), 5).unwrap();
+        let k = PowerBackend::register_kernel(&mut sim, &kernel()).unwrap();
+        let cfg = BaselineConfig {
+            runs: 1,
+            executions_per_run: 6,
+            ..BaselineConfig::default()
+        };
+        let t = collect_run(&mut sim, k, &cfg, true, false).unwrap();
+        assert_eq!(t.executions.len(), 6);
+        assert_eq!(t.timestamp_reads.len(), 2);
+        assert!(!t.power_logs.is_empty());
+        assert!(t.coarse_logs.is_empty());
+    }
+
+    #[test]
+    fn coarse_run_uses_coarse_logger() {
+        let mut sim = Simulation::new(SimConfig::default(), 5).unwrap();
+        let k = PowerBackend::register_kernel(&mut sim, &kernel()).unwrap();
+        let cfg = BaselineConfig {
+            runs: 1,
+            executions_per_run: 6,
+            ..BaselineConfig::default()
+        };
+        let t = collect_run(&mut sim, k, &cfg, false, true).unwrap();
+        assert!(t.power_logs.is_empty());
+        assert!(t.timestamp_reads.is_empty());
+        // A short run rarely catches even one 50 ms coarse log.
+        assert!(t.coarse_logs.len() <= 1);
+    }
+}

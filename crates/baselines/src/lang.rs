@@ -1,0 +1,142 @@
+//! A Lang & Rünger-style profiler (Euro-Par 2013), per the paper's
+//! related-work discussion.
+//!
+//! Lang et al. built high-resolution power profiles from low-resolution
+//! measurements and synchronized CPU and GPU clocks with repeated reads —
+//! but "did not factor in the delays imposed by the CPU-GPU communication",
+//! and FinGraV's authors additionally observed clock *drift* that repeated
+//! anchoring alone does not remove. This baseline reproduces those two
+//! omissions: single-anchor sync at the *nominal* counter rate with an
+//! assumed-zero read delay.
+
+use fingrav_core::backend::PowerBackend;
+use fingrav_core::error::{MethodologyError, MethodologyResult};
+use fingrav_core::profile::{place_logs, run_profile_points, PowerProfile, ProfileKind};
+use fingrav_core::sync::{ReadDelayCalibration, TimeSync};
+use fingrav_sim::kernel::{KernelDesc, KernelHandle};
+
+use crate::common::{collect_run, BaselineConfig};
+
+/// The sync policy of this baseline: anchor on the read's *issue* time
+/// (zero assumed delay) at the nominal counter rate.
+pub fn lang_sync<B: PowerBackend>(
+    backend: &B,
+    trace: &fingrav_sim::trace::RunTrace,
+) -> MethodologyResult<TimeSync> {
+    let read = trace
+        .timestamp_reads
+        .first()
+        .ok_or(MethodologyError::InsufficientSyncData)?;
+    let zero_delay = ReadDelayCalibration {
+        median_rtt_ns: 0,
+        assumed_sample_frac: 0.0,
+    };
+    Ok(TimeSync::from_anchor(
+        read,
+        &zero_delay,
+        backend.gpu_counter_hz(),
+    ))
+}
+
+/// Collects a run profile with Lang-style sync (no delay accounting, no
+/// drift correction, no binning — every run is kept).
+///
+/// # Errors
+///
+/// Propagates backend errors; fails if a run has no timestamp read.
+pub fn profile<B: PowerBackend>(
+    backend: &mut B,
+    desc: &KernelDesc,
+    cfg: &BaselineConfig,
+) -> MethodologyResult<PowerProfile> {
+    let kernel = backend.register_kernel(desc)?;
+    profile_handle(backend, kernel, &desc.name, cfg)
+}
+
+/// Same as [`profile`] for an already-registered kernel.
+///
+/// # Errors
+///
+/// Propagates backend errors; fails if a run has no timestamp read.
+pub fn profile_handle<B: PowerBackend>(
+    backend: &mut B,
+    kernel: KernelHandle,
+    label: &str,
+    cfg: &BaselineConfig,
+) -> MethodologyResult<PowerProfile> {
+    let mut out = PowerProfile::new(label, ProfileKind::Custom("lang".into()));
+    for run in 0..cfg.runs {
+        let trace = collect_run(backend, kernel, cfg, true, false)?;
+        let sync = lang_sync(backend, &trace)?;
+        let placed = place_logs(&trace, &sync);
+        out.points.extend(run_profile_points(run, &placed));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fingrav_sim::config::SimConfig;
+    use fingrav_sim::engine::Simulation;
+    use fingrav_sim::power::Activity;
+    use fingrav_sim::time::SimDuration;
+
+    fn kernel() -> KernelDesc {
+        KernelDesc {
+            name: "lang-k".into(),
+            base_exec: SimDuration::from_micros(150),
+            freq_insensitive_frac: 0.2,
+            activity: Activity::new(0.9, 0.5, 0.4),
+            compute_utilization: 0.7,
+            flops: 1.0,
+            hbm_bytes: 1.0,
+            llc_bytes: 1.0,
+            workgroups: 128,
+        }
+    }
+
+    #[test]
+    fn produces_a_profile_without_binning() {
+        let mut sim = Simulation::new(SimConfig::default(), 21).unwrap();
+        let cfg = BaselineConfig {
+            runs: 4,
+            executions_per_run: 8,
+            ..BaselineConfig::default()
+        };
+        let p = profile(&mut sim, &kernel(), &cfg).unwrap();
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn lang_sync_biased_by_read_delay() {
+        // Compared against a properly calibrated sync, the Lang anchor is
+        // late by roughly the sample delay of the timestamp read.
+        let mut sim = Simulation::new(SimConfig::default(), 22).unwrap();
+        let k = PowerBackend::register_kernel(&mut sim, &kernel()).unwrap();
+        let cfg = BaselineConfig {
+            runs: 1,
+            executions_per_run: 4,
+            ..BaselineConfig::default()
+        };
+        let trace = collect_run(&mut sim, k, &cfg, true, false).unwrap();
+        let read = trace.timestamp_reads[0];
+        let lang = lang_sync(&sim, &trace).unwrap();
+        let calibrated = TimeSync::from_anchor(
+            &read,
+            &ReadDelayCalibration {
+                median_rtt_ns: read.rtt_ns(),
+                assumed_sample_frac: 0.5,
+            },
+            PowerBackend::gpu_counter_hz(&sim),
+        );
+        let t = read.ticks.as_raw();
+        let bias = calibrated.cpu_ns_of_ticks(t) - lang.cpu_ns_of_ticks(t);
+        assert!(bias > 0.0, "lang places logs too early by the read delay");
+        assert!(
+            (bias - read.rtt_ns() as f64 * 0.5).abs() < 1.0,
+            "bias {bias} vs half-rtt {}",
+            read.rtt_ns() as f64 * 0.5
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # fingrav-baselines — the profiling strategies FinGraV improves upon
+//!
+//! Each baseline removes one of FinGraV's ingredients so its contribution
+//! can be measured (paper Fig. 5 and Section VII):
+//!
+//! * [`unsynchronized`] — no CPU–GPU time sync (Fig. 5's red profile):
+//!   logs placed on a naive host-relative grid smear the profile;
+//! * [`lang`] — Lang & Rünger-style sync that ignores the timestamp-read
+//!   delay and counter drift;
+//! * [`coarse`] — an `amd-smi`-like tens-of-milliseconds sampler that
+//!   mostly misses sub-millisecond kernels outright (challenge C1);
+//! * [`single_run`] — correct sync but a single run: too few
+//!   logs-of-interest for a fine-grain profile (challenge C3).
+//!
+//! All baselines run under the same conditions as the FinGraV runner
+//! (same scripts, delays, and idle gaps) via [`common::BaselineConfig`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod coarse;
+pub mod common;
+pub mod lang;
+pub mod single_run;
+pub mod unsynchronized;
+
+pub use coarse::CoarseOutcome;
+pub use common::BaselineConfig;

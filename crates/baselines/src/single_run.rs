@@ -1,0 +1,116 @@
+//! The single-run baseline (challenge **C3** motivation).
+//!
+//! With a 1 ms logger and a sub-millisecond kernel, "a single run is
+//! insufficient to create fine-grain power profiles": one run yields at
+//! most a couple of logs, all at arbitrary times-of-interest. This
+//! baseline is FinGraV minus the multi-run stitching — properly
+//! synchronized, but with exactly one run.
+
+use fingrav_core::backend::PowerBackend;
+use fingrav_core::error::MethodologyResult;
+use fingrav_core::profile::{place_logs, run_profile_points, PowerProfile, ProfileKind};
+use fingrav_core::sync::{ReadDelayCalibration, TimeSync};
+use fingrav_sim::kernel::{KernelDesc, KernelHandle};
+
+use crate::common::{collect_run, BaselineConfig};
+
+/// Profiles a kernel from a single (synchronized) run.
+///
+/// # Errors
+///
+/// Propagates backend errors; fails without a timestamp read.
+pub fn profile<B: PowerBackend>(
+    backend: &mut B,
+    desc: &KernelDesc,
+    cfg: &BaselineConfig,
+) -> MethodologyResult<PowerProfile> {
+    let kernel = backend.register_kernel(desc)?;
+    profile_handle(backend, kernel, &desc.name, cfg)
+}
+
+/// Same as [`profile`] for an already-registered kernel.
+///
+/// # Errors
+///
+/// Propagates backend errors; fails without a timestamp read.
+pub fn profile_handle<B: PowerBackend>(
+    backend: &mut B,
+    kernel: KernelHandle,
+    label: &str,
+    cfg: &BaselineConfig,
+) -> MethodologyResult<PowerProfile> {
+    let trace = collect_run(backend, kernel, cfg, true, false)?;
+    let reads = &trace.timestamp_reads;
+    let first = reads
+        .first()
+        .ok_or(fingrav_core::error::MethodologyError::InsufficientSyncData)?;
+    let calibration = ReadDelayCalibration {
+        median_rtt_ns: first.rtt_ns(),
+        assumed_sample_frac: 0.5,
+    };
+    let sync = TimeSync::from_anchor(first, &calibration, backend.gpu_counter_hz());
+    let placed = place_logs(&trace, &sync);
+    let mut out = PowerProfile::new(label, ProfileKind::Custom("single-run".into()));
+    out.points.extend(run_profile_points(0, &placed));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fingrav_sim::config::SimConfig;
+    use fingrav_sim::engine::Simulation;
+    use fingrav_sim::power::Activity;
+    use fingrav_sim::time::SimDuration;
+
+    fn kernel(us: u64) -> KernelDesc {
+        KernelDesc {
+            name: "single".into(),
+            base_exec: SimDuration::from_micros(us),
+            freq_insensitive_frac: 0.2,
+            activity: Activity::new(0.9, 0.5, 0.4),
+            compute_utilization: 0.7,
+            flops: 1.0,
+            hbm_bytes: 1.0,
+            llc_bytes: 1.0,
+            workgroups: 64,
+        }
+    }
+
+    #[test]
+    fn single_run_yields_sparse_profile() {
+        let mut sim = Simulation::new(SimConfig::default(), 41).unwrap();
+        let cfg = BaselineConfig {
+            runs: 1,
+            executions_per_run: 10,
+            ..BaselineConfig::default()
+        };
+        let p = profile(&mut sim, &kernel(60), &cfg).unwrap();
+        // A ~0.7 ms busy window plus ~1.1 ms of logger drain: a handful of
+        // logs at best — nowhere near a fine-grain profile.
+        assert!(p.len() <= 6, "{} points", p.len());
+    }
+
+    #[test]
+    fn multi_run_fingrav_beats_single_run_loi_yield() {
+        use fingrav_core::runner::{FingravRunner, RunnerConfig};
+
+        let mut sim = Simulation::new(SimConfig::default(), 42).unwrap();
+        let cfg = BaselineConfig {
+            runs: 1,
+            executions_per_run: 10,
+            ..BaselineConfig::default()
+        };
+        let single = profile(&mut sim, &kernel(60), &cfg).unwrap();
+
+        let mut sim2 = Simulation::new(SimConfig::default(), 42).unwrap();
+        let mut runner = FingravRunner::new(&mut sim2, RunnerConfig::quick(30));
+        let report = runner.profile(&kernel(60)).unwrap();
+        assert!(
+            report.ssp_profile.len() > single.len(),
+            "fingrav {} vs single {}",
+            report.ssp_profile.len(),
+            single.len()
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! The *unsynchronized* baseline (the red profile in the paper's Fig. 5).
+//!
+//! A naive user who ignores challenge **C2** assumes the power-log stream
+//! is aligned with their host-side events: "log *k* was taken *k* logging
+//! periods after my launch". In reality the logger free-runs on its own
+//! grid, the run starts at a random phase within that grid, and the random
+//! pre-launch delay moves the kernel within the run — so naive placement
+//! smears every run's profile by up to a couple of logging periods, missing
+//! the power ramp and mis-attributing power changes to the wrong
+//! executions.
+
+use fingrav_core::backend::PowerBackend;
+use fingrav_core::error::MethodologyResult;
+use fingrav_core::profile::{PowerProfile, ProfileKind, ProfilePoint};
+use fingrav_sim::kernel::{KernelDesc, KernelHandle};
+
+use crate::common::{collect_run, BaselineConfig};
+
+/// Collects a run profile with naive (unsynchronized) log placement.
+///
+/// # Errors
+///
+/// Propagates backend errors.
+pub fn profile<B: PowerBackend>(
+    backend: &mut B,
+    desc: &KernelDesc,
+    cfg: &BaselineConfig,
+) -> MethodologyResult<PowerProfile> {
+    let kernel = backend.register_kernel(desc)?;
+    profile_handle(backend, kernel, &desc.name, cfg)
+}
+
+/// Same as [`profile`] for an already-registered kernel.
+///
+/// # Errors
+///
+/// Propagates backend errors.
+pub fn profile_handle<B: PowerBackend>(
+    backend: &mut B,
+    kernel: KernelHandle,
+    label: &str,
+    cfg: &BaselineConfig,
+) -> MethodologyResult<PowerProfile> {
+    let period_ns = backend.logger_window().as_nanos() as f64;
+    let mut out = PowerProfile::new(label, ProfileKind::Custom("unsynchronized".into()));
+    for run in 0..cfg.runs {
+        let trace = collect_run(backend, kernel, cfg, false, false)?;
+        // Naive placement: pretend log k fired k periods after the launch.
+        for (k, log) in trace.power_logs.iter().enumerate() {
+            out.points.push(ProfilePoint {
+                run,
+                exec_pos: u32::MAX,
+                toi_ns: None,
+                run_time_ns: k as f64 * period_ns,
+                power: log.avg,
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fingrav_sim::config::SimConfig;
+    use fingrav_sim::engine::Simulation;
+    use fingrav_sim::power::Activity;
+    use fingrav_sim::time::SimDuration;
+
+    fn kernel() -> KernelDesc {
+        KernelDesc {
+            name: "unsync-k".into(),
+            base_exec: SimDuration::from_micros(150),
+            freq_insensitive_frac: 0.2,
+            activity: Activity::new(0.9, 0.5, 0.4),
+            compute_utilization: 0.7,
+            flops: 1.0,
+            hbm_bytes: 1.0,
+            llc_bytes: 1.0,
+            workgroups: 128,
+        }
+    }
+
+    #[test]
+    fn collects_points_on_a_rigid_grid() {
+        let mut sim = Simulation::new(SimConfig::default(), 9).unwrap();
+        let cfg = BaselineConfig {
+            runs: 4,
+            executions_per_run: 10,
+            ..BaselineConfig::default()
+        };
+        let p = profile(&mut sim, &kernel(), &cfg).unwrap();
+        assert!(!p.is_empty());
+        // All x positions are integer multiples of the logging period.
+        for pt in &p.points {
+            let k = pt.run_time_ns / 1e6;
+            assert!((k - k.round()).abs() < 1e-9, "x {}", pt.run_time_ns);
+        }
+        assert!(matches!(p.kind, ProfileKind::Custom(_)));
+    }
+}

@@ -1,0 +1,27 @@
+//! Criterion benchmarks regenerating each paper table/figure dataset at a
+//! reduced (bench) scale — one benchmark per artefact, so `cargo bench`
+//! exercises the entire evaluation pipeline end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fingrav_bench::experiments;
+use fingrav_bench::Scale;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("table1", |b| b.iter(|| experiments::table1(Scale::Bench)));
+    group.bench_function("fig3", |b| b.iter(|| experiments::fig3(Scale::Bench)));
+    group.bench_function("fig5", |b| b.iter(|| experiments::fig5(Scale::Bench)));
+    group.bench_function("fig6", |b| b.iter(|| experiments::fig6(Scale::Bench)));
+    group.bench_function("fig7", |b| b.iter(|| experiments::fig7(Scale::Bench)));
+    group.bench_function("fig8", |b| b.iter(|| experiments::fig8(Scale::Bench)));
+    group.bench_function("fig9", |b| b.iter(|| experiments::fig9(Scale::Bench)));
+    group.bench_function("fig10", |b| b.iter(|| experiments::fig10(Scale::Bench)));
+    group.bench_function("table2", |b| b.iter(|| experiments::table2(Scale::Bench)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Criterion micro-benchmarks of the FinGraV methodology primitives:
+//! time-sync conversion, execution-time binning, LOI placement, polynomial
+//! regression, and guidance lookup. These quantify the post-processing
+//! cost of the methodology itself (negligible next to data collection).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use fingrav_core::binning::bin_durations;
+use fingrav_core::guidance::GuidanceTable;
+use fingrav_core::profile::place_logs;
+use fingrav_core::regression::{degree4, linear};
+use fingrav_core::sync::{ReadDelayCalibration, TimeSync};
+use fingrav_sim::kernel::KernelHandle;
+use fingrav_sim::power::ComponentPower;
+use fingrav_sim::telemetry::PowerLog;
+use fingrav_sim::time::{CpuTime, GpuTicks, SimDuration};
+use fingrav_sim::trace::{RunTrace, TimedExecution, TimestampRead};
+
+fn sync() -> TimeSync {
+    let read = TimestampRead {
+        cpu_before: CpuTime::from_nanos(1_000_000),
+        cpu_after: CpuTime::from_nanos(1_001_500),
+        ticks: GpuTicks::from_raw(5_000_000),
+    };
+    let calib = ReadDelayCalibration {
+        median_rtt_ns: 1_500,
+        assumed_sample_frac: 0.5,
+    };
+    TimeSync::from_anchor(&read, &calib, 100e6)
+}
+
+/// A synthetic trace with `execs` executions and `logs` power logs.
+fn trace(execs: u32, logs: u32) -> RunTrace {
+    let mut t = RunTrace::default();
+    for i in 0..execs {
+        let start = 1_000_000 + i as u64 * 220_000;
+        t.executions.push(TimedExecution {
+            kernel: KernelHandle::default(),
+            index: i,
+            cpu_start: CpuTime::from_nanos(start),
+            cpu_end: CpuTime::from_nanos(start + 210_000),
+        });
+    }
+    for k in 0..logs {
+        t.power_logs.push(PowerLog {
+            ticks: GpuTicks::from_raw(5_000_000 + k as u64 * 100_000),
+            avg: ComponentPower::new(450.0, 90.0, 70.0, 40.0),
+        });
+    }
+    t
+}
+
+fn durations(n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|i| 210_000 + ((i * 2_654_435_761) % 4_000) as u64)
+        .collect()
+}
+
+fn bench_sync_conversion(c: &mut Criterion) {
+    let s = sync();
+    c.bench_function("sync/cpu_ns_of_ticks x1000", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in 0..1000u64 {
+                acc += s.cpu_ns_of_ticks(black_box(5_000_000 + k * 97));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_binning(c: &mut Criterion) {
+    let d = durations(10_000);
+    c.bench_function("binning/bin_durations 10k", |b| {
+        b.iter(|| bin_durations(black_box(&d), 0.02))
+    });
+    let d = durations(400);
+    c.bench_function("binning/bin_durations 400", |b| {
+        b.iter(|| bin_durations(black_box(&d), 0.05))
+    });
+}
+
+fn bench_place_logs(c: &mut Criterion) {
+    let t = trace(40, 60);
+    let s = sync();
+    c.bench_function("profile/place_logs 40x60", |b| {
+        b.iter(|| place_logs(black_box(&t), black_box(&s)))
+    });
+}
+
+fn bench_regression(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..5_000).map(|i| i as f64).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| 100.0 + 0.02 * x + (x * 0.01).sin())
+        .collect();
+    c.bench_function("regression/degree4 5k points", |b| {
+        b.iter(|| degree4(black_box(&xs), black_box(&ys)).expect("fit"))
+    });
+    c.bench_function("regression/linear 5k points", |b| {
+        b.iter(|| linear(black_box(&xs), black_box(&ys)).expect("fit"))
+    });
+}
+
+fn bench_guidance(c: &mut Criterion) {
+    let table = GuidanceTable::paper();
+    c.bench_function("guidance/lookup x1000", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                let mut acc = 0u32;
+                for us in 1..1000u64 {
+                    acc = acc.wrapping_add(
+                        table
+                            .lookup(SimDuration::from_micros(black_box(us * 3)))
+                            .runs,
+                    );
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sync_conversion,
+    bench_binning,
+    bench_place_logs,
+    bench_regression,
+    bench_guidance
+);
+criterion_main!(benches);

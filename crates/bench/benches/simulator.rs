@@ -1,0 +1,78 @@
+//! Criterion benchmarks of the simulator substrate: full profiling-run
+//! scripts and the discrete-event core. These bound the cost of data
+//! collection on the simulated platform.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fingrav_sim::config::SimConfig;
+use fingrav_sim::engine::Simulation;
+use fingrav_sim::event::EventQueue;
+use fingrav_sim::script::Script;
+use fingrav_sim::time::{SimDuration, SimTime};
+use fingrav_workloads::suite;
+
+fn bench_run_script(c: &mut Criterion) {
+    let machine = SimConfig::default().machine;
+    let mut group = c.benchmark_group("simulator/run_script");
+    group.sample_size(20);
+
+    for (name, desc, execs) in [
+        ("cb-4k x24", suite::cb_gemm(&machine, 4096), 24u32),
+        ("cb-8k x8", suite::cb_gemm(&machine, 8192), 8),
+        ("mb-8k-gemv x64", suite::mb_gemv(&machine, 8192), 64),
+    ] {
+        group.bench_function(name, |b| {
+            let mut sim = Simulation::new(SimConfig::default(), 7).expect("config valid");
+            let k = sim.register_kernel(desc.clone()).expect("valid kernel");
+            let script = Script::builder()
+                .begin_run()
+                .start_power_logger()
+                .read_gpu_timestamp()
+                .launch_timed(k, execs)
+                .sleep(SimDuration::from_millis(1))
+                .read_gpu_timestamp()
+                .stop_power_logger()
+                .sleep(SimDuration::from_millis(8))
+                .build();
+            b.iter(|| sim.run_script(&script).expect("script runs"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("simulator/event_queue 10k schedule+pop", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut x: u64 = 0x9E3779B97F4A7C15;
+            for i in 0..10_000u64 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                q.schedule(SimTime::from_nanos(x % 1_000_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_idle_advance(c: &mut Criterion) {
+    c.bench_function("simulator/advance_idle 100ms", |b| {
+        let mut sim = Simulation::new(SimConfig::default(), 9).expect("config valid");
+        b.iter(|| {
+            sim.advance_idle(SimDuration::from_millis(100))
+                .expect("idle")
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_run_script,
+    bench_event_queue,
+    bench_idle_advance
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Regenerates every paper table and figure in one invocation, writing all
+//! artefacts to the output directory (default `results/`). Experiments run
+//! in parallel, one OS thread per artefact, since each owns an independent
+//! simulation.
+
+use std::time::Instant;
+
+use fingrav_bench::render::out_dir;
+use fingrav_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(args.clone());
+    let dir = out_dir(args).expect("create output directory");
+    let t0 = Instant::now();
+
+    let dir_str = dir.display().to_string();
+    let scale_flag = match scale {
+        Scale::Full => None,
+        Scale::Quick => Some("--quick"),
+        Scale::Bench => Some("--bench"),
+    };
+
+    // Each artefact is its own binary; run them in-process sequentially
+    // would serialize, so spawn the sibling binaries in parallel instead.
+    let bins = [
+        "table1",
+        "fig3",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "table2",
+        "ablations",
+        "recommendations",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+
+    crossbeam::scope(|s| {
+        for bin in bins {
+            let exe = exe_dir.join(bin);
+            let dir_str = dir_str.clone();
+            s.spawn(move |_| {
+                let mut cmd = std::process::Command::new(&exe);
+                cmd.arg("--out").arg(&dir_str);
+                if let Some(flag) = scale_flag {
+                    cmd.arg(flag);
+                }
+                let out = cmd
+                    .output()
+                    .unwrap_or_else(|e| panic!("failed to launch {}: {e}", exe.display()));
+                println!(
+                    "---- {bin} ({}) ----\n{}{}",
+                    if out.status.success() { "ok" } else { "FAILED" },
+                    String::from_utf8_lossy(&out.stdout),
+                    String::from_utf8_lossy(&out.stderr),
+                );
+            });
+        }
+    })
+    .expect("experiment threads");
+
+    println!(
+        "\nregenerated all tables and figures into {} in {:.1}s",
+        dir.display(),
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,110 @@
+//! Experiment-harness plumbing: scales, seeds, simulation construction.
+
+use fingrav_core::runner::{FingravRunner, KernelPowerReport, RunnerConfig};
+use fingrav_sim::config::SimConfig;
+use fingrav_sim::engine::Simulation;
+use fingrav_sim::kernel::KernelDesc;
+
+/// How much compute to spend on an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-guided run counts (Table I: 200–400 runs per kernel).
+    Full,
+    /// Reduced run counts for quick regeneration and CI.
+    Quick,
+    /// Minimal run counts for Criterion micro-benchmarks.
+    Bench,
+}
+
+impl Scale {
+    /// Parses `--quick`/`--full` style argv; defaults to `Full`.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Scale {
+        for a in args {
+            match a.as_str() {
+                "--quick" => return Scale::Quick,
+                "--bench" => return Scale::Bench,
+                _ => {}
+            }
+        }
+        Scale::Full
+    }
+
+    /// Run count to use when the paper would use `full` runs.
+    pub fn runs(&self, full: u32) -> Option<u32> {
+        match self {
+            Scale::Full => {
+                if full == 0 {
+                    None // defer to the guidance table
+                } else {
+                    Some(full)
+                }
+            }
+            Scale::Quick => Some((full.max(40) / 4).max(30)),
+            Scale::Bench => Some(8),
+        }
+    }
+}
+
+/// Deterministic seed per experiment name.
+pub fn seed_for(name: &str) -> u64 {
+    // FNV-1a, stable across platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Builds a fresh default-config simulation for an experiment.
+pub fn simulation(name: &str) -> Simulation {
+    Simulation::new(SimConfig::default(), seed_for(name)).expect("default configuration is valid")
+}
+
+/// Runner configuration for a scale (`None` runs = paper guidance counts).
+pub fn runner_config(runs: Option<u32>) -> RunnerConfig {
+    RunnerConfig {
+        runs_override: runs,
+        ..RunnerConfig::default()
+    }
+}
+
+/// Profiles one kernel on a fresh simulation.
+pub fn profile_kernel(exp: &str, desc: &KernelDesc, runs: Option<u32>) -> KernelPowerReport {
+    let mut sim = simulation(exp);
+    let mut runner = FingravRunner::new(&mut sim, runner_config(runs));
+    runner
+        .profile(desc)
+        .expect("profiling a suite kernel succeeds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::from_args(vec![]), Scale::Full);
+        assert_eq!(Scale::from_args(vec!["--quick".into()]), Scale::Quick);
+        assert_eq!(Scale::from_args(vec!["--bench".into()]), Scale::Bench);
+        assert_eq!(
+            Scale::from_args(vec!["--out".into(), "x".into()]),
+            Scale::Full
+        );
+    }
+
+    #[test]
+    fn scale_run_counts() {
+        assert_eq!(Scale::Full.runs(200), Some(200));
+        assert_eq!(Scale::Full.runs(0), None);
+        assert_eq!(Scale::Quick.runs(400), Some(100));
+        assert_eq!(Scale::Quick.runs(40), Some(30));
+        assert_eq!(Scale::Bench.runs(400), Some(8));
+    }
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(seed_for("fig5"), seed_for("fig6"));
+        assert_eq!(seed_for("fig5"), seed_for("fig5"));
+    }
+}

@@ -1,0 +1,115 @@
+//! The device abstraction the methodology profiles against.
+//!
+//! FinGraV only needs four capabilities from a platform: register a kernel,
+//! run a host-side script (sleeps, timestamp reads, logger control, timed
+//! launches), and report two documented platform constants — the power
+//! logger's averaging window and the GPU timestamp-counter's nominal rate.
+//! [`PowerBackend`] captures exactly that surface; the simulator implements
+//! it here, and a future real-hardware driver (ROCm SMI + HIP) would
+//! implement the same trait.
+
+use fingrav_sim::engine::Simulation;
+use fingrav_sim::kernel::{KernelDesc, KernelHandle};
+use fingrav_sim::script::Script;
+use fingrav_sim::time::SimDuration;
+use fingrav_sim::trace::RunTrace;
+
+use crate::error::{MethodologyError, MethodologyResult};
+
+/// A profiled device.
+pub trait PowerBackend {
+    /// Registers a kernel for later launching.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MethodologyError::Backend`] if the device rejects the
+    /// descriptor.
+    fn register_kernel(&mut self, desc: &KernelDesc) -> MethodologyResult<KernelHandle>;
+
+    /// Executes one host script and returns the observable trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MethodologyError::Backend`] on device errors.
+    fn run_script(&mut self, script: &Script) -> MethodologyResult<RunTrace>;
+
+    /// The averaging window of the platform's fine power logger (1 ms on
+    /// MI300X).
+    fn logger_window(&self) -> SimDuration;
+
+    /// The averaging window of the platform's *external* coarse logger
+    /// (amd-smi-class, tens of milliseconds). Used when the methodology is
+    /// driven against public tooling instead of the internal logger
+    /// (paper Section VI).
+    fn coarse_logger_window(&self) -> SimDuration;
+
+    /// Nominal GPU timestamp-counter frequency in Hz (100 MHz on MI300X).
+    /// The *actual* rate may drift; correcting for that is the
+    /// methodology's job.
+    fn gpu_counter_hz(&self) -> f64;
+}
+
+impl PowerBackend for Simulation {
+    fn register_kernel(&mut self, desc: &KernelDesc) -> MethodologyResult<KernelHandle> {
+        Simulation::register_kernel(self, desc.clone())
+            .map_err(|e| MethodologyError::Backend(e.to_string()))
+    }
+
+    fn run_script(&mut self, script: &Script) -> MethodologyResult<RunTrace> {
+        Simulation::run_script(self, script).map_err(|e| MethodologyError::Backend(e.to_string()))
+    }
+
+    fn logger_window(&self) -> SimDuration {
+        self.config().telemetry.logger_window
+    }
+
+    fn coarse_logger_window(&self) -> SimDuration {
+        self.config().telemetry.coarse_window
+    }
+
+    fn gpu_counter_hz(&self) -> f64 {
+        self.config().clocks.gpu_counter_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fingrav_sim::config::SimConfig;
+    use fingrav_sim::power::Activity;
+
+    fn desc() -> KernelDesc {
+        KernelDesc {
+            name: "b".into(),
+            base_exec: SimDuration::from_micros(50),
+            freq_insensitive_frac: 0.5,
+            activity: Activity::new(0.5, 0.5, 0.5),
+            compute_utilization: 0.5,
+            flops: 1.0,
+            hbm_bytes: 1.0,
+            llc_bytes: 1.0,
+            workgroups: 8,
+        }
+    }
+
+    #[test]
+    fn simulation_implements_backend() {
+        let mut sim = Simulation::new(SimConfig::default(), 1).unwrap();
+        let backend: &mut dyn PowerBackend = &mut sim;
+        let k = backend.register_kernel(&desc()).unwrap();
+        let script = Script::builder().launch_timed(k, 2).build();
+        let trace = backend.run_script(&script).unwrap();
+        assert_eq!(trace.executions.len(), 2);
+        assert_eq!(backend.logger_window(), SimDuration::from_millis(1));
+        assert_eq!(backend.gpu_counter_hz(), 100e6);
+    }
+
+    #[test]
+    fn invalid_kernel_surfaces_as_backend_error() {
+        let mut sim = Simulation::new(SimConfig::default(), 1).unwrap();
+        let mut bad = desc();
+        bad.workgroups = 0;
+        let err = PowerBackend::register_kernel(&mut sim, &bad).unwrap_err();
+        assert!(matches!(err, MethodologyError::Backend(_)));
+    }
+}

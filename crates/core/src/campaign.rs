@@ -1,0 +1,224 @@
+//! Multi-kernel profiling campaigns.
+//!
+//! The paper's evaluation profiles fourteen kernels under identical
+//! methodology settings, each in isolation (measurement guidance #2: a
+//! kernel shorter than the averaging window must be measured without
+//! neighbours). [`Campaign`] packages that workflow: a list of kernels, a
+//! shared [`RunnerConfig`], one fresh backend per kernel, and a combined
+//! report with comparative analysis.
+
+use fingrav_sim::kernel::KernelDesc;
+use serde::{Deserialize, Serialize};
+
+use crate::backend::PowerBackend;
+use crate::error::MethodologyResult;
+use crate::insights::{ComponentBreakdown, ProportionalityPoint};
+use crate::runner::{FingravRunner, KernelPowerReport, RunnerConfig};
+
+/// A planned set of kernel profiling measurements.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    config: RunnerConfig,
+    kernels: Vec<KernelDesc>,
+}
+
+impl Campaign {
+    /// Creates an empty campaign with the given methodology settings.
+    pub fn new(config: RunnerConfig) -> Self {
+        Campaign {
+            config,
+            kernels: Vec::new(),
+        }
+    }
+
+    /// Creates an empty campaign with paper-default settings.
+    pub fn with_defaults() -> Self {
+        Campaign::new(RunnerConfig::default())
+    }
+
+    /// Adds a kernel to measure.
+    pub fn add(&mut self, desc: KernelDesc) -> &mut Self {
+        self.kernels.push(desc);
+        self
+    }
+
+    /// Adds many kernels.
+    pub fn add_all<I: IntoIterator<Item = KernelDesc>>(&mut self, descs: I) -> &mut Self {
+        self.kernels.extend(descs);
+        self
+    }
+
+    /// Number of planned measurements.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// True if nothing is planned.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+
+    /// Runs every measurement, obtaining a fresh backend per kernel from
+    /// `make_backend` (index-tagged so backends can be independently
+    /// seeded). Isolated sessions per kernel implement the paper's
+    /// measurement guidance #2.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and propagates the first failing measurement.
+    pub fn run<B, F>(&self, mut make_backend: F) -> MethodologyResult<CampaignReport>
+    where
+        B: PowerBackend,
+        F: FnMut(usize) -> B,
+    {
+        let mut reports = Vec::with_capacity(self.kernels.len());
+        for (i, desc) in self.kernels.iter().enumerate() {
+            let mut backend = make_backend(i);
+            let mut runner = FingravRunner::new(&mut backend, self.config.clone());
+            reports.push(runner.profile(desc)?);
+        }
+        Ok(CampaignReport { reports })
+    }
+}
+
+/// The combined result of a campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// One report per kernel, in campaign order.
+    pub reports: Vec<KernelPowerReport>,
+}
+
+impl CampaignReport {
+    /// Looks up a report by kernel label.
+    pub fn report(&self, label: &str) -> Option<&KernelPowerReport> {
+        self.reports.iter().find(|r| r.label == label)
+    }
+
+    /// The markdown summary table (one row per kernel).
+    pub fn summary_markdown(&self) -> String {
+        crate::report::summary_table(&self.reports.iter().collect::<Vec<_>>())
+    }
+
+    /// Component breakdowns of the SSP profiles, in campaign order
+    /// (kernels whose SSP profile is empty are skipped).
+    pub fn breakdowns(&self) -> Vec<(String, ComponentBreakdown)> {
+        self.reports
+            .iter()
+            .filter_map(|r| {
+                ComponentBreakdown::from_profile(&r.ssp_profile).map(|b| (r.label.clone(), b))
+            })
+            .collect()
+    }
+
+    /// Power-proportionality points (utilization vs XCD power) for the
+    /// campaign, usable with
+    /// [`crate::insights::proportionality_spread`].
+    pub fn proportionality_points(
+        &self,
+        utilization_of: impl Fn(&KernelPowerReport) -> Option<f64>,
+    ) -> Vec<ProportionalityPoint> {
+        self.reports
+            .iter()
+            .filter_map(|r| {
+                let util = utilization_of(r)?;
+                let xcd = r.ssp_profile.mean_power()?.xcd;
+                Some(ProportionalityPoint {
+                    label: r.label.clone(),
+                    compute_utilization: util,
+                    xcd_power_w: xcd,
+                })
+            })
+            .collect()
+    }
+
+    /// The kernel with the highest SSP total power, if any was measured.
+    pub fn hottest(&self) -> Option<&KernelPowerReport> {
+        self.reports
+            .iter()
+            .filter(|r| r.ssp_mean_total_w.is_some())
+            .max_by(|a, b| {
+                a.ssp_mean_total_w
+                    .partial_cmp(&b.ssp_mean_total_w)
+                    .expect("finite powers")
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fingrav_sim::config::SimConfig;
+    use fingrav_sim::engine::Simulation;
+    use fingrav_sim::power::Activity;
+    use fingrav_sim::time::SimDuration;
+
+    fn kernel(name: &str, us: u64, xcd: f64) -> KernelDesc {
+        KernelDesc {
+            name: name.into(),
+            base_exec: SimDuration::from_micros(us),
+            freq_insensitive_frac: 0.5,
+            activity: Activity::new(xcd, 0.4, 0.3),
+            compute_utilization: xcd * 0.7,
+            flops: 1e10,
+            hbm_bytes: 1e7,
+            llc_bytes: 1e8,
+            workgroups: 128,
+        }
+    }
+
+    fn run_campaign() -> CampaignReport {
+        let mut campaign = Campaign::new(RunnerConfig::quick(12));
+        campaign
+            .add(kernel("hot", 300, 0.9))
+            .add(kernel("cool", 300, 0.3));
+        campaign
+            .run(|i| Simulation::new(SimConfig::default(), 9000 + i as u64).expect("valid"))
+            .expect("campaign runs")
+    }
+
+    #[test]
+    fn campaign_profiles_each_kernel_in_isolation() {
+        let report = run_campaign();
+        assert_eq!(report.reports.len(), 2);
+        assert!(report.report("hot").is_some());
+        assert!(report.report("cool").is_some());
+        assert!(report.report("missing").is_none());
+        let hot = report.report("hot").unwrap().ssp_mean_total_w.unwrap();
+        let cool = report.report("cool").unwrap().ssp_mean_total_w.unwrap();
+        assert!(hot > cool + 50.0, "hot {hot} vs cool {cool}");
+        assert_eq!(report.hottest().unwrap().label, "hot");
+    }
+
+    #[test]
+    fn summary_and_breakdowns_render() {
+        let report = run_campaign();
+        let md = report.summary_markdown();
+        assert!(md.contains("hot"));
+        assert!(md.contains("cool"));
+        assert_eq!(md.lines().count(), 4); // header + separator + 2 rows
+        let breakdowns = report.breakdowns();
+        assert_eq!(breakdowns.len(), 2);
+    }
+
+    #[test]
+    fn proportionality_points_extracted() {
+        let report = run_campaign();
+        let pts =
+            report.proportionality_points(|r| Some(if r.label == "hot" { 0.63 } else { 0.21 }));
+        assert_eq!(pts.len(), 2);
+        let spread = crate::insights::proportionality_spread(&pts).unwrap();
+        assert!(spread >= 1.0);
+    }
+
+    #[test]
+    fn empty_campaign() {
+        let campaign = Campaign::with_defaults();
+        assert!(campaign.is_empty());
+        assert_eq!(campaign.len(), 0);
+        let report = campaign
+            .run(|i| Simulation::new(SimConfig::default(), i as u64).expect("valid"))
+            .expect("empty campaign is fine");
+        assert!(report.reports.is_empty());
+        assert!(report.hottest().is_none());
+    }
+}

@@ -1,0 +1,170 @@
+//! Terminal (ASCII) rendering of power profiles.
+//!
+//! The paper communicates through power-vs-time plots; this module gives
+//! the examples and figure binaries a dependency-free way to show the same
+//! shapes directly in the terminal. Points are bucketed along x and drawn
+//! as a braille-free block chart with axis annotations.
+
+use crate::profile::{PowerAxis, PowerProfile, ProfileAxis};
+
+/// Renders `(x, y)` series as a fixed-size ASCII chart.
+///
+/// Returns an empty string when fewer than two points are given.
+///
+/// # Examples
+///
+/// ```
+/// use fingrav_core::chart::ascii_chart;
+///
+/// let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| 100.0 + x).collect();
+/// let chart = ascii_chart(&xs, &ys, 40, 8);
+/// assert!(chart.lines().count() >= 8);
+/// ```
+pub fn ascii_chart(xs: &[f64], ys: &[f64], width: usize, height: usize) -> String {
+    assert_eq!(xs.len(), ys.len(), "series lengths must match");
+    if xs.len() < 2 || width < 2 || height < 2 {
+        return String::new();
+    }
+    let x_min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let x_max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let y_min = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+    let y_max = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if x_max <= x_min || !y_min.is_finite() || !y_max.is_finite() {
+        return String::new();
+    }
+    let y_span = if y_max > y_min { y_max - y_min } else { 1.0 };
+
+    // Bucket points into columns, averaging y per column.
+    let mut sums = vec![0.0f64; width];
+    let mut counts = vec![0u32; width];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let col = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+        sums[col] += y;
+        counts[col] += 1;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    let mut last_row: Option<usize> = None;
+    for col in 0..width {
+        if counts[col] == 0 {
+            continue;
+        }
+        let y = sums[col] / counts[col] as f64;
+        let frac = ((y - y_min) / y_span).clamp(0.0, 1.0);
+        let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+        grid[row][col] = '*';
+        // Join vertically toward the previous column for readability.
+        if let Some(prev) = last_row {
+            let (lo, hi) = if prev < row { (prev, row) } else { (row, prev) };
+            for r in grid.iter_mut().take(hi).skip(lo + 1) {
+                if r[col] == ' ' {
+                    r[col] = '.';
+                }
+            }
+        }
+        last_row = Some(row);
+    }
+
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_max:8.0} |")
+        } else if i == height - 1 {
+            format!("{y_min:8.0} |")
+        } else {
+            "         |".to_string()
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "          +{}\n           {:<w$.2}{:>w2$.2}\n",
+        "-".repeat(width),
+        x_min,
+        x_max,
+        w = width / 2,
+        w2 = width - width / 2,
+    ));
+    out
+}
+
+/// Renders a profile's total power over run time as an ASCII chart, with
+/// the x-axis in milliseconds.
+pub fn profile_chart(profile: &PowerProfile, width: usize, height: usize) -> String {
+    let (xs, ys) = profile.series(ProfileAxis::RunTime, PowerAxis::Total);
+    let xs_ms: Vec<f64> = xs.iter().map(|x| x / 1e6).collect();
+    let body = ascii_chart(&xs_ms, &ys, width, height);
+    if body.is_empty() {
+        return body;
+    }
+    format!(
+        "{} ({} points, total W vs run ms)\n{}",
+        profile.label,
+        profile.len(),
+        body
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{ProfileKind, ProfilePoint};
+    use fingrav_sim::power::ComponentPower;
+
+    #[test]
+    fn ramp_chart_puts_start_low_and_end_high() {
+        let xs: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 100.0 + 3.0 * x).collect();
+        let chart = ascii_chart(&xs, &ys, 40, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        // Top row holds the late (high) columns, bottom row the early ones.
+        let top_star = lines[0].rfind('*').expect("top row populated");
+        let bottom_star = lines[9].rfind('*').expect("bottom row populated");
+        assert!(top_star > bottom_star, "ramp should ascend left to right");
+        assert!(lines[0].contains("697")); // y max label (100 + 3*199)
+        assert!(lines[9].contains("100")); // y min label
+    }
+
+    #[test]
+    fn degenerate_inputs_render_empty() {
+        assert!(ascii_chart(&[], &[], 40, 10).is_empty());
+        assert!(ascii_chart(&[1.0], &[1.0], 40, 10).is_empty());
+        // Zero x-span.
+        assert!(ascii_chart(&[1.0, 1.0], &[1.0, 2.0], 40, 10).is_empty());
+        // Tiny canvas.
+        assert!(ascii_chart(&[0.0, 1.0], &[0.0, 1.0], 1, 1).is_empty());
+    }
+
+    #[test]
+    fn flat_series_renders_without_panic() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys = vec![500.0; 50];
+        let chart = ascii_chart(&xs, &ys, 30, 6);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn profile_chart_includes_label() {
+        let mut p = PowerProfile::new("CB-4K-GEMM", ProfileKind::Run);
+        for i in 0..20 {
+            p.points.push(ProfilePoint {
+                run: 0,
+                exec_pos: 0,
+                toi_ns: Some(0.0),
+                run_time_ns: i as f64 * 1e6,
+                power: ComponentPower::new(100.0 + i as f64 * 10.0, 0.0, 0.0, 0.0),
+            });
+        }
+        let chart = profile_chart(&p, 30, 6);
+        assert!(chart.starts_with("CB-4K-GEMM"));
+        assert!(chart.contains("20 points"));
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths must match")]
+    fn mismatched_series_panics() {
+        let _ = ascii_chart(&[1.0, 2.0], &[1.0], 10, 5);
+    }
+}

@@ -1,0 +1,326 @@
+//! Power-profile differentiation (paper solution **S4**): SSE vs SSP.
+//!
+//! Because the platform logger reports the *average* of instantaneous power
+//! over a trailing window, the measured power of a kernel ramps up as
+//! back-to-back executions fill the window. FinGraV therefore distinguishes
+//! two profiles:
+//!
+//! * **SSE** (steady-state *execution*): the first execution after
+//!   execution time stops improving (typically after three warm-up
+//!   executions). This is what a naive user would measure.
+//! * **SSP** (steady-state *power*): the execution after which measured
+//!   power stops changing — the true time-series view of the kernel's
+//!   average power.
+//!
+//! The number of executions needed to reach SSP is bounded below by
+//! `max(ceil(averaging_window / exec_time), sse_executions)` (paper step 4),
+//! but throttling can push it further out, which the paper handles with a
+//! search; [`detect_stable_suffix`] implements the stability detection that
+//! search relies on.
+
+use fingrav_sim::time::SimDuration;
+
+/// Detects the number of warm-up executions from a probe run's observed
+/// durations: the index of the first execution whose time is within
+/// `tol_frac` of the steady time (median of the last half).
+///
+/// Returns 0 for empty input.
+///
+/// # Examples
+///
+/// ```
+/// use fingrav_core::differentiation::detect_warmup_count;
+///
+/// let d = [150_000u64, 120_000, 104_000, 100_000, 100_200, 99_900, 100_100];
+/// assert_eq!(detect_warmup_count(&d, 0.02), 3);
+/// ```
+pub fn detect_warmup_count(durations_ns: &[u64], tol_frac: f64) -> u32 {
+    if durations_ns.is_empty() {
+        return 0;
+    }
+    let half = &durations_ns[durations_ns.len() / 2..];
+    let steady = crate::stats::median_u64(half).expect("non-empty half") as f64;
+    let threshold = steady * (1.0 + tol_frac);
+    durations_ns
+        .iter()
+        .position(|&d| (d as f64) <= threshold)
+        .unwrap_or(0) as u32
+}
+
+/// The paper's lower bound on executions needed for the SSP profile:
+/// `max(ceil(window / exec_time), sse_executions)`.
+///
+/// # Examples
+///
+/// ```
+/// use fingrav_core::differentiation::ssp_min_executions;
+/// use fingrav_sim::time::SimDuration;
+///
+/// // 48 us kernel under a 1 ms window: 21 executions.
+/// let n = ssp_min_executions(
+///     SimDuration::from_millis(1),
+///     SimDuration::from_micros(48),
+///     4,
+/// );
+/// assert_eq!(n, 21);
+/// // 1.6 ms kernel: the window fits inside one execution, so the SSE
+/// // execution count dominates.
+/// let n = ssp_min_executions(
+///     SimDuration::from_millis(1),
+///     SimDuration::from_micros(1600),
+///     4,
+/// );
+/// assert_eq!(n, 4);
+/// ```
+pub fn ssp_min_executions(window: SimDuration, exec_time: SimDuration, sse_executions: u32) -> u32 {
+    let exec = exec_time.as_nanos().max(1);
+    let by_window = window.as_nanos().div_ceil(exec) as u32;
+    by_window.max(sse_executions).max(1)
+}
+
+/// Detects the throttling signature the paper calls out for compute-heavy
+/// kernels: a "rise followed by fall of power" during the early
+/// executions — the firmware over-reacts to the initial power excursion
+/// and carves a trough before power recovers toward its plateau.
+/// `powers` are successive log totals in time order.
+pub fn detect_throttle(powers: &[f64], tol_frac: f64) -> bool {
+    if powers.len() < 3 {
+        return false;
+    }
+    // Peak within the leading 60% of the series.
+    let head = (powers.len() * 3 / 5).max(1);
+    let (peak_idx, peak) = powers
+        .iter()
+        .enumerate()
+        .take(head)
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite powers"))
+        .map(|(i, &p)| (i, p))
+        .expect("non-empty head");
+    if peak <= 0.0 {
+        return false;
+    }
+    // Trough after the peak.
+    let trough = powers[peak_idx + 1..]
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    if !trough.is_finite() {
+        return false;
+    }
+    // A genuine excursion: the profile rose into the peak and then fell
+    // clearly below it.
+    let rose_into_peak = peak_idx > 0 && powers[0] < peak * (1.0 - tol_frac);
+    rose_into_peak && (peak - trough) > tol_frac * peak
+}
+
+/// Finds the start of the stable suffix of a power series: the earliest
+/// index `i` such that every value from `i` on is within `tol_frac` of the
+/// settled level. The settled level is the *median of the last quarter* of
+/// the series, so a single outlier excursion at the very end (an
+/// outlier execution passing through the averaging window) does not move
+/// the reference. Returns `None` for an empty series.
+///
+/// This is the primitive behind the paper's "binary search … to deduce
+/// executions to get SSP profile": run a generous probe, find where power
+/// stopped moving, and map that log back to an execution index.
+pub fn detect_stable_suffix(powers: &[f64], tol_frac: f64) -> Option<usize> {
+    if powers.is_empty() {
+        return None;
+    }
+    let tail_len = (powers.len() / 4).max(1);
+    let settled = crate::stats::median(&powers[powers.len() - tail_len..]).expect("non-empty tail");
+    let tol = settled.abs() * tol_frac;
+    let mut start = powers.len() - 1;
+    for i in (0..powers.len()).rev() {
+        if (powers[i] - settled).abs() <= tol {
+            start = i;
+        } else {
+            break;
+        }
+    }
+    Some(start)
+}
+
+/// Centered moving average of width `w` (clamped at the edges). Used on
+/// top of [`median_of_3`] before stability detection so that the
+/// firmware's cap sawtooth (periodic shallow dips while it hunts around
+/// the power cap) does not read as instability.
+pub fn moving_average(values: &[f64], w: usize) -> Vec<f64> {
+    if values.is_empty() || w <= 1 {
+        return values.to_vec();
+    }
+    let half = w / 2;
+    (0..values.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(values.len());
+            values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// Median-of-3 smoothing: suppresses single-log excursions (e.g. one
+/// outlier execution inside a long probe burst) before stability
+/// detection.
+pub fn median_of_3(values: &[f64]) -> Vec<f64> {
+    if values.len() < 3 {
+        return values.to_vec();
+    }
+    let mut out = Vec::with_capacity(values.len());
+    out.push(values[0]);
+    for w in values.windows(3) {
+        let mut v = [w[0], w[1], w[2]];
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite powers"));
+        out.push(v[1]);
+    }
+    out.push(values[values.len() - 1]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_detection_typical() {
+        // Mirrors the simulator's default warm-up factors.
+        let d = [
+            122_000u64, 112_000, 105_000, 100_000, 100_300, 99_800, 100_100, 99_900,
+        ];
+        assert_eq!(detect_warmup_count(&d, 0.02), 3);
+    }
+
+    #[test]
+    fn warmup_detection_none_needed() {
+        let d = [100_000u64, 100_100, 99_900, 100_050];
+        assert_eq!(detect_warmup_count(&d, 0.02), 0);
+    }
+
+    #[test]
+    fn warmup_detection_empty() {
+        assert_eq!(detect_warmup_count(&[], 0.02), 0);
+    }
+
+    #[test]
+    fn warmup_detection_single() {
+        assert_eq!(detect_warmup_count(&[5_000], 0.02), 0);
+    }
+
+    #[test]
+    fn ssp_executions_window_dominated() {
+        let n = ssp_min_executions(SimDuration::from_millis(1), SimDuration::from_micros(30), 4);
+        assert_eq!(n, 34);
+    }
+
+    #[test]
+    fn ssp_executions_sse_dominated() {
+        let n = ssp_min_executions(SimDuration::from_millis(1), SimDuration::from_millis(3), 4);
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn ssp_executions_never_zero() {
+        let n = ssp_min_executions(SimDuration::from_nanos(1), SimDuration::from_millis(10), 0);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn throttle_detected_on_spike() {
+        // Ramp, overshoot, settle: the Fig. 6 signature.
+        let p = [
+            300.0, 600.0, 900.0, 980.0, 820.0, 760.0, 755.0, 750.0, 752.0,
+        ];
+        assert!(detect_throttle(&p, 0.05));
+    }
+
+    #[test]
+    fn throttle_detected_on_trough_recovery() {
+        // Spike, over-throttle trough, slow recovery to a plateau.
+        let p = [
+            500.0, 740.0, 745.0, 660.0, 640.0, 660.0, 690.0, 720.0, 735.0, 742.0,
+        ];
+        assert!(detect_throttle(&p, 0.05));
+    }
+
+    #[test]
+    fn no_throttle_on_monotone_rise() {
+        // The Fig. 8 signature: gradual rise to a plateau.
+        let p = [200.0, 350.0, 500.0, 620.0, 690.0, 700.0, 702.0, 698.0];
+        assert!(!detect_throttle(&p, 0.05));
+    }
+
+    #[test]
+    fn no_throttle_on_flat() {
+        let p = [500.0, 501.0, 499.5, 500.2];
+        assert!(!detect_throttle(&p, 0.05));
+        assert!(!detect_throttle(&[500.0, 501.0], 0.05));
+    }
+
+    #[test]
+    fn stable_suffix_found() {
+        let p = [100.0, 300.0, 500.0, 690.0, 700.0, 702.0, 699.0, 701.0];
+        let i = detect_stable_suffix(&p, 0.02).unwrap();
+        assert_eq!(
+            i, 3,
+            "stability starts at 690 (within 2% of the settled level)"
+        );
+    }
+
+    #[test]
+    fn stable_suffix_ignores_terminal_outlier() {
+        // One outlier dip at the very end must not move the settled
+        // reference (median of the last quarter).
+        let p = [
+            100.0, 300.0, 500.0, 690.0, 700.0, 702.0, 699.0, 701.0, 700.5, 698.0, 701.5, 700.0,
+        ];
+        let i = detect_stable_suffix(&p, 0.02).unwrap();
+        assert_eq!(i, 3);
+        // Same series smoothed: an interior dip disappears entirely.
+        let mut with_dip = p.to_vec();
+        with_dip[8] = 600.0;
+        let smoothed = median_of_3(&with_dip);
+        let j = detect_stable_suffix(&smoothed, 0.02).unwrap();
+        assert_eq!(j, 3, "smoothing should erase the single-log dip");
+    }
+
+    #[test]
+    fn moving_average_smooths_sawtooth() {
+        // A shallow periodic dip (cap sawtooth) flattens under averaging.
+        let v = [
+            700.0, 700.0, 660.0, 700.0, 700.0, 700.0, 660.0, 700.0, 700.0,
+        ];
+        let sm = moving_average(&v, 5);
+        for &x in &sm[1..sm.len() - 1] {
+            assert!((x - 700.0).abs() < 20.0, "smoothed value {x}");
+        }
+        // Identity cases.
+        assert_eq!(moving_average(&[], 5), Vec::<f64>::new());
+        assert_eq!(moving_average(&[1.0, 2.0], 1), vec![1.0, 2.0]);
+        // Constant input is a fixed point.
+        assert_eq!(moving_average(&[5.0; 8], 5), vec![5.0; 8]);
+    }
+
+    #[test]
+    fn median_of_3_basics() {
+        assert_eq!(median_of_3(&[]), Vec::<f64>::new());
+        assert_eq!(median_of_3(&[1.0, 2.0]), vec![1.0, 2.0]);
+        assert_eq!(median_of_3(&[1.0, 9.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn stable_suffix_whole_series() {
+        let p = [700.0, 701.0, 699.0];
+        assert_eq!(detect_stable_suffix(&p, 0.02), Some(0));
+    }
+
+    #[test]
+    fn stable_suffix_only_last() {
+        let p = [100.0, 200.0, 700.0];
+        assert_eq!(detect_stable_suffix(&p, 0.02), Some(2));
+    }
+
+    #[test]
+    fn stable_suffix_empty() {
+        assert_eq!(detect_stable_suffix(&[], 0.02), None);
+    }
+}

@@ -1,0 +1,159 @@
+//! Kernel phase splitting (paper Section VI).
+//!
+//! The paper proposes, as future work, breaking a kernel into phases to
+//! lower per-phase variation: "with GPU kernels, wherein each kernel
+//! launches multiple workgroups, the kernel can be artificially terminated
+//! after half the number of workgroups are completed and each half of the
+//! execution can be studied separately." This module implements that
+//! splitting at the descriptor level: phase *k* of *n* carries `1/n` of
+//! the workgroups, time, and traffic, and can then be profiled like any
+//! other kernel.
+
+use fingrav_sim::kernel::KernelDesc;
+
+/// Splits a kernel into `phases` equal workgroup phases.
+///
+/// Returns an error if `phases` is zero or exceeds the workgroup count
+/// (a phase must contain at least one workgroup).
+///
+/// # Errors
+///
+/// Returns a description of the violated constraint.
+///
+/// # Examples
+///
+/// ```
+/// use fingrav_core::phases::split_kernel;
+/// use fingrav_sim::kernel::KernelDesc;
+/// use fingrav_sim::power::Activity;
+/// use fingrav_sim::time::SimDuration;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let k = KernelDesc {
+///     name: "k".into(),
+///     base_exec: SimDuration::from_micros(100),
+///     freq_insensitive_frac: 0.2,
+///     activity: Activity::new(0.9, 0.5, 0.4),
+///     compute_utilization: 0.8,
+///     flops: 1e9,
+///     hbm_bytes: 1e6,
+///     llc_bytes: 1e7,
+///     workgroups: 64,
+/// };
+/// let halves = split_kernel(&k, 2)?;
+/// assert_eq!(halves.len(), 2);
+/// assert_eq!(halves[0].workgroups, 32);
+/// assert_eq!(halves[0].base_exec, SimDuration::from_micros(50));
+/// # Ok(())
+/// # }
+/// ```
+pub fn split_kernel(desc: &KernelDesc, phases: u32) -> Result<Vec<KernelDesc>, String> {
+    if phases == 0 {
+        return Err("phase count must be positive".into());
+    }
+    if phases > desc.workgroups {
+        return Err(format!(
+            "cannot split {} workgroups into {} phases",
+            desc.workgroups, phases
+        ));
+    }
+    let n = phases as u64;
+    let base_wgs = desc.workgroups / phases;
+    let remainder = desc.workgroups % phases;
+    let mut out = Vec::with_capacity(phases as usize);
+    for i in 0..phases {
+        // Spread the remainder over the first phases.
+        let wgs = base_wgs + u32::from(i < remainder);
+        let share = wgs as f64 / desc.workgroups as f64;
+        out.push(KernelDesc {
+            name: format!("{}#phase{}/{}", desc.name, i + 1, n),
+            base_exec: desc.base_exec.mul_f64(share),
+            freq_insensitive_frac: desc.freq_insensitive_frac,
+            activity: desc.activity,
+            compute_utilization: desc.compute_utilization,
+            flops: desc.flops * share,
+            hbm_bytes: desc.hbm_bytes * share,
+            llc_bytes: desc.llc_bytes * share,
+            workgroups: wgs,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fingrav_sim::power::Activity;
+    use fingrav_sim::time::SimDuration;
+
+    fn kernel(workgroups: u32) -> KernelDesc {
+        KernelDesc {
+            name: "k".into(),
+            base_exec: SimDuration::from_micros(120),
+            freq_insensitive_frac: 0.2,
+            activity: Activity::new(0.9, 0.5, 0.4),
+            compute_utilization: 0.8,
+            flops: 1.2e9,
+            hbm_bytes: 6e6,
+            llc_bytes: 1.2e7,
+            workgroups,
+        }
+    }
+
+    #[test]
+    fn halves_conserve_work() {
+        let k = kernel(64);
+        let halves = split_kernel(&k, 2).unwrap();
+        assert_eq!(halves.len(), 2);
+        let wg: u32 = halves.iter().map(|p| p.workgroups).sum();
+        assert_eq!(wg, 64);
+        let flops: f64 = halves.iter().map(|p| p.flops).sum();
+        assert!((flops - k.flops).abs() < 1.0);
+        let t: u64 = halves.iter().map(|p| p.base_exec.as_nanos()).sum();
+        assert_eq!(t, k.base_exec.as_nanos());
+    }
+
+    #[test]
+    fn uneven_split_spreads_remainder() {
+        let k = kernel(10);
+        let thirds = split_kernel(&k, 3).unwrap();
+        let wgs: Vec<u32> = thirds.iter().map(|p| p.workgroups).collect();
+        assert_eq!(wgs, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn phase_names_are_distinct() {
+        let k = kernel(8);
+        let phases = split_kernel(&k, 4).unwrap();
+        let mut names: Vec<&str> = phases.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+        assert!(phases[0].name.contains("phase1/4"));
+    }
+
+    #[test]
+    fn phases_validate_as_kernels() {
+        let k = kernel(64);
+        for p in split_kernel(&k, 2).unwrap() {
+            assert!(p.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_counts() {
+        let k = kernel(4);
+        assert!(split_kernel(&k, 0).is_err());
+        assert!(split_kernel(&k, 5).is_err());
+        assert!(split_kernel(&k, 4).is_ok());
+    }
+
+    #[test]
+    fn single_phase_is_identity_sized() {
+        let k = kernel(16);
+        let one = split_kernel(&k, 1).unwrap();
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].workgroups, k.workgroups);
+        assert_eq!(one[0].base_exec, k.base_exec);
+    }
+}

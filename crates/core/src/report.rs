@@ -1,0 +1,210 @@
+//! CSV and markdown rendering of profiles and reports.
+//!
+//! The bench harness regenerates every paper table/figure as plain-text
+//! artefacts: CSV series (one row per stitched point) for figures and
+//! markdown tables for tabular results.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::profile::{PowerProfile, ProfileAxis};
+use crate::runner::KernelPowerReport;
+
+/// Renders a profile as CSV with header
+/// `run,exec_pos,x_ns,total_w,xcd_w,iod_w,hbm_w,rest_w`, with `x` chosen by
+/// `axis`, sorted by x.
+pub fn profile_to_csv(profile: &PowerProfile, axis: ProfileAxis) -> String {
+    let mut rows: Vec<&crate::profile::ProfilePoint> = profile.points.iter().collect();
+    let key = |p: &crate::profile::ProfilePoint| match axis {
+        ProfileAxis::RunTime => Some(p.run_time_ns),
+        ProfileAxis::Toi => p.toi_ns,
+    };
+    rows.sort_by(|a, b| {
+        key(a)
+            .partial_cmp(&key(b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut out = String::from("run,exec_pos,x_ns,total_w,xcd_w,iod_w,hbm_w,rest_w\n");
+    for p in rows {
+        let Some(x) = key(p) else { continue };
+        if !x.is_finite() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{},{},{:.1},{:.3},{:.3},{:.3},{:.3},{:.3}",
+            p.run,
+            p.exec_pos,
+            x,
+            p.power.total(),
+            p.power.xcd,
+            p.power.iod,
+            p.power.hbm,
+            p.power.rest
+        );
+    }
+    out
+}
+
+/// Writes a profile CSV to disk.
+///
+/// # Errors
+///
+/// Propagates I/O errors (missing directory, permissions).
+pub fn write_profile_csv(
+    profile: &PowerProfile,
+    axis: ProfileAxis,
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
+    std::fs::write(path, profile_to_csv(profile, axis))
+}
+
+/// Renders a kernel report summary as one markdown table row:
+/// `| label | exec | sse idx | ssp idx | runs | golden | SSE W | SSP W | err % |`.
+pub fn report_summary_row(r: &KernelPowerReport) -> String {
+    let fmt_w = |w: Option<f64>| match w {
+        Some(w) => format!("{w:.0}"),
+        None => "-".to_string(),
+    };
+    let err = match r.sse_vs_ssp_error {
+        Some(e) => format!("{:.0}%", e * 100.0),
+        None => "-".to_string(),
+    };
+    format!(
+        "| {} | {:.1}us | {} | {} | {} | {} | {} | {} | {} |",
+        r.label,
+        r.exec_time_ns as f64 / 1_000.0,
+        r.sse_index,
+        r.ssp_index,
+        r.runs_executed,
+        r.golden_runs,
+        fmt_w(r.sse_mean_total_w),
+        fmt_w(r.ssp_mean_total_w),
+        err
+    )
+}
+
+/// The header matching [`report_summary_row`].
+pub fn report_summary_header() -> String {
+    "| kernel | exec | SSE idx | SSP idx | runs | golden | SSE W | SSP W | SSE vs SSP err |\n\
+     |---|---|---|---|---|---|---|---|---|"
+        .to_string()
+}
+
+/// Renders a full summary table for several reports.
+pub fn summary_table(reports: &[&KernelPowerReport]) -> String {
+    let mut out = report_summary_header();
+    out.push('\n');
+    for r in reports {
+        out.push_str(&report_summary_row(r));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{ProfileKind, ProfilePoint};
+    use fingrav_sim::power::ComponentPower;
+
+    fn profile() -> PowerProfile {
+        let mut p = PowerProfile::new("CB-4K-GEMM", ProfileKind::Run);
+        p.points.push(ProfilePoint {
+            run: 1,
+            exec_pos: 2,
+            toi_ns: Some(250.0),
+            run_time_ns: 2_000.0,
+            power: ComponentPower::new(400.0, 80.0, 70.0, 30.0),
+        });
+        p.points.push(ProfilePoint {
+            run: 0,
+            exec_pos: 0,
+            toi_ns: Some(100.0),
+            run_time_ns: 1_000.0,
+            power: ComponentPower::new(100.0, 50.0, 40.0, 20.0),
+        });
+        p
+    }
+
+    #[test]
+    fn csv_sorted_and_complete() {
+        let csv = profile_to_csv(&profile(), ProfileAxis::RunTime);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("run,exec_pos,x_ns"));
+        // Sorted by run time: the run-0 point first.
+        assert!(lines[1].starts_with("0,0,1000.0"));
+        assert!(lines[2].starts_with("1,2,2000.0"));
+        assert!(lines[1].contains("210.000")); // total of the first point
+    }
+
+    #[test]
+    fn csv_by_toi() {
+        let csv = profile_to_csv(&profile(), ProfileAxis::Toi);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[1].contains(",100.0,"));
+    }
+
+    #[test]
+    fn csv_skips_points_without_toi() {
+        let mut p = profile();
+        p.points.push(ProfilePoint {
+            run: 9,
+            exec_pos: u32::MAX,
+            toi_ns: None,
+            run_time_ns: 3_000.0,
+            power: ComponentPower::ZERO,
+        });
+        let by_toi = profile_to_csv(&p, ProfileAxis::Toi);
+        assert_eq!(by_toi.lines().count(), 3, "TOI-less row skipped");
+        let by_run = profile_to_csv(&p, ProfileAxis::RunTime);
+        assert_eq!(by_run.lines().count(), 4, "finite run-time row kept");
+    }
+
+    #[test]
+    fn write_csv_roundtrip() {
+        let dir = std::env::temp_dir().join("fingrav-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profile.csv");
+        write_profile_csv(&profile(), ProfileAxis::RunTime, &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("run,exec_pos"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn summary_header_and_row_align() {
+        let header = report_summary_header();
+        let cols = header.lines().next().unwrap().matches('|').count();
+        // A representative report row must have the same column count.
+        use crate::guidance::GuidanceTable;
+        use fingrav_sim::time::SimDuration;
+        let r = KernelPowerReport {
+            label: "X".into(),
+            exec_time_ns: 48_000,
+            guidance: *GuidanceTable::paper().lookup(SimDuration::from_micros(48)),
+            margin_frac: 0.05,
+            sse_index: 3,
+            ssp_index: 21,
+            executions_per_run: 42,
+            runs_executed: 400,
+            golden_runs: 361,
+            throttle_detected: false,
+            read_delay_ns: 750.0,
+            estimated_drift_ppm: Some(18.0),
+            run_profile: PowerProfile::new("X", ProfileKind::Run),
+            sse_profile: PowerProfile::new("X", ProfileKind::Sse),
+            ssp_profile: PowerProfile::new("X", ProfileKind::Ssp),
+            sse_mean_total_w: Some(150.0),
+            ssp_mean_total_w: Some(700.0),
+            sse_vs_ssp_error: Some(0.78),
+        };
+        let row = report_summary_row(&r);
+        assert_eq!(row.matches('|').count(), cols);
+        assert!(row.contains("78%"));
+        let table = summary_table(&[&r]);
+        assert_eq!(table.lines().count(), 3);
+    }
+}

@@ -1,0 +1,120 @@
+//! Small statistics helpers used across the methodology.
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Population standard deviation; `None` for an empty slice.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Median (average of the middle two for even lengths); `None` if empty.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in medians"));
+    let n = v.len();
+    Some(if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    })
+}
+
+/// Integer-median convenience for nanosecond durations.
+pub fn median_u64(xs: &[u64]) -> Option<u64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_unstable();
+    let n = v.len();
+    Some(if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2
+    })
+}
+
+/// The `p`-quantile (0.0..=1.0) by linear interpolation; `None` if empty.
+pub fn quantile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in quantiles"));
+    let p = p.clamp(0.0, 1.0);
+    let pos = p * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(v[lo])
+    } else {
+        let t = pos - lo as f64;
+        Some(v[lo] * (1.0 - t) + v[hi] * t)
+    }
+}
+
+/// Relative difference `|a - b| / b`; `None` when `b` is zero.
+pub fn relative_diff(a: f64, b: f64) -> Option<f64> {
+    if b == 0.0 {
+        None
+    } else {
+        Some((a - b).abs() / b.abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        let sd = std_dev(&[2.0, 4.0]).unwrap();
+        assert!((sd - 1.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[]), None);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn median_u64_works() {
+        assert_eq!(median_u64(&[30, 10, 20]), Some(20));
+        assert_eq!(median_u64(&[10, 20]), Some(15));
+        assert_eq!(median_u64(&[]), None);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(5.0));
+        assert_eq!(quantile(&xs, 0.5), Some(3.0));
+        assert_eq!(quantile(&xs, 0.25), Some(2.0));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn relative_diff_basics() {
+        assert_eq!(relative_diff(110.0, 100.0), Some(0.1));
+        assert_eq!(relative_diff(90.0, 100.0), Some(0.1));
+        assert_eq!(relative_diff(1.0, 0.0), None);
+    }
+}

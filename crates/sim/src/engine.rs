@@ -1,0 +1,919 @@
+//! The simulation engine: couples the host, device, firmware, thermal model,
+//! and telemetry on a single discrete-event timeline.
+//!
+//! A [`Simulation`] persists across scripts — clocks keep advancing, the die
+//! stays warm, the power-management firmware remembers its state — exactly
+//! like a long-lived profiling session on a real node. Each call to
+//! [`Simulation::run_script`] interprets one host-side [`Script`] and
+//! returns the observable [`RunTrace`].
+
+use std::collections::VecDeque;
+
+use crate::clock::{CpuClock, GpuClock};
+use crate::config::SimConfig;
+use crate::device::GpuDevice;
+use crate::dvfs::{PmFirmware, PmInput};
+use crate::error::{SimError, SimResult};
+use crate::event::EventQueue;
+use crate::kernel::{KernelDesc, KernelHandle};
+use crate::power::PowerModel;
+use crate::rng::SimRng;
+use crate::script::{HostOp, Script};
+use crate::telemetry::AveragingPowerLogger;
+use crate::thermal::ThermalState;
+use crate::time::{CpuTime, SimDuration, SimTime};
+use crate::trace::{RunTrace, TimedExecution, TimestampRead, TrueExecution};
+
+/// Internal simulator events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    /// Periodic instantaneous power sample.
+    Sensor,
+    /// Power-management firmware control tick.
+    PmTick,
+    /// Fine logger emission tick.
+    LoggerEmit,
+    /// Coarse logger emission tick.
+    CoarseEmit,
+    /// Host continues execution.
+    HostResume(HostPhase),
+    /// The running kernel (of this generation) finishes.
+    KernelEnd { generation: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum HostPhase {
+    /// Interpret the next script operation.
+    NextOp,
+    /// Dispatch latency elapsed: the kernel begins on the GPU.
+    KernelBegin,
+    /// Completion latency elapsed: the host observes the kernel end.
+    KernelComplete,
+}
+
+#[derive(Debug)]
+struct LaunchState {
+    kernel: KernelHandle,
+    total: u32,
+    completed: u32,
+    cpu_start_pending: CpuTime,
+}
+
+#[derive(Debug)]
+struct ScriptState {
+    ops: Vec<HostOp>,
+    op_idx: usize,
+    launch: Option<LaunchState>,
+    trace: RunTrace,
+    done: bool,
+}
+
+/// A persistent simulated profiling session on one GPU.
+///
+/// # Examples
+///
+/// ```
+/// use fingrav_sim::config::SimConfig;
+/// use fingrav_sim::engine::Simulation;
+/// use fingrav_sim::kernel::KernelDesc;
+/// use fingrav_sim::power::Activity;
+/// use fingrav_sim::script::Script;
+/// use fingrav_sim::time::SimDuration;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut sim = Simulation::new(SimConfig::default(), 42)?;
+/// let kernel = sim.register_kernel(KernelDesc {
+///     name: "demo".into(),
+///     base_exec: SimDuration::from_micros(200),
+///     freq_insensitive_frac: 0.2,
+///     activity: Activity::new(0.9, 0.5, 0.4),
+///     compute_utilization: 0.8,
+///     flops: 1e11,
+///     hbm_bytes: 4e8,
+///     llc_bytes: 1e9,
+///     workgroups: 1024,
+/// })?;
+/// let script = Script::builder()
+///     .begin_run()
+///     .start_power_logger()
+///     .launch_timed(kernel, 8)
+///     .sleep(SimDuration::from_millis(2))
+///     .stop_power_logger()
+///     .build();
+/// let trace = sim.run_script(&script)?;
+/// assert_eq!(trace.executions.len(), 8);
+/// assert!(!trace.power_logs.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulation {
+    cfg: SimConfig,
+    now: SimTime,
+    queue: EventQueue<Event>,
+    cpu_clock: CpuClock,
+    gpu_clock: GpuClock,
+    device: GpuDevice,
+    power_model: PowerModel,
+    thermal: ThermalState,
+    pm: PmFirmware,
+    logger: AveragingPowerLogger,
+    coarse: AveragingPowerLogger,
+    /// Rolling instantaneous total power for the PM window.
+    pm_hist: VecDeque<(SimTime, f64)>,
+    rng: SimRng,
+    script: Option<ScriptState>,
+}
+
+impl Simulation {
+    /// Creates a session with the given configuration and master seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the configuration fails
+    /// validation.
+    pub fn new(cfg: SimConfig, seed: u64) -> SimResult<Self> {
+        cfg.validate()
+            .map_err(|reason| SimError::InvalidConfig { reason })?;
+        let cpu_clock = CpuClock::new(cfg.clocks.cpu_boot_offset_ns);
+        let gpu_clock = GpuClock::new(
+            cfg.clocks.gpu_counter_hz,
+            cfg.clocks.gpu_drift_ppm,
+            cfg.clocks.gpu_epoch_ticks,
+        );
+        let device = GpuDevice::new(cfg.variation.clone(), cfg.pm.f_max_mhz, cfg.pm.idle_f_mhz);
+        let power_model = PowerModel::new(cfg.power.clone());
+        let thermal = ThermalState::new(cfg.thermal);
+        let pm = PmFirmware::new(cfg.pm);
+        let logger = AveragingPowerLogger::new(cfg.telemetry.logger_window);
+        let coarse = AveragingPowerLogger::new(cfg.telemetry.coarse_window);
+        Ok(Simulation {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            cpu_clock,
+            gpu_clock,
+            device,
+            power_model,
+            thermal,
+            pm,
+            logger,
+            coarse,
+            pm_hist: VecDeque::new(),
+            rng: SimRng::from_streams(seed, 0),
+            script: None,
+            cfg,
+        })
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Current simulation time (ground truth; tests only).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Ground-truth CPU clock (tests only — the methodology must not use it).
+    pub fn cpu_clock(&self) -> &CpuClock {
+        &self.cpu_clock
+    }
+
+    /// Ground-truth GPU clock (tests only — the methodology must not use it).
+    pub fn gpu_clock(&self) -> &GpuClock {
+        &self.gpu_clock
+    }
+
+    /// The power model in effect.
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power_model
+    }
+
+    /// Current die temperature, °C (ground truth).
+    pub fn temp_c(&self) -> f64 {
+        self.thermal.temp_c()
+    }
+
+    /// Current core frequency, MHz (ground truth).
+    pub fn f_mhz(&self) -> f64 {
+        self.device.f_mhz()
+    }
+
+    /// Registers a kernel for launching, validating its descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidKernel`] if the descriptor is invalid.
+    pub fn register_kernel(&mut self, desc: KernelDesc) -> SimResult<KernelHandle> {
+        self.device
+            .register_kernel(desc)
+            .map_err(|reason| SimError::InvalidKernel { reason })
+    }
+
+    /// Looks up a registered kernel descriptor.
+    pub fn kernel(&self, handle: KernelHandle) -> Option<&KernelDesc> {
+        self.device.kernel(handle)
+    }
+
+    /// Runs one host script to completion and returns its trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownKernel`] if the script launches an
+    /// unregistered kernel.
+    pub fn run_script(&mut self, script: &Script) -> SimResult<RunTrace> {
+        // Validate all kernel references up front.
+        for op in script.ops() {
+            if let HostOp::LaunchTimed { kernel, .. } = op {
+                if self.device.kernel(*kernel).is_none() {
+                    return Err(SimError::UnknownKernel {
+                        index: kernel.index(),
+                    });
+                }
+            }
+        }
+
+        self.script = Some(ScriptState {
+            ops: script.ops().to_vec(),
+            op_idx: 0,
+            launch: None,
+            trace: RunTrace::default(),
+            done: false,
+        });
+
+        // Seed the recurring background events on their global grids so the
+        // loggers are effectively free-running across scripts.
+        self.schedule_on_grid(self.cfg.telemetry.sensor_period, Event::Sensor);
+        self.schedule_on_grid(self.cfg.pm.control_period, Event::PmTick);
+        self.schedule_on_grid(self.cfg.telemetry.logger_period, Event::LoggerEmit);
+        self.schedule_on_grid(self.cfg.telemetry.coarse_period, Event::CoarseEmit);
+
+        // Record the initial frequency so the truth timeline has an origin.
+        let f0 = self.device.f_mhz();
+        if let Some(s) = self.script.as_mut() {
+            s.trace.truth.freq_changes.push((self.now, f0));
+        }
+
+        // Kick off the host immediately.
+        self.handle_host(HostPhase::NextOp);
+
+        while !self.script.as_ref().expect("script in progress").done {
+            let (t, ev) = self
+                .queue
+                .pop()
+                .expect("no pending events while the script is blocked");
+            debug_assert!(t >= self.now, "event time precedes current time");
+            self.now = t;
+            match ev {
+                Event::Sensor => self.handle_sensor(),
+                Event::PmTick => self.handle_pm_tick(),
+                Event::LoggerEmit => self.handle_logger_emit(),
+                Event::CoarseEmit => self.handle_coarse_emit(),
+                Event::HostResume(phase) => self.handle_host(phase),
+                Event::KernelEnd { generation } => self.handle_kernel_end(generation),
+            }
+        }
+
+        let mut state = self.script.take().expect("script state");
+        state.trace.power_logs = self.logger.drain_logs();
+        state.trace.coarse_logs = self.coarse.drain_logs();
+        state.trace.truth.final_temp_c = self.thermal.temp_c();
+        // Drop leftover background/stale events; the next script reseeds.
+        self.queue.clear();
+        Ok(state.trace)
+    }
+
+    /// Convenience: advance the session through `d` of host idle time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates script-execution errors (none are possible for a sleep).
+    pub fn advance_idle(&mut self, d: SimDuration) -> SimResult<()> {
+        let script = Script::builder().sleep(d).build();
+        self.run_script(&script).map(|_| ())
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn schedule_on_grid(&mut self, period: SimDuration, ev: Event) {
+        let p = period.as_nanos();
+        let next = (self.now.as_nanos() / p + 1) * p;
+        self.queue.schedule(SimTime::from_nanos(next), ev);
+    }
+
+    fn handle_sensor(&mut self) {
+        let t = self.now;
+        let power = self.power_model.instantaneous(
+            self.device.activity(),
+            self.device.f_mhz(),
+            self.thermal.temp_c(),
+        );
+        self.thermal.step(
+            self.cfg.telemetry.sensor_period.as_secs_f64(),
+            power.total(),
+        );
+        self.logger.push_sample(t, power);
+        self.coarse.push_sample(t, power);
+
+        self.pm_hist.push_back((t, power.total()));
+        let cutoff = t.saturating_sub(self.cfg.pm.power_window);
+        while let Some(&(front, _)) = self.pm_hist.front() {
+            if front < cutoff {
+                self.pm_hist.pop_front();
+            } else {
+                break;
+            }
+        }
+
+        if self.cfg.telemetry.record_instant_trace {
+            if let Some(s) = self.script.as_mut() {
+                s.trace.truth.instant_power.push((t, power));
+            }
+        }
+        self.schedule_on_grid(self.cfg.telemetry.sensor_period, Event::Sensor);
+    }
+
+    fn handle_pm_tick(&mut self) {
+        let t = self.now;
+        let avg_power_w = if self.pm_hist.is_empty() {
+            self.power_model
+                .idle_power(self.device.f_mhz(), self.thermal.temp_c())
+                .total()
+        } else {
+            self.pm_hist.iter().map(|&(_, p)| p).sum::<f64>() / self.pm_hist.len() as f64
+        };
+        // Busy detection reacts fast (a couple of control periods); only
+        // the cap decision uses the long slow-PPT power window.
+        let busy_window = self.cfg.pm.control_period * 2;
+        let busy_in_window = self.device.busy_within(t, busy_window);
+        let idle_for = self
+            .device
+            .idle_for(t)
+            .unwrap_or(SimDuration::from_millis(1_000_000));
+        let new_f = self.pm.tick(PmInput {
+            avg_power_w,
+            busy_in_window,
+            idle_for,
+        });
+        if (new_f - self.device.f_mhz()).abs() > f64::EPSILON {
+            if let Some(s) = self.script.as_mut() {
+                s.trace.truth.freq_changes.push((t, new_f));
+            }
+            if let Some((generation, end)) = self.device.set_frequency(new_f, t) {
+                self.queue.schedule(end, Event::KernelEnd { generation });
+            }
+        }
+        self.schedule_on_grid(self.cfg.pm.control_period, Event::PmTick);
+    }
+
+    fn handle_logger_emit(&mut self) {
+        let ticks = self.gpu_clock.ticks_at(self.now);
+        self.logger.emit(self.now, ticks);
+        self.schedule_on_grid(self.cfg.telemetry.logger_period, Event::LoggerEmit);
+    }
+
+    fn handle_coarse_emit(&mut self) {
+        let ticks = self.gpu_clock.ticks_at(self.now);
+        self.coarse.emit(self.now, ticks);
+        self.schedule_on_grid(self.cfg.telemetry.coarse_period, Event::CoarseEmit);
+    }
+
+    fn handle_kernel_end(&mut self, generation: u64) {
+        let t = self.now;
+        if let Some(record) = self.device.complete(generation, t) {
+            let completion = self.cfg.host.completion_latency;
+            let s = self.script.as_mut().expect("script in progress");
+            let index = s.launch.as_ref().map(|l| l.completed).unwrap_or(u32::MAX);
+            s.trace.truth.executions.push(TrueExecution {
+                kernel: record.kernel,
+                start: record.start,
+                end: record.end,
+                index,
+                execs_since_cold: record.execs_since_cold,
+                outlier: record.outlier,
+            });
+            self.queue
+                .schedule(t + completion, Event::HostResume(HostPhase::KernelComplete));
+        }
+        // Stale generation: a frequency change rescheduled the completion.
+    }
+
+    /// Reads the host CPU clock with timer noise.
+    fn cpu_now_noisy(&mut self, t: SimTime) -> CpuTime {
+        let noise = if self.cfg.host.timer_noise_ns > 0.0 {
+            self.rng.normal(0.0, self.cfg.host.timer_noise_ns).round() as i64
+        } else {
+            0
+        };
+        self.cpu_clock.now(t).offset_nanos(noise)
+    }
+
+    fn start_dispatch(&mut self) {
+        let t = self.now;
+        let cpu_start = self.cpu_now_noisy(t);
+        let jitter = self.cfg.host.dispatch_jitter_frac;
+        let factor = 1.0 + self.rng.uniform(-jitter, jitter);
+        let d = self.cfg.host.dispatch_latency.mul_f64(factor.max(0.0));
+        let s = self.script.as_mut().expect("script in progress");
+        s.launch
+            .as_mut()
+            .expect("launch in progress")
+            .cpu_start_pending = cpu_start;
+        self.queue
+            .schedule(t + d, Event::HostResume(HostPhase::KernelBegin));
+    }
+
+    fn handle_host(&mut self, phase: HostPhase) {
+        let t = self.now;
+        match phase {
+            HostPhase::KernelBegin => {
+                let kernel = self
+                    .script
+                    .as_ref()
+                    .and_then(|s| s.launch.as_ref())
+                    .expect("launch in progress")
+                    .kernel;
+                let (generation, end) = self.device.begin_execution(kernel, t, &mut self.rng);
+                self.queue.schedule(end, Event::KernelEnd { generation });
+            }
+            HostPhase::KernelComplete => {
+                let cpu_end = self.cpu_now_noisy(t);
+                let s = self.script.as_mut().expect("script in progress");
+                let launch = s.launch.as_mut().expect("launch in progress");
+                s.trace.executions.push(TimedExecution {
+                    kernel: launch.kernel,
+                    index: launch.completed,
+                    cpu_start: launch.cpu_start_pending,
+                    cpu_end,
+                });
+                launch.completed += 1;
+                if launch.completed < launch.total {
+                    self.start_dispatch();
+                } else {
+                    self.script.as_mut().expect("script").launch = None;
+                    self.process_ops();
+                }
+            }
+            HostPhase::NextOp => self.process_ops(),
+        }
+    }
+
+    /// Interprets script operations until one blocks (schedules a resume
+    /// event) or the script ends.
+    fn process_ops(&mut self) {
+        loop {
+            let t = self.now;
+            let op = {
+                let s = self.script.as_ref().expect("script in progress");
+                match s.ops.get(s.op_idx) {
+                    Some(op) => *op,
+                    None => {
+                        self.script.as_mut().expect("script").done = true;
+                        return;
+                    }
+                }
+            };
+            match op {
+                HostOp::Sleep(d) => {
+                    self.advance_op();
+                    self.queue
+                        .schedule(t + d, Event::HostResume(HostPhase::NextOp));
+                    return;
+                }
+                HostOp::SleepUniform { min, max } => {
+                    let ns = self.rng.uniform_u64(min.as_nanos(), max.as_nanos());
+                    self.advance_op();
+                    self.queue.schedule(
+                        t + SimDuration::from_nanos(ns),
+                        Event::HostResume(HostPhase::NextOp),
+                    );
+                    return;
+                }
+                HostOp::ReadGpuTimestamp => {
+                    let jitter = self.cfg.host.timestamp_rtt_jitter_frac;
+                    let factor = 1.0 + self.rng.uniform(-jitter, jitter);
+                    let rtt = self.cfg.host.timestamp_rtt.mul_f64(factor.max(0.0));
+                    let sample_at = t + rtt.mul_f64(self.cfg.host.timestamp_sample_frac);
+                    let ticks = self.gpu_clock.ticks_at(sample_at);
+                    let cpu_before = self.cpu_now_noisy(t);
+                    let cpu_after = self.cpu_now_noisy(t + rtt);
+                    let s = self.script.as_mut().expect("script in progress");
+                    s.trace.timestamp_reads.push(TimestampRead {
+                        cpu_before,
+                        cpu_after,
+                        ticks,
+                    });
+                    self.advance_op();
+                    self.queue
+                        .schedule(t + rtt, Event::HostResume(HostPhase::NextOp));
+                    return;
+                }
+                HostOp::LaunchTimed { kernel, executions } => {
+                    self.advance_op();
+                    if executions == 0 {
+                        continue;
+                    }
+                    self.script.as_mut().expect("script").launch = Some(LaunchState {
+                        kernel,
+                        total: executions,
+                        completed: 0,
+                        cpu_start_pending: CpuTime::from_nanos(0),
+                    });
+                    self.start_dispatch();
+                    return;
+                }
+                HostOp::StartPowerLogger => {
+                    self.logger.set_enabled(true);
+                    self.advance_op();
+                }
+                HostOp::StopPowerLogger => {
+                    self.logger.set_enabled(false);
+                    self.advance_op();
+                }
+                HostOp::StartCoarseLogger => {
+                    self.coarse.set_enabled(true);
+                    self.advance_op();
+                }
+                HostOp::StopCoarseLogger => {
+                    self.coarse.set_enabled(false);
+                    self.advance_op();
+                }
+                HostOp::BeginRun => {
+                    self.device.begin_run(&mut self.rng);
+                    self.advance_op();
+                }
+            }
+        }
+    }
+
+    fn advance_op(&mut self) {
+        self.script.as_mut().expect("script in progress").op_idx += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::Activity;
+
+    fn gemm_like(base_us: u64, cf: f64, activity: Activity) -> KernelDesc {
+        KernelDesc {
+            name: format!("k-{base_us}us"),
+            base_exec: SimDuration::from_micros(base_us),
+            freq_insensitive_frac: cf,
+            activity,
+            compute_utilization: 0.8,
+            flops: 1e11,
+            hbm_bytes: 4e8,
+            llc_bytes: 1e9,
+            workgroups: 1024,
+        }
+    }
+
+    fn heavy() -> KernelDesc {
+        gemm_like(1600, 0.12, Activity::new(0.95, 0.5, 0.7))
+    }
+
+    fn light() -> KernelDesc {
+        gemm_like(30, 0.85, Activity::new(0.25, 0.5, 0.35))
+    }
+
+    fn sim(seed: u64) -> Simulation {
+        Simulation::new(SimConfig::default(), seed).unwrap()
+    }
+
+    fn det_sim(seed: u64) -> Simulation {
+        Simulation::new(SimConfig::deterministic(), seed).unwrap()
+    }
+
+    #[test]
+    fn empty_script_is_a_noop() {
+        let mut s = sim(1);
+        let trace = s.run_script(&Script::new()).unwrap();
+        assert!(trace.executions.is_empty());
+        assert!(trace.power_logs.is_empty());
+    }
+
+    #[test]
+    fn sleep_advances_time() {
+        let mut s = sim(1);
+        let before = s.now();
+        s.advance_idle(SimDuration::from_millis(5)).unwrap();
+        assert!(s.now() >= before + SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn unknown_kernel_rejected() {
+        let mut s = sim(1);
+        let bogus = Script::builder()
+            .launch_timed(KernelHandle::default(), 1)
+            .build();
+        assert!(matches!(
+            s.run_script(&bogus),
+            Err(SimError::UnknownKernel { .. })
+        ));
+    }
+
+    #[test]
+    fn executions_are_timed_and_counted() {
+        let mut s = det_sim(1);
+        let k = s.register_kernel(light()).unwrap();
+        let script = Script::builder().begin_run().launch_timed(k, 5).build();
+        let trace = s.run_script(&script).unwrap();
+        assert_eq!(trace.executions.len(), 5);
+        assert_eq!(trace.truth.executions.len(), 5);
+        for (i, e) in trace.executions.iter().enumerate() {
+            assert_eq!(e.index, i as u32);
+            assert!(e.duration_ns() > 0);
+        }
+        // CPU-observed duration is GPU time plus overheads.
+        let truth = trace.truth.executions[4].duration().as_nanos();
+        let cpu = trace.executions[4].duration_ns();
+        assert!(cpu > truth, "cpu {cpu} vs truth {truth}");
+        assert!(cpu < truth + 20_000, "overheads should be microseconds");
+    }
+
+    #[test]
+    fn power_logs_emitted_once_per_period() {
+        let mut s = sim(2);
+        let k = s.register_kernel(heavy()).unwrap();
+        let script = Script::builder()
+            .start_power_logger()
+            .launch_timed(k, 4)
+            .sleep(SimDuration::from_millis(1))
+            .stop_power_logger()
+            .build();
+        let trace = s.run_script(&script).unwrap();
+        // ~4 executions x 1.6ms+ plus sleep: expect at least 6 logs.
+        assert!(
+            trace.power_logs.len() >= 6,
+            "{} logs",
+            trace.power_logs.len()
+        );
+        // Tick stamps strictly increase.
+        for w in trace.power_logs.windows(2) {
+            assert!(w[1].ticks.as_raw() > w[0].ticks.as_raw());
+        }
+    }
+
+    #[test]
+    fn logger_disabled_means_no_logs() {
+        let mut s = sim(3);
+        let k = s.register_kernel(light()).unwrap();
+        let script = Script::builder()
+            .launch_timed(k, 10)
+            .sleep(SimDuration::from_millis(3))
+            .build();
+        let trace = s.run_script(&script).unwrap();
+        assert!(trace.power_logs.is_empty());
+    }
+
+    #[test]
+    fn heavy_kernel_triggers_throttling() {
+        let mut cfg = SimConfig::default();
+        cfg.telemetry.record_instant_trace = true;
+        let mut s = Simulation::new(cfg, 4).unwrap();
+        let k = s.register_kernel(heavy()).unwrap();
+        let script = Script::builder().begin_run().launch_timed(k, 10).build();
+        let trace = s.run_script(&script).unwrap();
+        let freqs: Vec<f64> = trace.truth.freq_changes.iter().map(|&(_, f)| f).collect();
+        let cfg = SimConfig::default();
+        // The clock ramps well out of idle...
+        let max_f = freqs.iter().cloned().fold(0.0_f64, f64::max);
+        assert!(max_f > 1400.0, "should ramp well above idle, max {max_f}");
+        // ...but never to full boost: the cap engages first and throttles.
+        let peak_idx = freqs.iter().position(|&f| f >= max_f).expect("peak");
+        let min_after = freqs[peak_idx..].iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            min_after < max_f - cfg.pm.throttle_step_mhz * 0.9,
+            "should throttle after the peak: max {max_f}, min after {min_after}"
+        );
+        // Instantaneous power transiently exceeds the cap (the Fig. 6 spike).
+        let peak_power = trace
+            .truth
+            .instant_power
+            .iter()
+            .map(|(_, p)| p.total())
+            .fold(0.0_f64, f64::max);
+        assert!(
+            peak_power > cfg.pm.power_cap_w,
+            "peak instantaneous power {peak_power} should exceed the cap"
+        );
+    }
+
+    #[test]
+    fn light_kernel_does_not_hit_deep_throttle() {
+        let mut s = sim(5);
+        let k = s.register_kernel(light()).unwrap();
+        let script = Script::builder().launch_timed(k, 50).build();
+        let trace = s.run_script(&script).unwrap();
+        let min_f = trace
+            .truth
+            .freq_changes
+            .iter()
+            .map(|&(_, f)| f)
+            .fold(f64::MAX, f64::min);
+        // Ramp starts at idle frequency; it must never fall below that while
+        // running a light kernel.
+        assert!(min_f >= SimConfig::default().pm.idle_f_mhz - 1.0);
+    }
+
+    #[test]
+    fn deterministic_sessions_reproduce_exactly() {
+        let run = |seed| {
+            let mut s = sim(seed);
+            let k = s.register_kernel(heavy()).unwrap();
+            let script = Script::builder()
+                .begin_run()
+                .start_power_logger()
+                .launch_timed(k, 6)
+                .sleep(SimDuration::from_millis(2))
+                .stop_power_logger()
+                .build();
+            s.run_script(&script).unwrap()
+        };
+        let a = run(99);
+        let b = run(99);
+        assert_eq!(a, b);
+        let c = run(100);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn warm_up_executions_are_slower() {
+        let mut s = sim(6);
+        let k = s.register_kernel(heavy()).unwrap();
+        let script = Script::builder().begin_run().launch_timed(k, 8).build();
+        let trace = s.run_script(&script).unwrap();
+        let d: Vec<u64> = trace
+            .truth
+            .executions
+            .iter()
+            .map(|e| e.duration().as_nanos())
+            .collect();
+        // First execution is the slowest (cold + clock ramp).
+        let steady = *d.last().unwrap() as f64;
+        assert!(
+            d[0] as f64 > steady * 1.05,
+            "first {} vs steady {steady}",
+            d[0]
+        );
+    }
+
+    #[test]
+    fn session_time_persists_across_scripts() {
+        let mut s = sim(7);
+        let t0 = s.now();
+        s.advance_idle(SimDuration::from_millis(1)).unwrap();
+        let t1 = s.now();
+        s.advance_idle(SimDuration::from_millis(1)).unwrap();
+        let t2 = s.now();
+        assert!(t1 > t0);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn timestamp_reads_are_recorded() {
+        let mut s = sim(8);
+        let script = Script::builder()
+            .read_gpu_timestamp()
+            .sleep(SimDuration::from_micros(100))
+            .read_gpu_timestamp()
+            .build();
+        let trace = s.run_script(&script).unwrap();
+        assert_eq!(trace.timestamp_reads.len(), 2);
+        let r0 = &trace.timestamp_reads[0];
+        let r1 = &trace.timestamp_reads[1];
+        assert!(r0.rtt_ns() > 0);
+        assert!(r1.ticks.as_raw() > r0.ticks.as_raw());
+        // ~100 us apart on a 100 MHz counter is ~10_000 ticks.
+        let dt = r1.ticks.ticks_since(r0.ticks);
+        assert!((9_000..12_000).contains(&dt), "dt {dt}");
+    }
+
+    #[test]
+    fn interleaved_kernels_keep_identity() {
+        let mut s = sim(9);
+        let a = s.register_kernel(light()).unwrap();
+        let b = s.register_kernel(heavy()).unwrap();
+        let script = Script::builder()
+            .launch_timed(a, 2)
+            .launch_timed(b, 1)
+            .launch_timed(a, 1)
+            .build();
+        let trace = s.run_script(&script).unwrap();
+        let kinds: Vec<usize> = trace.executions.iter().map(|e| e.kernel.index()).collect();
+        assert_eq!(kinds, vec![a.index(), a.index(), b.index(), a.index()]);
+    }
+
+    #[test]
+    fn instant_trace_recorded_when_enabled() {
+        let mut cfg = SimConfig::default();
+        cfg.telemetry.record_instant_trace = true;
+        let mut s = Simulation::new(cfg, 10).unwrap();
+        let k = s.register_kernel(light()).unwrap();
+        let script = Script::builder()
+            .launch_timed(k, 3)
+            .sleep(SimDuration::from_millis(1))
+            .build();
+        let trace = s.run_script(&script).unwrap();
+        assert!(!trace.truth.instant_power.is_empty());
+    }
+
+    #[test]
+    fn logger_left_enabled_keeps_running_into_the_next_script() {
+        // The logger is free-running hardware: a script that forgets to
+        // stop it leaves emission enabled for subsequent scripts.
+        let mut s = sim(12);
+        let k = s.register_kernel(light()).unwrap();
+        let first = Script::builder()
+            .start_power_logger()
+            .launch_timed(k, 5)
+            .build();
+        let t1 = s.run_script(&first).unwrap();
+        // No StopPowerLogger: the next script's idle time still logs.
+        let second = Script::builder().sleep(SimDuration::from_millis(3)).build();
+        let t2 = s.run_script(&second).unwrap();
+        assert!(!t1.power_logs.is_empty() || !t2.power_logs.is_empty());
+        assert!(
+            t2.power_logs.len() >= 2,
+            "logger should still emit during the second script, got {}",
+            t2.power_logs.len()
+        );
+    }
+
+    #[test]
+    fn gpu_timestamps_monotonic_across_scripts() {
+        let mut s = sim(13);
+        let mut last = 0u64;
+        for _ in 0..5 {
+            let script = Script::builder()
+                .read_gpu_timestamp()
+                .sleep(SimDuration::from_micros(500))
+                .read_gpu_timestamp()
+                .build();
+            let trace = s.run_script(&script).unwrap();
+            for r in &trace.timestamp_reads {
+                assert!(r.ticks.as_raw() > last, "ticks must advance monotonically");
+                last = r.ticks.as_raw();
+            }
+        }
+    }
+
+    #[test]
+    fn long_idle_parks_the_clock_and_recools_the_device() {
+        let mut s = sim(14);
+        let k = s.register_kernel(heavy()).unwrap();
+        let burst = Script::builder().begin_run().launch_timed(k, 4).build();
+        s.run_script(&burst).unwrap();
+        let hot_temp = s.temp_c();
+        assert!(s.f_mhz() > SimConfig::default().pm.idle_f_mhz);
+        // A second of idle: clock parks and the die cools.
+        s.advance_idle(SimDuration::from_millis(1000)).unwrap();
+        assert_eq!(s.f_mhz(), SimConfig::default().pm.idle_f_mhz);
+        assert!(s.temp_c() < hot_temp);
+        // The next burst re-pays warm-up (device went cold).
+        let trace = s.run_script(&burst).unwrap();
+        let d = trace.execution_durations_ns();
+        assert!(
+            d[0] > *d.last().unwrap(),
+            "first execution after a long idle must be slow again"
+        );
+    }
+
+    #[test]
+    fn zero_execution_launch_is_a_noop() {
+        let mut s = sim(15);
+        let k = s.register_kernel(light()).unwrap();
+        let script = Script::builder().launch_timed(k, 0).build();
+        let trace = s.run_script(&script).unwrap();
+        assert!(trace.executions.is_empty());
+        assert!(trace.truth.executions.is_empty());
+    }
+
+    #[test]
+    fn coarse_logger_misses_short_kernels() {
+        // Challenge C1: a 50 ms sampler sees at most one log for a run of
+        // short kernels, and that log is dominated by idle time.
+        let mut s = sim(11);
+        let k = s.register_kernel(light()).unwrap();
+        let script = Script::builder()
+            .start_coarse_logger()
+            .start_power_logger()
+            .launch_timed(k, 10)
+            .sleep(SimDuration::from_millis(2))
+            .stop_power_logger()
+            .stop_coarse_logger()
+            .build();
+        let trace = s.run_script(&script).unwrap();
+        assert!(
+            trace.coarse_logs.len() <= 1,
+            "coarse logger should capture at most one sample, got {}",
+            trace.coarse_logs.len()
+        );
+        assert!(trace.power_logs.len() > trace.coarse_logs.len());
+    }
+}

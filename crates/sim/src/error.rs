@@ -1,0 +1,71 @@
+//! Simulator error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the simulator's fallible public surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A script referenced a kernel handle that was never registered.
+    UnknownKernel {
+        /// The offending handle index.
+        index: usize,
+    },
+    /// A kernel descriptor failed validation at registration.
+    InvalidKernel {
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+    /// A script or configuration value was inconsistent.
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownKernel { index } => {
+                write!(f, "unknown kernel handle {index}")
+            }
+            SimError::InvalidKernel { reason } => {
+                write!(f, "invalid kernel descriptor: {reason}")
+            }
+            SimError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Convenience result alias for simulator operations.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = SimError::UnknownKernel { index: 7 };
+        assert!(format!("{e}").contains('7'));
+        let e = SimError::InvalidKernel {
+            reason: "bad".into(),
+        };
+        assert!(format!("{e}").contains("bad"));
+        let e = SimError::InvalidConfig {
+            reason: "nope".into(),
+        };
+        assert!(format!("{e}").contains("nope"));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<SimError>();
+    }
+}

@@ -1,0 +1,186 @@
+//! Deterministic random-number utilities.
+//!
+//! Every stochastic element of the simulator (execution-time jitter,
+//! allocation bias, outliers, timestamp-read latency noise) draws from a
+//! [`SimRng`] seeded from a master seed plus a *stream* identifier, so that
+//! experiments are bit-reproducible and individual runs can be re-derived
+//! in isolation (run *k* of an experiment always sees the same draws no
+//! matter what ran before it).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Mixes a master seed and a stream id into an independent 64-bit seed.
+///
+/// Uses the SplitMix64 finalizer, which is well dispersed even for
+/// consecutive stream ids.
+///
+/// # Examples
+///
+/// ```
+/// use fingrav_sim::rng::mix_seed;
+///
+/// assert_ne!(mix_seed(1, 0), mix_seed(1, 1));
+/// assert_eq!(mix_seed(7, 3), mix_seed(7, 3));
+/// ```
+#[must_use]
+pub fn mix_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic RNG with the handful of distributions the simulator needs.
+///
+/// # Examples
+///
+/// ```
+/// use fingrav_sim::rng::SimRng;
+///
+/// let mut a = SimRng::from_streams(42, 0);
+/// let mut b = SimRng::from_streams(42, 0);
+/// assert_eq!(a.uniform(0.0, 1.0).to_bits(), b.uniform(0.0, 1.0).to_bits());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates an RNG from a raw 64-bit seed.
+    pub fn from_seed_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Creates an RNG for `(master, stream)`; distinct streams are
+    /// statistically independent.
+    pub fn from_streams(master: u64, stream: u64) -> Self {
+        Self::from_seed_u64(mix_seed(master, stream))
+    }
+
+    /// A uniform draw in `[lo, hi)` (returns `lo` when the range is empty).
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// A uniform integer draw in `[lo, hi]`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// A standard-normal draw via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Avoid ln(0) by sampling u1 from (0, 1].
+        let u1: f64 = 1.0 - self.inner.gen::<f64>();
+        let u2: f64 = self.inner.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// A normal draw with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.standard_normal()
+    }
+
+    /// A Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_seed_disperses_streams() {
+        let seeds: Vec<u64> = (0..100).map(|s| mix_seed(1234, s)).collect();
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seeds.len(), "stream seeds must be unique");
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_stream() {
+        let mut a = SimRng::from_streams(9, 4);
+        let mut b = SimRng::from_streams(9, 4);
+        for _ in 0..32 {
+            assert_eq!(
+                a.uniform(0.0, 10.0).to_bits(),
+                b.uniform(0.0, 10.0).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn different_streams_diverge() {
+        let mut a = SimRng::from_streams(9, 0);
+        let mut b = SimRng::from_streams(9, 1);
+        let same =
+            (0..16).filter(|_| a.uniform(0.0, 1.0).to_bits() == b.uniform(0.0, 1.0).to_bits());
+        assert!(same.count() < 16);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = SimRng::from_streams(7, 7);
+        for _ in 0..1000 {
+            let x = rng.uniform(2.0, 3.0);
+            assert!((2.0..3.0).contains(&x));
+        }
+        assert_eq!(rng.uniform(5.0, 5.0), 5.0);
+        assert_eq!(rng.uniform(5.0, 4.0), 5.0);
+    }
+
+    #[test]
+    fn uniform_u64_respects_bounds() {
+        let mut rng = SimRng::from_streams(7, 8);
+        for _ in 0..1000 {
+            let x = rng.uniform_u64(10, 20);
+            assert!((10..=20).contains(&x));
+        }
+        assert_eq!(rng.uniform_u64(4, 4), 4);
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut rng = SimRng::from_streams(11, 0);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| rng.normal(5.0, 2.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::from_streams(3, 3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-0.5));
+        assert!(rng.chance(1.5));
+    }
+
+    #[test]
+    fn chance_rate_is_plausible() {
+        let mut rng = SimRng::from_streams(3, 4);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2_200..2_800).contains(&hits), "hits {hits}");
+    }
+}

@@ -1,0 +1,52 @@
+//! # fingrav-workloads — AI workload models for the FinGraV reproduction
+//!
+//! The FinGraV paper (ISPASS 2025) profiles two operator families that
+//! dominate AI execution time: GEMM/GEMV kernels (via rocBLAS) and
+//! collective-communication kernels (via RCCL). This crate models both
+//! against the simulated MI300X-class machine in `fingrav-sim`:
+//!
+//! * [`gemm`]/[`roofline`] — shape arithmetic and the paper's compute- vs
+//!   memory-bound classification (algorithmic op-to-byte vs machine
+//!   balance);
+//! * [`cache`] — the repeated-execution LLC-residency bias the paper's
+//!   footnote 3 relies on;
+//! * [`rocblas`] — a rocBLAS-like kernel selector producing execution time
+//!   and per-component power activities;
+//! * [`collectives`]/[`rccl`] — all-gather/all-reduce over the 8-GPU
+//!   Infinity-Fabric model with latency-/bandwidth-bound classification;
+//! * [`suite`] — the paper's fourteen evaluation kernels with stable labels.
+//!
+//! ## Example
+//!
+//! ```
+//! use fingrav_sim::config::MachineConfig;
+//! use fingrav_workloads::suite;
+//!
+//! let kernels = suite::full_suite(&MachineConfig::default());
+//! assert_eq!(kernels.len(), 14);
+//! let gemm = suite::find(&kernels, "CB-8K-GEMM").unwrap();
+//! assert!(gemm.desc.base_exec.as_millis_f64() > 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod collectives;
+pub mod concurrent;
+pub mod dtype;
+pub mod gemm;
+pub mod rccl;
+pub mod rocblas;
+pub mod roofline;
+pub mod suite;
+pub mod transformer;
+
+pub use collectives::{CollectiveSpec, CommBoundedness};
+pub use dtype::DType;
+pub use gemm::GemmShape;
+pub use rccl::Rccl;
+pub use rocblas::RocBlas;
+pub use roofline::{Boundedness, Roofline};
+pub use suite::{SuiteClass, SuiteKernel};
+pub use transformer::TransformerConfig;

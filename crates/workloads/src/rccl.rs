@@ -1,0 +1,186 @@
+//! An RCCL-like collective library model.
+//!
+//! Turns a [`CollectiveSpec`] into the [`KernelDesc`] executed on the
+//! *local* GPU (the one being power-profiled; the paper profiles one GPU of
+//! the 8×MI300X node). Activities are derived from the achieved link
+//! utilization reported by the fabric cost model:
+//!
+//! * **IOD** carries the fabric traffic (the Infinity Fabric interfaces
+//!   live on the I/O dies) — bandwidth-bound collectives drive it hard;
+//! * **HBM** sources/sinks every transferred byte plus staging buffers —
+//!   again high only when links run at speed;
+//! * **XCD** does little for all-gather and slightly more for all-reduce
+//!   (the reduction arithmetic).
+//!
+//! This reproduces Fig. 10's ordering: LB collectives barely move any
+//! component; BB collectives sit between LB and CB-GEMM in total power on
+//! the strength of IOD+HBM, while their XCD power stays far below GEMM.
+
+use fingrav_sim::config::MachineConfig;
+use fingrav_sim::fabric::{CollectiveKind, Fabric};
+use fingrav_sim::kernel::KernelDesc;
+use fingrav_sim::power::Activity;
+
+use crate::collectives::CollectiveSpec;
+use crate::dtype::DType;
+
+/// The RCCL-like collective library for one machine + fabric.
+///
+/// # Examples
+///
+/// ```
+/// use fingrav_sim::config::MachineConfig;
+/// use fingrav_sim::fabric::Fabric;
+/// use fingrav_workloads::collectives::CollectiveSpec;
+/// use fingrav_workloads::dtype::DType;
+/// use fingrav_workloads::rccl::Rccl;
+///
+/// let lib = Rccl::new(MachineConfig::default(), Fabric::default());
+/// let spec = CollectiveSpec::all_gather(1024 * 1024 * 1024, DType::F16);
+/// let kernel = lib.kernel_for(&spec);
+/// assert_eq!(kernel.name, "AG-1GB");
+/// assert!(kernel.activity.iod > 0.6, "BB collective must stress the IOD");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rccl {
+    machine: MachineConfig,
+    fabric: Fabric,
+}
+
+impl Rccl {
+    /// Creates the library model.
+    pub fn new(machine: MachineConfig, fabric: Fabric) -> Self {
+        Rccl { machine, fabric }
+    }
+
+    /// The fabric cost model in use.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Models the local-GPU kernel for a collective.
+    pub fn kernel_for(&self, spec: &CollectiveSpec) -> KernelDesc {
+        let cost = self.fabric.collective_cost(spec.kind, spec.message_bytes);
+        let time_s = cost.time.as_secs_f64().max(1e-9);
+
+        // Achieved aggregate link utilization on this GPU.
+        let peers = (self.fabric.config().n_gpus - 1) as f64;
+        let peak_link_bw = peers * self.fabric.config().link_gbps * 1e9;
+        let link_util = ((cost.bytes_sent / time_s) / peak_link_bw).clamp(0.0, 1.0);
+
+        let iod_act = (0.10 + 0.85 * link_util).min(0.95);
+        let hbm_act = (0.10 + 0.78 * link_util).min(0.90);
+        let xcd_act = match spec.kind {
+            CollectiveKind::AllGather => 0.06 + 0.08 * link_util,
+            CollectiveKind::AllReduce => 0.10 + 0.15 * link_util,
+        };
+
+        // Reduction arithmetic: one flop per element per reduce phase.
+        let flops = match spec.kind {
+            CollectiveKind::AllGather => 0.0,
+            CollectiveKind::AllReduce => (spec.message_bytes / spec.dtype.bytes()) as f64,
+        };
+        let peak_flops =
+            self.machine.peak_fp16_tflops * 1e12 * spec.dtype.matrix_rate_class().fraction();
+        let compute_utilization = (flops / (time_s * peak_flops)).min(1.0);
+
+        let bandwidth_bound = !self.fabric.is_latency_bound(spec.kind, spec.message_bytes);
+        let workgroups = if bandwidth_bound { 32 } else { 8 };
+
+        let desc = KernelDesc {
+            name: spec.label(),
+            base_exec: cost.time,
+            // Communication barely cares about the core clock.
+            freq_insensitive_frac: 0.95,
+            activity: Activity::new(xcd_act, iod_act, hbm_act),
+            compute_utilization,
+            flops,
+            hbm_bytes: cost.local_hbm_bytes,
+            llc_bytes: cost.bytes_sent + cost.bytes_received,
+            workgroups,
+        };
+        debug_assert!(desc.validate().is_ok());
+        desc
+    }
+
+    /// Convenience: models an all-gather of `message_bytes`.
+    pub fn all_gather(&self, message_bytes: u64) -> KernelDesc {
+        self.kernel_for(&CollectiveSpec::all_gather(message_bytes, DType::F16))
+    }
+
+    /// Convenience: models an all-reduce of `message_bytes`.
+    pub fn all_reduce(&self, message_bytes: u64) -> KernelDesc {
+        self.kernel_for(&CollectiveSpec::all_reduce(message_bytes, DType::F16))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KIB: u64 = 1024;
+    const MIB: u64 = 1024 * 1024;
+    const GIB: u64 = 1024 * 1024 * 1024;
+
+    fn lib() -> Rccl {
+        Rccl::new(MachineConfig::default(), Fabric::default())
+    }
+
+    #[test]
+    fn bb_collectives_stress_iod_and_hbm() {
+        let l = lib();
+        for k in [l.all_gather(512 * MIB), l.all_reduce(GIB)] {
+            assert!(k.activity.iod > 0.6, "{}: iod {}", k.name, k.activity.iod);
+            assert!(k.activity.hbm > 0.5, "{}: hbm {}", k.name, k.activity.hbm);
+            assert!(k.activity.xcd < 0.3, "{}: xcd {}", k.name, k.activity.xcd);
+        }
+    }
+
+    #[test]
+    fn lb_collectives_barely_load_anything() {
+        let l = lib();
+        for k in [l.all_gather(64 * KIB), l.all_reduce(128 * KIB)] {
+            assert!(k.activity.iod < 0.25, "{}: iod {}", k.name, k.activity.iod);
+            assert!(k.activity.hbm < 0.25, "{}: hbm {}", k.name, k.activity.hbm);
+            assert!(k.activity.xcd < 0.15, "{}: xcd {}", k.name, k.activity.xcd);
+        }
+    }
+
+    #[test]
+    fn allreduce_has_more_xcd_than_allgather() {
+        let l = lib();
+        let ag = l.all_gather(GIB);
+        let ar = l.all_reduce(GIB);
+        assert!(ar.activity.xcd > ag.activity.xcd);
+        assert!(ar.flops > 0.0 && ag.flops == 0.0);
+    }
+
+    #[test]
+    fn bb_times_are_milliseconds_lb_times_are_microseconds() {
+        let l = lib();
+        assert!(l.all_gather(GIB).base_exec.as_millis_f64() > 1.0);
+        assert!(l.all_gather(64 * KIB).base_exec.as_micros_f64() < 100.0);
+    }
+
+    #[test]
+    fn collectives_are_frequency_insensitive() {
+        let k = lib().all_reduce(512 * MIB);
+        assert!(k.freq_insensitive_frac > 0.9);
+    }
+
+    #[test]
+    fn descriptors_validate() {
+        let l = lib();
+        for bytes in [64 * KIB, 128 * KIB, 512 * MIB, GIB] {
+            assert!(l.all_gather(bytes).validate().is_ok());
+            assert!(l.all_reduce(bytes).validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn names_match_labels() {
+        let l = lib();
+        assert_eq!(l.all_gather(64 * KIB).name, "AG-64KB");
+        assert_eq!(l.all_reduce(GIB).name, "AR-1GB");
+    }
+}

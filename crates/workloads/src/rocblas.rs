@@ -1,0 +1,401 @@
+//! A rocBLAS-like GEMM library model.
+//!
+//! Maps a [`GemmShape`] to the [`KernelDesc`] the simulator executes:
+//! execution time from a size-dependent efficiency model over the machine
+//! roofline, and per-component power activities from an empirical activity
+//! model. The activity anchors are calibrated so the simulated platform
+//! reproduces the component-level orderings the paper reports in Fig. 6–8
+//! (see DESIGN.md):
+//!
+//! * all compute-bound GEMMs toggle the XCDs near-maximally even though the
+//!   2K GEMM achieves roughly half the compute utilization (takeaway #4 —
+//!   GPU power is not proportional to delivered work);
+//! * HBM activity is driven by LLC residency: only CB-8K-GEMM's 402 MB
+//!   working set spills the 256 MB Infinity Cache (Fig. 7's HBM standout);
+//! * GEMVs barely load the XCDs but the LLC-resident 8K GEMV streams the
+//!   IOD hard (Fig. 7's IOD standout).
+
+use fingrav_sim::config::MachineConfig;
+use fingrav_sim::kernel::KernelDesc;
+use fingrav_sim::power::Activity;
+use fingrav_sim::time::SimDuration;
+
+use crate::cache::CacheModel;
+use crate::gemm::GemmShape;
+use crate::roofline::{Boundedness, Roofline};
+
+/// Piecewise-linear interpolation over `(x, y)` anchors, clamped at the
+/// ends. Anchors must be sorted by `x`.
+fn interp(anchors: &[(f64, f64)], x: f64) -> f64 {
+    debug_assert!(!anchors.is_empty());
+    if x <= anchors[0].0 {
+        return anchors[0].1;
+    }
+    for w in anchors.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if x <= x1 {
+            let t = (x - x0) / (x1 - x0);
+            return y0 + t * (y1 - y0);
+        }
+    }
+    anchors[anchors.len() - 1].1
+}
+
+/// GEMM compute efficiency (fraction of roofline-attainable throughput) by
+/// log2 of the dominant dimension.
+const GEMM_EFFICIENCY: &[(f64, f64)] = &[
+    (10.0, 0.12),
+    (11.0, 0.28),
+    (12.0, 0.55),
+    (13.0, 0.62),
+    (14.0, 0.65),
+];
+
+/// GEMM XCD power activity by log2 size — intentionally much flatter than
+/// the efficiency curve (power non-proportionality). The 2K point is tuned
+/// so CB-2K-GEMM's duty-cycled power settles just below the socket cap:
+/// the paper's Fig. 8 shows it ramping to SSP without a throttle spike,
+/// and Fig. 9 relies on heavier GEMMs pushing it *above* its own SSP.
+const GEMM_XCD_ACTIVITY: &[(f64, f64)] = &[
+    (10.0, 0.60),
+    (11.0, 0.66),
+    (12.0, 0.93),
+    (13.0, 0.95),
+    (14.0, 0.95),
+];
+
+/// GEMM IOD (LLC) power activity by log2 size.
+const GEMM_IOD_ACTIVITY: &[(f64, f64)] = &[
+    (10.0, 0.44),
+    (11.0, 0.48),
+    (12.0, 0.55),
+    (13.0, 0.52),
+    (14.0, 0.50),
+];
+
+/// GEMM frequency-insensitive runtime fraction by log2 size.
+const GEMM_FREQ_INSENSITIVE: &[(f64, f64)] = &[
+    (10.0, 0.22),
+    (11.0, 0.18),
+    (12.0, 0.14),
+    (13.0, 0.12),
+    (14.0, 0.10),
+];
+
+/// GEMV streaming efficiency (fraction of on-chip bandwidth) by log2 size.
+const GEMV_EFFICIENCY: &[(f64, f64)] = &[
+    (10.0, 0.35),
+    (11.0, 0.45),
+    (12.0, 0.60),
+    (13.0, 0.75),
+    (14.0, 0.80),
+];
+
+/// GEMV XCD power activity by log2 size.
+const GEMV_XCD_ACTIVITY: &[(f64, f64)] = &[
+    (10.0, 0.16),
+    (11.0, 0.18),
+    (12.0, 0.20),
+    (13.0, 0.22),
+    (14.0, 0.22),
+];
+
+/// GEMV IOD power activity by log2 size (the 8K GEMV streams the LLC).
+const GEMV_IOD_ACTIVITY: &[(f64, f64)] = &[
+    (10.0, 0.38),
+    (11.0, 0.45),
+    (12.0, 0.62),
+    (13.0, 0.88),
+    (14.0, 0.90),
+];
+
+/// GEMV HBM power activity by log2 size.
+const GEMV_HBM_ACTIVITY: &[(f64, f64)] = &[
+    (10.0, 0.34),
+    (11.0, 0.36),
+    (12.0, 0.38),
+    (13.0, 0.40),
+    (14.0, 0.42),
+];
+
+/// Effective LLC streaming bandwidth for memory-bound kernels, bytes/s.
+const LLC_STREAM_BW: f64 = 12.0e12;
+
+/// The rocBLAS-like kernel library for one machine.
+///
+/// # Examples
+///
+/// ```
+/// use fingrav_sim::config::MachineConfig;
+/// use fingrav_workloads::dtype::DType;
+/// use fingrav_workloads::gemm::GemmShape;
+/// use fingrav_workloads::rocblas::RocBlas;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let lib = RocBlas::new(MachineConfig::default());
+/// let kernel = lib.kernel_for(&GemmShape::square(4096, DType::F16))?;
+/// assert_eq!(kernel.name, "CB-4K-GEMM");
+/// // ~200 us on an MI300X-class device.
+/// let us = kernel.base_exec.as_micros_f64();
+/// assert!(us > 100.0 && us < 400.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RocBlas {
+    machine: MachineConfig,
+    cache: CacheModel,
+}
+
+impl RocBlas {
+    /// Creates the library model for a machine.
+    pub fn new(machine: MachineConfig) -> Self {
+        let cache = CacheModel::new(machine.llc_mib);
+        RocBlas { machine, cache }
+    }
+
+    /// The machine this library targets.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// The paper-style label for a shape, e.g. `CB-4K-GEMM` / `MB-8K-GEMV`.
+    pub fn label(&self, shape: &GemmShape) -> String {
+        let roofline = Roofline::for_machine(&self.machine, shape.dtype);
+        let bound = roofline.classify(shape);
+        let kind = if shape.is_gemv() { "GEMV" } else { "GEMM" };
+        format!("{}-{}-{}", bound.prefix(), shape.size_label(), kind)
+    }
+
+    /// Selects and models the kernel for a GEMM shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if the shape is degenerate.
+    pub fn kernel_for(&self, shape: &GemmShape) -> Result<KernelDesc, String> {
+        shape.validate()?;
+        let roofline = Roofline::for_machine(&self.machine, shape.dtype);
+        let bound = roofline.classify(shape);
+        let log_n = (shape.m.max(shape.k) as f64).log2();
+        let footprint = shape.footprint_bytes();
+
+        let desc = match bound {
+            Boundedness::ComputeBound => {
+                let eff = interp(GEMM_EFFICIENCY, log_n);
+                let attainable = roofline.attainable_flops(shape.op_to_byte());
+                let achieved = eff * attainable;
+                let time_s = shape.flops() / achieved;
+
+                // Steady-state (repeated-execution) traffic: the working set
+                // once per execution, split between LLC and HBM by residency.
+                let (hbm_bytes, llc_bytes) = self.cache.split_traffic(footprint, footprint * 2.2);
+                let hbm_act = (0.32 + 0.93 * self.cache.hbm_traffic_fraction(footprint)).min(0.95);
+
+                KernelDesc {
+                    name: self.label(shape),
+                    base_exec: SimDuration::from_secs_f64(time_s),
+                    freq_insensitive_frac: interp(GEMM_FREQ_INSENSITIVE, log_n),
+                    activity: Activity::new(
+                        interp(GEMM_XCD_ACTIVITY, log_n),
+                        interp(GEMM_IOD_ACTIVITY, log_n),
+                        hbm_act,
+                    ),
+                    compute_utilization: (achieved / roofline.peak_flops).min(1.0),
+                    flops: shape.flops(),
+                    hbm_bytes,
+                    llc_bytes,
+                    workgroups: (shape.m.div_ceil(256) * shape.n.div_ceil(256)).max(1) as u32,
+                }
+            }
+            Boundedness::MemoryBound => {
+                let eff = interp(GEMV_EFFICIENCY, log_n);
+                let residency = self.cache.residency(footprint);
+                // Resident traffic streams from LLC; the remainder from HBM.
+                let bw = eff
+                    * (residency * LLC_STREAM_BW
+                        + (1.0 - residency) * self.machine.hbm_peak_gbps * 1e9 * 0.8);
+                let time_s = footprint / bw;
+                let (hbm_bytes, llc_bytes) = self.cache.split_traffic(footprint, footprint);
+
+                KernelDesc {
+                    name: self.label(shape),
+                    base_exec: SimDuration::from_secs_f64(time_s),
+                    freq_insensitive_frac: 0.92,
+                    activity: Activity::new(
+                        interp(GEMV_XCD_ACTIVITY, log_n),
+                        interp(GEMV_IOD_ACTIVITY, log_n),
+                        interp(GEMV_HBM_ACTIVITY, log_n),
+                    ),
+                    compute_utilization: (shape.flops() / (time_s * roofline.peak_flops)).min(1.0),
+                    flops: shape.flops(),
+                    hbm_bytes,
+                    llc_bytes,
+                    workgroups: (shape.m.div_ceil(512)).max(1) as u32,
+                }
+            }
+        };
+        debug_assert!(desc.validate().is_ok());
+        Ok(desc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DType;
+
+    fn lib() -> RocBlas {
+        RocBlas::new(MachineConfig::default())
+    }
+
+    #[test]
+    fn interp_clamps_and_interpolates() {
+        let anchors = [(0.0, 0.0), (1.0, 10.0), (2.0, 30.0)];
+        assert_eq!(interp(&anchors, -1.0), 0.0);
+        assert_eq!(interp(&anchors, 3.0), 30.0);
+        assert!((interp(&anchors, 0.5) - 5.0).abs() < 1e-12);
+        assert!((interp(&anchors, 1.5) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_match_paper_naming() {
+        let l = lib();
+        assert_eq!(l.label(&GemmShape::square(8192, DType::F16)), "CB-8K-GEMM");
+        assert_eq!(l.label(&GemmShape::square(2048, DType::F16)), "CB-2K-GEMM");
+        assert_eq!(l.label(&GemmShape::gemv(4096, DType::F16)), "MB-4K-GEMV");
+    }
+
+    #[test]
+    fn cb_8k_runs_longer_than_the_averaging_window() {
+        let k = lib()
+            .kernel_for(&GemmShape::square(8192, DType::F16))
+            .unwrap();
+        let ms = k.base_exec.as_millis_f64();
+        assert!(ms > 1.0 && ms < 3.0, "CB-8K-GEMM time {ms} ms");
+    }
+
+    #[test]
+    fn cb_2k_lands_in_the_smallest_guidance_bin() {
+        let k = lib()
+            .kernel_for(&GemmShape::square(2048, DType::F16))
+            .unwrap();
+        let us = k.base_exec.as_micros_f64();
+        assert!((25.0..=60.0).contains(&us), "CB-2K-GEMM time {us} us");
+    }
+
+    #[test]
+    fn gemm_times_scale_with_size() {
+        let l = lib();
+        let t2 = l
+            .kernel_for(&GemmShape::square(2048, DType::F16))
+            .unwrap()
+            .base_exec;
+        let t4 = l
+            .kernel_for(&GemmShape::square(4096, DType::F16))
+            .unwrap()
+            .base_exec;
+        let t8 = l
+            .kernel_for(&GemmShape::square(8192, DType::F16))
+            .unwrap()
+            .base_exec;
+        assert!(t2 < t4 && t4 < t8);
+    }
+
+    #[test]
+    fn gemvs_are_short_and_memory_bound() {
+        let l = lib();
+        for n in [2048u64, 4096, 8192] {
+            let k = l.kernel_for(&GemmShape::gemv(n, DType::F16)).unwrap();
+            assert!(k.base_exec.as_micros_f64() < 40.0, "{}", k.name);
+            assert!(k.freq_insensitive_frac > 0.8, "{}", k.name);
+            assert!(k.compute_utilization < 0.01, "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn xcd_activity_flat_despite_utilization_gap() {
+        // Paper takeaway #4: CB-2K achieves ~half the utilization of
+        // CB-8K but similar XCD power activity.
+        let l = lib();
+        let k2 = l.kernel_for(&GemmShape::square(2048, DType::F16)).unwrap();
+        let k8 = l.kernel_for(&GemmShape::square(8192, DType::F16)).unwrap();
+        assert!(
+            k2.compute_utilization < 0.55 * k8.compute_utilization,
+            "2K util {} vs 8K util {}",
+            k2.compute_utilization,
+            k8.compute_utilization
+        );
+        // "In the ballpark": the activity gap is far smaller than the 2x
+        // utilization gap, and at runtime the heavier GEMMs run throttled
+        // while 2K runs at boost, bringing measured XCD power even closer
+        // (the measured Fig. 7 XCD ratio lands near 0.85).
+        assert!(
+            k2.activity.xcd > 0.65 * k8.activity.xcd,
+            "2K xcd {} vs 8K xcd {}",
+            k2.activity.xcd,
+            k8.activity.xcd
+        );
+    }
+
+    #[test]
+    fn only_8k_gemm_spills_the_llc() {
+        let l = lib();
+        let k8 = l.kernel_for(&GemmShape::square(8192, DType::F16)).unwrap();
+        let k4 = l.kernel_for(&GemmShape::square(4096, DType::F16)).unwrap();
+        let k2 = l.kernel_for(&GemmShape::square(2048, DType::F16)).unwrap();
+        assert!(
+            k8.activity.hbm > k4.activity.hbm + 0.15,
+            "8K must stand out"
+        );
+        assert!((k4.activity.hbm - k2.activity.hbm).abs() < 0.1, "4K ~ 2K");
+    }
+
+    #[test]
+    fn gemv_iod_activity_peaks_at_8k() {
+        let l = lib();
+        let v8 = l.kernel_for(&GemmShape::gemv(8192, DType::F16)).unwrap();
+        let v4 = l.kernel_for(&GemmShape::gemv(4096, DType::F16)).unwrap();
+        let v2 = l.kernel_for(&GemmShape::gemv(2048, DType::F16)).unwrap();
+        assert!(v8.activity.iod > v4.activity.iod);
+        assert!(v4.activity.iod > v2.activity.iod);
+        assert!(v8.activity.iod > 0.8, "8K GEMV must stress the IOD");
+    }
+
+    #[test]
+    fn gemv_xcd_far_below_gemm_xcd() {
+        let l = lib();
+        let g = l.kernel_for(&GemmShape::square(4096, DType::F16)).unwrap();
+        let v = l.kernel_for(&GemmShape::gemv(4096, DType::F16)).unwrap();
+        assert!(v.activity.xcd < 0.3 * g.activity.xcd);
+    }
+
+    #[test]
+    fn degenerate_shape_rejected() {
+        let l = lib();
+        let bad = GemmShape {
+            m: 0,
+            n: 1,
+            k: 1,
+            dtype: DType::F16,
+        };
+        assert!(l.kernel_for(&bad).is_err());
+    }
+
+    #[test]
+    fn descriptors_validate() {
+        let l = lib();
+        for n in [2048u64, 4096, 8192] {
+            assert!(l
+                .kernel_for(&GemmShape::square(n, DType::F16))
+                .unwrap()
+                .validate()
+                .is_ok());
+            assert!(l
+                .kernel_for(&GemmShape::gemv(n, DType::F16))
+                .unwrap()
+                .validate()
+                .is_ok());
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Profiling a user-defined kernel: guidance lookup, phase splitting, and
+//! outlier-band analysis (Section VI extensions).
+//!
+//! ```text
+//! cargo run --release --example custom_kernel
+//! ```
+
+use fingrav::core::guidance::GuidanceTable;
+use fingrav::core::outliers;
+use fingrav::core::phases::split_kernel;
+use fingrav::core::runner::{FingravRunner, RunnerConfig};
+use fingrav::sim::{Activity, KernelDesc, SimConfig, SimDuration, Simulation};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A custom fused attention-like kernel: moderately compute bound,
+    // streaming a large activation working set.
+    let kernel = KernelDesc {
+        name: "fused-attn-bf16".into(),
+        base_exec: SimDuration::from_micros(340),
+        freq_insensitive_frac: 0.35,
+        activity: Activity::new(0.72, 0.66, 0.5),
+        compute_utilization: 0.41,
+        flops: 2.1e11,
+        hbm_bytes: 1.6e8,
+        llc_bytes: 9.5e8,
+        workgroups: 608,
+    };
+
+    // Step 1 of the methodology by hand: what does Table I recommend?
+    let guidance = GuidanceTable::paper();
+    let entry = guidance.lookup(kernel.base_exec);
+    println!(
+        "guidance for a {} kernel: {} runs, margin {:.0}%, target {} LOIs\n",
+        kernel.base_exec,
+        entry.runs,
+        entry.margin_frac * 100.0,
+        entry.recommended_lois(kernel.base_exec)
+    );
+
+    // Full profile.
+    let mut gpu = Simulation::new(SimConfig::default(), 77)?;
+    let mut runner = FingravRunner::new(&mut gpu, RunnerConfig::quick(60));
+    let report = runner.profile(&kernel)?;
+    println!(
+        "{}: exec {:.0} us, SSP {:.0} W over {} LOIs ({} golden / {} runs)",
+        report.label,
+        report.exec_time_ns as f64 / 1e3,
+        report.ssp_mean_total_w.unwrap_or(f64::NAN),
+        report.ssp_loi_count(),
+        report.golden_runs,
+        report.runs_executed
+    );
+
+    // Section VI: outlier-band suggestions from the observed durations.
+    let durations: Vec<u64> = report
+        .run_profile
+        .points
+        .iter()
+        .filter_map(|p| p.toi_ns.map(|_| report.exec_time_ns))
+        .collect();
+    let targets = outliers::suggest_targets(&durations, report.margin_frac);
+    println!(
+        "\noutlier execution-time bands worth a dedicated profile: {}",
+        if targets.is_empty() {
+            "none observed".to_string()
+        } else {
+            targets
+                .iter()
+                .map(|t| format!("{:.0} us", t.center_ns as f64 / 1e3))
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+    );
+
+    // Section VI: split the kernel into two workgroup phases and profile
+    // each half separately (lower per-phase variation).
+    println!("\nphase-split profiling (half the workgroups each):");
+    for phase in split_kernel(&kernel, 2)? {
+        let mut gpu = Simulation::new(SimConfig::default(), 78)?;
+        let mut runner = FingravRunner::new(&mut gpu, RunnerConfig::quick(40));
+        let r = runner.profile(&phase)?;
+        println!(
+            "  {}: exec {:.0} us, SSP {:.0} W",
+            r.label,
+            r.exec_time_ns as f64 / 1e3,
+            r.ssp_mean_total_w.unwrap_or(f64::NAN)
+        );
+    }
+    Ok(())
+}

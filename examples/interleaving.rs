@@ -1,0 +1,93 @@
+//! Interleaved-kernel contamination: how the power measured for a short
+//! kernel depends on what ran before it (Fig. 9 territory, paper
+//! measurement guidance #2).
+//!
+//! ```text
+//! cargo run --release --example interleaving
+//! ```
+
+use fingrav::core::backend::PowerBackend;
+use fingrav::core::insights::InterleaveEffect;
+use fingrav::core::profile::place_logs;
+use fingrav::core::runner::{FingravRunner, RunnerConfig};
+use fingrav::core::stats;
+use fingrav::core::sync::{ReadDelayCalibration, TimeSync};
+use fingrav::sim::{Script, SimConfig, SimDuration, Simulation};
+use fingrav::workloads::suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = SimConfig::default().machine.clone();
+    let target = suite::cb_gemm(&machine, 2048); // ~50 us: well below the 1 ms window
+    let heavy = suite::cb_gemm(&machine, 8192);
+    let light = suite::mb_gemv(&machine, 4096);
+
+    // Isolated SSP power of the target.
+    let mut gpu = Simulation::new(SimConfig::default(), 7)?;
+    let mut runner = FingravRunner::new(&mut gpu, RunnerConfig::quick(60));
+    let isolated = runner
+        .profile(&target)?
+        .ssp_mean_total_w
+        .ok_or("no SSP LOIs; increase runs")?;
+    println!("isolated SSP power of {}: {isolated:.0} W\n", target.name);
+
+    // The same single execution measured right after different predecessors.
+    for (name, pre_desc, pre_count) in [
+        ("after 40x MB-4K-GEMV (light)", &light, 40u32),
+        ("after 8x CB-8K-GEMM (heavy)", &heavy, 8),
+    ] {
+        let mut gpu = Simulation::new(SimConfig::default(), 7)?;
+        let pre = PowerBackend::register_kernel(&mut gpu, pre_desc)?;
+        let tgt = PowerBackend::register_kernel(&mut gpu, &target)?;
+
+        let mut lois = Vec::new();
+        for _ in 0..200 {
+            let script = Script::builder()
+                .begin_run()
+                .start_power_logger()
+                .read_gpu_timestamp()
+                .sleep_uniform(SimDuration::ZERO, SimDuration::from_millis(1))
+                .launch_timed(pre, pre_count)
+                .launch_timed(tgt, 1)
+                .sleep(SimDuration::from_millis(1))
+                .read_gpu_timestamp()
+                .stop_power_logger()
+                .sleep(SimDuration::from_millis(8))
+                .build();
+            let trace = gpu.run_script(&script)?;
+            let read = trace.timestamp_reads[0];
+            let calib = ReadDelayCalibration {
+                median_rtt_ns: read.rtt_ns(),
+                assumed_sample_frac: 0.5,
+            };
+            let sync = TimeSync::from_anchor(&read, &calib, PowerBackend::gpu_counter_hz(&gpu));
+            for log in place_logs(&trace, &sync) {
+                if let Some((pos, _)) = log.containing_exec {
+                    if trace.executions[pos].kernel == tgt {
+                        lois.push(log.power.total());
+                    }
+                }
+            }
+        }
+        let interleaved = stats::mean(&lois).ok_or("no LOIs landed in the target")?;
+        let effect = InterleaveEffect {
+            isolated_w: isolated,
+            interleaved_w: interleaved,
+        };
+        println!(
+            "{name}: measured {interleaved:.0} W -> {:+.0}% vs isolated ({} LOIs){}",
+            effect.relative() * 100.0,
+            lois.len(),
+            if effect.is_significant(0.1) {
+                "  <- contaminated!"
+            } else {
+                ""
+            }
+        );
+    }
+
+    println!(
+        "\npaper measurement guidance #2: when a kernel's execution time is below the\n\
+         power logger's averaging window, only isolated executions measure its true draw."
+    );
+    Ok(())
+}

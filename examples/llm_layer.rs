@@ -1,0 +1,94 @@
+//! Application-level energy accounting: a real transformer decoder layer
+//! (the paper's motivation — applications are sequences of kernels, so
+//! accurate kernel profiles compose into accurate application energy).
+//!
+//! ```text
+//! cargo run --release --example llm_layer
+//! ```
+//!
+//! Derives the projection GEMMs of a Llama-7B-class decode layer from the
+//! model configuration, profiles each plus the tensor-parallel all-reduce,
+//! then composes per-layer energy twice — once from the naive SSE powers
+//! and once from the SSP powers — showing how measurement error compounds
+//! into the cluster-scale energy bill.
+
+use fingrav::core::energy::{
+    cluster_energy_kwh, joules_to_kwh, sequence_energy_joules, SequenceStep,
+};
+use fingrav::core::runner::{FingravRunner, RunnerConfig};
+use fingrav::sim::fabric::Fabric;
+use fingrav::sim::{SimConfig, Simulation};
+use fingrav::workloads::{Rccl, RocBlas, TransformerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = SimConfig::default().machine.clone();
+    let lib = RocBlas::new(machine.clone());
+    let rccl = Rccl::new(machine.clone(), Fabric::default());
+    let model = TransformerConfig::llama_7b();
+
+    // One decode step for a batch of 32 sequences: four projection GEMMs
+    // plus a tensor-parallel all-reduce of the hidden states.
+    let mut kernels = model.layer_kernels(&lib, "decode", 32)?;
+    let ar_bytes = model.hidden * 32 * 2; // hidden x batch x fp16
+    let mut ar = rccl.all_reduce(ar_bytes);
+    ar.name = format!("decode/tp-allreduce ({})", ar.name);
+    kernels.push(ar);
+
+    println!("Llama-7B-class decode layer, batch 32:\n");
+    println!("| kernel | exec us | SSE W | SSP W |");
+    println!("|---|---|---|---|");
+
+    let mut sse_steps = Vec::new();
+    let mut ssp_steps = Vec::new();
+    for (i, kernel) in kernels.iter().enumerate() {
+        let mut gpu = Simulation::new(SimConfig::default(), 500 + i as u64)?;
+        let mut runner = FingravRunner::new(&mut gpu, RunnerConfig::quick(80));
+        let report = runner.profile(kernel)?;
+        let ssp = report.ssp_mean_total_w.ok_or("no SSP LOIs")?;
+        // Short kernels may land no SSE LOIs in a quick run; fall back to
+        // the SSP value (i.e. no error contribution) rather than guessing.
+        let sse = report.sse_mean_total_w.unwrap_or(ssp);
+        println!(
+            "| {} | {:.0} | {sse:.0} | {ssp:.0} |",
+            report.label,
+            report.exec_time_ns as f64 / 1e3
+        );
+        sse_steps.push(SequenceStep {
+            power_w: sse,
+            exec_time_ns: report.exec_time_ns,
+            count: 1,
+        });
+        ssp_steps.push(SequenceStep {
+            power_w: ssp,
+            exec_time_ns: report.exec_time_ns,
+            count: 1,
+        });
+    }
+
+    let e_sse = sequence_energy_joules(&sse_steps);
+    let e_ssp = sequence_energy_joules(&ssp_steps);
+    println!(
+        "\nper-layer decode energy: naive (SSE) {:.2} mJ vs FinGraV (SSP) {:.2} mJ -> \
+         {:.0}% underestimate",
+        e_sse * 1e3,
+        e_ssp * 1e3,
+        (e_ssp - e_sse) / e_ssp * 100.0
+    );
+
+    // Cluster-scale view: 32 layers x 1M decode steps across a fleet.
+    let layers = 32u64;
+    let steps = 1_000_000u64;
+    let fleet_j_naive = e_sse * (layers * steps) as f64;
+    let fleet_j_true = e_ssp * (layers * steps) as f64;
+    println!(
+        "at {layers} layers x {steps} decode steps: naive {:.1} kWh vs {:.1} kWh measured",
+        joules_to_kwh(fleet_j_naive),
+        joules_to_kwh(fleet_j_true),
+    );
+    println!(
+        "(for calibration: a 1024-GPU cluster at 700 W for 48 days is {:.1} MWh — the \
+         paper's intro-scale arithmetic)",
+        cluster_energy_kwh(1024, 700.0, 48.0 * 24.0) / 1e3
+    );
+    Ok(())
+}

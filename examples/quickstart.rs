@@ -1,0 +1,76 @@
+//! Quickstart: profile one GEMM kernel end to end with FinGraV.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Creates a simulated MI300X-class profiling session, profiles the paper's
+//! CB-4K-GEMM with the nine-step FinGraV methodology, and prints the
+//! steady-state-execution (SSE) vs steady-state-power (SSP) comparison that
+//! is the paper's headline measurement guidance.
+
+use fingrav::core::energy::EnergyComparison;
+use fingrav::core::runner::{FingravRunner, RunnerConfig};
+use fingrav::sim::{SimConfig, Simulation};
+use fingrav::workloads::suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A deterministic simulated GPU (seed 42).
+    let config = SimConfig::default();
+    let machine = config.machine.clone();
+    let mut gpu = Simulation::new(config, 42)?;
+
+    // The paper's compute-bound 4096^3 FP16 GEMM.
+    let kernel = suite::cb_gemm(&machine, 4096);
+    println!("profiling {} (base exec {})", kernel.name, kernel.base_exec);
+
+    // 60 runs keeps this example snappy; drop `runs_override` (via
+    // RunnerConfig::default()) for the paper's guidance-table run counts.
+    let mut runner = FingravRunner::new(&mut gpu, RunnerConfig::quick(60));
+    let report = runner.profile(&kernel)?;
+
+    println!("\n== FinGraV report ==");
+    println!(
+        "steady execution time : {:.1} us",
+        report.exec_time_ns as f64 / 1e3
+    );
+    println!("warm-up executions    : {} (SSE index)", report.sse_index);
+    println!("SSP execution index   : {}", report.ssp_index);
+    println!("executions per run    : {}", report.executions_per_run);
+    println!(
+        "golden runs           : {}/{} (margin {:.0}%)",
+        report.golden_runs,
+        report.runs_executed,
+        report.margin_frac * 100.0
+    );
+    println!("throttling observed   : {}", report.throttle_detected);
+    println!(
+        "timestamp-read delay  : {:.0} ns; estimated counter drift {:.1} ppm",
+        report.read_delay_ns,
+        report.estimated_drift_ppm.unwrap_or(f64::NAN)
+    );
+    println!(
+        "LOIs stitched         : {} SSE, {} SSP",
+        report.sse_loi_count(),
+        report.ssp_loi_count()
+    );
+
+    println!(
+        "\n{}",
+        fingrav::core::chart::profile_chart(&report.run_profile, 60, 10)
+    );
+
+    if let (Some(sse), Some(ssp)) = (report.sse_mean_total_w, report.ssp_mean_total_w) {
+        println!("SSE mean power: {sse:.0} W   SSP mean power: {ssp:.0} W");
+    }
+    if let Some(cmp) = EnergyComparison::from_report(&report) {
+        println!(
+            "energy per execution: SSE estimate {:.3} J vs SSP {:.3} J -> {:.0}% error \
+             if profiles are not differentiated",
+            cmp.sse_energy_j,
+            cmp.ssp_energy_j,
+            cmp.error_frac * 100.0
+        );
+    }
+    Ok(())
+}

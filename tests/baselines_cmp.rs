@@ -1,0 +1,114 @@
+//! FinGraV against its baselines: each removed ingredient must cost
+//! measurable fidelity (the point of paper Fig. 5 and Section VII).
+
+use fingrav::baselines::common::BaselineConfig;
+use fingrav::baselines::{coarse, single_run, unsynchronized};
+use fingrav::core::profile::{PowerAxis, ProfileAxis};
+use fingrav::core::regression;
+use fingrav::core::runner::{FingravRunner, RunnerConfig};
+use fingrav::core::stats;
+use fingrav::sim::{SimConfig, Simulation};
+use fingrav::workloads::suite;
+
+fn r2(profile: &fingrav::core::profile::PowerProfile) -> f64 {
+    let (xs, ys) = profile.series(ProfileAxis::RunTime, PowerAxis::Total);
+    if xs.len() < 6 {
+        return 0.0;
+    }
+    // A profile so degenerate that no quartic fits (e.g. the naive grid
+    // collapsing to a handful of distinct x positions) is maximally
+    // incoherent.
+    let Ok(fit) = regression::degree4(&xs, &ys) else {
+        return 0.0;
+    };
+    let mean = stats::mean(&ys).expect("non-empty");
+    let tss: f64 = ys.iter().map(|y| (y - mean).powi(2)).sum();
+    let rss: f64 = xs
+        .iter()
+        .zip(&ys)
+        .map(|(&x, &y)| (fit.eval(x) - y).powi(2))
+        .sum();
+    1.0 - rss / tss.max(1e-9)
+}
+
+#[test]
+fn synchronized_profile_is_more_coherent_than_unsynchronized() {
+    let machine = SimConfig::default().machine.clone();
+    let kernel = suite::cb_gemm(&machine, 4096);
+
+    let mut gpu = Simulation::new(SimConfig::default(), 81).expect("valid");
+    let mut runner = FingravRunner::new(&mut gpu, RunnerConfig::quick(40));
+    let report = runner.profile(&kernel).expect("profiles");
+    // Clip to the busy window (ignore the logger drain).
+    let busy_end = report
+        .run_profile
+        .points
+        .iter()
+        .filter(|p| p.exec_pos != u32::MAX)
+        .map(|p| p.run_time_ns)
+        .fold(0.0_f64, f64::max);
+    let mut synced = report.run_profile.clone();
+    synced
+        .points
+        .retain(|p| p.run_time_ns >= 0.0 && p.run_time_ns <= busy_end);
+
+    let mut gpu = Simulation::new(SimConfig::default(), 82).expect("valid");
+    let cfg = BaselineConfig {
+        runs: 40,
+        executions_per_run: report.executions_per_run,
+        ..BaselineConfig::default()
+    };
+    let mut unsynced = unsynchronized::profile(&mut gpu, &kernel, &cfg).expect("baseline");
+    unsynced
+        .points
+        .retain(|p| p.run_time_ns >= 0.0 && p.run_time_ns <= busy_end);
+
+    let (r2_sync, r2_unsync) = (r2(&synced), r2(&unsynced));
+    assert!(
+        r2_sync > r2_unsync + 0.05,
+        "synchronized R^2 {r2_sync:.3} must beat unsynchronized {r2_unsync:.3}"
+    );
+}
+
+#[test]
+fn coarse_sampler_misses_what_the_fine_logger_catches() {
+    let machine = SimConfig::default().machine.clone();
+    let kernel = suite::cb_gemm(&machine, 2048);
+    let mut gpu = Simulation::new(SimConfig::default(), 83).expect("valid");
+    let cfg = BaselineConfig {
+        runs: 30,
+        executions_per_run: 20,
+        ..BaselineConfig::default()
+    };
+    let outcome = coarse::profile(&mut gpu, &kernel, &cfg).expect("coarse");
+    assert!(
+        outcome.miss_rate() > 0.5,
+        "the 50 ms sampler should miss most ~2 ms runs, miss rate {:.0}%",
+        outcome.miss_rate() * 100.0
+    );
+}
+
+#[test]
+fn single_run_cannot_build_a_fine_grain_profile() {
+    let machine = SimConfig::default().machine.clone();
+    let kernel = suite::cb_gemm(&machine, 2048);
+
+    let mut gpu = Simulation::new(SimConfig::default(), 84).expect("valid");
+    let cfg = BaselineConfig {
+        runs: 1,
+        executions_per_run: 20,
+        ..BaselineConfig::default()
+    };
+    let single = single_run::profile(&mut gpu, &kernel, &cfg).expect("single run");
+
+    let mut gpu = Simulation::new(SimConfig::default(), 85).expect("valid");
+    let mut runner = FingravRunner::new(&mut gpu, RunnerConfig::quick(40));
+    let fingrav = runner.profile(&kernel).expect("profiles");
+
+    assert!(
+        fingrav.run_profile.len() > 5 * single.len(),
+        "multi-run stitching ({} points) must dwarf a single run ({} points)",
+        fingrav.run_profile.len(),
+        single.len()
+    );
+}

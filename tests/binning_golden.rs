@@ -1,0 +1,111 @@
+//! Execution-time binning and golden-run selection under injected
+//! variation (paper solution S3, challenge C3).
+
+use fingrav::core::binning::bin_durations;
+use fingrav::core::outliers::{suggest_targets, OutlierTarget};
+use fingrav::core::runner::{FingravRunner, RunnerConfig};
+use fingrav::sim::{SimConfig, Simulation, VariationConfig};
+use fingrav::workloads::suite;
+
+#[test]
+fn golden_runs_exclude_pathological_runs() {
+    // Crank the pathological-run rate so the golden filter has real work.
+    let cfg = SimConfig {
+        variation: VariationConfig {
+            run_outlier_prob: 0.3,
+            ..VariationConfig::default()
+        },
+        ..SimConfig::default()
+    };
+    let machine = cfg.machine.clone();
+    let mut gpu = Simulation::new(cfg, 61).expect("valid");
+    let mut runner = FingravRunner::new(&mut gpu, RunnerConfig::quick(50));
+    let report = runner
+        .profile(&suite::cb_gemm(&machine, 4096))
+        .expect("profiles");
+    let excluded = report.runs_executed - report.golden_runs;
+    // ~30% of runs are pathological (+4-9% slower): they must fall outside
+    // the 2% margin and be discarded.
+    assert!(
+        excluded as f64 >= 0.15 * report.runs_executed as f64,
+        "only {excluded}/{} runs excluded despite 30% pathological rate",
+        report.runs_executed
+    );
+    assert!(report.golden_runs > 0);
+}
+
+#[test]
+fn disabling_variation_makes_every_run_golden() {
+    // A memory-bound kernel: no cap/throttle dynamics, 92% of its runtime
+    // is frequency-insensitive, so with variation disabled every run times
+    // identically. (A throttling GEMM would still vary slightly with its
+    // phase against the firmware's control grid.)
+    let cfg = SimConfig::deterministic();
+    let machine = cfg.machine.clone();
+    let mut gpu = Simulation::new(cfg, 62).expect("valid");
+    let mut runner = FingravRunner::new(&mut gpu, RunnerConfig::quick(20));
+    let report = runner
+        .profile(&suite::mb_gemv(&machine, 8192))
+        .expect("profiles");
+    assert_eq!(
+        report.golden_runs, report.runs_executed,
+        "identical runs must all be golden"
+    );
+}
+
+#[test]
+fn wider_margin_admits_more_runs() {
+    let run_with_margin = |margin: f64| -> (u32, u32) {
+        let machine = SimConfig::default().machine.clone();
+        let mut gpu = Simulation::new(SimConfig::default(), 63).expect("valid");
+        let mut runner = FingravRunner::new(
+            &mut gpu,
+            RunnerConfig {
+                margin_override: Some(margin),
+                // No LOI top-up batches: keep run totals comparable.
+                extra_run_batches: 0,
+                ..RunnerConfig::quick(40)
+            },
+        );
+        let r = runner
+            .profile(&suite::cb_gemm(&machine, 4096))
+            .expect("profiles");
+        (r.golden_runs, r.runs_executed)
+    };
+    let (tight, total_a) = run_with_margin(0.005);
+    let (loose, total_b) = run_with_margin(0.10);
+    assert_eq!(total_a, total_b);
+    assert!(
+        loose > tight,
+        "10% margin ({loose}) must admit more runs than 0.5% ({tight})"
+    );
+}
+
+#[test]
+fn outlier_band_workflow_selects_the_slow_population() {
+    // Synthetic durations: a mode at 100 us and a slow population at 130 us.
+    let mut durations = vec![100_000u64; 50];
+    durations.extend(std::iter::repeat_n(130_000u64, 8));
+    let binning = bin_durations(&durations, 0.05).expect("non-empty");
+    assert_eq!(binning.golden_bin().count(), 50);
+
+    let targets = suggest_targets(&durations, 0.05);
+    assert_eq!(targets.len(), 1);
+    let t: OutlierTarget = targets[0];
+    let selected = t.select(&durations);
+    assert_eq!(selected.len(), 8);
+    assert!(selected.iter().all(|&i| durations[i] == 130_000));
+}
+
+#[test]
+fn binning_partitions_all_runs() {
+    let machine = SimConfig::default().machine.clone();
+    let mut gpu = Simulation::new(SimConfig::default(), 64).expect("valid");
+    let mut runner = FingravRunner::new(&mut gpu, RunnerConfig::quick(30));
+    let report = runner
+        .profile(&suite::mb_gemv(&machine, 8192))
+        .expect("profiles");
+    // Every executed run is either golden or excluded; never lost.
+    assert!(report.golden_runs <= report.runs_executed);
+    assert!(report.runs_executed >= 30);
+}

@@ -1,0 +1,132 @@
+//! Collective-kernel integration: classification, component ordering, and
+//! the Fig. 10 relationships between communication and computation.
+
+use fingrav::core::runner::{FingravRunner, RunnerConfig};
+use fingrav::sim::fabric::{CollectiveKind, Fabric};
+use fingrav::sim::{SimConfig, Simulation};
+use fingrav::workloads::suite::{self, SuiteClass};
+use fingrav::workloads::CommBoundedness;
+
+const KIB: u64 = 1024;
+const MIB: u64 = 1024 * 1024;
+
+fn ssp_power(
+    seed: u64,
+    desc: &fingrav::sim::KernelDesc,
+    runs: u32,
+) -> fingrav::sim::ComponentPower {
+    let mut gpu = Simulation::new(SimConfig::default(), seed).expect("valid");
+    let mut runner = FingravRunner::new(&mut gpu, RunnerConfig::quick(runs));
+    runner
+        .profile(desc)
+        .expect("profiles")
+        .ssp_profile
+        .mean_power()
+        .expect("SSP LOIs present")
+}
+
+#[test]
+fn suite_classifies_paper_sizes() {
+    let machine = SimConfig::default().machine.clone();
+    let suite = suite::collective_suite(&machine, Fabric::default());
+    for sk in &suite {
+        let expect_lb = sk.label.ends_with("KB");
+        match sk.class {
+            SuiteClass::Collective(b) => {
+                let want = if expect_lb {
+                    CommBoundedness::LatencyBound
+                } else {
+                    CommBoundedness::BandwidthBound
+                };
+                assert_eq!(b, want, "{} misclassified", sk.label);
+            }
+            _ => panic!("collective suite produced a non-collective"),
+        }
+    }
+}
+
+#[test]
+fn bandwidth_bound_collectives_sit_between_lb_and_gemm() {
+    // The Fig. 10 total-power ordering: LB comm < BB comm < CB-8K-GEMM.
+    let machine = SimConfig::default().machine.clone();
+    let rccl = fingrav::workloads::Rccl::new(machine.clone(), Fabric::default());
+
+    let lb = ssp_power(301, &rccl.all_gather(64 * KIB), 40).total();
+    let bb = ssp_power(302, &rccl.all_gather(512 * MIB), 25).total();
+    let gemm = ssp_power(303, &suite::cb_gemm(&machine, 8192), 25).total();
+
+    assert!(
+        lb + 50.0 < bb,
+        "LB total {lb:.0} W should sit clearly below BB {bb:.0} W"
+    );
+    assert!(
+        bb + 100.0 < gemm,
+        "BB total {bb:.0} W should sit clearly below CB-8K-GEMM {gemm:.0} W"
+    );
+}
+
+#[test]
+fn bb_collectives_stress_iod_hbm_not_xcd() {
+    let machine = SimConfig::default().machine.clone();
+    let rccl = fingrav::workloads::Rccl::new(machine.clone(), Fabric::default());
+
+    let bb = ssp_power(304, &rccl.all_reduce(512 * MIB), 25);
+    let gemm = ssp_power(305, &suite::cb_gemm(&machine, 8192), 25);
+
+    assert!(
+        bb.xcd < 0.5 * gemm.xcd,
+        "BB comm XCD {:.0} W must be far below GEMM XCD {:.0} W",
+        bb.xcd,
+        gemm.xcd
+    );
+    assert!(
+        bb.iod > 0.9 * gemm.iod,
+        "BB comm IOD {:.0} W should rival the GEMM's {:.0} W",
+        bb.iod,
+        gemm.iod
+    );
+}
+
+#[test]
+fn allreduce_slower_and_hotter_than_allgather() {
+    let fabric = Fabric::default();
+    let ag = fabric.collective_cost(CollectiveKind::AllGather, 512 * MIB);
+    let ar = fabric.collective_cost(CollectiveKind::AllReduce, 512 * MIB);
+    assert!(ar.time > ag.time);
+
+    let machine = SimConfig::default().machine.clone();
+    let rccl = fingrav::workloads::Rccl::new(machine, fabric);
+    let ag_k = rccl.all_gather(512 * MIB);
+    let ar_k = rccl.all_reduce(512 * MIB);
+    assert!(
+        ar_k.activity.xcd > ag_k.activity.xcd,
+        "reduction math costs XCD"
+    );
+}
+
+#[test]
+fn collective_kernels_profile_at_both_extremes() {
+    // The same methodology must handle a ~15 us LB kernel and a ~5 ms BB
+    // kernel without special-casing.
+    let machine = SimConfig::default().machine.clone();
+    let rccl = fingrav::workloads::Rccl::new(machine, Fabric::default());
+
+    let lb = rccl.all_reduce(64 * KIB);
+    let mut gpu = Simulation::new(SimConfig::default(), 306).expect("valid");
+    let mut runner = FingravRunner::new(&mut gpu, RunnerConfig::quick(40));
+    let lb_report = runner.profile(&lb).expect("LB profile");
+    assert!(
+        lb_report.ssp_index > 10,
+        "tiny kernel needs many executions"
+    );
+
+    let bb = rccl.all_reduce(1024 * MIB);
+    let mut gpu = Simulation::new(SimConfig::default(), 307).expect("valid");
+    let mut runner = FingravRunner::new(&mut gpu, RunnerConfig::quick(15));
+    let bb_report = runner.profile(&bb).expect("BB profile");
+    assert!(
+        bb_report.ssp_index <= 8,
+        "multi-ms kernel reaches SSP within a few executions, got {}",
+        bb_report.ssp_index
+    );
+}

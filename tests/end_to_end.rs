@@ -1,0 +1,135 @@
+//! End-to-end integration: the FinGraV runner profiles every kernel of the
+//! paper's fourteen-kernel suite on a fresh simulated session.
+
+use fingrav::core::runner::{FingravRunner, RunnerConfig};
+use fingrav::sim::{SimConfig, Simulation};
+use fingrav::workloads::suite::{self, SuiteClass};
+
+fn quick_runner_config(runs: u32) -> RunnerConfig {
+    RunnerConfig::quick(runs)
+}
+
+#[test]
+fn every_suite_kernel_profiles_cleanly() {
+    let machine = SimConfig::default().machine.clone();
+    for (i, sk) in suite::full_suite(&machine).iter().enumerate() {
+        let mut gpu =
+            Simulation::new(SimConfig::default(), 1000 + i as u64).expect("default config valid");
+        let mut runner = FingravRunner::new(&mut gpu, quick_runner_config(30));
+        let report = runner
+            .profile(&sk.desc)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", sk.label));
+
+        assert_eq!(report.label, sk.label);
+        assert!(report.exec_time_ns > 0, "{}: zero exec time", sk.label);
+        assert!(report.golden_runs > 0, "{}: no golden runs", sk.label);
+        assert!(
+            report.golden_runs <= report.runs_executed,
+            "{}: more golden than executed",
+            sk.label
+        );
+        assert!(
+            !report.run_profile.is_empty(),
+            "{}: empty run profile",
+            sk.label
+        );
+        assert!(
+            report.ssp_loi_count() > 0,
+            "{}: no SSP LOIs harvested",
+            sk.label
+        );
+        let ssp = report
+            .ssp_mean_total_w
+            .unwrap_or_else(|| panic!("{}: no SSP power", sk.label));
+        // Plausible power band for a 750 W-class module.
+        assert!(
+            (150.0..=1_000.0).contains(&ssp),
+            "{}: SSP power {ssp} W out of band",
+            sk.label
+        );
+        assert!(report.ssp_index >= report.sse_index);
+        assert!(report.executions_per_run > report.ssp_index);
+    }
+}
+
+#[test]
+fn compute_bound_gemms_run_hotter_than_memory_bound_gemvs() {
+    let machine = SimConfig::default().machine.clone();
+    let mut cb_min = f64::INFINITY;
+    let mut mb_max: f64 = 0.0;
+    for (i, sk) in suite::gemm_suite(&machine).iter().enumerate() {
+        let mut gpu =
+            Simulation::new(SimConfig::default(), 2000 + i as u64).expect("default config valid");
+        let mut runner = FingravRunner::new(&mut gpu, quick_runner_config(40));
+        let ssp = runner
+            .profile(&sk.desc)
+            .expect("profiles")
+            .ssp_mean_total_w
+            .expect("SSP LOIs present");
+        match sk.class {
+            SuiteClass::Gemm(_) => cb_min = cb_min.min(ssp),
+            SuiteClass::Gemv(_) => mb_max = mb_max.max(ssp),
+            SuiteClass::Collective(_) => unreachable!("gemm suite only"),
+        }
+    }
+    assert!(
+        cb_min > mb_max + 100.0,
+        "CB GEMMs ({cb_min:.0} W min) must clearly out-draw MB GEMVs ({mb_max:.0} W max)"
+    );
+}
+
+#[test]
+fn ssp_index_scales_with_window_to_exec_ratio() {
+    // A ~50 us kernel needs ~20x more executions to fill the 1 ms window
+    // than a ~1.5 ms kernel needs.
+    let machine = SimConfig::default().machine.clone();
+    let mut gpu = Simulation::new(SimConfig::default(), 3000).expect("valid");
+    let mut runner = FingravRunner::new(&mut gpu, quick_runner_config(20));
+    let short = runner.profile(&suite::cb_gemm(&machine, 2048)).expect("2k");
+
+    let mut gpu = Simulation::new(SimConfig::default(), 3001).expect("valid");
+    let mut runner = FingravRunner::new(&mut gpu, quick_runner_config(20));
+    let long = runner.profile(&suite::cb_gemm(&machine, 8192)).expect("8k");
+
+    assert!(
+        short.ssp_index >= long.ssp_index + 8,
+        "short kernel SSP index {} vs long {}",
+        short.ssp_index,
+        long.ssp_index
+    );
+}
+
+#[test]
+fn throttling_detected_only_for_heavy_gemms() {
+    let machine = SimConfig::default().machine.clone();
+
+    let mut gpu = Simulation::new(SimConfig::default(), 3100).expect("valid");
+    let mut runner = FingravRunner::new(&mut gpu, quick_runner_config(16));
+    let heavy = runner.profile(&suite::cb_gemm(&machine, 8192)).expect("8k");
+    assert!(
+        heavy.throttle_detected,
+        "CB-8K-GEMM must show the excursion"
+    );
+
+    let mut gpu = Simulation::new(SimConfig::default(), 3101).expect("valid");
+    let mut runner = FingravRunner::new(&mut gpu, quick_runner_config(16));
+    let light = runner
+        .profile(&suite::mb_gemv(&machine, 4096))
+        .expect("gemv");
+    assert!(
+        !light.throttle_detected,
+        "a memory-bound GEMV must not trip the throttle detector"
+    );
+}
+
+#[test]
+fn reports_are_deterministic_per_seed() {
+    let machine = SimConfig::default().machine.clone();
+    let run = |seed: u64| {
+        let mut gpu = Simulation::new(SimConfig::default(), seed).expect("valid");
+        let mut runner = FingravRunner::new(&mut gpu, quick_runner_config(12));
+        runner.profile(&suite::cb_gemm(&machine, 4096)).expect("4k")
+    };
+    assert_eq!(run(42), run(42));
+    assert_ne!(run(42), run(43));
+}

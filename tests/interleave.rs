@@ -1,0 +1,114 @@
+//! Interleaved-execution contamination (paper Section V-C3, takeaway #5):
+//! kernels shorter than the averaging window inherit their predecessors'
+//! power; kernels longer than it do not (much).
+
+use fingrav::core::backend::PowerBackend;
+use fingrav::core::profile::place_logs;
+use fingrav::core::runner::{FingravRunner, RunnerConfig};
+use fingrav::core::stats;
+use fingrav::core::sync::{ReadDelayCalibration, TimeSync};
+use fingrav::sim::{KernelDesc, KernelHandle, Script, SimConfig, SimDuration, Simulation};
+use fingrav::workloads::suite;
+
+/// Measures the mean LOI power of a single target execution launched right
+/// after `pre_count` executions of `pre`.
+fn interleaved_power(
+    seed: u64,
+    pre: &KernelDesc,
+    pre_count: u32,
+    target: &KernelDesc,
+    runs: u32,
+) -> (Option<f64>, usize) {
+    let mut gpu = Simulation::new(SimConfig::default(), seed).expect("valid");
+    let pre_h = PowerBackend::register_kernel(&mut gpu, pre).expect("register pre");
+    let tgt_h: KernelHandle =
+        PowerBackend::register_kernel(&mut gpu, target).expect("register target");
+    let mut lois = Vec::new();
+    for _ in 0..runs {
+        let script = Script::builder()
+            .begin_run()
+            .start_power_logger()
+            .read_gpu_timestamp()
+            .sleep_uniform(SimDuration::ZERO, SimDuration::from_millis(1))
+            .launch_timed(pre_h, pre_count)
+            .launch_timed(tgt_h, 1)
+            .sleep(SimDuration::from_millis(1))
+            .read_gpu_timestamp()
+            .stop_power_logger()
+            .sleep(SimDuration::from_millis(8))
+            .build();
+        let trace = gpu.run_script(&script).expect("script");
+        let read = trace.timestamp_reads[0];
+        let calib = ReadDelayCalibration {
+            median_rtt_ns: read.rtt_ns(),
+            assumed_sample_frac: 0.5,
+        };
+        let sync = TimeSync::from_anchor(&read, &calib, PowerBackend::gpu_counter_hz(&gpu));
+        for log in place_logs(&trace, &sync) {
+            if let Some((pos, _)) = log.containing_exec {
+                if trace.executions[pos].kernel == tgt_h {
+                    lois.push(log.power.total());
+                }
+            }
+        }
+    }
+    let n = lois.len();
+    (stats::mean(&lois), n)
+}
+
+fn isolated_ssp(seed: u64, desc: &KernelDesc, runs: u32) -> f64 {
+    let mut gpu = Simulation::new(SimConfig::default(), seed).expect("valid");
+    let mut runner = FingravRunner::new(&mut gpu, RunnerConfig::quick(runs));
+    runner
+        .profile(desc)
+        .expect("profiles")
+        .ssp_mean_total_w
+        .expect("SSP LOIs")
+}
+
+#[test]
+fn light_predecessors_deflate_a_short_kernel() {
+    let machine = SimConfig::default().machine.clone();
+    let target = suite::cb_gemm(&machine, 2048);
+    let gemv = suite::mb_gemv(&machine, 4096);
+    let iso = isolated_ssp(71, &target, 60);
+    let (mean, lois) = interleaved_power(72, &gemv, 40, &target, 250);
+    let mean = mean.expect("LOIs landed in the target");
+    assert!(lois >= 3, "need a few LOIs, got {lois}");
+    assert!(
+        mean < 0.7 * iso,
+        "GEMV-preceded CB-2K ({mean:.0} W) must read far below isolated SSP ({iso:.0} W)"
+    );
+}
+
+#[test]
+fn heavy_predecessors_inflate_a_short_memory_kernel() {
+    let machine = SimConfig::default().machine.clone();
+    // The 8K GEMV (~20 us) gives a workable LOI hit rate per run.
+    let target = suite::mb_gemv(&machine, 8192);
+    let heavy = suite::cb_gemm(&machine, 8192);
+    let iso = isolated_ssp(73, &target, 60);
+    let (mean, lois) = interleaved_power(74, &heavy, 3, &target, 400);
+    let mean = mean.expect("LOIs landed in the target");
+    assert!(lois >= 2, "need a couple of LOIs, got {lois}");
+    assert!(
+        mean > 1.5 * iso,
+        "GEMM-preceded MB-4K-GEMV ({mean:.0} W) must read far above isolated SSP ({iso:.0} W)"
+    );
+}
+
+#[test]
+fn above_window_kernel_is_barely_affected() {
+    let machine = SimConfig::default().machine.clone();
+    let target = suite::cb_gemm(&machine, 8192); // 1.7 ms >> 1 ms window
+    let light = suite::cb_gemm(&machine, 2048);
+    let iso = isolated_ssp(75, &target, 25);
+    let (mean, _) = interleaved_power(76, &light, 60, &target, 40);
+    let mean = mean.expect("LOIs landed (a >1 ms kernel always catches logs)");
+    let effect = (mean - iso).abs() / iso;
+    assert!(
+        effect < 0.25,
+        "CB-8K-GEMM should be nearly immune to predecessors, effect {:.0}%",
+        effect * 100.0
+    );
+}

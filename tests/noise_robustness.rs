@@ -1,0 +1,129 @@
+//! Failure-injection robustness: the methodology must degrade gracefully —
+//! not collapse — when the platform is far noisier than the defaults
+//! (sloppy host timers, jittery dispatch, heavy counter drift, wild
+//! execution-time variation).
+
+use fingrav::core::runner::{FingravRunner, RunnerConfig};
+use fingrav::sim::{SimConfig, Simulation, VariationConfig};
+use fingrav::workloads::suite;
+
+#[test]
+fn survives_sloppy_host_timers() {
+    // 2 us timer noise and 50% jitter on dispatch/timestamp paths: an
+    // order of magnitude worse than the defaults.
+    let mut cfg = SimConfig::default();
+    cfg.host.timer_noise_ns = 2_000.0;
+    cfg.host.dispatch_jitter_frac = 0.5;
+    cfg.host.timestamp_rtt_jitter_frac = 0.5;
+    let machine = cfg.machine.clone();
+    let mut gpu = Simulation::new(cfg, 301).expect("valid");
+    let mut runner = FingravRunner::new(&mut gpu, RunnerConfig::quick(40));
+    let report = runner
+        .profile(&suite::cb_gemm(&machine, 4096))
+        .expect("profiles despite noisy timers");
+    assert!(report.golden_runs > 0);
+    let ssp = report.ssp_mean_total_w.expect("SSP measured");
+    assert!(
+        (500.0..800.0).contains(&ssp),
+        "SSP {ssp} W should stay in the plausible band"
+    );
+}
+
+#[test]
+fn survives_heavy_counter_drift() {
+    // 1000 ppm drift — fifty times the default — is cancelled by the
+    // two-anchor sync, leaving profiles intact.
+    let mut cfg = SimConfig::default();
+    cfg.clocks.gpu_drift_ppm = 1_000.0;
+    let machine = cfg.machine.clone();
+    let mut gpu = Simulation::new(cfg, 302).expect("valid");
+    let mut runner = FingravRunner::new(&mut gpu, RunnerConfig::quick(40));
+    let report = runner
+        .profile(&suite::cb_gemm(&machine, 4096))
+        .expect("profiles despite heavy drift");
+    let drift = report.estimated_drift_ppm.expect("drift estimated");
+    assert!(
+        (drift - 1_000.0).abs() < 300.0,
+        "estimated drift {drift:.0} ppm should track the configured 1000 ppm"
+    );
+    assert!(report.ssp_loi_count() > 0);
+}
+
+#[test]
+fn drift_uncorrected_still_produces_a_profile() {
+    // With correction off, single-anchor sync mis-places logs by a few
+    // microseconds over a run — small against the 1 ms logging grid, so
+    // the pipeline keeps functioning (quantifying the error is the
+    // ablation binary's job).
+    let mut cfg = SimConfig::default();
+    cfg.clocks.gpu_drift_ppm = 1_000.0;
+    let machine = cfg.machine.clone();
+    let mut gpu = Simulation::new(cfg, 303).expect("valid");
+    let mut runner = FingravRunner::new(
+        &mut gpu,
+        RunnerConfig {
+            drift_correction: false,
+            ..RunnerConfig::quick(30)
+        },
+    );
+    let report = runner
+        .profile(&suite::cb_gemm(&machine, 4096))
+        .expect("profiles without drift correction");
+    assert!(report.estimated_drift_ppm.is_none());
+    assert!(report.ssp_loi_count() > 0);
+}
+
+#[test]
+fn survives_wild_execution_variation() {
+    // 2% jitter, 10% outlier executions, 25% pathological runs: binning
+    // has to work hard, but the golden set must still exist and the SSP
+    // power must stay physical.
+    let cfg = SimConfig {
+        variation: VariationConfig {
+            jitter_frac: 0.02,
+            outlier_prob: 0.10,
+            run_outlier_prob: 0.25,
+            ..VariationConfig::default()
+        },
+        ..SimConfig::default()
+    };
+    let machine = cfg.machine.clone();
+    let mut gpu = Simulation::new(cfg, 304).expect("valid");
+    let mut runner = FingravRunner::new(&mut gpu, RunnerConfig::quick(60));
+    let report = runner
+        .profile(&suite::cb_gemm(&machine, 4096))
+        .expect("profiles despite wild variation");
+    assert!(report.golden_runs > 0, "some golden runs must survive");
+    assert!(
+        report.golden_runs < report.runs_executed,
+        "with 25% pathological runs, binning must discard something"
+    );
+    // Under this much noise the SSP onset estimate degrades (it can land
+    // in the boost excursion), but the answer must stay physical — between
+    // deep idle and the instantaneous boost peak.
+    let ssp = report.ssp_mean_total_w.expect("SSP measured");
+    assert!((450.0..950.0).contains(&ssp), "SSP {ssp} W");
+}
+
+#[test]
+fn survives_a_much_coarser_fine_logger() {
+    // A platform whose "fine" logger is 5 ms instead of 1 ms: the window
+    // formula and probes adapt (more executions per run), and profiling
+    // still completes.
+    let mut cfg = SimConfig::default();
+    cfg.telemetry.logger_period = fingrav::sim::SimDuration::from_millis(5);
+    cfg.telemetry.logger_window = fingrav::sim::SimDuration::from_millis(5);
+    let machine = cfg.machine.clone();
+    let mut gpu = Simulation::new(cfg, 305).expect("valid");
+    let mut runner = FingravRunner::new(&mut gpu, RunnerConfig::quick(30));
+    let report = runner
+        .profile(&suite::cb_gemm(&machine, 4096))
+        .expect("profiles on a 5 ms platform");
+    // ~220 us executions against a 5 ms window: >20 executions needed.
+    assert!(
+        report.ssp_index >= 20,
+        "SSP index {} must scale with the wider window",
+        report.ssp_index
+    );
+    assert!(report.ssp_loi_count() > 0);
+}

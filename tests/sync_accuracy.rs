@@ -1,0 +1,156 @@
+//! CPU-GPU time-sync accuracy against simulator ground truth.
+//!
+//! The simulator knows the true mapping between GPU ticks and CPU time;
+//! the methodology must recover it from observable reads only. These tests
+//! quantify that recovery and show the failure modes of the baselines.
+
+use fingrav::baselines::common::{collect_run, BaselineConfig};
+use fingrav::baselines::lang;
+use fingrav::core::backend::PowerBackend;
+use fingrav::core::sync::{ReadDelayCalibration, TimeSync};
+use fingrav::sim::{Activity, KernelDesc, SimConfig, SimDuration, Simulation};
+
+fn kernel() -> KernelDesc {
+    KernelDesc {
+        name: "sync-k".into(),
+        base_exec: SimDuration::from_micros(150),
+        freq_insensitive_frac: 0.3,
+        activity: Activity::new(0.8, 0.5, 0.4),
+        compute_utilization: 0.6,
+        flops: 1.0,
+        hbm_bytes: 1.0,
+        llc_bytes: 1.0,
+        workgroups: 128,
+    }
+}
+
+/// True CPU time of a tick value, via simulator ground truth.
+fn true_cpu_ns(sim: &Simulation, ticks: u64) -> f64 {
+    let sim_t = sim
+        .gpu_clock()
+        .to_sim(fingrav::sim::GpuTicks::from_raw(ticks));
+    sim.cpu_clock().now(sim_t).as_nanos() as f64
+}
+
+/// Mean absolute sync error over a trace's power logs, ns.
+fn mean_error(sim: &Simulation, trace: &fingrav::sim::RunTrace, sync: &TimeSync) -> f64 {
+    let errs: Vec<f64> = trace
+        .power_logs
+        .iter()
+        .map(|log| {
+            let t = log.ticks.as_raw();
+            (sync.cpu_ns_of_ticks(t) - true_cpu_ns(sim, t)).abs()
+        })
+        .collect();
+    errs.iter().sum::<f64>() / errs.len().max(1) as f64
+}
+
+#[test]
+fn calibrated_sync_is_sub_microsecond() {
+    let mut sim = Simulation::new(SimConfig::default(), 11).expect("valid");
+    let k = PowerBackend::register_kernel(&mut sim, &kernel()).expect("register");
+    let cfg = BaselineConfig {
+        runs: 1,
+        executions_per_run: 10,
+        ..BaselineConfig::default()
+    };
+    let trace = collect_run(&mut sim, k, &cfg, true, false).expect("run");
+    let read = trace.timestamp_reads[0];
+    let calib = ReadDelayCalibration {
+        median_rtt_ns: read.rtt_ns(),
+        assumed_sample_frac: 0.5,
+    };
+    let sync = TimeSync::from_anchor(&read, &calib, PowerBackend::gpu_counter_hz(&sim));
+    let err = mean_error(&sim, &trace, &sync);
+    assert!(err < 2_000.0, "calibrated sync error {err:.0} ns");
+}
+
+#[test]
+fn fingrav_sync_beats_lang_baseline() {
+    let mut sim = Simulation::new(SimConfig::default(), 13).expect("valid");
+    let k = PowerBackend::register_kernel(&mut sim, &kernel()).expect("register");
+    let cfg = BaselineConfig {
+        runs: 1,
+        executions_per_run: 10,
+        ..BaselineConfig::default()
+    };
+    let trace = collect_run(&mut sim, k, &cfg, true, false).expect("run");
+
+    let read = trace.timestamp_reads[0];
+    let calib = ReadDelayCalibration {
+        median_rtt_ns: read.rtt_ns(),
+        assumed_sample_frac: 0.5,
+    };
+    let fingrav_sync = TimeSync::from_anchor(&read, &calib, PowerBackend::gpu_counter_hz(&sim));
+    let lang_sync = lang::lang_sync(&sim, &trace).expect("lang sync");
+
+    let fingrav_err = mean_error(&sim, &trace, &fingrav_sync);
+    let lang_err = mean_error(&sim, &trace, &lang_sync);
+    assert!(
+        fingrav_err < lang_err,
+        "delay-calibrated sync ({fingrav_err:.0} ns) must beat the zero-delay \
+         Lang baseline ({lang_err:.0} ns)"
+    );
+}
+
+#[test]
+fn two_anchor_sync_cancels_heavy_drift() {
+    // Amplify the counter drift so single-anchor error dominates.
+    let mut cfg = SimConfig::default();
+    cfg.clocks.gpu_drift_ppm = 400.0;
+    let mut sim = Simulation::new(cfg, 17).expect("valid");
+    let k = PowerBackend::register_kernel(&mut sim, &kernel()).expect("register");
+    let bcfg = BaselineConfig {
+        runs: 1,
+        executions_per_run: 100, // a long run: ~20 ms of drift accumulation
+        ..BaselineConfig::default()
+    };
+    let trace = collect_run(&mut sim, k, &bcfg, true, false).expect("run");
+    let first = trace.timestamp_reads[0];
+    let last = *trace.timestamp_reads.last().expect("two reads");
+    let calib = ReadDelayCalibration {
+        median_rtt_ns: first.rtt_ns(),
+        assumed_sample_frac: 0.5,
+    };
+
+    let single = TimeSync::from_anchor(&first, &calib, PowerBackend::gpu_counter_hz(&sim));
+    let double = TimeSync::from_two_anchors(&first, &last, &calib).expect("two anchors");
+
+    let single_err = mean_error(&sim, &trace, &single);
+    let double_err = mean_error(&sim, &trace, &double);
+    assert!(
+        double_err * 2.0 < single_err,
+        "two-anchor sync ({double_err:.0} ns) must cancel drift that breaks \
+         single-anchor sync ({single_err:.0} ns)"
+    );
+
+    // And the drift estimate should land near the configured truth.
+    let est = double.estimated_drift_ppm(PowerBackend::gpu_counter_hz(&sim));
+    assert!(
+        (est - 400.0).abs() < 120.0,
+        "estimated drift {est:.0} ppm vs true 400 ppm"
+    );
+}
+
+#[test]
+fn calibration_is_robust_to_rtt_outliers() {
+    let mut sim = Simulation::new(SimConfig::default(), 19).expect("valid");
+    // Collect many reads; the calibration uses the median RTT, so a few
+    // slow reads must not shift the delay estimate.
+    let script = {
+        let mut b = fingrav::sim::Script::builder();
+        for _ in 0..64 {
+            b = b.read_gpu_timestamp();
+        }
+        b.build()
+    };
+    let trace = sim.run_script(&script).expect("script");
+    let calib = ReadDelayCalibration::from_reads(&trace.timestamp_reads).expect("calib");
+    let nominal_rtt = SimConfig::default().host.timestamp_rtt.as_nanos() as f64;
+    assert!(
+        (calib.delay_ns() - nominal_rtt * 0.5).abs() < nominal_rtt * 0.25,
+        "delay {} vs nominal half-rtt {}",
+        calib.delay_ns(),
+        nominal_rtt * 0.5
+    );
+}
