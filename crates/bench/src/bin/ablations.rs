@@ -14,10 +14,11 @@
 //!    contamination of Fig. 9 disappears.
 
 use fingrav_bench::experiments::bucketed_scatter;
-use fingrav_bench::harness::{seed_for, simulation};
+use fingrav_bench::harness::{named_campaign_report, seed_for};
 use fingrav_bench::render::out_dir;
 use fingrav_bench::Scale;
 use fingrav_core::backend::PowerBackend;
+use fingrav_core::campaign::Campaign;
 use fingrav_core::profile::place_logs;
 use fingrav_core::runner::{FingravRunner, RunnerConfig};
 use fingrav_core::stats;
@@ -124,17 +125,20 @@ fn sync_ablation(dir: &std::path::Path) {
     println!();
 }
 
-/// Ablation 2: binning-margin sweep on CB-4K-GEMM.
+/// Ablation 2: binning-margin sweep on CB-4K-GEMM — one campaign whose
+/// entries share a kernel but carry per-entry margin overrides, sharded by
+/// the executor (every arm keeps the historical `abl-margin` seed).
 fn margin_sweep(dir: &std::path::Path, runs: u32) {
     println!("== Ablation 2: binning margin sweep (CB-4K-GEMM) ==\n");
     println!("| margin | golden runs | SSP LOIs | plateau scatter |");
     println!("|---|---|---|---|");
     let mut csv = String::from("margin,golden,runs,ssp_lois,scatter_w\n");
     let machine = SimConfig::default().machine.clone();
-    for margin in [0.005, 0.01, 0.02, 0.05, 0.10] {
-        let mut sim = simulation("abl-margin");
-        let mut runner = FingravRunner::new(
-            &mut sim,
+    let margins = [0.005, 0.01, 0.02, 0.05, 0.10];
+    let mut campaign = Campaign::with_defaults();
+    for margin in margins {
+        campaign.add_with_config(
+            suite::cb_gemm(&machine, 4096),
             RunnerConfig {
                 runs_override: Some(runs),
                 margin_override: Some(margin),
@@ -142,10 +146,10 @@ fn margin_sweep(dir: &std::path::Path, runs: u32) {
                 ..RunnerConfig::default()
             },
         );
-        let r = runner
-            .profile(&suite::cb_gemm(&machine, 4096))
-            .expect("profiles");
-        let busy = fingrav_bench::experiments::busy_end_ns(&r);
+    }
+    let reports = named_campaign_report(&campaign, vec!["abl-margin".to_string(); margins.len()]);
+    for (margin, r) in margins.iter().zip(&reports) {
+        let busy = fingrav_bench::experiments::busy_end_ns(r);
         let scatter = bucketed_scatter(&r.run_profile, busy * 0.5, busy, 250e3);
         println!(
             "| {:.1}% | {}/{} | {} | {:.1} W |",
@@ -166,26 +170,28 @@ fn margin_sweep(dir: &std::path::Path, runs: u32) {
     println!();
 }
 
-/// Ablation 3: run-count sweep on CB-2K-GEMM (the LOI-starved case).
+/// Ablation 3: run-count sweep on CB-2K-GEMM (the LOI-starved case), as a
+/// per-entry-config campaign on the executor.
 fn runs_sweep(dir: &std::path::Path) {
     println!("== Ablation 3: run-count sweep (CB-2K-GEMM) ==\n");
     println!("| runs | SSE LOIs | SSP LOIs | SSP mean W |");
     println!("|---|---|---|---|");
     let mut csv = String::from("runs,sse_lois,ssp_lois,ssp_w\n");
     let machine = SimConfig::default().machine.clone();
-    for runs in [25u32, 50, 100, 200] {
-        let mut sim = simulation("abl-runs");
-        let mut runner = FingravRunner::new(
-            &mut sim,
+    let counts = [25u32, 50, 100, 200];
+    let mut campaign = Campaign::with_defaults();
+    for runs in counts {
+        campaign.add_with_config(
+            suite::cb_gemm(&machine, 2048),
             RunnerConfig {
                 runs_override: Some(runs),
                 extra_run_batches: 0,
                 ..RunnerConfig::default()
             },
         );
-        let r = runner
-            .profile(&suite::cb_gemm(&machine, 2048))
-            .expect("profiles");
+    }
+    let reports = named_campaign_report(&campaign, vec!["abl-runs".to_string(); counts.len()]);
+    for (runs, r) in counts.iter().zip(&reports) {
         println!(
             "| {} | {} | {} | {:.0} |",
             runs,

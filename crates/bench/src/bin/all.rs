@@ -21,7 +21,7 @@ fn main() {
         Scale::Bench => Some("--bench"),
     };
 
-    // Each artefact is its own binary; run them in-process sequentially
+    // Each artefact is its own binary; running them in-process sequentially
     // would serialize, so spawn the sibling binaries in parallel instead.
     let bins = [
         "table1",
@@ -42,33 +42,51 @@ fn main() {
         .expect("exe dir")
         .to_path_buf();
 
-    crossbeam::scope(|s| {
-        for bin in bins {
-            let exe = exe_dir.join(bin);
-            let dir_str = dir_str.clone();
-            s.spawn(move |_| {
-                let mut cmd = std::process::Command::new(&exe);
-                cmd.arg("--out").arg(&dir_str);
-                if let Some(flag) = scale_flag {
-                    cmd.arg(flag);
-                }
-                let out = cmd
-                    .output()
-                    .unwrap_or_else(|e| panic!("failed to launch {}: {e}", exe.display()));
-                println!(
-                    "---- {bin} ({}) ----\n{}{}",
-                    if out.status.success() { "ok" } else { "FAILED" },
-                    String::from_utf8_lossy(&out.stdout),
-                    String::from_utf8_lossy(&out.stderr),
-                );
-            });
-        }
-    })
-    .expect("experiment threads");
+    let failed: Vec<&str> = std::thread::scope(|s| {
+        let handles: Vec<_> = bins
+            .into_iter()
+            .map(|bin| {
+                let exe = exe_dir.join(bin);
+                let dir_str = dir_str.clone();
+                s.spawn(move || {
+                    let mut cmd = std::process::Command::new(&exe);
+                    cmd.arg("--out").arg(&dir_str);
+                    if let Some(flag) = scale_flag {
+                        cmd.arg(flag);
+                    }
+                    let out = cmd
+                        .output()
+                        .unwrap_or_else(|e| panic!("failed to launch {}: {e}", exe.display()));
+                    println!(
+                        "---- {bin} ({}) ----\n{}{}",
+                        if out.status.success() { "ok" } else { "FAILED" },
+                        String::from_utf8_lossy(&out.stdout),
+                        String::from_utf8_lossy(&out.stderr),
+                    );
+                    (bin, out.status.success())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment thread"))
+            .filter(|&(_, ok)| !ok)
+            .map(|(bin, _)| bin)
+            .collect()
+    });
 
-    println!(
-        "\nregenerated all tables and figures into {} in {:.1}s",
-        dir.display(),
-        t0.elapsed().as_secs_f64()
-    );
+    if failed.is_empty() {
+        println!(
+            "\nregenerated all tables and figures into {} in {:.1}s",
+            dir.display(),
+            t0.elapsed().as_secs_f64()
+        );
+    } else {
+        eprintln!(
+            "\nregeneration FAILED after {:.1}s; failed artefacts: {}",
+            t0.elapsed().as_secs_f64(),
+            failed.join(", ")
+        );
+        std::process::exit(1);
+    }
 }

@@ -10,12 +10,17 @@
 //!    dwarfs the same reduction on IOD or HBM.
 //! 3. **Pursue power proportionality for compute-light kernels** — the
 //!    utilization-per-XCD-watt spread across CB GEMMs shows the headroom.
+//!
+//! Every recommendation profiles its kernels as one sharded campaign on
+//! [`CampaignExecutor`]; per-kernel seeds match the historical serial
+//! binaries, so regenerated CSVs are unchanged.
 
-use fingrav_bench::harness::{profile_kernel, simulation, Scale};
+use fingrav_bench::harness::{default_workers, named_campaign_report, runner_config, Scale};
 use fingrav_bench::render::out_dir;
-use fingrav_core::runner::{FingravRunner, RunnerConfig};
+use fingrav_core::campaign::Campaign;
 use fingrav_sim::config::SimConfig;
 use fingrav_sim::fabric::Fabric;
+use fingrav_sim::kernel::KernelDesc;
 use fingrav_workloads::concurrent::co_schedule;
 use fingrav_workloads::suite;
 use fingrav_workloads::Rccl;
@@ -25,11 +30,29 @@ fn main() {
     let scale = Scale::from_args(args.clone());
     let dir = out_dir(args).expect("create output directory");
     let runs = scale.runs(120);
+    println!(
+        "(campaigns sharded across {} workers via CampaignExecutor)\n",
+        default_workers()
+    );
 
     recommendation_1(&dir, runs);
     recommendation_2(&dir, runs);
     recommendation_3(&dir, runs);
     println!("\nwrote recommendation CSVs in {}", dir.display());
+}
+
+/// Profiles `(seed-name, kernel)` pairs as one parallel campaign; reports
+/// come back in entry order.
+fn profile_all(
+    entries: Vec<(String, KernelDesc)>,
+    runs: Option<u32>,
+) -> Vec<fingrav_core::runner::KernelPowerReport> {
+    let mut campaign = Campaign::new(runner_config(runs));
+    let names: Vec<String> = entries.iter().map(|(n, _)| n.clone()).collect();
+    for (_, desc) in entries {
+        campaign.add(desc);
+    }
+    named_campaign_report(&campaign, names)
 }
 
 fn recommendation_1(dir: &std::path::Path, runs: Option<u32>) {
@@ -45,19 +68,30 @@ fn recommendation_1(dir: &std::path::Path, runs: Option<u32>) {
     let cb4 = suite::cb_gemm(&m, 4096);
     let lb_ar = rccl.all_reduce(128 * 1024);
 
-    println!("| pair | contention | speed-up vs serial | measured SSP W | throttled |");
-    println!("|---|---|---|---|---|");
-    let mut csv = String::from("pair,contention,speedup,ssp_w,throttled\n");
-    for (name, a, b) in [
+    let pairs = [
         // Complementary: memory-bound compute alongside LB communication.
         ("MB-8K-GEMV + LB-AR-128KB", &gemv8, &lb_ar),
         // Mildly overlapping: a headroom-bearing GEMM plus LB comm.
         ("CB-2K-GEMM + LB-AR-128KB", &cb2, &lb_ar),
         // Anti-pattern: two compute-heavy kernels fight for XCD and cap.
         ("CB-4K-GEMM + CB-4K-GEMM", &cb4, &cb4),
-    ] {
-        let analysis = co_schedule(a, b).expect("valid kernels");
-        let report = profile_kernel(&format!("rec1-{name}"), &analysis.combined, runs);
+    ];
+    let analyses: Vec<_> = pairs
+        .iter()
+        .map(|(name, a, b)| (name, co_schedule(a, b).expect("valid kernels")))
+        .collect();
+    let reports = profile_all(
+        analyses
+            .iter()
+            .map(|(name, analysis)| (format!("rec1-{name}"), analysis.combined.clone()))
+            .collect(),
+        runs,
+    );
+
+    println!("| pair | contention | speed-up vs serial | measured SSP W | throttled |");
+    println!("|---|---|---|---|---|");
+    let mut csv = String::from("pair,contention,speedup,ssp_w,throttled\n");
+    for ((name, analysis), report) in analyses.iter().zip(&reports) {
         let ssp = report.ssp_mean_total_w.unwrap_or(f64::NAN);
         println!(
             "| {name} | {:.2} | {:.2}x | {ssp:.0} | {} |",
@@ -87,18 +121,13 @@ fn recommendation_2(dir: &std::path::Path, runs: Option<u32>) {
     );
     let m = SimConfig::default().machine.clone();
     let base = suite::cb_gemm(&m, 2048);
-    let base_ssp = profile_kernel("rec2-base", &base, runs)
-        .ssp_mean_total_w
-        .expect("SSP measured");
-
-    println!("| 10% activity reduction on | SSP total W | saving |");
-    println!("|---|---|---|");
-    let mut csv = String::from("component,ssp_w,saving_w\n");
-    for (name, dx, di, dh) in [
+    let components = [
         ("XCD", 0.9, 1.0, 1.0),
         ("IOD", 1.0, 0.9, 1.0),
         ("HBM", 1.0, 1.0, 0.9),
-    ] {
+    ];
+    let mut entries = vec![("rec2-base".to_string(), base.clone())];
+    for (name, dx, di, dh) in components {
         let mut k = base.clone();
         k.activity = fingrav_sim::power::Activity::new(
             k.activity.xcd * dx,
@@ -106,9 +135,16 @@ fn recommendation_2(dir: &std::path::Path, runs: Option<u32>) {
             k.activity.hbm * dh,
         );
         k.name = format!("CB-2K-GEMM(-10% {name})");
-        let ssp = profile_kernel(&format!("rec2-{name}"), &k, runs)
-            .ssp_mean_total_w
-            .expect("SSP measured");
+        entries.push((format!("rec2-{name}"), k));
+    }
+    let reports = profile_all(entries, runs);
+    let base_ssp = reports[0].ssp_mean_total_w.expect("SSP measured");
+
+    println!("| 10% activity reduction on | SSP total W | saving |");
+    println!("|---|---|---|");
+    let mut csv = String::from("component,ssp_w,saving_w\n");
+    for ((name, ..), report) in components.iter().zip(&reports[1..]) {
+        let ssp = report.ssp_mean_total_w.expect("SSP measured");
         println!("| {name} | {ssp:.0} | {:+.0} W |", base_ssp - ssp);
         csv.push_str(&format!("{name},{ssp:.1},{:.1}\n", base_ssp - ssp));
     }
@@ -119,19 +155,19 @@ fn recommendation_2(dir: &std::path::Path, runs: Option<u32>) {
 fn recommendation_3(dir: &std::path::Path, runs: Option<u32>) {
     println!("== Recommendation 3: power proportionality gap ==\n");
     let m = SimConfig::default().machine.clone();
+    let sizes = [8192u64, 4096, 2048];
+    let reports = profile_all(
+        sizes
+            .iter()
+            .map(|n| (format!("rec3-{n}"), suite::cb_gemm(&m, *n)))
+            .collect(),
+        runs,
+    );
+
     let mut csv = String::from("kernel,utilization,xcd_w,util_per_watt\n");
     let mut points = Vec::new();
-    for n in [8192u64, 4096, 2048] {
-        let desc = suite::cb_gemm(&m, n);
-        let mut sim = simulation(&format!("rec3-{n}"));
-        let mut runner = FingravRunner::new(
-            &mut sim,
-            RunnerConfig {
-                runs_override: runs,
-                ..RunnerConfig::default()
-            },
-        );
-        let report = runner.profile(&desc).expect("profiles");
+    for (n, report) in sizes.iter().zip(&reports) {
+        let desc = suite::cb_gemm(&m, *n);
         let xcd = report.ssp_profile.mean_power().expect("SSP LOIs").xcd;
         println!(
             "{}: utilization {:.2}, XCD {xcd:.0} W -> {:.4} util/W",

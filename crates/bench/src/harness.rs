@@ -1,6 +1,10 @@
-//! Experiment-harness plumbing: scales, seeds, simulation construction.
+//! Experiment-harness plumbing: scales, seeds, simulation construction,
+//! and campaign execution over the parallel executor.
 
-use fingrav_core::runner::{FingravRunner, KernelPowerReport, RunnerConfig};
+use fingrav_core::backend::{FnBackendFactory, SimulationFactory};
+use fingrav_core::campaign::Campaign;
+use fingrav_core::executor::CampaignExecutor;
+use fingrav_core::runner::{KernelPowerReport, RunnerConfig};
 use fingrav_sim::config::SimConfig;
 use fingrav_sim::engine::Simulation;
 use fingrav_sim::kernel::KernelDesc;
@@ -17,16 +21,39 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses `--quick`/`--full` style argv; defaults to `Full`.
+    /// Parses `--quick`/`--full`/`--bench` argv; defaults to `Full`.
+    /// Unrecognized flags are surfaced on stderr (`--out DIR`, which every
+    /// binary also accepts, is recognized and skipped along with its
+    /// value).
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Scale {
-        for a in args {
+        let (scale, unknown) = Scale::parse_args(args);
+        for flag in unknown {
+            eprintln!("warning: unrecognized flag `{flag}` (expected --quick, --full, --bench, or --out DIR)");
+        }
+        scale
+    }
+
+    /// Like [`Scale::from_args`], returning the unrecognized flags instead
+    /// of printing them. The last scale flag wins when several are given.
+    pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> (Scale, Vec<String>) {
+        let mut scale = Scale::Full;
+        let mut unknown = Vec::new();
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
             match a.as_str() {
-                "--quick" => return Scale::Quick,
-                "--bench" => return Scale::Bench,
+                "--quick" => scale = Scale::Quick,
+                "--full" => scale = Scale::Full,
+                "--bench" => scale = Scale::Bench,
+                "--out" => {
+                    let _dir = args.next();
+                }
+                flag if flag.starts_with('-') => unknown.push(a),
+                // Bare positionals (e.g. a cargo-bench filter) pass through
+                // silently, matching the previous behaviour.
                 _ => {}
             }
         }
-        Scale::Full
+        (scale, unknown)
     }
 
     /// Run count to use when the paper would use `full` runs.
@@ -69,28 +96,93 @@ pub fn runner_config(runs: Option<u32>) -> RunnerConfig {
     }
 }
 
-/// Profiles one kernel on a fresh simulation.
+/// The worker count experiment campaigns shard across (the machine's
+/// available parallelism, as sized by the executor itself).
+pub fn default_workers() -> usize {
+    CampaignExecutor::with_available_parallelism().workers()
+}
+
+/// The deterministic default-config backend factory for an experiment:
+/// campaign slot `i` draws seed `mix_seed(seed_for(name), i)`.
+pub fn campaign_factory(name: &str) -> SimulationFactory {
+    SimulationFactory::new(SimConfig::default(), seed_for(name))
+}
+
+/// Runs a campaign where slot `i` is seeded `seed_for(&names[i])` directly
+/// (the historical one-simulation-per-experiment-name convention), sharded
+/// across [`default_workers`]. Regenerated artefacts are bit-identical to
+/// the old serial loops; only wall-clock changes.
+pub fn named_campaign_report(campaign: &Campaign, names: Vec<String>) -> Vec<KernelPowerReport> {
+    assert_eq!(names.len(), campaign.len(), "one seed name per entry");
+    let factory = FnBackendFactory(move |i: usize| {
+        Simulation::new(SimConfig::default(), seed_for(&names[i]))
+            .map_err(|e| fingrav_core::error::MethodologyError::Backend(e.to_string()))
+    });
+    CampaignExecutor::new(default_workers())
+        .run(campaign, &factory)
+        .expect("experiment kernels profile cleanly")
+        .reports
+}
+
+/// Profiles one kernel on a fresh simulation via a single-slot campaign on
+/// the executor (seeded exactly as the historical serial helper: the slot
+/// uses `seed_for(exp)` directly, so figure data is unchanged).
 pub fn profile_kernel(exp: &str, desc: &KernelDesc, runs: Option<u32>) -> KernelPowerReport {
-    let mut sim = simulation(exp);
-    let mut runner = FingravRunner::new(&mut sim, runner_config(runs));
-    runner
-        .profile(desc)
-        .expect("profiling a suite kernel succeeds")
+    let mut campaign = Campaign::new(runner_config(runs));
+    campaign.add(desc.clone());
+    let factory = FnBackendFactory(move |_| {
+        Simulation::new(SimConfig::default(), seed_for(exp))
+            .map_err(|e| fingrav_core::error::MethodologyError::Backend(e.to_string()))
+    });
+    let mut report = CampaignExecutor::serial()
+        .run(&campaign, &factory)
+        .expect("profiling a suite kernel succeeds");
+    report.reports.pop().expect("one kernel, one report")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fingrav_core::runner::FingravRunner;
 
     #[test]
     fn scale_parsing() {
         assert_eq!(Scale::from_args(vec![]), Scale::Full);
         assert_eq!(Scale::from_args(vec!["--quick".into()]), Scale::Quick);
         assert_eq!(Scale::from_args(vec!["--bench".into()]), Scale::Bench);
+        assert_eq!(Scale::from_args(vec!["--full".into()]), Scale::Full);
         assert_eq!(
             Scale::from_args(vec!["--out".into(), "x".into()]),
             Scale::Full
         );
+    }
+
+    #[test]
+    fn explicit_full_overrides_an_earlier_scale_flag() {
+        assert_eq!(
+            Scale::parse_args(vec!["--quick".into(), "--full".into()]).0,
+            Scale::Full
+        );
+    }
+
+    #[test]
+    fn unknown_flags_are_surfaced_not_swallowed() {
+        let (scale, unknown) = Scale::parse_args(vec![
+            "--quick".into(),
+            "--frobnicate".into(),
+            "--out".into(),
+            "results".into(),
+            "-x".into(),
+        ]);
+        assert_eq!(scale, Scale::Quick);
+        assert_eq!(unknown, vec!["--frobnicate".to_string(), "-x".to_string()]);
+    }
+
+    #[test]
+    fn out_value_is_not_mistaken_for_a_flag() {
+        // `--out --weird-dir-name` must consume the value, not report it.
+        let (_, unknown) = Scale::parse_args(vec!["--out".into(), "--weird".into()]);
+        assert!(unknown.is_empty());
     }
 
     #[test]
@@ -106,5 +198,18 @@ mod tests {
     fn seeds_differ_by_name() {
         assert_ne!(seed_for("fig5"), seed_for("fig6"));
         assert_eq!(seed_for("fig5"), seed_for("fig5"));
+    }
+
+    #[test]
+    fn profile_kernel_preserves_historical_seeding() {
+        // The executor-backed helper must reproduce the old direct-runner
+        // path exactly, or every figure would silently change.
+        let machine = SimConfig::default().machine.clone();
+        let desc = fingrav_workloads::suite::cb_gemm(&machine, 2048);
+        let via_helper = profile_kernel("seed-compat", &desc, Some(8));
+        let mut sim = simulation("seed-compat");
+        let mut runner = FingravRunner::new(&mut sim, runner_config(Some(8)));
+        let direct = runner.profile(&desc).expect("profiles");
+        assert_eq!(via_helper, direct);
     }
 }

@@ -7,9 +7,19 @@
 //! [`PowerBackend`] captures exactly that surface; the simulator implements
 //! it here, and a future real-hardware driver (ROCm SMI + HIP) would
 //! implement the same trait.
+//!
+//! Multi-kernel campaigns need one *fresh, isolated* device session per
+//! kernel (measurement guidance #2), created on whichever worker thread
+//! the kernel lands on. [`BackendFactory`] captures that second surface: a
+//! `Send + Sync` recipe that deterministically derives a per-kernel
+//! backend from the kernel's campaign index, so a campaign produces
+//! bit-identical results no matter how its kernels are sharded across
+//! workers.
 
+use fingrav_sim::config::SimConfig;
 use fingrav_sim::engine::Simulation;
 use fingrav_sim::kernel::{KernelDesc, KernelHandle};
+use fingrav_sim::rng::mix_seed;
 use fingrav_sim::script::Script;
 use fingrav_sim::time::SimDuration;
 use fingrav_sim::trace::RunTrace;
@@ -47,6 +57,82 @@ pub trait PowerBackend {
     /// The *actual* rate may drift; correcting for that is the
     /// methodology's job.
     fn gpu_counter_hz(&self) -> f64;
+}
+
+/// A thread-safe recipe producing one isolated backend per campaign slot.
+///
+/// The factory itself crosses thread boundaries (shared by reference among
+/// the executor's workers); the backends it creates are born on the worker
+/// that profiles the kernel and never move. Implementations must be
+/// deterministic in `index` — `create(i)` called twice, on any thread, in
+/// any order, must yield backends that behave identically — because the
+/// campaign executor's reproducibility guarantee reduces to exactly that
+/// property.
+pub trait BackendFactory: Send + Sync {
+    /// The backend type produced.
+    type Backend: PowerBackend;
+
+    /// Creates the backend for campaign slot `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MethodologyError::Backend`] when the device cannot be
+    /// brought up.
+    fn create(&self, index: usize) -> MethodologyResult<Self::Backend>;
+}
+
+/// [`BackendFactory`] for the simulator: every campaign slot gets a fresh
+/// [`Simulation`] with the shared configuration and a per-slot seed
+/// derived as `mix_seed(base_seed, index)` (the same SplitMix64 derivation
+/// [`Simulation::fork`] uses), so slots are statistically independent yet
+/// individually re-derivable.
+#[derive(Debug, Clone)]
+pub struct SimulationFactory {
+    config: SimConfig,
+    base_seed: u64,
+}
+
+impl SimulationFactory {
+    /// Creates a factory from a shared configuration and a base seed.
+    pub fn new(config: SimConfig, base_seed: u64) -> Self {
+        SimulationFactory { config, base_seed }
+    }
+
+    /// The seed slot `index` receives.
+    pub fn slot_seed(&self, index: usize) -> u64 {
+        mix_seed(self.base_seed, index as u64)
+    }
+
+    /// The shared simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+}
+
+impl BackendFactory for SimulationFactory {
+    type Backend = Simulation;
+
+    fn create(&self, index: usize) -> MethodologyResult<Simulation> {
+        Simulation::new(self.config.clone(), self.slot_seed(index))
+            .map_err(|e| MethodologyError::Backend(e.to_string()))
+    }
+}
+
+/// Adapts a plain `Fn(usize) -> MethodologyResult<B>` closure into a
+/// [`BackendFactory`], for backends without a dedicated factory type.
+#[derive(Debug, Clone)]
+pub struct FnBackendFactory<F>(pub F);
+
+impl<B, F> BackendFactory for FnBackendFactory<F>
+where
+    B: PowerBackend,
+    F: Fn(usize) -> MethodologyResult<B> + Send + Sync,
+{
+    type Backend = B;
+
+    fn create(&self, index: usize) -> MethodologyResult<B> {
+        (self.0)(index)
+    }
 }
 
 impl PowerBackend for Simulation {
@@ -102,6 +188,43 @@ mod tests {
         assert_eq!(trace.executions.len(), 2);
         assert_eq!(backend.logger_window(), SimDuration::from_millis(1));
         assert_eq!(backend.gpu_counter_hz(), 100e6);
+    }
+
+    #[test]
+    fn factories_are_shareable_and_deterministic() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimulationFactory>();
+
+        let factory = SimulationFactory::new(SimConfig::default(), 77);
+        // Distinct slots draw distinct seeds; the same slot always draws
+        // the same seed.
+        assert_ne!(factory.slot_seed(0), factory.slot_seed(1));
+        assert_eq!(factory.slot_seed(3), factory.slot_seed(3));
+        // Matches the simulator's own fork derivation.
+        let parent = Simulation::new(SimConfig::default(), 77).unwrap();
+        assert_eq!(factory.slot_seed(5), parent.fork(5).unwrap().master_seed());
+
+        // Backends from the same slot behave identically.
+        let mut a = factory.create(2).unwrap();
+        let mut b = factory.create(2).unwrap();
+        let k1 = PowerBackend::register_kernel(&mut a, &desc()).unwrap();
+        let k2 = PowerBackend::register_kernel(&mut b, &desc()).unwrap();
+        let script = Script::builder().begin_run().launch_timed(k1, 3).build();
+        assert_eq!(k1, k2);
+        assert_eq!(
+            a.run_script(&script).unwrap(),
+            b.run_script(&script).unwrap()
+        );
+    }
+
+    #[test]
+    fn closure_factories_adapt() {
+        let factory = FnBackendFactory(|i: usize| {
+            Simulation::new(SimConfig::default(), 1000 + i as u64)
+                .map_err(|e| MethodologyError::Backend(e.to_string()))
+        });
+        let sim = factory.create(4).unwrap();
+        assert_eq!(sim.master_seed(), 1004);
     }
 
     #[test]

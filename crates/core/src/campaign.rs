@@ -3,9 +3,14 @@
 //! The paper's evaluation profiles fourteen kernels under identical
 //! methodology settings, each in isolation (measurement guidance #2: a
 //! kernel shorter than the averaging window must be measured without
-//! neighbours). [`Campaign`] packages that workflow: a list of kernels, a
-//! shared [`RunnerConfig`], one fresh backend per kernel, and a combined
-//! report with comparative analysis.
+//! neighbours). [`Campaign`] packages that workflow: a list of kernel
+//! entries (each optionally carrying its own [`RunnerConfig`], so
+//! parameter sweeps are campaigns too), a shared default config, one fresh
+//! backend per kernel, and a combined report with comparative analysis.
+//!
+//! [`Campaign::run`] measures serially with a caller-supplied backend
+//! closure; [`crate::executor::CampaignExecutor`] shards the same campaign
+//! across worker threads with bit-identical results.
 
 use fingrav_sim::kernel::KernelDesc;
 use serde::{Deserialize, Serialize};
@@ -15,11 +20,29 @@ use crate::error::MethodologyResult;
 use crate::insights::{ComponentBreakdown, ProportionalityPoint};
 use crate::runner::{FingravRunner, KernelPowerReport, RunnerConfig};
 
+/// One planned measurement: a kernel, plus an optional config override for
+/// sweep-style campaigns (omitted → the campaign default applies).
+#[derive(Debug, Clone)]
+pub struct CampaignEntry {
+    /// The kernel to profile.
+    pub desc: KernelDesc,
+    /// Per-entry methodology settings, if different from the campaign's.
+    pub config: Option<RunnerConfig>,
+}
+
+impl CampaignEntry {
+    /// The configuration this entry runs under, given the campaign
+    /// default.
+    pub fn effective_config(&self, default: &RunnerConfig) -> RunnerConfig {
+        self.config.clone().unwrap_or_else(|| default.clone())
+    }
+}
+
 /// A planned set of kernel profiling measurements.
 #[derive(Debug, Clone)]
 pub struct Campaign {
     config: RunnerConfig,
-    kernels: Vec<KernelDesc>,
+    entries: Vec<CampaignEntry>,
 }
 
 impl Campaign {
@@ -27,7 +50,7 @@ impl Campaign {
     pub fn new(config: RunnerConfig) -> Self {
         Campaign {
             config,
-            kernels: Vec::new(),
+            entries: Vec::new(),
         }
     }
 
@@ -36,32 +59,61 @@ impl Campaign {
         Campaign::new(RunnerConfig::default())
     }
 
-    /// Adds a kernel to measure.
+    /// Adds a kernel to measure under the campaign default settings.
     pub fn add(&mut self, desc: KernelDesc) -> &mut Self {
-        self.kernels.push(desc);
+        self.entries.push(CampaignEntry { desc, config: None });
         self
     }
 
-    /// Adds many kernels.
-    pub fn add_all<I: IntoIterator<Item = KernelDesc>>(&mut self, descs: I) -> &mut Self {
-        self.kernels.extend(descs);
+    /// Adds a kernel with its own methodology settings (parameter sweeps:
+    /// the same kernel under several margins, run counts, or loggers).
+    pub fn add_with_config(&mut self, desc: KernelDesc, config: RunnerConfig) -> &mut Self {
+        self.entries.push(CampaignEntry {
+            desc,
+            config: Some(config),
+        });
         self
+    }
+
+    /// Adds many kernels under the campaign default settings.
+    pub fn add_all<I: IntoIterator<Item = KernelDesc>>(&mut self, descs: I) -> &mut Self {
+        self.entries.extend(
+            descs
+                .into_iter()
+                .map(|desc| CampaignEntry { desc, config: None }),
+        );
+        self
+    }
+
+    /// The planned entries, in campaign order.
+    pub fn entries(&self) -> &[CampaignEntry] {
+        &self.entries
+    }
+
+    /// The campaign-default methodology settings.
+    pub fn config(&self) -> &RunnerConfig {
+        &self.config
     }
 
     /// Number of planned measurements.
     pub fn len(&self) -> usize {
-        self.kernels.len()
+        self.entries.len()
     }
 
     /// True if nothing is planned.
     pub fn is_empty(&self) -> bool {
-        self.kernels.is_empty()
+        self.entries.is_empty()
     }
 
-    /// Runs every measurement, obtaining a fresh backend per kernel from
-    /// `make_backend` (index-tagged so backends can be independently
-    /// seeded). Isolated sessions per kernel implement the paper's
-    /// measurement guidance #2.
+    /// Runs every measurement serially, obtaining a fresh backend per
+    /// kernel from `make_backend` (index-tagged so backends can be
+    /// independently seeded). Isolated sessions per kernel implement the
+    /// paper's measurement guidance #2.
+    ///
+    /// This is the in-place serial path; use
+    /// [`crate::executor::CampaignExecutor`] with a
+    /// [`crate::backend::BackendFactory`] to shard the same campaign
+    /// across worker threads with bit-identical results.
     ///
     /// # Errors
     ///
@@ -71,11 +123,11 @@ impl Campaign {
         B: PowerBackend,
         F: FnMut(usize) -> B,
     {
-        let mut reports = Vec::with_capacity(self.kernels.len());
-        for (i, desc) in self.kernels.iter().enumerate() {
+        let mut reports = Vec::with_capacity(self.entries.len());
+        for (i, entry) in self.entries.iter().enumerate() {
             let mut backend = make_backend(i);
-            let mut runner = FingravRunner::new(&mut backend, self.config.clone());
-            reports.push(runner.profile(desc)?);
+            let mut runner = FingravRunner::new(&mut backend, entry.effective_config(&self.config));
+            reports.push(runner.profile(&entry.desc)?);
         }
         Ok(CampaignReport { reports })
     }

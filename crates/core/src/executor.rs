@@ -1,0 +1,420 @@
+//! Sharded execution of multi-kernel campaigns.
+//!
+//! [`CampaignExecutor`] distributes a [`Campaign`]'s kernels across worker
+//! threads. Three properties make the parallelism safe for a measurement
+//! methodology:
+//!
+//! * **Isolation** — every kernel gets a fresh backend from a
+//!   [`BackendFactory`], so no simulator (or device-session) state is
+//!   shared between shards; this is the paper's measurement guidance #2
+//!   applied across threads.
+//! * **Determinism** — the factory derives each backend solely from the
+//!   kernel's campaign index, so results are bit-identical to the serial
+//!   path and to any other worker count or scheduling order.
+//! * **Order preservation** — workers send `(index, result)` pairs over a
+//!   channel and the collector writes them into their campaign slots, so
+//!   the report lists kernels in campaign order regardless of completion
+//!   order.
+//!
+//! Failures follow the configured [`ErrorPolicy`]: `FailFast` stops
+//! claiming new kernels at the first error (and
+//! [`CampaignOutcome::into_report`] surfaces the lowest-index error, which
+//! is deterministic — see the policy docs), while `CollectAll` profiles
+//! everything and reports every error alongside the successful reports,
+//! which the pre-refactor serial loop could not do.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use crate::backend::BackendFactory;
+use crate::campaign::{Campaign, CampaignReport};
+use crate::error::{MethodologyError, MethodologyResult};
+use crate::runner::{FingravRunner, KernelPowerReport};
+
+/// What the executor does when a kernel's measurement fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorPolicy {
+    /// Stop claiming new kernels at the first failure; kernels already in
+    /// flight finish. The first error *by campaign index* is always
+    /// observed (workers claim indices in ascending order, so every index
+    /// below a failing one has already been claimed and runs to
+    /// completion), making [`CampaignOutcome::into_report`]'s error choice
+    /// deterministic.
+    #[default]
+    FailFast,
+    /// Measure every kernel regardless of failures and collect all errors;
+    /// the serial runner's behaviour of silently stopping at the first
+    /// failure becomes an explicit per-kernel record instead.
+    CollectAll,
+}
+
+/// Sharded campaign runner: worker count + error policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignExecutor {
+    workers: usize,
+    policy: ErrorPolicy,
+}
+
+impl CampaignExecutor {
+    /// Creates an executor with an explicit worker count (clamped to at
+    /// least one). One worker executes in place, without spawning.
+    pub fn new(workers: usize) -> Self {
+        CampaignExecutor {
+            workers: workers.max(1),
+            policy: ErrorPolicy::default(),
+        }
+    }
+
+    /// An executor sized to the machine's available parallelism.
+    pub fn with_available_parallelism() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        CampaignExecutor::new(workers)
+    }
+
+    /// A single-worker (serial, in-place) executor.
+    pub fn serial() -> Self {
+        CampaignExecutor::new(1)
+    }
+
+    /// Sets the error policy.
+    #[must_use]
+    pub fn error_policy(mut self, policy: ErrorPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The configured error policy.
+    pub fn policy(&self) -> ErrorPolicy {
+        self.policy
+    }
+
+    /// Measures every campaign entry, sharded across the configured
+    /// workers, and returns the per-slot outcome (campaign order).
+    pub fn execute<F: BackendFactory>(&self, campaign: &Campaign, factory: &F) -> CampaignOutcome {
+        let n = campaign.len();
+        let mut outcome = CampaignOutcome {
+            reports: Vec::with_capacity(n),
+            errors: Vec::new(),
+            skipped: Vec::new(),
+        };
+        outcome.reports.resize_with(n, || None);
+        if n == 0 {
+            return outcome;
+        }
+
+        if self.workers == 1 {
+            // In-place serial path: no threads, same claim loop semantics.
+            for index in 0..n {
+                match profile_slot(campaign, factory, index) {
+                    Ok(report) => outcome.reports[index] = Some(report),
+                    Err(e) => {
+                        outcome.errors.push((index, e));
+                        if self.policy == ErrorPolicy::FailFast {
+                            outcome.skipped.extend(index + 1..n);
+                            break;
+                        }
+                    }
+                }
+            }
+            return outcome;
+        }
+
+        let next = AtomicUsize::new(0);
+        let cancelled = AtomicBool::new(false);
+        let fail_fast = self.policy == ErrorPolicy::FailFast;
+        let (tx, rx) = mpsc::channel::<(usize, MethodologyResult<KernelPowerReport>)>();
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(n) {
+                let tx = tx.clone();
+                let next = &next;
+                let cancelled = &cancelled;
+                scope.spawn(move || loop {
+                    if fail_fast && cancelled.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= n {
+                        return;
+                    }
+                    let result = profile_slot(campaign, factory, index);
+                    if result.is_err() && fail_fast {
+                        cancelled.store(true, Ordering::Release);
+                    }
+                    if tx.send((index, result)).is_err() {
+                        return;
+                    }
+                });
+            }
+            drop(tx);
+
+            // Order-preserving collection: completion order is arbitrary,
+            // slot order is not.
+            for (index, result) in rx {
+                match result {
+                    Ok(report) => outcome.reports[index] = Some(report),
+                    Err(e) => outcome.errors.push((index, e)),
+                }
+            }
+        });
+
+        outcome.errors.sort_by_key(|(index, _)| *index);
+        outcome.skipped = (0..n)
+            .filter(|&i| {
+                outcome.reports[i].is_none() && !outcome.errors.iter().any(|(e, _)| *e == i)
+            })
+            .collect();
+        outcome
+    }
+
+    /// Measures every campaign entry and assembles the combined report
+    /// (convenience over [`CampaignExecutor::execute`] +
+    /// [`CampaignOutcome::into_report`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-index measurement error, under either policy.
+    pub fn run<F: BackendFactory>(
+        &self,
+        campaign: &Campaign,
+        factory: &F,
+    ) -> MethodologyResult<CampaignReport> {
+        self.execute(campaign, factory).into_report()
+    }
+}
+
+/// Profiles one campaign slot on a fresh backend (shared by the serial and
+/// threaded paths, so both issue the identical call sequence).
+fn profile_slot<F: BackendFactory>(
+    campaign: &Campaign,
+    factory: &F,
+    index: usize,
+) -> MethodologyResult<KernelPowerReport> {
+    let entry = &campaign.entries()[index];
+    let mut backend = factory.create(index)?;
+    let mut runner = FingravRunner::new(&mut backend, entry.effective_config(campaign.config()));
+    runner.profile(&entry.desc)
+}
+
+/// Per-slot outcome of a sharded campaign, in campaign order.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// One slot per campaign entry: `Some` on success, `None` on failure
+    /// or skip.
+    pub reports: Vec<Option<KernelPowerReport>>,
+    /// Measurement errors, sorted by campaign index.
+    pub errors: Vec<(usize, MethodologyError)>,
+    /// Indices never started (fail-fast cancellation), ascending.
+    pub skipped: Vec<usize>,
+}
+
+impl CampaignOutcome {
+    /// True when every entry produced a report.
+    pub fn is_complete(&self) -> bool {
+        self.reports.iter().all(Option::is_some)
+    }
+
+    /// Converts into a [`CampaignReport`], failing with the lowest-index
+    /// error if any slot failed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-index measurement error.
+    pub fn into_report(mut self) -> MethodologyResult<CampaignReport> {
+        if let Some((_, e)) = self.errors.first() {
+            return Err(e.clone());
+        }
+        if let Some(index) = self.skipped.first() {
+            // Unreachable through the executor (skips only follow errors),
+            // but a hand-built outcome must not silently drop slots.
+            return Err(MethodologyError::Backend(format!(
+                "campaign slot {index} was skipped without an error"
+            )));
+        }
+        let mut reports = Vec::with_capacity(self.reports.len());
+        for (index, report) in self.reports.drain(..).enumerate() {
+            // Also unreachable through the executor; an empty hand-built
+            // slot must surface as an error, not a panic.
+            reports.push(report.ok_or_else(|| {
+                MethodologyError::Backend(format!("campaign slot {index} produced no report"))
+            })?);
+        }
+        Ok(CampaignReport { reports })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{FnBackendFactory, SimulationFactory};
+    use crate::runner::RunnerConfig;
+    use fingrav_sim::config::SimConfig;
+    use fingrav_sim::engine::Simulation;
+    use fingrav_sim::kernel::KernelDesc;
+    use fingrav_sim::power::Activity;
+    use fingrav_sim::time::SimDuration;
+
+    fn kernel(name: &str, us: u64, xcd: f64) -> KernelDesc {
+        KernelDesc {
+            name: name.into(),
+            base_exec: SimDuration::from_micros(us),
+            freq_insensitive_frac: 0.5,
+            activity: Activity::new(xcd, 0.4, 0.3),
+            compute_utilization: xcd * 0.7,
+            flops: 1e10,
+            hbm_bytes: 1e7,
+            llc_bytes: 1e8,
+            workgroups: 128,
+        }
+    }
+
+    fn campaign_of(n: usize) -> Campaign {
+        let mut campaign = Campaign::new(RunnerConfig::quick(8));
+        for i in 0..n {
+            campaign.add(kernel(
+                &format!("k{i}"),
+                120 + 40 * i as u64,
+                0.4 + 0.1 * i as f64,
+            ));
+        }
+        campaign
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let campaign = campaign_of(4);
+        let factory = SimulationFactory::new(SimConfig::default(), 501);
+        let serial = CampaignExecutor::serial().run(&campaign, &factory).unwrap();
+        let parallel = CampaignExecutor::new(4).run(&campaign, &factory).unwrap();
+        assert_eq!(serial, parallel);
+        // And both match the legacy closure path given the same seeds.
+        let legacy = campaign
+            .run(|i| Simulation::new(SimConfig::default(), factory.slot_seed(i)).expect("valid"))
+            .unwrap();
+        assert_eq!(serial, legacy);
+    }
+
+    #[test]
+    fn reports_arrive_in_campaign_order() {
+        // Kernel 0 is much longer than the rest, so with several workers
+        // it finishes last; its report must still occupy slot 0.
+        let mut campaign = Campaign::new(RunnerConfig::quick(8));
+        campaign
+            .add(kernel("slowest", 1200, 0.9))
+            .add(kernel("quick-a", 60, 0.3))
+            .add(kernel("quick-b", 70, 0.4));
+        let factory = SimulationFactory::new(SimConfig::default(), 502);
+        let report = CampaignExecutor::new(3).run(&campaign, &factory).unwrap();
+        let labels: Vec<&str> = report.reports.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, vec!["slowest", "quick-a", "quick-b"]);
+    }
+
+    #[test]
+    fn per_entry_config_overrides_apply_in_parallel() {
+        let mut campaign = Campaign::new(RunnerConfig::quick(8));
+        campaign
+            .add(kernel("default", 150, 0.5))
+            .add_with_config(kernel("more-runs", 150, 0.5), RunnerConfig::quick(16));
+        let factory = SimulationFactory::new(SimConfig::default(), 503);
+        let report = CampaignExecutor::new(2).run(&campaign, &factory).unwrap();
+        assert!(report.reports[0].runs_executed >= 8);
+        assert!(
+            report.reports[1].runs_executed >= 16,
+            "override must reach the worker"
+        );
+    }
+
+    fn failing_factory(
+        bad_index: usize,
+    ) -> FnBackendFactory<impl Fn(usize) -> MethodologyResult<Simulation> + Send + Sync> {
+        FnBackendFactory(move |i: usize| {
+            if i == bad_index {
+                Err(MethodologyError::Backend(format!("slot {i} is broken")))
+            } else {
+                Simulation::new(SimConfig::default(), 600 + i as u64)
+                    .map_err(|e| MethodologyError::Backend(e.to_string()))
+            }
+        })
+    }
+
+    #[test]
+    fn fail_fast_surfaces_the_lowest_index_error() {
+        let campaign = campaign_of(5);
+        let err = CampaignExecutor::new(3)
+            .run(&campaign, &failing_factory(1))
+            .unwrap_err();
+        assert!(matches!(err, MethodologyError::Backend(ref m) if m.contains("slot 1")));
+    }
+
+    #[test]
+    fn collect_all_measures_every_healthy_slot() {
+        let campaign = campaign_of(5);
+        let outcome = CampaignExecutor::new(2)
+            .error_policy(ErrorPolicy::CollectAll)
+            .execute(&campaign, &failing_factory(2));
+        assert!(!outcome.is_complete());
+        assert!(outcome.skipped.is_empty(), "collect-all never skips");
+        assert_eq!(outcome.errors.len(), 1);
+        assert_eq!(outcome.errors[0].0, 2);
+        let completed = outcome.reports.iter().filter(|r| r.is_some()).count();
+        assert_eq!(completed, 4, "all healthy slots measured");
+        // Converting still surfaces the error.
+        assert!(outcome.into_report().is_err());
+    }
+
+    #[test]
+    fn serial_fail_fast_skips_the_tail() {
+        let campaign = campaign_of(4);
+        let outcome = CampaignExecutor::serial().execute(&campaign, &failing_factory(1));
+        assert_eq!(outcome.errors.len(), 1);
+        assert_eq!(outcome.skipped, vec![2, 3]);
+        assert!(outcome.reports[0].is_some());
+    }
+
+    #[test]
+    fn empty_campaign_yields_empty_report() {
+        let campaign = Campaign::with_defaults();
+        let factory = SimulationFactory::new(SimConfig::default(), 1);
+        let report = CampaignExecutor::new(4).run(&campaign, &factory).unwrap();
+        assert!(report.reports.is_empty());
+    }
+
+    #[test]
+    fn hand_built_outcomes_error_instead_of_panicking() {
+        // All CampaignOutcome fields are public; malformed hand-built
+        // values must surface as errors, never panics.
+        let missing_report = CampaignOutcome {
+            reports: vec![None],
+            errors: Vec::new(),
+            skipped: Vec::new(),
+        };
+        assert!(matches!(
+            missing_report.into_report(),
+            Err(MethodologyError::Backend(ref m)) if m.contains("slot 0")
+        ));
+        let unexplained_skip = CampaignOutcome {
+            reports: vec![None],
+            errors: Vec::new(),
+            skipped: vec![0],
+        };
+        assert!(matches!(
+            unexplained_skip.into_report(),
+            Err(MethodologyError::Backend(ref m)) if m.contains("skipped")
+        ));
+    }
+
+    #[test]
+    fn worker_counts_clamp_and_report() {
+        assert_eq!(CampaignExecutor::new(0).workers(), 1);
+        assert_eq!(CampaignExecutor::new(6).workers(), 6);
+        assert!(CampaignExecutor::with_available_parallelism().workers() >= 1);
+        assert_eq!(CampaignExecutor::serial().policy(), ErrorPolicy::FailFast);
+    }
+}

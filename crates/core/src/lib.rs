@@ -50,6 +50,7 @@ pub mod chart;
 pub mod differentiation;
 pub mod energy;
 pub mod error;
+pub mod executor;
 pub mod guidance;
 pub mod insights;
 pub mod outliers;
@@ -58,14 +59,17 @@ pub mod profile;
 pub mod regression;
 pub mod report;
 pub mod runner;
+pub mod stages;
 pub mod stats;
 pub mod sync;
 
-pub use backend::PowerBackend;
+pub use backend::{BackendFactory, FnBackendFactory, PowerBackend, SimulationFactory};
 pub use binning::{bin_durations, Binning};
-pub use campaign::{Campaign, CampaignReport};
+pub use campaign::{Campaign, CampaignEntry, CampaignReport};
 pub use error::{MethodologyError, MethodologyResult};
+pub use executor::{CampaignExecutor, CampaignOutcome, ErrorPolicy};
 pub use guidance::{GuidanceEntry, GuidanceTable};
 pub use profile::{PowerAxis, PowerProfile, ProfileAxis, ProfileKind, ProfilePoint};
 pub use runner::{FingravRunner, KernelPowerReport, LoggerChoice, RunnerConfig};
+pub use stages::{RunCollection, SspArtifact, StagePipeline, StitchedProfiles, TimingArtifact};
 pub use sync::{ReadDelayCalibration, TimeSync};

@@ -18,23 +18,16 @@
 //! 9. stitches LOIs/TOIs into the run, SSE, and SSP power profiles.
 
 use fingrav_sim::kernel::{KernelDesc, KernelHandle};
-use fingrav_sim::script::Script;
 use fingrav_sim::time::SimDuration;
 use fingrav_sim::trace::RunTrace;
 use serde::{Deserialize, Serialize};
 
 use crate::backend::PowerBackend;
-use crate::binning::{bin_durations, Binning};
-use crate::differentiation::{
-    detect_stable_suffix, detect_throttle, detect_warmup_count, ssp_min_executions,
-};
 use crate::error::{MethodologyError, MethodologyResult};
 use crate::guidance::{GuidanceEntry, GuidanceTable};
-use crate::profile::{
-    loi_points, place_logs, run_profile_points, PlacedLog, PowerProfile, ProfileKind,
-};
-use crate::stats::median_u64;
-use crate::sync::{ReadDelayCalibration, TimeSync};
+use crate::profile::PowerProfile;
+use crate::stages::StagePipeline;
+use crate::sync::TimeSync;
 
 /// Which platform power logger the methodology drives (paper Section VI:
 /// the key tenets apply equally to external loggers such as `amd-smi`, but
@@ -218,6 +211,11 @@ impl KernelPowerReport {
 }
 
 /// The FinGraV methodology runner over a [`PowerBackend`].
+///
+/// `profile` composes the typed stages of [`crate::stages`] — timing probe,
+/// SSP search, run collection, binning, stitching, finalization — into the
+/// paper's nine-step recipe. Drive [`StagePipeline`] directly to run,
+/// inspect, or checkpoint individual stages.
 pub struct FingravRunner<'a, B: PowerBackend> {
     backend: &'a mut B,
     config: RunnerConfig,
@@ -239,14 +237,6 @@ impl<'a, B: PowerBackend> FingravRunner<'a, B> {
         &self.config
     }
 
-    /// The averaging window of the logger being driven.
-    fn window(&self) -> SimDuration {
-        match self.config.logger {
-            LoggerChoice::Fine => self.backend.logger_window(),
-            LoggerChoice::Coarse => self.backend.coarse_logger_window(),
-        }
-    }
-
     /// Registers and profiles a kernel.
     ///
     /// # Errors
@@ -258,7 +248,8 @@ impl<'a, B: PowerBackend> FingravRunner<'a, B> {
         self.profile_handle(handle, &desc.name)
     }
 
-    /// Profiles an already-registered kernel.
+    /// Profiles an already-registered kernel by composing the pipeline
+    /// stages in order.
     ///
     /// # Errors
     ///
@@ -268,384 +259,17 @@ impl<'a, B: PowerBackend> FingravRunner<'a, B> {
         kernel: KernelHandle,
         label: &str,
     ) -> MethodologyResult<KernelPowerReport> {
-        self.config.validate()?;
-
-        // --- Step 2 precursor: calibrate the timestamp-read delay. ---
-        let calibration = self.calibrate()?;
-
-        // --- Step 1 + 3: timing probe, warm-up detection. ---
-        let probe = self.run_probe(kernel, self.config.timing_probe_executions, &calibration)?;
-        let durations = probe.trace.execution_durations_ns();
-        if durations.is_empty() {
-            return Err(MethodologyError::EmptyProbe);
-        }
-        let sse_index = detect_warmup_count(&durations, self.config.time_stability_tol);
-        let steady = &durations[sse_index as usize..];
-        let exec_time_ns = median_u64(steady).ok_or(MethodologyError::EmptyProbe)?;
-        let exec_time = SimDuration::from_nanos(exec_time_ns);
-
-        let entry = *self.config.guidance.lookup(exec_time);
-        let runs = self.config.runs_override.unwrap_or(entry.runs);
-        let margin = self.config.margin_override.unwrap_or(entry.margin_frac);
-
-        // --- Step 4: SSP execution count (formula + stability search). ---
-        // The formula gives a lower bound; when throttling dynamics stretch
-        // power stabilization past it (the paper's "binary search can be
-        // necessary" case), the probe burst is extended until the power
-        // series demonstrably converges.
-        let window = self.window();
-        let min_execs = ssp_min_executions(window, exec_time, sse_index + 1);
-        let max_probe = (min_execs * 2 + 8).max(256);
-        let mut ssp_probe_n = min_execs * 2 + 8;
-        let (ssp_probe, burst_logs, burst_totals, smoothed) = loop {
-            let probe = self.run_probe(kernel, ssp_probe_n, &calibration)?;
-            // Logs inside outlier-duration executions (past the warm-ups)
-            // are excluded from the stability analysis, mirroring how
-            // binning discards outlier runs. The cutoff derives from the
-            // probe's own *settled* durations — under a power cap the
-            // settled executions run slower than the early boost-phase
-            // ones, and those throttled times are the legitimate steady
-            // state, not outliers.
-            let probe_durations = probe.trace.execution_durations_ns();
-            let settled_ns =
-                median_u64(&probe_durations[probe_durations.len() / 2..]).unwrap_or(exec_time_ns);
-            let outlier_cutoff_ns =
-                (settled_ns as f64 * (1.0 + 3.0 * self.config.time_stability_tol)) as u64;
-            let logs = filtered_burst_logs(&probe, sse_index, outlier_cutoff_ns);
-            let totals: Vec<f64> = logs.iter().map(|l| l.power.total()).collect();
-            // Median-of-3 plus a short moving average: single-log
-            // excursions and the firmware's cap sawtooth must not read as
-            // late stabilization.
-            let smoothed = crate::differentiation::moving_average(
-                &crate::differentiation::median_of_3(&totals),
-                5,
-            );
-            if probe_power_converged(&smoothed, self.config.power_stability_tol)
-                || ssp_probe_n >= max_probe
-            {
-                break (probe, logs, totals, smoothed);
-            }
-            ssp_probe_n = (ssp_probe_n * 2).min(max_probe);
-        };
-        let throttle_detected = detect_throttle(&burst_totals, self.config.throttle_detection_tol);
-        let detected_ssp = detect_stable_suffix(&smoothed, self.config.power_stability_tol)
-            .map(|idx| {
-                // The moving average blurs the ramp edge and pushes the
-                // detected onset late; walk back on the lightly-smoothed
-                // series while it already sits at the settled level.
-                let settled_tail = (smoothed.len() / 4).max(1);
-                let settled =
-                    crate::stats::median(&smoothed[smoothed.len() - settled_tail..]).unwrap_or(0.0);
-                let tol = settled.abs() * self.config.power_stability_tol;
-                let raw = crate::differentiation::median_of_3(&burst_totals);
-                let mut idx = idx.min(raw.len().saturating_sub(1));
-                while idx > 0 && (raw[idx - 1] - settled).abs() <= tol {
-                    idx -= 1;
-                }
-                idx
-            })
-            .and_then(|log_idx| {
-                // Map the first stable log back to the execution it fell in
-                // (or the next execution after it).
-                let stable = burst_logs.get(log_idx).copied()?;
-                stable
-                    .containing_exec
-                    .map(|(pos, _)| pos as u32)
-                    .or_else(|| {
-                        ssp_probe
-                            .trace
-                            .executions
-                            .iter()
-                            .position(|e| (e.cpu_start.as_nanos() as f64) >= stable.cpu_ns)
-                            .map(|p| p as u32)
-                    })
-            })
-            .unwrap_or(min_execs.saturating_sub(1));
-        let ssp_index = detected_ssp.max(min_execs.saturating_sub(1)).max(sse_index);
-
-        // Tail executions after the SSP point so logs keep landing in
-        // SSP-quality executions (~one averaging window's worth).
-        let tail = (window.as_nanos().div_ceil(exec_time_ns.max(1)) as u32)
-            .clamp(2, self.config.tail_executions_cap);
-        let executions_per_run = ssp_index + 1 + tail;
-
-        // --- Steps 5-8: main runs with golden-bin filtering and top-up. ---
-        let loi_target = entry.recommended_lois(exec_time);
-        let mut collected: Vec<CollectedRun> = Vec::new();
-        let mut batch = runs;
-        let mut batches_left = self.config.extra_run_batches;
-        let (binning, report) = loop {
-            for _ in 0..batch {
-                let run = self.execute_run(kernel, executions_per_run, &calibration, true)?;
-                collected.push(run);
-            }
-            let metrics: Vec<u64> = collected.iter().map(|r| r.steady_median_ns).collect();
-            let binning = bin_durations(&metrics, margin).ok_or(MethodologyError::NoGoldenRuns)?;
-            let report = stitch_profiles(label, &collected, &binning, sse_index, ssp_index, margin);
-            let enough = report.ssp.len() as u32 >= loi_target;
-            if enough || batches_left == 0 {
-                break (binning, report);
-            }
-            batches_left -= 1;
-            batch = (runs / 2).max(8);
-        };
-
-        let sse_mean = report.sse.mean_total();
-        let ssp_mean = report.ssp.mean_total();
-        let error = match (sse_mean, ssp_mean) {
-            (Some(a), Some(b)) if b != 0.0 => Some((b - a).abs() / b),
-            _ => None,
-        };
-
-        let drift = if self.config.drift_correction {
-            let drifts: Vec<f64> = collected
-                .iter()
-                .map(|r| r.sync.estimated_drift_ppm(self.backend.gpu_counter_hz()))
-                .collect();
-            crate::stats::mean(&drifts)
-        } else {
-            None
-        };
-
-        Ok(KernelPowerReport {
-            label: label.to_string(),
-            exec_time_ns,
-            guidance: entry,
-            margin_frac: margin,
-            sse_index,
-            ssp_index,
-            executions_per_run,
-            runs_executed: collected.len() as u32,
-            golden_runs: binning.golden_bin().count() as u32,
-            throttle_detected,
-            read_delay_ns: calibration.delay_ns(),
-            estimated_drift_ppm: drift,
-            run_profile: report.run,
-            sse_profile: report.sse,
-            ssp_profile: report.ssp,
-            sse_mean_total_w: sse_mean,
-            ssp_mean_total_w: ssp_mean,
-            sse_vs_ssp_error: error,
-        })
-    }
-
-    /// Calibrates the GPU-timestamp read delay with repeated reads.
-    fn calibrate(&mut self) -> MethodologyResult<ReadDelayCalibration> {
-        let mut b = Script::builder();
-        for _ in 0..self.config.calibration_reads.max(1) {
-            b = b.read_gpu_timestamp();
-        }
-        let trace = self.backend.run_script(&b.build())?;
-        ReadDelayCalibration::from_reads(&trace.timestamp_reads)
-    }
-
-    /// Runs one instrumented probe (no random delay) and places its logs.
-    fn run_probe(
-        &mut self,
-        kernel: KernelHandle,
-        executions: u32,
-        calibration: &ReadDelayCalibration,
-    ) -> MethodologyResult<ProbeRun> {
-        let run = self.execute_run(kernel, executions, calibration, false)?;
-        let placed = place_logs(&run.trace, &run.sync);
-        Ok(ProbeRun {
-            trace: run.trace,
-            placed,
-        })
-    }
-
-    /// Executes one instrumented run and synchronizes its clocks.
-    fn execute_run(
-        &mut self,
-        kernel: KernelHandle,
-        executions: u32,
-        calibration: &ReadDelayCalibration,
-        random_delay: bool,
-    ) -> MethodologyResult<CollectedRun> {
-        let window = self.window();
-        let coarse = self.config.logger == LoggerChoice::Coarse;
-        let mut b = Script::builder().begin_run();
-        b = if coarse {
-            b.start_coarse_logger()
-        } else {
-            b.start_power_logger()
-        };
-        b = b.read_gpu_timestamp();
-        if random_delay {
-            // The delay must span at least one logging window so logs land
-            // at uniformly distributed times-of-interest (step 5).
-            let delay_max = if self.config.random_delay_max > window {
-                self.config.random_delay_max
-            } else {
-                window
-            };
-            b = b.sleep_uniform(SimDuration::ZERO, delay_max);
-        }
-        b = b
-            .launch_timed(kernel, executions)
-            .sleep(window + SimDuration::from_micros(100))
-            .read_gpu_timestamp();
-        b = if coarse {
-            b.stop_coarse_logger()
-        } else {
-            b.stop_power_logger()
-        };
-        let script = b.sleep(self.config.inter_run_idle).build();
-        let mut trace = self.backend.run_script(&script)?;
-        if coarse {
-            // Downstream placement machinery reads `power_logs`; when the
-            // methodology drives the external logger, its logs take that
-            // role (and its window governed every window computation).
-            trace.power_logs = std::mem::take(&mut trace.coarse_logs);
-        }
-
-        let sync = self.sync_for(&trace, calibration)?;
-        let durations = trace.execution_durations_ns();
-        let steady_start = durations.len().saturating_sub(durations.len() / 2 + 1);
-        let steady_median_ns =
-            median_u64(&durations[steady_start..]).ok_or(MethodologyError::EmptyProbe)?;
-        Ok(CollectedRun {
-            trace,
-            sync,
-            steady_median_ns,
-        })
-    }
-
-    /// Builds the per-run sync from its timestamp reads.
-    fn sync_for(
-        &self,
-        trace: &RunTrace,
-        calibration: &ReadDelayCalibration,
-    ) -> MethodologyResult<TimeSync> {
-        let reads = &trace.timestamp_reads;
-        let first = reads
-            .first()
-            .ok_or(MethodologyError::InsufficientSyncData)?;
-        if self.config.drift_correction && reads.len() >= 2 {
-            let last = reads.last().expect("len >= 2");
-            if let Ok(sync) = TimeSync::from_two_anchors(first, last, calibration) {
-                return Ok(sync);
-            }
-        }
-        Ok(TimeSync::from_anchor(
-            first,
-            calibration,
-            self.backend.gpu_counter_hz(),
-        ))
-    }
-}
-
-/// Intermediate probe output.
-struct ProbeRun {
-    trace: RunTrace,
-    placed: Vec<PlacedLog>,
-}
-
-/// Logs that landed during the launch burst, in time order.
-fn placed_burst_logs(placed: &[PlacedLog]) -> Vec<PlacedLog> {
-    let mut logs: Vec<PlacedLog> = placed
-        .iter()
-        .filter(|l| l.run_time_ns >= 0.0)
-        .copied()
-        .collect();
-    logs.sort_by(|a, b| a.cpu_ns.partial_cmp(&b.cpu_ns).expect("finite"));
-    logs
-}
-
-/// True when a probe's power series has demonstrably settled: its last
-/// quarter and the quarter before agree within tolerance. Requires at
-/// least eight logs to judge (shorter series force a longer probe).
-fn probe_power_converged(totals: &[f64], tol_frac: f64) -> bool {
-    if totals.len() < 8 {
-        return false;
-    }
-    let q = totals.len() / 4;
-    let last = &totals[totals.len() - q..];
-    let prev = &totals[totals.len() - 2 * q..totals.len() - q];
-    let m_last = last.iter().sum::<f64>() / q as f64;
-    let m_prev = prev.iter().sum::<f64>() / q as f64;
-    (m_last - m_prev).abs() <= tol_frac * m_last.abs().max(1.0)
-}
-
-/// Burst logs in time order, excluding logs that landed inside
-/// outlier-duration executions beyond the warm-up region. The returned
-/// list's indices align with the stability series derived from it.
-fn filtered_burst_logs(probe: &ProbeRun, sse_index: u32, outlier_cutoff_ns: u64) -> Vec<PlacedLog> {
-    let last_end = probe
-        .trace
-        .executions
-        .last()
-        .map(|e| e.cpu_end.as_nanos() as f64)
-        .unwrap_or(f64::MAX);
-    let durations = probe.trace.execution_durations_ns();
-    placed_burst_logs(&probe.placed)
-        .into_iter()
-        .filter(|l| l.cpu_ns <= last_end)
-        .filter(|l| match l.containing_exec {
-            Some((pos, _)) if pos as u32 >= sse_index => durations
-                .get(pos)
-                .map(|&d| d <= outlier_cutoff_ns)
-                .unwrap_or(true),
-            _ => true,
-        })
-        .collect()
-}
-
-/// The three stitched profiles of a kernel.
-struct StitchedProfiles {
-    run: PowerProfile,
-    sse: PowerProfile,
-    ssp: PowerProfile,
-}
-
-/// Stitches golden runs into run/SSE/SSP profiles, filtering SSP LOIs to
-/// executions whose duration stays within the golden margin (intra-run
-/// outlier rejection).
-fn stitch_profiles(
-    label: &str,
-    collected: &[CollectedRun],
-    binning: &Binning,
-    sse_index: u32,
-    ssp_index: u32,
-    margin: f64,
-) -> StitchedProfiles {
-    let mut run_profile = PowerProfile::new(label, ProfileKind::Run);
-    let mut sse_profile = PowerProfile::new(label, ProfileKind::Sse);
-    let mut ssp_profile = PowerProfile::new(label, ProfileKind::Ssp);
-    let center = binning.golden_bin().center_ns() as f64;
-
-    for (run_idx, run) in collected.iter().enumerate() {
-        if !binning.is_golden(run_idx) {
-            continue;
-        }
-        let placed = place_logs(&run.trace, &run.sync);
-        run_profile
-            .points
-            .extend(run_profile_points(run_idx as u32, &placed));
-
-        let durations = run.trace.execution_durations_ns();
-        let within_margin = |pos: usize| -> bool {
-            durations
-                .get(pos)
-                .map(|&d| (d as f64 - center).abs() <= center * margin.max(0.001) * 1.5)
-                .unwrap_or(false)
-        };
-        sse_profile
-            .points
-            .extend(loi_points(run_idx as u32, &placed, |pos| {
-                pos as u32 == sse_index
-            }));
-        ssp_profile
-            .points
-            .extend(loi_points(run_idx as u32, &placed, |pos| {
-                pos as u32 >= ssp_index && within_margin(pos)
-            }));
-    }
-
-    StitchedProfiles {
-        run: run_profile,
-        sse: sse_profile,
-        ssp: ssp_profile,
+        let mut pipeline = StagePipeline::new(&mut *self.backend, self.config.clone())?;
+        // Step 2 precursor: calibrate the timestamp-read delay.
+        let calibration = pipeline.calibrate()?;
+        // Steps 1 + 3: timing probe, warm-up (SSE) detection, guidance.
+        let timing = pipeline.timing_probe(kernel, &calibration)?;
+        // Step 4: SSP execution count (formula + stability search).
+        let ssp = pipeline.ssp_search(kernel, &calibration, &timing)?;
+        // Steps 5-8: main runs with golden-bin filtering and top-up.
+        let collection = pipeline.collect_runs(kernel, label, &calibration, &timing, &ssp)?;
+        // Step 9: stitched profiles and summary numbers.
+        Ok(pipeline.finalize(label, &calibration, &timing, &ssp, collection))
     }
 }
 

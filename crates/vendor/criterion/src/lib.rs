@@ -1,0 +1,263 @@
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! surface the workspace's benches use — [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by a simple
+//! warmup-then-sample wall-clock harness. It reports mean/min/max per
+//! benchmark to stdout; it does not implement criterion's statistics,
+//! plotting, or baseline storage.
+//!
+//! Like upstream, `--bench`/`--test` style argv from `cargo bench` is
+//! accepted and a positional filter restricts which benchmarks run.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped (accepted for API parity; the shim treats
+/// every batch size identically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies `cargo bench` argv: flags are ignored, the first positional
+    /// argument becomes a substring filter on benchmark names.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" | "--nocapture" | "--quiet" | "--exact" => {}
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
+                | "--sample-size" => {
+                    let _ = args.next();
+                }
+                flag if flag.starts_with("--") => {}
+                positional => self.filter = Some(positional.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(name, &b.samples);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.c.sample_size(n);
+        self
+    }
+
+    /// Runs one benchmark within the group (`group/name` reporting).
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        self.c.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `f` over warmup plus `sample_size` timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup call keeps cold-start effects out of the samples while
+        // staying affordable for expensive end-to-end benchmarks.
+        black_box(f());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Measures `routine` over inputs produced by `setup`, excluding setup
+    /// time from the samples.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<44} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    println!(
+        "{name:<44} time: [{} {} {}]  ({} samples)",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max),
+        samples.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function from benchmark functions, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` from group functions, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        let mut calls = 0u32;
+        c.bench_function("shim/smoke", |b| b.iter(|| calls += 1));
+        // 1 warmup + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_filter_applies() {
+        let mut c = Criterion {
+            sample_size: 2,
+            filter: Some("wanted".into()),
+        };
+        let mut group = c.benchmark_group("g");
+        let mut ran_wanted = false;
+        let mut ran_other = false;
+        group.bench_function("wanted", |b| b.iter(|| ran_wanted = true));
+        group.bench_function("skipped", |b| b.iter(|| ran_other = true));
+        group.finish();
+        assert!(ran_wanted);
+        assert!(!ran_other);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default();
+        c.sample_size(2);
+        let mut setups = 0u32;
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(|| setups += 1, |_| (), BatchSize::SmallInput)
+        });
+        assert_eq!(setups, 3);
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline drop-in subset of the `rand` crate API.
+//!
+//! The build environment has no crates.io access, so this vendored shim
+//! provides exactly the surface the workspace uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen`] for `f64`, and
+//! [`Rng::gen_range`] over float/integer ranges. The core generator is
+//! xoshiro256++ seeded through SplitMix64 — deterministic, well dispersed,
+//! and fast; it is *not* the upstream ChaCha12 `StdRng`, so draw sequences
+//! differ from the real crate (everything in this workspace only relies on
+//! determinism per seed, not on specific draw values).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform 64-bit generation.
+pub trait RngCore {
+    /// The next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding support (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from an `Rng` via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that can be sampled uniformly (subset of `rand`'s `SampleRange`).
+pub trait SampleRange {
+    /// The element type produced.
+    type Item;
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Item;
+}
+
+impl SampleRange for Range<f64> {
+    type Item = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        debug_assert!(self.start < self.end, "empty f64 sample range");
+        let u = f64::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Item = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                debug_assert!(self.start < self.end, "empty integer sample range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Item = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                debug_assert!(lo <= hi, "empty inclusive sample range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return lo + rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u32, u64, usize);
+
+/// High-level draws (subset of `rand::Rng`), blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform draw of `T` (e.g. `f64` in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform draw from a range (`lo..hi` or `lo..=hi`).
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Item {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// The named generators (subset of `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the xoshiro state, per
+            // the xoshiro authors' recommendation.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step.
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3.0..5.0);
+            assert!((3.0..5.0).contains(&x));
+            let y = rng.gen_range(10u64..=20);
+            assert!((10..=20).contains(&y));
+            let z = rng.gen_range(4usize..9);
+            assert!((4..9).contains(&z));
+        }
+    }
+
+    #[test]
+    fn float_draws_cover_the_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,424 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The build environment has no crates.io access, so these derives are
+//! hand-rolled on the bare `proc_macro` API (no `syn`/`quote`). They cover
+//! exactly the shapes this workspace derives on — non-generic structs with
+//! named fields, tuple structs, and enums with unit/tuple/struct variants —
+//! and generate impls of the vendored `serde` shim's [`Value`]-based
+//! `Serialize`/`Deserialize` traits, using upstream `serde_json`'s
+//! representation (field-ordered maps, transparent newtypes,
+//! externally-tagged enums).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize` (Value-tree conversion).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives the shim `serde::Deserialize` (Value-tree reconstruction).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ----------------------------------------------------------------------
+// Parsed shape of the deriving item
+// ----------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    /// Struct with named fields, in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with N fields (N == 1 is a transparent newtype).
+    Tuple(usize),
+    /// Enum with variants in declaration order.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ----------------------------------------------------------------------
+// Token-stream parsing (attribute/visibility skipping, field extraction)
+// ----------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+    let kw = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("the vendored serde derive does not support generic type `{name}`");
+    }
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => panic!("the vendored serde derive does not support unit struct `{name}`"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("malformed enum `{name}`"),
+        },
+        other => panic!("cannot derive serde traits for `{other} {name}`"),
+    };
+    Item { name, kind }
+}
+
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#')
+        && matches!(toks.get(*i + 1), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+    {
+        *i += 2;
+    }
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Consumes tokens through the end of a type, stopping at a comma that sits
+/// outside every `<...>` nesting level (group tokens are opaque, so only
+/// bare angle brackets need depth tracking).
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = toks.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        fields.push(expect_ident(&toks, &mut i));
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        skip_type(&toks, &mut i);
+        // Either the separating comma or the end of the field list.
+        if i < toks.len() {
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        if i >= toks.len() {
+            break; // trailing comma
+        }
+        count += 1;
+        skip_type(&toks, &mut i);
+        if i < toks.len() {
+            i += 1; // the comma
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ----------------------------------------------------------------------
+// Code generation (string-built, parsed back into a TokenStream)
+// ----------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        ItemKind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+        }
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    let tag = format!("::std::string::String::from(\"{vname}\")");
+    match &v.kind {
+        VariantKind::Unit => {
+            format!("{enum_name}::{vname} => ::serde::Value::Str({tag}),")
+        }
+        VariantKind::Tuple(1) => format!(
+            "{enum_name}::{vname}(x0) => ::serde::Value::Map(::std::vec![({tag}, \
+             ::serde::Serialize::to_value(x0))]),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(x{k})"))
+                .collect();
+            format!(
+                "{enum_name}::{vname}({}) => ::serde::Value::Map(::std::vec![({tag}, \
+                 ::serde::Value::Seq(::std::vec![{}]))]),",
+                binds.join(", "),
+                elems.join(", ")
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let binds = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {binds} }} => ::serde::Value::Map(::std::vec![({tag}, \
+                 ::serde::Value::Map(::std::vec![{}]))]),",
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::map_field(entries, \"{f}\", \"{name}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let entries = v.as_map().ok_or_else(|| \
+                 ::serde::DeError::expected(\"map\", \"{name}\", v))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        ItemKind::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        ItemKind::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "let items = v.as_seq().ok_or_else(|| \
+                 ::serde::DeError::expected(\"sequence\", \"{name}\", v))?;\n\
+                 if items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError(::std::format!(\n\
+                         \"expected {n} elements for {name}, found {{}}\", items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        ItemKind::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn from_value(v: &::serde::Value) -> \
+                ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unknown = format!(
+        "other => ::std::result::Result::Err(::serde::DeError(::std::format!(\
+         \"unknown variant `{{other}}` of {name}\"))),"
+    );
+
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),",
+                vname = v.name
+            )
+        })
+        .collect();
+
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.kind, VariantKind::Unit))
+        .map(|v| de_variant_arm(name, v))
+        .collect();
+
+    format!(
+        "match v {{\n\
+            ::serde::Value::Str(tag) => match tag.as_str() {{ {unit} {unknown} }},\n\
+            ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                let (tag, inner) = &entries[0];\n\
+                match tag.as_str() {{ {data} {unknown} }}\n\
+            }}\n\
+            other => ::std::result::Result::Err(::serde::DeError::expected(\n\
+                \"string or single-entry map\", \"{name}\", other)),\n\
+         }}",
+        unit = unit_arms.join(" "),
+        data = data_arms.join(" "),
+    )
+}
+
+fn de_variant_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    let ctx = format!("{name}::{vname}");
+    match &v.kind {
+        VariantKind::Unit => unreachable!("unit variants handled in the Str arm"),
+        VariantKind::Tuple(1) => format!(
+            "\"{vname}\" => ::std::result::Result::Ok(\
+             {name}::{vname}(::serde::Deserialize::from_value(inner)?)),"
+        ),
+        VariantKind::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "\"{vname}\" => {{\n\
+                    let items = inner.as_seq().ok_or_else(|| \
+                        ::serde::DeError::expected(\"sequence\", \"{ctx}\", inner))?;\n\
+                    if items.len() != {n} {{\n\
+                        return ::std::result::Result::Err(::serde::DeError(::std::format!(\n\
+                            \"expected {n} elements for {ctx}, found {{}}\", items.len())));\n\
+                    }}\n\
+                    ::std::result::Result::Ok({name}::{vname}({}))\n\
+                }}",
+                elems.join(", ")
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::map_field(entries, \"{f}\", \"{ctx}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "\"{vname}\" => {{\n\
+                    let entries = inner.as_map().ok_or_else(|| \
+                        ::serde::DeError::expected(\"map\", \"{ctx}\", inner))?;\n\
+                    ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                }}",
+                inits.join(", ")
+            )
+        }
+    }
+}

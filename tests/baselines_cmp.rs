@@ -33,11 +33,25 @@ fn r2(profile: &fingrav::core::profile::PowerProfile) -> f64 {
 
 #[test]
 fn synchronized_profile_is_more_coherent_than_unsynchronized() {
-    let machine = SimConfig::default().machine.clone();
+    // A wide random pre-launch delay (several logging windows) makes the
+    // comparison discriminating rather than a coin flip on the jitter
+    // seed: synchronized placement is immune to the delay because each log
+    // is placed from its GPU tick stamp, while naive grid placement counts
+    // periods from the script origin and smears by the full delay range.
+    // Both collections use the same delay, so the conditions stay
+    // like-for-like (FinGraV's step 5 requires at least one window; more
+    // only improves TOI coverage).
+    let delay_max = fingrav::sim::SimDuration::from_millis(3);
+    let sim_cfg = SimConfig::default();
+    let machine = sim_cfg.machine.clone();
     let kernel = suite::cb_gemm(&machine, 4096);
 
-    let mut gpu = Simulation::new(SimConfig::default(), 81).expect("valid");
-    let mut runner = FingravRunner::new(&mut gpu, RunnerConfig::quick(40));
+    let mut gpu = Simulation::new(sim_cfg.clone(), 81).expect("valid");
+    let runner_cfg = RunnerConfig {
+        random_delay_max: delay_max,
+        ..RunnerConfig::quick(40)
+    };
+    let mut runner = FingravRunner::new(&mut gpu, runner_cfg);
     let report = runner.profile(&kernel).expect("profiles");
     // Clip to the busy window (ignore the logger drain).
     let busy_end = report
@@ -52,10 +66,11 @@ fn synchronized_profile_is_more_coherent_than_unsynchronized() {
         .points
         .retain(|p| p.run_time_ns >= 0.0 && p.run_time_ns <= busy_end);
 
-    let mut gpu = Simulation::new(SimConfig::default(), 82).expect("valid");
+    let mut gpu = Simulation::new(sim_cfg, 82).expect("valid");
     let cfg = BaselineConfig {
         runs: 40,
         executions_per_run: report.executions_per_run,
+        random_delay_max: delay_max,
         ..BaselineConfig::default()
     };
     let mut unsynced = unsynchronized::profile(&mut gpu, &kernel, &cfg).expect("baseline");

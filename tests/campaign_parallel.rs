@@ -1,0 +1,136 @@
+//! Campaign determinism under sharding: a parallel `CampaignExecutor` run
+//! must serialize to a byte-identical `CampaignReport` as the serial path
+//! with the same seeds, and the report must survive a serde round-trip.
+
+use fingrav::core::backend::SimulationFactory;
+use fingrav::core::campaign::{Campaign, CampaignReport};
+use fingrav::core::executor::{CampaignExecutor, ErrorPolicy};
+use fingrav::core::runner::RunnerConfig;
+use fingrav::sim::{SimConfig, Simulation};
+use fingrav::workloads::suite;
+
+/// Eight suite kernels (the six GEMM/GEMVs plus two collectives): enough
+/// shape diversity that warm-up counts, SSP indices, and LOI yields all
+/// differ across slots.
+fn suite_campaign() -> Campaign {
+    let machine = SimConfig::default().machine.clone();
+    let mut campaign = Campaign::new(RunnerConfig::quick(8));
+    campaign.add_all(suite::gemm_suite(&machine).into_iter().map(|k| k.desc));
+    let collectives = suite::collective_suite(&machine, Default::default());
+    campaign.add_all(collectives.into_iter().take(2).map(|k| k.desc));
+    assert!(campaign.len() >= 6, "the determinism claim needs breadth");
+    campaign
+}
+
+#[test]
+fn parallel_campaign_serializes_byte_identical_to_serial() {
+    let campaign = suite_campaign();
+    let factory = SimulationFactory::new(SimConfig::default(), 4242);
+
+    let serial = CampaignExecutor::serial()
+        .run(&campaign, &factory)
+        .expect("serial campaign profiles");
+    let parallel = CampaignExecutor::new(4)
+        .run(&campaign, &factory)
+        .expect("parallel campaign profiles");
+
+    // Structural equality first (clearer failure on a mismatch)...
+    assert_eq!(serial, parallel);
+    // ...then the headline claim: the serialized artefacts are
+    // byte-identical, so downstream pipelines (report archival, diffing,
+    // caching) cannot tell how the campaign was executed.
+    let serial_json = serde_json::to_string(&serial).expect("serializes");
+    let parallel_json = serde_json::to_string(&parallel).expect("serializes");
+    assert_eq!(serial_json, parallel_json);
+    assert!(
+        serial_json.len() > 1_000,
+        "sanity: {} bytes is too small for 8 kernel reports",
+        serial_json.len()
+    );
+
+    // And the artefact round-trips losslessly.
+    let restored: CampaignReport = serde_json::from_str(&serial_json).expect("deserializes");
+    assert_eq!(restored, serial);
+}
+
+#[test]
+fn legacy_closure_path_matches_the_executor() {
+    let campaign = suite_campaign();
+    let factory = SimulationFactory::new(SimConfig::default(), 4242);
+    let via_executor = CampaignExecutor::new(3)
+        .run(&campaign, &factory)
+        .expect("profiles");
+    let via_closure = campaign
+        .run(|i| Simulation::new(SimConfig::default(), factory.slot_seed(i)).expect("valid"))
+        .expect("profiles");
+    assert_eq!(via_executor, via_closure);
+}
+
+#[test]
+fn worker_count_never_changes_results() {
+    // Degenerate and over-provisioned worker counts included: more workers
+    // than kernels must not reorder, drop, or reseed anything.
+    let machine = SimConfig::default().machine.clone();
+    let mut campaign = Campaign::new(RunnerConfig::quick(6));
+    campaign.add_all(suite::gemm_suite(&machine).into_iter().map(|k| k.desc));
+    let factory = SimulationFactory::new(SimConfig::default(), 77);
+
+    let reference = CampaignExecutor::serial()
+        .run(&campaign, &factory)
+        .expect("profiles");
+    for workers in [2, 5, 32] {
+        let sharded = CampaignExecutor::new(workers)
+            .run(&campaign, &factory)
+            .expect("profiles");
+        assert_eq!(
+            serde_json::to_string(&reference).unwrap(),
+            serde_json::to_string(&sharded).unwrap(),
+            "{workers} workers diverged"
+        );
+    }
+}
+
+#[test]
+fn collect_all_reports_partial_results_deterministically() {
+    // An invalid kernel (zero workgroups) fails registration on its slot;
+    // collect-all must still measure every other slot identically to a
+    // fully healthy campaign.
+    let machine = SimConfig::default().machine.clone();
+    let mut campaign = Campaign::new(RunnerConfig::quick(6));
+    let kernels: Vec<_> = suite::gemm_suite(&machine)
+        .into_iter()
+        .take(4)
+        .map(|k| k.desc)
+        .collect();
+    campaign.add_all(kernels.clone());
+    let mut broken = kernels[1].clone();
+    broken.workgroups = 0;
+    campaign.add(broken);
+
+    let factory = SimulationFactory::new(SimConfig::default(), 909);
+    let outcome = CampaignExecutor::new(3)
+        .error_policy(ErrorPolicy::CollectAll)
+        .execute(&campaign, &factory);
+    assert!(!outcome.is_complete());
+    assert_eq!(outcome.errors.len(), 1);
+    assert_eq!(outcome.errors[0].0, 4, "the broken slot is the fifth");
+    assert_eq!(
+        outcome.reports.iter().filter(|r| r.is_some()).count(),
+        4,
+        "healthy slots all measured"
+    );
+
+    // The healthy slots match a campaign that never contained the broken
+    // kernel (isolation: a failing sibling cannot perturb measurements).
+    let mut healthy = Campaign::new(RunnerConfig::quick(6));
+    healthy.add_all(kernels);
+    let healthy_report = CampaignExecutor::new(3)
+        .run(&healthy, &factory)
+        .expect("profiles");
+    for (slot, report) in healthy_report.reports.iter().enumerate() {
+        assert_eq!(
+            serde_json::to_string(outcome.reports[slot].as_ref().unwrap()).unwrap(),
+            serde_json::to_string(report).unwrap(),
+        );
+    }
+}
