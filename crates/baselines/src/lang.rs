@@ -11,7 +11,7 @@
 
 use fingrav_core::backend::PowerBackend;
 use fingrav_core::error::{MethodologyError, MethodologyResult};
-use fingrav_core::profile::{place_logs, run_profile_points, PowerProfile, ProfileKind};
+use fingrav_core::profile::{place_logs, push_run_profile_points, PowerProfile, ProfileKind};
 use fingrav_core::sync::{ReadDelayCalibration, TimeSync};
 use fingrav_sim::kernel::{KernelDesc, KernelHandle};
 
@@ -69,7 +69,7 @@ pub fn profile_handle<B: PowerBackend>(
         let trace = collect_run(backend, kernel, cfg, true, false)?;
         let sync = lang_sync(backend, &trace)?;
         let placed = place_logs(&trace, &sync);
-        out.points.extend(run_profile_points(run, &placed));
+        push_run_profile_points(&mut out.store, run, &placed);
     }
     Ok(out)
 }

@@ -8,7 +8,7 @@
 
 use fingrav_core::backend::PowerBackend;
 use fingrav_core::error::MethodologyResult;
-use fingrav_core::profile::{place_logs, run_profile_points, PowerProfile, ProfileKind};
+use fingrav_core::profile::{place_logs, push_run_profile_points, PowerProfile, ProfileKind};
 use fingrav_core::sync::{ReadDelayCalibration, TimeSync};
 use fingrav_sim::kernel::{KernelDesc, KernelHandle};
 
@@ -51,7 +51,7 @@ pub fn profile_handle<B: PowerBackend>(
     let sync = TimeSync::from_anchor(first, &calibration, backend.gpu_counter_hz());
     let placed = place_logs(&trace, &sync);
     let mut out = PowerProfile::new(label, ProfileKind::Custom("single-run".into()));
-    out.points.extend(run_profile_points(0, &placed));
+    push_run_profile_points(&mut out.store, 0, &placed);
     Ok(out)
 }
 

@@ -47,9 +47,9 @@ pub fn profile_handle<B: PowerBackend>(
         let trace = collect_run(backend, kernel, cfg, false, false)?;
         // Naive placement: pretend log k fired k periods after the launch.
         for (k, log) in trace.power_logs.iter().enumerate() {
-            out.points.push(ProfilePoint {
+            out.push(ProfilePoint {
                 run,
-                exec_pos: u32::MAX,
+                exec_pos: None,
                 toi_ns: None,
                 run_time_ns: k as f64 * period_ns,
                 power: log.avg,
@@ -92,9 +92,9 @@ mod tests {
         let p = profile(&mut sim, &kernel(), &cfg).unwrap();
         assert!(!p.is_empty());
         // All x positions are integer multiples of the logging period.
-        for pt in &p.points {
-            let k = pt.run_time_ns / 1e6;
-            assert!((k - k.round()).abs() < 1e-9, "x {}", pt.run_time_ns);
+        for x in p.store.run_times_ns() {
+            let k = x / 1e6;
+            assert!((k - k.round()).abs() < 1e-9, "x {x}");
         }
         assert!(matches!(p.kind, ProfileKind::Custom(_)));
     }

@@ -1,0 +1,71 @@
+//! Persisted-profile-store smoke: profiles one suite kernel, writes its
+//! stitched stores in the versioned binary format (plus the CSV view),
+//! re-reads them, and asserts the round trip is bit-identical — the
+//! checkpoint-integrity guarantee distributed campaigns will rely on.
+//!
+//! Usage: `store_roundtrip [--quick|--full|--bench] [--out DIR]`.
+//! Artifacts land in the output directory (default `results/`):
+//! `ssp_profile.fgrv`, `run_profile.fgrv`, `ssp_profile.csv`.
+
+use std::fs;
+
+use fingrav_bench::harness::{profile_kernel, Scale};
+use fingrav_bench::render::out_dir;
+use fingrav_core::profile::ProfileAxis;
+use fingrav_core::report::profile_to_csv;
+use fingrav_core::store::ProfileStore;
+use fingrav_sim::config::SimConfig;
+use fingrav_workloads::suite;
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let dir = out_dir(std::env::args().skip(1)).expect("output directory");
+
+    let machine = SimConfig::default().machine.clone();
+    let kernel = suite::cb_gemm(&machine, 4096);
+    let report = profile_kernel("store-roundtrip", &kernel, scale.runs(200));
+
+    let mut failures = 0;
+    for (name, profile) in [
+        ("run_profile", &report.run_profile),
+        ("ssp_profile", &report.ssp_profile),
+    ] {
+        let bytes = profile.store.to_bytes();
+        let path = dir.join(format!("{name}.fgrv"));
+        fs::write(&path, &bytes).expect("store artifact writes");
+
+        let reread = fs::read(&path).expect("store artifact reads back");
+        let restored = ProfileStore::from_bytes(&reread).expect("store artifact decodes");
+        let diff = profile.store.diff(&restored);
+        let reencoded = restored.to_bytes();
+        let identical = diff.is_identical() && reencoded == bytes;
+        println!(
+            "{name}: {} points, {} bytes -> {}",
+            profile.len(),
+            bytes.len(),
+            if identical {
+                "bit-identical round trip".to_string()
+            } else {
+                failures += 1;
+                format!("ROUND TRIP DIVERGED\n{}", diff.summary())
+            }
+        );
+    }
+
+    let csv_path = dir.join("ssp_profile.csv");
+    fs::write(
+        &csv_path,
+        profile_to_csv(&report.ssp_profile, ProfileAxis::Toi),
+    )
+    .expect("csv artifact writes");
+    println!(
+        "csv: {} ({} LOIs)",
+        csv_path.display(),
+        report.ssp_profile.len()
+    );
+
+    if failures > 0 {
+        eprintln!("{failures} store artifact(s) failed the bit-identity check");
+        std::process::exit(1);
+    }
+}

@@ -6,7 +6,7 @@ use fingrav_core::backend::PowerBackend;
 use fingrav_core::binning::bin_durations;
 use fingrav_core::guidance::GuidanceTable;
 use fingrav_core::insights::{InterleaveEffect, ProportionalityPoint};
-use fingrav_core::profile::{place_logs, PowerAxis, PowerProfile, ProfileAxis, ProfilePoint};
+use fingrav_core::profile::{place_logs, PowerAxis, PowerProfile, ProfileAxis};
 use fingrav_core::regression::PolyFit;
 use fingrav_core::runner::{FingravRunner, KernelPowerReport, RunnerConfig};
 use fingrav_core::stats;
@@ -278,28 +278,29 @@ pub struct Fig5Data {
 
 /// Last run-relative time at which a log landed inside an execution — the
 /// end of the busy window. Profile points after it (logger drain) carry
-/// idle readings that would corrupt shape statistics.
+/// idle readings that would corrupt shape statistics. A two-column scan:
+/// the validity bitmap gates the run-time column directly.
 pub fn busy_end_ns(report: &KernelPowerReport) -> f64 {
-    report
-        .run_profile
-        .points
+    let store = &report.run_profile.store;
+    store
+        .run_times_ns()
         .iter()
-        .filter(|p| p.exec_pos != u32::MAX)
-        .map(|p| p.run_time_ns)
+        .enumerate()
+        .filter(|&(i, _)| store.in_exec(i))
+        .map(|(_, &t)| t)
         .fold(f64::NEG_INFINITY, f64::max)
 }
 
-/// A copy of `profile` restricted to run-relative times in `[0, end_ns]`.
+/// A copy of `profile` restricted to run-relative times in `[0, end_ns]`
+/// (an index-gathering filter over the columnar store).
 fn clip_to_window(profile: &PowerProfile, end_ns: f64) -> PowerProfile {
+    let keep = profile
+        .store
+        .indices_where(|p| p.run_time_ns() >= 0.0 && p.run_time_ns() <= end_ns);
     PowerProfile {
         label: profile.label.clone(),
         kind: profile.kind.clone(),
-        points: profile
-            .points
-            .iter()
-            .filter(|p| p.run_time_ns >= 0.0 && p.run_time_ns <= end_ns)
-            .copied()
-            .collect(),
+        store: profile.store.select(&keep),
     }
 }
 
@@ -473,13 +474,7 @@ fn run_shape(report: KernelPowerReport) -> RunShape {
     // that landed inside an execution. Logs from the post-burst logger
     // drain would otherwise pollute the trough/plateau statistics with
     // idle readings.
-    let busy_end = report
-        .run_profile
-        .points
-        .iter()
-        .filter(|p| p.exec_pos != u32::MAX)
-        .map(|p| p.run_time_ns)
-        .fold(f64::NEG_INFINITY, f64::max);
+    let busy_end = busy_end_ns(&report);
     let (xs, ys) = report
         .run_profile
         .series(ProfileAxis::RunTime, PowerAxis::Total);
@@ -992,22 +987,23 @@ pub fn labelled_ssp_profiles(reports: &[KernelPowerReport]) -> Vec<(String, Powe
         .collect()
 }
 
-/// Flattens a report's run profile into `(x_ms, total, xcd, iod, hbm)` rows.
+/// Flattens a report's run profile into `(x_ms, total, xcd, iod, hbm)` rows
+/// (a stable columnar argsort; the permutation gathers rows without moving
+/// any point structs).
 pub fn run_profile_rows(report: &KernelPowerReport) -> Vec<(f64, f64, f64, f64, f64)> {
-    let mut pts: Vec<&ProfilePoint> = report.run_profile.points.iter().collect();
-    pts.sort_by(|a, b| {
-        a.run_time_ns
-            .partial_cmp(&b.run_time_ns)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    pts.iter()
-        .map(|p| {
+    let store = &report.run_profile.store;
+    store
+        .argsort_by_axis(ProfileAxis::RunTime)
+        .into_iter()
+        .map(|i| {
+            let i = i as usize;
+            let power = store.power(i);
             (
-                p.run_time_ns / 1e6,
-                p.power.total(),
-                p.power.xcd,
-                p.power.iod,
-                p.power.hbm,
+                store.run_time_ns(i) / 1e6,
+                power.total(),
+                power.xcd,
+                power.iod,
+                power.hbm,
             )
         })
         .collect()

@@ -149,9 +149,9 @@ mod tests {
     fn profile_chart_includes_label() {
         let mut p = PowerProfile::new("CB-4K-GEMM", ProfileKind::Run);
         for i in 0..20 {
-            p.points.push(ProfilePoint {
+            p.push(ProfilePoint {
                 run: 0,
-                exec_pos: 0,
+                exec_pos: Some(0),
                 toi_ns: Some(0.0),
                 run_time_ns: i as f64 * 1e6,
                 power: ComponentPower::new(100.0 + i as f64 * 10.0, 0.0, 0.0, 0.0),

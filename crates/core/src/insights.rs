@@ -126,9 +126,9 @@ mod tests {
 
     fn profile_with_power(p: ComponentPower) -> PowerProfile {
         let mut prof = PowerProfile::new("k", ProfileKind::Ssp);
-        prof.points.push(ProfilePoint {
+        prof.push(ProfilePoint {
             run: 0,
-            exec_pos: 0,
+            exec_pos: Some(0),
             toi_ns: Some(0.0),
             run_time_ns: 0.0,
             power: p,

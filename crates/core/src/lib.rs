@@ -61,6 +61,7 @@ pub mod report;
 pub mod runner;
 pub mod stages;
 pub mod stats;
+pub mod store;
 pub mod sync;
 
 pub use backend::{BackendFactory, FnBackendFactory, PowerBackend, SimulationFactory};
@@ -72,4 +73,5 @@ pub use guidance::{GuidanceEntry, GuidanceTable};
 pub use profile::{PowerAxis, PowerProfile, ProfileAxis, ProfileKind, ProfilePoint};
 pub use runner::{FingravRunner, KernelPowerReport, LoggerChoice, RunnerConfig};
 pub use stages::{RunCollection, SspArtifact, StagePipeline, StitchedProfiles, TimingArtifact};
+pub use store::{ProfilePointRef, ProfileStore, StoreCodecError, StoreDiff};
 pub use sync::{ReadDelayCalibration, TimeSync};

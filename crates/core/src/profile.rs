@@ -6,6 +6,11 @@
 //! **time-of-interest (TOI)**. Because each run lands its logs at different
 //! (randomized) TOIs, stitching the LOIs of many golden runs yields a
 //! fine-grain profile (paper step 9).
+//!
+//! Stitched points live in a columnar [`ProfileStore`] (see
+//! [`crate::store`]): consumers either borrow column slices directly or
+//! iterate [`ProfilePointRef`] views; [`ProfilePoint`] is the owned row
+//! value used to append points and to materialize individual rows.
 
 use std::fmt;
 
@@ -14,6 +19,7 @@ use fingrav_sim::trace::RunTrace;
 use serde::{Deserialize, Serialize};
 
 use crate::regression::{FitError, PolyFit};
+pub use crate::store::{ProfilePointRef, ProfileStore};
 use crate::sync::TimeSync;
 
 /// What a profile represents.
@@ -43,14 +49,19 @@ impl fmt::Display for ProfileKind {
     }
 }
 
-/// One stitched profile point.
+/// One stitched profile point, as an owned row value.
+///
+/// Historically `exec_pos` was a raw `u32` with `u32::MAX` marking "fell
+/// outside any execution"; the sentinel is gone from the public API — both
+/// `exec_pos` and `toi_ns` are `Option`s backed by the store's validity
+/// bitmap, and they are `Some`/`None` together.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ProfilePoint {
     /// Which run contributed the point.
     pub run: u32,
     /// Position of the containing execution within the run's launch
-    /// sequence (`u32::MAX` when the log fell outside any execution).
-    pub exec_pos: u32,
+    /// sequence, or `None` when the log fell outside any execution.
+    pub exec_pos: Option<u32>,
     /// Time-of-interest: nanoseconds into the containing execution, or
     /// `None` when the log fell outside any execution (run-profile points).
     pub toi_ns: Option<f64>,
@@ -60,15 +71,28 @@ pub struct ProfilePoint {
     pub power: ComponentPower,
 }
 
-/// A stitched power profile.
+impl ProfilePoint {
+    /// The historical sentinel encoding of `exec_pos`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "the u32::MAX sentinel is no longer part of the data model; \
+                match on the `exec_pos: Option<u32>` field instead"
+    )]
+    pub fn raw_exec_pos(&self) -> u32 {
+        self.exec_pos.unwrap_or(u32::MAX)
+    }
+}
+
+/// A stitched power profile: a labelled, kinded [`ProfileStore`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PowerProfile {
     /// Kernel label, e.g. `CB-4K-GEMM`.
     pub label: String,
     /// What the profile represents.
     pub kind: ProfileKind,
-    /// The stitched points (unordered; sort by the axis you plot).
-    pub points: Vec<ProfilePoint>,
+    /// The stitched points, in columnar storage (unordered; sort by the
+    /// axis you plot via [`ProfileStore::argsort_by_axis`]).
+    pub store: ProfileStore,
 }
 
 /// Choice of x-axis for series extraction.
@@ -95,30 +119,61 @@ impl PowerProfile {
         PowerProfile {
             label: label.into(),
             kind,
-            points: Vec::new(),
+            store: ProfileStore::new(),
+        }
+    }
+
+    /// Creates a profile from owned points.
+    pub fn from_points<I: IntoIterator<Item = ProfilePoint>>(
+        label: impl Into<String>,
+        kind: ProfileKind,
+        points: I,
+    ) -> Self {
+        PowerProfile {
+            label: label.into(),
+            kind,
+            store: ProfileStore::from_points(points),
         }
     }
 
     /// Number of points.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.store.len()
     }
 
     /// True if the profile holds no points.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.store.is_empty()
+    }
+
+    /// Appends one point.
+    pub fn push(&mut self, point: ProfilePoint) {
+        self.store.push(point);
+    }
+
+    /// Appends owned points.
+    pub fn extend_points<I: IntoIterator<Item = ProfilePoint>>(&mut self, points: I) {
+        self.store.extend(points);
+    }
+
+    /// Iterates borrowed point views in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = ProfilePointRef<'_>> {
+        self.store.iter()
+    }
+
+    /// Materializes point `i`.
+    pub fn point(&self, i: usize) -> ProfilePoint {
+        self.store.point(i)
+    }
+
+    /// Keeps only points satisfying `pred`.
+    pub fn retain(&mut self, pred: impl FnMut(ProfilePointRef<'_>) -> bool) {
+        self.store.retain(pred);
     }
 
     /// Mean component power over all points; `None` if empty.
     pub fn mean_power(&self) -> Option<ComponentPower> {
-        if self.points.is_empty() {
-            return None;
-        }
-        let sum = self
-            .points
-            .iter()
-            .fold(ComponentPower::ZERO, |acc, p| acc + p.power);
-        Some(sum / self.points.len() as f64)
+        self.store.mean_power()
     }
 
     /// Mean total power; `None` if empty.
@@ -130,16 +185,15 @@ impl PowerProfile {
     /// time-of-interest are skipped on the [`ProfileAxis::Toi`] axis.
     pub fn series(&self, x: ProfileAxis, y: PowerAxis) -> (Vec<f64>, Vec<f64>) {
         let mut pairs: Vec<(f64, f64)> = self
-            .points
             .iter()
             .filter_map(|p| {
                 let xv = match x {
-                    ProfileAxis::RunTime => p.run_time_ns,
-                    ProfileAxis::Toi => p.toi_ns?,
+                    ProfileAxis::RunTime => p.run_time_ns(),
+                    ProfileAxis::Toi => p.toi_ns()?,
                 };
                 let yv = match y {
-                    PowerAxis::Total => p.power.total(),
-                    PowerAxis::Component(c) => p.power.get(c),
+                    PowerAxis::Total => p.total_w(),
+                    PowerAxis::Component(c) => p.power().get(c),
                 };
                 Some((xv, yv))
             })
@@ -169,26 +223,20 @@ impl PowerProfile {
     }
 
     /// A copy with every power scaled by `1 / reference_w` — the paper
-    /// plots *relative* power throughout.
+    /// plots *relative* power throughout. A column-wise multiply; no
+    /// points are materialized.
     pub fn relative_to(&self, reference_w: f64) -> PowerProfile {
         assert!(reference_w > 0.0, "reference power must be positive");
         PowerProfile {
             label: self.label.clone(),
             kind: self.kind.clone(),
-            points: self
-                .points
-                .iter()
-                .map(|p| ProfilePoint {
-                    power: p.power * (1.0 / reference_w),
-                    ..*p
-                })
-                .collect(),
+            store: self.store.scale_power(1.0 / reference_w),
         }
     }
 
     /// Appends another profile's points.
     pub fn merge(&mut self, other: &PowerProfile) {
-        self.points.extend(other.points.iter().copied());
+        self.store.extend_from(&other.store);
     }
 }
 
@@ -237,14 +285,54 @@ pub fn place_logs(trace: &RunTrace, sync: &TimeSync) -> Vec<PlacedLog> {
         .collect()
 }
 
-/// Builds a [`ProfileKind::Run`] profile from placed logs (all logs, on
-/// run-relative time).
+/// Appends a [`ProfileKind::Run`] profile (all logs, on run-relative time)
+/// for one run straight into a columnar store — the stitching fast path.
+pub fn push_run_profile_points(store: &mut ProfileStore, run: u32, placed: &[PlacedLog]) {
+    for l in placed {
+        store.push(ProfilePoint {
+            run,
+            exec_pos: l.containing_exec.map(|(i, _)| i as u32),
+            toi_ns: l.containing_exec.map(|(_, t)| t),
+            run_time_ns: l.run_time_ns,
+            power: l.power,
+        });
+    }
+}
+
+/// Appends LOI points for executions selected by `select` (by position in
+/// the trace's execution list) straight into a columnar store.
+pub fn push_loi_points(
+    store: &mut ProfileStore,
+    run: u32,
+    placed: &[PlacedLog],
+    mut select: impl FnMut(usize) -> bool,
+) {
+    for l in placed {
+        let Some((pos, toi)) = l.containing_exec else {
+            continue;
+        };
+        if !select(pos) {
+            continue;
+        }
+        store.push(ProfilePoint {
+            run,
+            exec_pos: Some(pos as u32),
+            toi_ns: Some(toi),
+            run_time_ns: l.run_time_ns,
+            power: l.power,
+        });
+    }
+}
+
+/// Builds a [`ProfileKind::Run`] profile from placed logs as owned points —
+/// the legacy AoS path, kept for columnar-equivalence testing and callers
+/// that want rows. Prefer [`push_run_profile_points`] on hot paths.
 pub fn run_profile_points(run: u32, placed: &[PlacedLog]) -> Vec<ProfilePoint> {
     placed
         .iter()
         .map(|l| ProfilePoint {
             run,
-            exec_pos: l.containing_exec.map(|(i, _)| i as u32).unwrap_or(u32::MAX),
+            exec_pos: l.containing_exec.map(|(i, _)| i as u32),
             toi_ns: l.containing_exec.map(|(_, t)| t),
             run_time_ns: l.run_time_ns,
             power: l.power,
@@ -252,8 +340,8 @@ pub fn run_profile_points(run: u32, placed: &[PlacedLog]) -> Vec<ProfilePoint> {
         .collect()
 }
 
-/// Builds LOI points for executions selected by `select` (by position in
-/// the trace's execution list).
+/// Builds LOI points for executions selected by `select` as owned points —
+/// the legacy AoS path. Prefer [`push_loi_points`] on hot paths.
 pub fn loi_points(
     run: u32,
     placed: &[PlacedLog],
@@ -268,7 +356,7 @@ pub fn loi_points(
             }
             Some(ProfilePoint {
                 run,
-                exec_pos: pos as u32,
+                exec_pos: Some(pos as u32),
                 toi_ns: Some(toi),
                 run_time_ns: l.run_time_ns,
                 power: l.power,
@@ -293,7 +381,7 @@ mod tests {
     fn point(run: u32, run_time: f64, toi: f64, watts: f64) -> ProfilePoint {
         ProfilePoint {
             run,
-            exec_pos: 0,
+            exec_pos: Some(0),
             toi_ns: Some(toi),
             run_time_ns: run_time,
             power: p(watts / 4.0),
@@ -304,17 +392,22 @@ mod tests {
     fn mean_power_and_total() {
         let mut prof = PowerProfile::new("k", ProfileKind::Ssp);
         assert!(prof.mean_power().is_none());
-        prof.points.push(point(0, 0.0, 0.0, 400.0));
-        prof.points.push(point(1, 1.0, 0.0, 600.0));
+        prof.push(point(0, 0.0, 0.0, 400.0));
+        prof.push(point(1, 1.0, 0.0, 600.0));
         assert!((prof.mean_total().unwrap() - 500.0).abs() < 1e-9);
     }
 
     #[test]
     fn series_sorted_by_x() {
-        let mut prof = PowerProfile::new("k", ProfileKind::Run);
-        prof.points.push(point(0, 300.0, 0.0, 3.0));
-        prof.points.push(point(0, 100.0, 0.0, 1.0));
-        prof.points.push(point(0, 200.0, 0.0, 2.0));
+        let prof = PowerProfile::from_points(
+            "k",
+            ProfileKind::Run,
+            [
+                point(0, 300.0, 0.0, 3.0),
+                point(0, 100.0, 0.0, 1.0),
+                point(0, 200.0, 0.0, 2.0),
+            ],
+        );
         let (xs, ys) = prof.series(ProfileAxis::RunTime, PowerAxis::Total);
         assert_eq!(xs, vec![100.0, 200.0, 300.0]);
         assert_eq!(ys, vec![1.0, 2.0, 3.0]);
@@ -323,9 +416,9 @@ mod tests {
     #[test]
     fn component_series() {
         let mut prof = PowerProfile::new("k", ProfileKind::Ssp);
-        prof.points.push(ProfilePoint {
+        prof.push(ProfilePoint {
             run: 0,
-            exec_pos: 0,
+            exec_pos: Some(0),
             toi_ns: Some(5.0),
             run_time_ns: 5.0,
             power: ComponentPower::new(10.0, 20.0, 30.0, 40.0),
@@ -339,7 +432,7 @@ mod tests {
     #[test]
     fn relative_scaling() {
         let mut prof = PowerProfile::new("k", ProfileKind::Ssp);
-        prof.points.push(point(0, 0.0, 0.0, 500.0));
+        prof.push(point(0, 0.0, 0.0, 500.0));
         let rel = prof.relative_to(500.0);
         assert!((rel.mean_total().unwrap() - 1.0).abs() < 1e-9);
         assert_eq!(rel.label, prof.label);
@@ -348,12 +441,38 @@ mod tests {
     #[test]
     fn merge_extends() {
         let mut a = PowerProfile::new("k", ProfileKind::Run);
-        a.points.push(point(0, 0.0, 0.0, 1.0));
+        a.push(point(0, 0.0, 0.0, 1.0));
         let mut b = PowerProfile::new("k", ProfileKind::Run);
-        b.points.push(point(1, 1.0, 0.0, 2.0));
+        b.push(point(1, 1.0, 0.0, 2.0));
         a.merge(&b);
         assert_eq!(a.len(), 2);
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn retain_filters_points() {
+        let mut prof = PowerProfile::from_points(
+            "k",
+            ProfileKind::Run,
+            [point(0, 1.0, 0.0, 1.0), point(1, 2.0, 0.0, 2.0)],
+        );
+        prof.retain(|p| p.run() == 1);
+        assert_eq!(prof.len(), 1);
+        assert_eq!(prof.point(0).run, 1);
+    }
+
+    #[test]
+    fn deprecated_sentinel_accessor_still_encodes_max() {
+        let pt = ProfilePoint {
+            run: 0,
+            exec_pos: None,
+            toi_ns: None,
+            run_time_ns: 0.0,
+            power: ComponentPower::ZERO,
+        };
+        #[allow(deprecated)]
+        let raw = pt.raw_exec_pos();
+        assert_eq!(raw, u32::MAX);
     }
 
     /// Builds a tiny trace with one execution [1000, 2000] ns CPU time and
@@ -415,7 +534,7 @@ mod tests {
         let all = loi_points(3, &placed, |_| true);
         assert_eq!(all.len(), 1, "only the inside log is an LOI");
         assert_eq!(all[0].run, 3);
-        assert_eq!(all[0].exec_pos, 0);
+        assert_eq!(all[0].exec_pos, Some(0));
         let none = loi_points(3, &placed, |pos| pos > 0);
         assert!(none.is_empty());
     }
@@ -426,10 +545,30 @@ mod tests {
         let placed = place_logs(&t, &sync);
         let pts = run_profile_points(7, &placed);
         assert_eq!(pts.len(), 3);
-        assert_eq!(pts[0].exec_pos, u32::MAX);
+        assert_eq!(pts[0].exec_pos, None);
         assert!(pts[0].toi_ns.is_none());
-        assert_eq!(pts[1].exec_pos, 0);
+        assert_eq!(pts[1].exec_pos, Some(0));
         assert!(pts[1].toi_ns.is_some());
+    }
+
+    #[test]
+    fn columnar_appenders_match_legacy_aos_paths() {
+        let (t, sync) = trace_with_logs();
+        let placed = place_logs(&t, &sync);
+
+        let mut run_store = ProfileStore::new();
+        push_run_profile_points(&mut run_store, 7, &placed);
+        assert_eq!(
+            run_store,
+            ProfileStore::from_points(run_profile_points(7, &placed))
+        );
+
+        let mut loi_store = ProfileStore::new();
+        push_loi_points(&mut loi_store, 3, &placed, |_| true);
+        assert_eq!(
+            loi_store,
+            ProfileStore::from_points(loi_points(3, &placed, |_| true))
+        );
     }
 
     #[test]

@@ -39,7 +39,7 @@ use crate::differentiation::{
 use crate::error::{MethodologyError, MethodologyResult};
 use crate::guidance::GuidanceEntry;
 use crate::profile::{
-    loi_points, place_logs, run_profile_points, PlacedLog, PowerProfile, ProfileKind,
+    place_logs, push_loi_points, push_run_profile_points, PlacedLog, PowerProfile, ProfileKind,
 };
 use crate::runner::{CollectedRun, KernelPowerReport, LoggerChoice, RunnerConfig};
 use crate::stats::median_u64;
@@ -576,9 +576,7 @@ pub fn stitch_profiles(
             continue;
         }
         let placed = place_logs(&run.trace, &run.sync);
-        run_profile
-            .points
-            .extend(run_profile_points(run_idx as u32, &placed));
+        push_run_profile_points(&mut run_profile.store, run_idx as u32, &placed);
 
         let durations = run.trace.execution_durations_ns();
         let within_margin = |pos: usize| -> bool {
@@ -587,16 +585,12 @@ pub fn stitch_profiles(
                 .map(|&d| (d as f64 - center).abs() <= center * margin.max(0.001) * 1.5)
                 .unwrap_or(false)
         };
-        sse_profile
-            .points
-            .extend(loi_points(run_idx as u32, &placed, |pos| {
-                pos as u32 == sse_index
-            }));
-        ssp_profile
-            .points
-            .extend(loi_points(run_idx as u32, &placed, |pos| {
-                pos as u32 >= ssp_index && within_margin(pos)
-            }));
+        push_loi_points(&mut sse_profile.store, run_idx as u32, &placed, |pos| {
+            pos as u32 == sse_index
+        });
+        push_loi_points(&mut ssp_profile.store, run_idx as u32, &placed, |pos| {
+            pos as u32 >= ssp_index && within_margin(pos)
+        });
     }
 
     StitchedProfiles {
@@ -713,9 +707,9 @@ mod tests {
 
         let s1 = stitch_profiles("k", &collected, &a, 2, 4, 0.05);
         let s2 = stitch_profiles("k", &collected, &a, 2, 4, 0.05);
-        assert_eq!(s1.run.points, s2.run.points);
-        for p in &s1.run.points {
-            assert!(a.is_golden(p.run as usize), "only golden runs stitched");
+        assert_eq!(s1.run.store, s2.run.store);
+        for p in s1.run.iter() {
+            assert!(a.is_golden(p.run() as usize), "only golden runs stitched");
         }
     }
 

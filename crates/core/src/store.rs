@@ -1,0 +1,1162 @@
+//! Columnar (SoA) storage for stitched profile points.
+//!
+//! Full-scale campaigns stitch hundreds of golden runs per kernel across a
+//! fourteen-kernel suite; an array-of-structs `Vec<ProfilePoint>` pays for
+//! `Option` discriminants and padding on every point and drags all eight
+//! scalars through the cache even when a consumer scans one column. The
+//! [`ProfileStore`] keeps each scalar in its own contiguous column (`run`,
+//! `exec_pos`, `toi_ns`, `run_time_ns`, plus one column per power
+//! component) with a single validity bitmap replacing the historical
+//! `exec_pos == u32::MAX` / `toi_ns == None` sentinels, so:
+//!
+//! * column scans (means, series extraction, busy-window clipping) touch
+//!   only the bytes they need, contiguously;
+//! * sorting and filtering permute an index vector instead of moving
+//!   56-byte structs ([`ProfileStore::argsort_by_axis`],
+//!   [`ProfileStore::indices_where`], [`ProfileStore::select`]);
+//! * the whole store maps 1:1 onto a raw little-endian on-disk layout
+//!   ([`ProfileStore::write_to`] / [`ProfileStore::read_from`]) that a
+//!   future mmap-backed or cross-process campaign shard can adopt
+//!   unchanged, and two persisted stores diff column-wise without
+//!   materializing points ([`ProfileStore::diff`]).
+//!
+//! Invalid slots (points that fell outside any execution) are stored
+//! *canonically zeroed* — `exec_pos = 0`, `toi_ns = 0.0` wherever the
+//! bitmap bit is clear — so structural equality, hashing of the encoded
+//! bytes, and the binary round trip are all bit-exact.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use fingrav_sim::power::{Component, ComponentPower};
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use crate::profile::{ProfileAxis, ProfilePoint};
+
+/// Magic bytes opening every persisted [`ProfileStore`].
+pub const STORE_MAGIC: [u8; 8] = *b"FGRVPROF";
+/// Current binary-format version.
+pub const STORE_VERSION: u32 = 1;
+
+/// Columnar profile-point storage. See the module docs for the layout
+/// rationale; see [`crate::profile::PowerProfile`] for the labelled wrapper
+/// most code interacts with.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileStore {
+    /// Contributing run per point.
+    run: Vec<u32>,
+    /// Execution position per point; canonically `0` where invalid.
+    exec_pos: Vec<u32>,
+    /// Time-of-interest per point, ns; canonically `0.0` where invalid.
+    toi_ns: Vec<f64>,
+    /// Run-relative time per point, ns.
+    run_time_ns: Vec<f64>,
+    /// XCD power column, watts.
+    xcd: Vec<f64>,
+    /// IOD power column, watts.
+    iod: Vec<f64>,
+    /// HBM power column, watts.
+    hbm: Vec<f64>,
+    /// Rest-of-package power column, watts.
+    rest: Vec<f64>,
+    /// Validity bitmap: bit `i` set ⇔ point `i` landed inside an execution
+    /// (its `exec_pos`/`toi_ns` columns are meaningful).
+    in_exec: Vec<u64>,
+}
+
+impl ProfileStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ProfileStore::default()
+    }
+
+    /// Creates an empty store with room for `n` points per column.
+    pub fn with_capacity(n: usize) -> Self {
+        ProfileStore {
+            run: Vec::with_capacity(n),
+            exec_pos: Vec::with_capacity(n),
+            toi_ns: Vec::with_capacity(n),
+            run_time_ns: Vec::with_capacity(n),
+            xcd: Vec::with_capacity(n),
+            iod: Vec::with_capacity(n),
+            hbm: Vec::with_capacity(n),
+            rest: Vec::with_capacity(n),
+            in_exec: Vec::with_capacity(n.div_ceil(64)),
+        }
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.run.len()
+    }
+
+    /// True when no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.run.is_empty()
+    }
+
+    /// Appends a point. `exec_pos` and `toi_ns` must agree on validity
+    /// (both `Some` — the point landed inside an execution — or both
+    /// `None`); they always do for points produced by log placement.
+    pub fn push(&mut self, p: ProfilePoint) {
+        debug_assert_eq!(
+            p.exec_pos.is_some(),
+            p.toi_ns.is_some(),
+            "exec_pos and toi_ns validity must coincide"
+        );
+        let idx = self.len();
+        let valid = p.exec_pos.is_some() && p.toi_ns.is_some();
+        self.run.push(p.run);
+        self.exec_pos
+            .push(if valid { p.exec_pos.unwrap_or(0) } else { 0 });
+        self.toi_ns
+            .push(if valid { p.toi_ns.unwrap_or(0.0) } else { 0.0 });
+        self.run_time_ns.push(p.run_time_ns);
+        self.xcd.push(p.power.xcd);
+        self.iod.push(p.power.iod);
+        self.hbm.push(p.power.hbm);
+        self.rest.push(p.power.rest);
+        if idx.is_multiple_of(64) {
+            self.in_exec.push(0);
+        }
+        if valid {
+            let word = idx / 64;
+            self.in_exec[word] |= 1u64 << (idx % 64);
+        }
+    }
+
+    /// Appends every point of an iterator.
+    pub fn extend<I: IntoIterator<Item = ProfilePoint>>(&mut self, points: I) {
+        for p in points {
+            self.push(p);
+        }
+    }
+
+    /// Appends every point of another store (the merge operation).
+    pub fn extend_from(&mut self, other: &ProfileStore) {
+        for p in other.iter() {
+            self.push(p.to_point());
+        }
+    }
+
+    /// Builds a store from owned points, reserving exact column capacity
+    /// when the iterator's length is known (keeps the SoA footprint tight
+    /// instead of inheriting `Vec` doubling overshoot).
+    pub fn from_points<I: IntoIterator<Item = ProfilePoint>>(points: I) -> Self {
+        let iter = points.into_iter();
+        let mut s = ProfileStore::with_capacity(iter.size_hint().0);
+        s.extend(iter);
+        s
+    }
+
+    // -- row access -----------------------------------------------------
+
+    /// True when point `i` landed inside an execution.
+    pub fn in_exec(&self, i: usize) -> bool {
+        (self.in_exec[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Contributing run of point `i`.
+    pub fn run(&self, i: usize) -> u32 {
+        self.run[i]
+    }
+
+    /// Execution position of point `i`, if it landed inside an execution.
+    pub fn exec_pos(&self, i: usize) -> Option<u32> {
+        self.in_exec(i).then(|| self.exec_pos[i])
+    }
+
+    /// Time-of-interest of point `i`, if it landed inside an execution.
+    pub fn toi_ns(&self, i: usize) -> Option<f64> {
+        self.in_exec(i).then(|| self.toi_ns[i])
+    }
+
+    /// Run-relative time of point `i`, ns.
+    pub fn run_time_ns(&self, i: usize) -> f64 {
+        self.run_time_ns[i]
+    }
+
+    /// Component power of point `i`.
+    pub fn power(&self, i: usize) -> ComponentPower {
+        ComponentPower::new(self.xcd[i], self.iod[i], self.hbm[i], self.rest[i])
+    }
+
+    /// Total (VR output) power of point `i`, watts.
+    pub fn total_w(&self, i: usize) -> f64 {
+        self.power(i).total()
+    }
+
+    /// A borrowed view of point `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn get(&self, i: usize) -> ProfilePointRef<'_> {
+        assert!(i < self.len(), "point index {i} out of bounds");
+        ProfilePointRef {
+            store: self,
+            idx: i,
+        }
+    }
+
+    /// Materializes point `i` as an owned [`ProfilePoint`].
+    pub fn point(&self, i: usize) -> ProfilePoint {
+        ProfilePoint {
+            run: self.run[i],
+            exec_pos: self.exec_pos(i),
+            toi_ns: self.toi_ns(i),
+            run_time_ns: self.run_time_ns[i],
+            power: self.power(i),
+        }
+    }
+
+    /// Iterates borrowed point views in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = ProfilePointRef<'_>> {
+        (0..self.len()).map(move |idx| ProfilePointRef { store: self, idx })
+    }
+
+    // -- zero-copy column slices ----------------------------------------
+
+    /// The run column.
+    pub fn runs(&self) -> &[u32] {
+        &self.run
+    }
+
+    /// The raw execution-position column (`0` where the bitmap is clear —
+    /// use [`ProfileStore::exec_pos`] for validity-aware access).
+    pub fn exec_pos_column(&self) -> &[u32] {
+        &self.exec_pos
+    }
+
+    /// The raw TOI column, ns (`0.0` where the bitmap is clear).
+    pub fn toi_column(&self) -> &[f64] {
+        &self.toi_ns
+    }
+
+    /// The run-relative-time column, ns.
+    pub fn run_times_ns(&self) -> &[f64] {
+        &self.run_time_ns
+    }
+
+    /// One component's power column, watts.
+    pub fn component_column(&self, c: Component) -> &[f64] {
+        match c {
+            Component::Xcd => &self.xcd,
+            Component::Iod => &self.iod,
+            Component::Hbm => &self.hbm,
+            Component::Rest => &self.rest,
+        }
+    }
+
+    /// The validity-bitmap words (bit `i % 64` of word `i / 64` is point
+    /// `i`'s in-execution flag).
+    pub fn validity_words(&self) -> &[u64] {
+        &self.in_exec
+    }
+
+    // -- column-wise reductions -----------------------------------------
+
+    /// Sum of every point's component power, in storage order (the same
+    /// f64 addition order the AoS fold used, so means are bit-identical).
+    pub fn sum_power(&self) -> ComponentPower {
+        let mut acc = ComponentPower::ZERO;
+        for i in 0..self.len() {
+            acc += self.power(i);
+        }
+        acc
+    }
+
+    /// Mean component power over all points; `None` if empty.
+    pub fn mean_power(&self) -> Option<ComponentPower> {
+        if self.is_empty() {
+            return None;
+        }
+        Some(self.sum_power() / self.len() as f64)
+    }
+
+    /// Number of points that landed inside an execution (popcount of the
+    /// validity bitmap).
+    pub fn in_exec_count(&self) -> usize {
+        self.in_exec.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    // -- index-permuting sort / filter ----------------------------------
+
+    /// Stable argsort of the points by the chosen time axis: returns the
+    /// index permutation instead of moving any column data. Points without
+    /// a TOI sort first on the [`ProfileAxis::Toi`] axis (matching the
+    /// historical `Option<f64>` ordering); non-comparable keys keep their
+    /// relative order.
+    ///
+    /// Internally this sorts compact `(key, index)` pairs gathered from
+    /// the key column — one sequential column read, then a sort over
+    /// small flat elements with no per-comparison indirection. The
+    /// [`ProfileAxis::Toi`] keys carry an explicit validity byte ordered
+    /// before the value, which reproduces `Option<f64>` ordering exactly
+    /// (`None` first, `NaN`s incomparable ⇒ stable).
+    pub fn argsort_by_axis(&self, axis: ProfileAxis) -> Vec<u32> {
+        match axis {
+            ProfileAxis::RunTime => {
+                let mut pairs: Vec<(f64, u32)> =
+                    self.run_time_ns.iter().copied().zip(0..).collect();
+                pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+                pairs.into_iter().map(|(_, i)| i).collect()
+            }
+            ProfileAxis::Toi => {
+                let mut pairs: Vec<(u8, f64, u32)> = (0..self.len() as u32)
+                    .map(|i| match self.toi_ns(i as usize) {
+                        Some(t) => (1, t, i),
+                        None => (0, 0.0, i),
+                    })
+                    .collect();
+                pairs.sort_by(|a, b| {
+                    (a.0, a.1)
+                        .partial_cmp(&(b.0, b.1))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                pairs.into_iter().map(|(_, _, i)| i).collect()
+            }
+        }
+    }
+
+    /// Indices of points satisfying `pred`, in storage order.
+    pub fn indices_where(&self, mut pred: impl FnMut(ProfilePointRef<'_>) -> bool) -> Vec<u32> {
+        (0..self.len() as u32)
+            .filter(|&i| pred(self.get(i as usize)))
+            .collect()
+    }
+
+    /// Indices of the points that landed inside an execution (the LOIs).
+    pub fn indices_in_exec(&self) -> Vec<u32> {
+        self.indices_where(|p| p.in_exec())
+    }
+
+    /// Gathers the given indices into a new store (also the way to apply
+    /// an [`ProfileStore::argsort_by_axis`] permutation).
+    pub fn select(&self, indices: &[u32]) -> ProfileStore {
+        let mut out = ProfileStore::with_capacity(indices.len());
+        for &i in indices {
+            out.push(self.point(i as usize));
+        }
+        out
+    }
+
+    /// A copy sorted by the chosen time axis.
+    pub fn sorted_by_axis(&self, axis: ProfileAxis) -> ProfileStore {
+        self.select(&self.argsort_by_axis(axis))
+    }
+
+    /// Keeps only points satisfying `pred` (in-place compaction).
+    pub fn retain(&mut self, pred: impl FnMut(ProfilePointRef<'_>) -> bool) {
+        let keep = self.indices_where(pred);
+        *self = self.select(&keep);
+    }
+
+    /// A copy with every power column scaled by `k` (time columns and the
+    /// bitmap are shared semantics, so they copy unchanged).
+    pub fn scale_power(&self, k: f64) -> ProfileStore {
+        let mut out = self.clone();
+        for col in [&mut out.xcd, &mut out.iod, &mut out.hbm, &mut out.rest] {
+            for w in col.iter_mut() {
+                *w *= k;
+            }
+        }
+        out
+    }
+
+    /// Approximate heap footprint of the columns, bytes (for capacity
+    /// planning and the AoS-vs-SoA benchmark).
+    pub fn heap_bytes(&self) -> usize {
+        self.run.capacity() * 4
+            + self.exec_pos.capacity() * 4
+            + (self.toi_ns.capacity()
+                + self.run_time_ns.capacity()
+                + self.xcd.capacity()
+                + self.iod.capacity()
+                + self.hbm.capacity()
+                + self.rest.capacity())
+                * 8
+            + self.in_exec.capacity() * 8
+    }
+
+    // -- binary on-disk format ------------------------------------------
+
+    /// Serialized size of this store in the binary format, bytes.
+    pub fn encoded_len(&self) -> usize {
+        let n = self.len();
+        24 + n * (4 + 4 + 8 * 6) + n.div_ceil(64) * 8
+    }
+
+    /// Writes the store in the versioned little-endian binary format:
+    /// an 8-byte magic, `u32` version, `u32` reserved flags, `u64` point
+    /// count, then the raw column blocks (`run`, `exec_pos`, `toi_ns`,
+    /// `run_time_ns`, `xcd`, `iod`, `hbm`, `rest`, validity bitmap) in
+    /// declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(&STORE_MAGIC)?;
+        w.write_all(&STORE_VERSION.to_le_bytes())?;
+        w.write_all(&0u32.to_le_bytes())?;
+        w.write_all(&(self.len() as u64).to_le_bytes())?;
+        let mut buf = Vec::with_capacity(self.len() * 8);
+        for col in [&self.run, &self.exec_pos] {
+            buf.clear();
+            for v in col.iter() {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            w.write_all(&buf)?;
+        }
+        for col in [
+            &self.toi_ns,
+            &self.run_time_ns,
+            &self.xcd,
+            &self.iod,
+            &self.hbm,
+            &self.rest,
+        ] {
+            buf.clear();
+            for v in col.iter() {
+                buf.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            w.write_all(&buf)?;
+        }
+        buf.clear();
+        for v in &self.in_exec {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        w.write_all(&buf)?;
+        Ok(())
+    }
+
+    /// Encodes the store to an owned byte buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.write_to(&mut out).expect("Vec writes are infallible");
+        out
+    }
+
+    /// Reads a store previously written by [`ProfileStore::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreCodecError::BadMagic`] /
+    /// [`StoreCodecError::UnsupportedVersion`] on a foreign or newer file,
+    /// [`StoreCodecError::Truncated`] when the reader ends inside a column
+    /// block, and [`StoreCodecError::Corrupt`] when the decoded content
+    /// violates the format's invariants (implausible length, stray bitmap
+    /// tail bits, non-canonical invalid slots).
+    pub fn read_from<R: Read>(r: &mut R) -> Result<ProfileStore, StoreCodecError> {
+        let mut magic = [0u8; 8];
+        read_exact(r, &mut magic, "magic")?;
+        if magic != STORE_MAGIC {
+            return Err(StoreCodecError::BadMagic(magic));
+        }
+        let version = read_u32(r, "version")?;
+        if version != STORE_VERSION {
+            return Err(StoreCodecError::UnsupportedVersion(version));
+        }
+        let _flags = read_u32(r, "flags")?;
+        let len = read_u64(r, "length")? as usize;
+        // 2^32 points would be a ≥256 GiB store; anything larger is a
+        // corrupt header, not data, and must not drive allocation.
+        if len > u32::MAX as usize {
+            return Err(StoreCodecError::Corrupt(format!(
+                "implausible point count {len}"
+            )));
+        }
+        let run = read_u32_column(r, len, "run")?;
+        let exec_pos = read_u32_column(r, len, "exec_pos")?;
+        let toi_ns = read_f64_column(r, len, "toi_ns")?;
+        let run_time_ns = read_f64_column(r, len, "run_time_ns")?;
+        let xcd = read_f64_column(r, len, "xcd")?;
+        let iod = read_f64_column(r, len, "iod")?;
+        let hbm = read_f64_column(r, len, "hbm")?;
+        let rest = read_f64_column(r, len, "rest")?;
+        let in_exec = read_u64_column(r, len.div_ceil(64), "validity bitmap")?;
+        let store = ProfileStore {
+            run,
+            exec_pos,
+            toi_ns,
+            run_time_ns,
+            xcd,
+            iod,
+            hbm,
+            rest,
+            in_exec,
+        };
+        store.validate()?;
+        Ok(store)
+    }
+
+    /// Decodes a store from an owned byte buffer, rejecting trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProfileStore::read_from`], plus [`StoreCodecError::Corrupt`]
+    /// when bytes remain after the bitmap block.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ProfileStore, StoreCodecError> {
+        let mut cursor = bytes;
+        let store = ProfileStore::read_from(&mut cursor)?;
+        if !cursor.is_empty() {
+            return Err(StoreCodecError::Corrupt(format!(
+                "{} trailing bytes after the bitmap block",
+                cursor.len()
+            )));
+        }
+        Ok(store)
+    }
+
+    /// Checks the canonical-form invariants a decoded store must satisfy.
+    fn validate(&self) -> Result<(), StoreCodecError> {
+        let len = self.len();
+        if !len.is_multiple_of(64) {
+            if let Some(&last) = self.in_exec.last() {
+                if last >> (len % 64) != 0 {
+                    return Err(StoreCodecError::Corrupt(
+                        "validity bitmap has bits set past the point count".into(),
+                    ));
+                }
+            }
+        }
+        for i in 0..len {
+            if !self.in_exec(i) && (self.exec_pos[i] != 0 || self.toi_ns[i].to_bits() != 0) {
+                return Err(StoreCodecError::Corrupt(format!(
+                    "point {i} is outside any execution but carries non-zero exec_pos/toi"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    // -- column-wise diffing --------------------------------------------
+
+    /// Compares two stores column-wise without materializing points: for
+    /// each column, how many entries differ (bit-comparison for floats, so
+    /// NaN-safe), the first differing index, and the largest absolute
+    /// delta. The report is the zero-copy substrate for diffing persisted
+    /// campaign artefacts across runs.
+    pub fn diff(&self, other: &ProfileStore) -> StoreDiff {
+        let n = self.len().min(other.len());
+        let mut columns = Vec::new();
+        let mut diff_u32 = |name: &'static str, a: &[u32], b: &[u32]| {
+            let mut d = ColumnDiff::new(name);
+            for i in 0..n {
+                if a[i] != b[i] {
+                    d.record(i, (f64::from(a[i]) - f64::from(b[i])).abs());
+                }
+            }
+            columns.push(d);
+        };
+        diff_u32("run", &self.run, &other.run);
+        diff_u32("exec_pos", &self.exec_pos, &other.exec_pos);
+        let mut diff_f64 = |name: &'static str, a: &[f64], b: &[f64]| {
+            let mut d = ColumnDiff::new(name);
+            for i in 0..n {
+                if a[i].to_bits() != b[i].to_bits() {
+                    d.record(i, (a[i] - b[i]).abs());
+                }
+            }
+            columns.push(d);
+        };
+        diff_f64("toi_ns", &self.toi_ns, &other.toi_ns);
+        diff_f64("run_time_ns", &self.run_time_ns, &other.run_time_ns);
+        diff_f64("xcd", &self.xcd, &other.xcd);
+        diff_f64("iod", &self.iod, &other.iod);
+        diff_f64("hbm", &self.hbm, &other.hbm);
+        diff_f64("rest", &self.rest, &other.rest);
+        let mut d = ColumnDiff::new("in_exec");
+        for i in 0..n {
+            if self.in_exec(i) != other.in_exec(i) {
+                d.record(i, 1.0);
+            }
+        }
+        columns.push(d);
+        StoreDiff {
+            len_a: self.len(),
+            len_b: other.len(),
+            columns,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a ProfileStore {
+    type Item = ProfilePointRef<'a>;
+    type IntoIter = Box<dyn Iterator<Item = ProfilePointRef<'a>> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+impl FromIterator<ProfilePoint> for ProfileStore {
+    fn from_iter<I: IntoIterator<Item = ProfilePoint>>(iter: I) -> Self {
+        ProfileStore::from_points(iter)
+    }
+}
+
+/// A borrowed view of one stored point — what [`ProfileStore::iter`]
+/// yields. Accessors read straight from the columns; nothing is copied
+/// until [`ProfilePointRef::to_point`].
+#[derive(Debug, Clone, Copy)]
+pub struct ProfilePointRef<'a> {
+    store: &'a ProfileStore,
+    idx: usize,
+}
+
+impl ProfilePointRef<'_> {
+    /// Index of this point within its store.
+    pub fn index(&self) -> usize {
+        self.idx
+    }
+
+    /// Contributing run.
+    pub fn run(&self) -> u32 {
+        self.store.run[self.idx]
+    }
+
+    /// Execution position, if the point landed inside an execution.
+    pub fn exec_pos(&self) -> Option<u32> {
+        self.store.exec_pos(self.idx)
+    }
+
+    /// Time-of-interest, ns, if the point landed inside an execution.
+    pub fn toi_ns(&self) -> Option<f64> {
+        self.store.toi_ns(self.idx)
+    }
+
+    /// Run-relative time, ns.
+    pub fn run_time_ns(&self) -> f64 {
+        self.store.run_time_ns[self.idx]
+    }
+
+    /// Component power.
+    pub fn power(&self) -> ComponentPower {
+        self.store.power(self.idx)
+    }
+
+    /// Total power, watts.
+    pub fn total_w(&self) -> f64 {
+        self.store.total_w(self.idx)
+    }
+
+    /// True when the point landed inside an execution.
+    pub fn in_exec(&self) -> bool {
+        self.store.in_exec(self.idx)
+    }
+
+    /// Materializes an owned [`ProfilePoint`].
+    pub fn to_point(&self) -> ProfilePoint {
+        self.store.point(self.idx)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codec errors
+// ---------------------------------------------------------------------
+
+/// Failure decoding a persisted [`ProfileStore`].
+#[derive(Debug)]
+pub enum StoreCodecError {
+    /// The reader failed below the format layer.
+    Io(io::Error),
+    /// The stream does not start with [`STORE_MAGIC`].
+    BadMagic([u8; 8]),
+    /// The stream's format version is not [`STORE_VERSION`].
+    UnsupportedVersion(u32),
+    /// The stream ended inside the named block.
+    Truncated(&'static str),
+    /// The stream decoded but violates a format invariant.
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreCodecError::Io(e) => write!(f, "i/o error reading profile store: {e}"),
+            StoreCodecError::BadMagic(m) => {
+                write!(f, "not a profile store (magic {m:02x?})")
+            }
+            StoreCodecError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported profile-store version {v} (expected {STORE_VERSION})"
+                )
+            }
+            StoreCodecError::Truncated(block) => {
+                write!(f, "profile store truncated inside the {block} block")
+            }
+            StoreCodecError::Corrupt(why) => write!(f, "corrupt profile store: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreCodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreCodecError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+fn read_exact<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    block: &'static str,
+) -> Result<(), StoreCodecError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            StoreCodecError::Truncated(block)
+        } else {
+            StoreCodecError::Io(e)
+        }
+    })
+}
+
+fn read_u32<R: Read>(r: &mut R, block: &'static str) -> Result<u32, StoreCodecError> {
+    let mut b = [0u8; 4];
+    read_exact(r, &mut b, block)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R, block: &'static str) -> Result<u64, StoreCodecError> {
+    let mut b = [0u8; 8];
+    read_exact(r, &mut b, block)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Elements read per `read_exact` when decoding a column. Bounds both the
+/// syscall count on unbuffered readers (one read per chunk, not per
+/// element) and the memory committed before truncation is detected: a
+/// corrupt header advertising billions of points allocates at most one
+/// chunk before the first short read surfaces as `Truncated`.
+const READ_CHUNK_ELEMS: usize = 64 * 1024;
+
+fn read_column<R: Read, T>(
+    r: &mut R,
+    len: usize,
+    elem_size: usize,
+    block: &'static str,
+    decode: impl Fn(&[u8]) -> T,
+) -> Result<Vec<T>, StoreCodecError> {
+    let chunk_elems = READ_CHUNK_ELEMS.min(len.max(1));
+    let mut buf = vec![0u8; chunk_elems * elem_size];
+    let mut out = Vec::with_capacity(chunk_elems.min(len));
+    let mut remaining = len;
+    while remaining > 0 {
+        let n = remaining.min(chunk_elems);
+        let bytes = &mut buf[..n * elem_size];
+        read_exact(r, bytes, block)?;
+        out.extend(bytes.chunks_exact(elem_size).map(&decode));
+        remaining -= n;
+    }
+    Ok(out)
+}
+
+fn read_u32_column<R: Read>(
+    r: &mut R,
+    len: usize,
+    block: &'static str,
+) -> Result<Vec<u32>, StoreCodecError> {
+    read_column(r, len, 4, block, |b| {
+        u32::from_le_bytes(b.try_into().expect("4-byte chunk"))
+    })
+}
+
+fn read_u64_column<R: Read>(
+    r: &mut R,
+    len: usize,
+    block: &'static str,
+) -> Result<Vec<u64>, StoreCodecError> {
+    read_column(r, len, 8, block, |b| {
+        u64::from_le_bytes(b.try_into().expect("8-byte chunk"))
+    })
+}
+
+fn read_f64_column<R: Read>(
+    r: &mut R,
+    len: usize,
+    block: &'static str,
+) -> Result<Vec<f64>, StoreCodecError> {
+    read_column(r, len, 8, block, |b| {
+        f64::from_bits(u64::from_le_bytes(b.try_into().expect("8-byte chunk")))
+    })
+}
+
+// ---------------------------------------------------------------------
+// Column-wise diff report
+// ---------------------------------------------------------------------
+
+/// Per-column difference summary from [`ProfileStore::diff`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDiff {
+    /// Column name.
+    pub column: &'static str,
+    /// Entries that differ over the compared prefix.
+    pub differing: usize,
+    /// Index of the first differing entry, if any.
+    pub first_index: Option<usize>,
+    /// Largest absolute numeric delta observed (NaN mismatches count as a
+    /// difference but contribute no delta).
+    pub max_abs_delta: f64,
+}
+
+impl ColumnDiff {
+    fn new(column: &'static str) -> Self {
+        ColumnDiff {
+            column,
+            differing: 0,
+            first_index: None,
+            max_abs_delta: 0.0,
+        }
+    }
+
+    fn record(&mut self, index: usize, delta: f64) {
+        if self.first_index.is_none() {
+            self.first_index = Some(index);
+        }
+        self.differing += 1;
+        if delta.is_finite() && delta > self.max_abs_delta {
+            self.max_abs_delta = delta;
+        }
+    }
+}
+
+/// Column-wise comparison of two stores ([`ProfileStore::diff`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreDiff {
+    /// Point count of the left store.
+    pub len_a: usize,
+    /// Point count of the right store.
+    pub len_b: usize,
+    /// One summary per column, over the common prefix.
+    pub columns: Vec<ColumnDiff>,
+}
+
+impl StoreDiff {
+    /// True when the stores are bit-identical (same length, no differing
+    /// entry in any column).
+    pub fn is_identical(&self) -> bool {
+        self.len_a == self.len_b && self.columns.iter().all(|c| c.differing == 0)
+    }
+
+    /// One human-readable line per differing column (plus a length line
+    /// when the stores disagree on point count); `"identical"` otherwise.
+    pub fn summary(&self) -> String {
+        if self.is_identical() {
+            return "identical".to_string();
+        }
+        let mut lines = Vec::new();
+        if self.len_a != self.len_b {
+            lines.push(format!("length: {} vs {}", self.len_a, self.len_b));
+        }
+        for c in self.columns.iter().filter(|c| c.differing > 0) {
+            lines.push(format!(
+                "{}: {} entries differ (first at {}, max |Δ| {:.6})",
+                c.column,
+                c.differing,
+                c.first_index.unwrap_or(0),
+                c.max_abs_delta,
+            ));
+        }
+        lines.join("\n")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serde (columnar JSON fallback)
+// ---------------------------------------------------------------------
+
+impl Serialize for ProfileStore {
+    fn to_value(&self) -> Value {
+        let f64_col = |col: &[f64]| Value::Seq(col.iter().map(|v| v.to_value()).collect());
+        let u32_col = |col: &[u32]| Value::Seq(col.iter().map(|v| v.to_value()).collect());
+        Value::Map(vec![
+            ("len".to_string(), (self.len() as u64).to_value()),
+            ("run".to_string(), u32_col(&self.run)),
+            ("exec_pos".to_string(), u32_col(&self.exec_pos)),
+            ("toi_ns".to_string(), f64_col(&self.toi_ns)),
+            ("run_time_ns".to_string(), f64_col(&self.run_time_ns)),
+            ("xcd".to_string(), f64_col(&self.xcd)),
+            ("iod".to_string(), f64_col(&self.iod)),
+            ("hbm".to_string(), f64_col(&self.hbm)),
+            ("rest".to_string(), f64_col(&self.rest)),
+            (
+                "in_exec".to_string(),
+                Value::Seq(self.in_exec.iter().map(|v| v.to_value()).collect()),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for ProfileStore {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| DeError::expected("map", "ProfileStore", v))?;
+        let field = |name: &str| serde::map_field(entries, name, "ProfileStore");
+        let len = u64::from_value(field("len")?)? as usize;
+        let store = ProfileStore {
+            run: Vec::<u32>::from_value(field("run")?)?,
+            exec_pos: Vec::<u32>::from_value(field("exec_pos")?)?,
+            toi_ns: Vec::<f64>::from_value(field("toi_ns")?)?,
+            run_time_ns: Vec::<f64>::from_value(field("run_time_ns")?)?,
+            xcd: Vec::<f64>::from_value(field("xcd")?)?,
+            iod: Vec::<f64>::from_value(field("iod")?)?,
+            hbm: Vec::<f64>::from_value(field("hbm")?)?,
+            rest: Vec::<f64>::from_value(field("rest")?)?,
+            in_exec: Vec::<u64>::from_value(field("in_exec")?)?,
+        };
+        let cols = [
+            store.run.len(),
+            store.exec_pos.len(),
+            store.toi_ns.len(),
+            store.run_time_ns.len(),
+            store.xcd.len(),
+            store.iod.len(),
+            store.hbm.len(),
+            store.rest.len(),
+        ];
+        if cols.iter().any(|&c| c != len) || store.in_exec.len() != len.div_ceil(64) {
+            return Err(DeError(format!(
+                "ProfileStore column lengths disagree with len = {len}"
+            )));
+        }
+        store
+            .validate()
+            .map_err(|e| DeError(format!("ProfileStore: {e}")))?;
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(run: u32, exec: Option<u32>, toi: Option<f64>, rt: f64, w: f64) -> ProfilePoint {
+        ProfilePoint {
+            run,
+            exec_pos: exec,
+            toi_ns: toi,
+            run_time_ns: rt,
+            power: ComponentPower::new(w, w / 2.0, w / 4.0, w / 8.0),
+        }
+    }
+
+    fn sample() -> ProfileStore {
+        ProfileStore::from_points([
+            pt(0, Some(2), Some(250.0), 2_000.0, 100.0),
+            pt(1, None, None, -400.0, 40.0),
+            pt(0, Some(0), Some(10.0), 1_000.0, 80.0),
+        ])
+    }
+
+    #[test]
+    fn push_and_row_access() {
+        let s = sample();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.exec_pos(0), Some(2));
+        assert_eq!(s.exec_pos(1), None);
+        assert_eq!(s.toi_ns(1), None);
+        assert_eq!(s.toi_ns(2), Some(10.0));
+        assert_eq!(s.in_exec_count(), 2);
+        assert_eq!(s.runs(), &[0, 1, 0]);
+        // Invalid slots are canonically zeroed in the raw columns.
+        assert_eq!(s.exec_pos_column()[1], 0);
+        assert_eq!(s.toi_column()[1], 0.0);
+    }
+
+    #[test]
+    fn point_round_trips_through_store() {
+        let points = [
+            pt(3, Some(1), Some(5.0), 7.0, 10.0),
+            pt(4, None, None, 9.0, 20.0),
+        ];
+        let s = ProfileStore::from_points(points);
+        assert_eq!(s.point(0), points[0]);
+        assert_eq!(s.point(1), points[1]);
+        let via_iter: Vec<ProfilePoint> = s.iter().map(|p| p.to_point()).collect();
+        assert_eq!(via_iter, points);
+    }
+
+    #[test]
+    fn bitmap_crosses_word_boundaries() {
+        let mut s = ProfileStore::new();
+        for i in 0..200u32 {
+            let valid = i % 3 == 0;
+            s.push(pt(
+                i,
+                valid.then_some(i),
+                valid.then_some(f64::from(i)),
+                f64::from(i),
+                1.0,
+            ));
+        }
+        for i in 0..200usize {
+            assert_eq!(s.in_exec(i), i % 3 == 0, "bit {i}");
+        }
+        assert_eq!(s.validity_words().len(), 4);
+    }
+
+    #[test]
+    fn argsort_is_stable_and_permutes_indices() {
+        let s = ProfileStore::from_points([
+            pt(0, Some(0), Some(3.0), 30.0, 1.0),
+            pt(1, None, None, 10.0, 2.0),
+            pt(2, Some(0), Some(1.0), 10.0, 3.0),
+        ]);
+        assert_eq!(s.argsort_by_axis(ProfileAxis::RunTime), vec![1, 2, 0]);
+        // TOI-less points sort first (None < Some), preserving order.
+        assert_eq!(s.argsort_by_axis(ProfileAxis::Toi), vec![1, 2, 0]);
+        let sorted = s.sorted_by_axis(ProfileAxis::RunTime);
+        assert_eq!(sorted.run_times_ns(), &[10.0, 10.0, 30.0]);
+    }
+
+    #[test]
+    fn select_retain_and_scale() {
+        let mut s = sample();
+        let lois = s.select(&s.indices_in_exec());
+        assert_eq!(lois.len(), 2);
+        assert!(lois.iter().all(|p| p.in_exec()));
+        let scaled = s.scale_power(0.5);
+        assert!((scaled.total_w(0) - s.total_w(0) * 0.5).abs() < 1e-12);
+        s.retain(|p| p.run() == 0);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn binary_round_trip_is_bit_identical() {
+        let s = sample();
+        let bytes = s.to_bytes();
+        assert_eq!(bytes.len(), s.encoded_len());
+        let restored = ProfileStore::from_bytes(&bytes).unwrap();
+        assert_eq!(restored, s);
+        assert_eq!(restored.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let s = ProfileStore::new();
+        let restored = ProfileStore::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(restored, s);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            ProfileStore::from_bytes(&bytes),
+            Err(StoreCodecError::BadMagic(_))
+        ));
+        let mut bytes = sample().to_bytes();
+        bytes[8] = 99;
+        assert!(matches!(
+            ProfileStore::from_bytes(&bytes),
+            Err(StoreCodecError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_reported_per_block() {
+        let bytes = sample().to_bytes();
+        for cut in [4, 20, 30, bytes.len() - 1] {
+            let err = ProfileStore::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, StoreCodecError::Truncated(_)),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn stray_bitmap_bits_and_trailing_bytes_are_corrupt() {
+        let mut bytes = sample().to_bytes();
+        // The 3-point store uses bits 0..3 of the final u64; set bit 40.
+        let last = bytes.len() - 8;
+        bytes[last + 5] = 0x01;
+        assert!(matches!(
+            ProfileStore::from_bytes(&bytes),
+            Err(StoreCodecError::Corrupt(_))
+        ));
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            ProfileStore::from_bytes(&bytes),
+            Err(StoreCodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn non_canonical_invalid_slots_are_corrupt() {
+        let mut bytes = sample().to_bytes();
+        // Point 1 is invalid; its exec_pos u32 sits at 24 + 3*4 + 1*4.
+        let off = 24 + 3 * 4 + 4;
+        bytes[off] = 7;
+        assert!(matches!(
+            ProfileStore::from_bytes(&bytes),
+            Err(StoreCodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn diff_reports_columns_and_identity() {
+        let a = sample();
+        assert!(a.diff(&a).is_identical());
+        assert_eq!(a.diff(&a).summary(), "identical");
+
+        let mut b = sample();
+        b.retain(|_| true); // no-op rebuild
+        let mut c = ProfileStore::new();
+        for (i, p) in b.iter().enumerate() {
+            let mut point = p.to_point();
+            if i == 1 {
+                point.run_time_ns += 2.5;
+            }
+            c.push(point);
+        }
+        let d = a.diff(&c);
+        assert!(!d.is_identical());
+        let rt = d
+            .columns
+            .iter()
+            .find(|col| col.column == "run_time_ns")
+            .unwrap();
+        assert_eq!(rt.differing, 1);
+        assert_eq!(rt.first_index, Some(1));
+        assert!((rt.max_abs_delta - 2.5).abs() < 1e-12);
+        assert!(d.summary().contains("run_time_ns"));
+
+        let shorter = a.select(&[0, 1]);
+        assert!(!a.diff(&shorter).is_identical());
+        assert!(a.diff(&shorter).summary().contains("length"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = sample();
+        let json = serde_json::to_string(&s).unwrap();
+        let restored: ProfileStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored, s);
+        // Columnar layout: each column appears once as an array.
+        assert!(json.contains("\"run_time_ns\":["));
+    }
+
+    #[test]
+    fn json_rejects_inconsistent_columns() {
+        let s = sample();
+        let json = serde_json::to_string(&s).unwrap();
+        let broken = json.replacen("\"len\":3", "\"len\":2", 1);
+        assert!(serde_json::from_str::<ProfileStore>(&broken).is_err());
+    }
+
+    #[test]
+    fn heap_bytes_tracks_columns() {
+        let s = sample();
+        assert!(s.heap_bytes() >= 3 * (4 + 4 + 6 * 8));
+    }
+}

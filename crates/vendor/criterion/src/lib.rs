@@ -5,9 +5,18 @@
 //! [`Criterion::benchmark_group`], [`Bencher::iter`] /
 //! [`Bencher::iter_batched`], [`black_box`], and the
 //! [`criterion_group!`] / [`criterion_main!`] macros — backed by a simple
-//! warmup-then-sample wall-clock harness. It reports mean/min/max per
-//! benchmark to stdout; it does not implement criterion's statistics,
-//! plotting, or baseline storage.
+//! warmup-then-sample wall-clock harness.
+//!
+//! Fidelity features mirroring upstream criterion's statistics:
+//!
+//! * **IQR outlier rejection** — samples outside
+//!   `[Q1 − 1.5·IQR, Q3 + 1.5·IQR]` are excluded from the reported
+//!   mean/min/max (the rejected count is printed), so a stray scheduler
+//!   hiccup no longer smears the summary;
+//! * **baseline comparison** — `--save-baseline NAME` persists each
+//!   benchmark's filtered statistics as JSON under
+//!   `target/criterion-shim/`, and `--baseline NAME` prints the relative
+//!   mean change against the saved record, upstream-style.
 //!
 //! Like upstream, `--bench`/`--test` style argv from `cargo bench` is
 //! accepted and a positional filter restricts which benchmarks run.
@@ -15,7 +24,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
 
 pub use std::hint::black_box;
 
@@ -36,6 +48,9 @@ pub enum BatchSize {
 pub struct Criterion {
     sample_size: usize,
     filter: Option<String>,
+    save_baseline: Option<String>,
+    compare_baseline: Option<String>,
+    baseline_dir: PathBuf,
 }
 
 impl Default for Criterion {
@@ -43,24 +58,37 @@ impl Default for Criterion {
         Criterion {
             sample_size: 30,
             filter: None,
+            save_baseline: None,
+            compare_baseline: None,
+            baseline_dir: PathBuf::from("target").join("criterion-shim"),
         }
     }
 }
 
 impl Criterion {
-    /// Applies `cargo bench` argv: flags are ignored, the first positional
-    /// argument becomes a substring filter on benchmark names.
+    /// Applies `cargo bench` argv: most flags are ignored,
+    /// `--save-baseline NAME` / `--baseline NAME` (space- or `=`-joined,
+    /// as upstream's clap accepts both) arm baseline storage and
+    /// comparison, and the first positional argument becomes a substring
+    /// filter on benchmark names.
     #[must_use]
     pub fn configure_from_args(mut self) -> Self {
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--bench" | "--test" | "--nocapture" | "--quiet" | "--exact" => {}
-                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
-                | "--sample-size" => {
+                "--save-baseline" => self.save_baseline = args.next(),
+                "--baseline" => self.compare_baseline = args.next(),
+                "--measurement-time" | "--warm-up-time" | "--sample-size" => {
                     let _ = args.next();
                 }
-                flag if flag.starts_with("--") => {}
+                flag if flag.starts_with("--") => {
+                    if let Some(name) = flag.strip_prefix("--save-baseline=") {
+                        self.save_baseline = Some(name.to_string());
+                    } else if let Some(name) = flag.strip_prefix("--baseline=") {
+                        self.compare_baseline = Some(name.to_string());
+                    }
+                }
                 positional => self.filter = Some(positional.to_string()),
             }
         }
@@ -70,6 +98,27 @@ impl Criterion {
     /// Sets the number of measured samples per benchmark.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides where baseline JSON records are stored (defaults to
+    /// `target/criterion-shim/`).
+    pub fn baseline_dir(&mut self, dir: impl Into<PathBuf>) -> &mut Self {
+        self.baseline_dir = dir.into();
+        self
+    }
+
+    /// Arms saving each benchmark's statistics under the given baseline
+    /// name (the programmatic equivalent of `--save-baseline`).
+    pub fn save_baseline(&mut self, name: impl Into<String>) -> &mut Self {
+        self.save_baseline = Some(name.into());
+        self
+    }
+
+    /// Arms comparison against a previously saved baseline (the
+    /// programmatic equivalent of `--baseline`).
+    pub fn retain_baseline(&mut self, name: impl Into<String>) -> &mut Self {
+        self.compare_baseline = Some(name.into());
         self
     }
 
@@ -88,7 +137,7 @@ impl Criterion {
             sample_size: self.sample_size,
         };
         f(&mut b);
-        report(name, &b.samples);
+        self.report(name, &b.samples);
         self
     }
 
@@ -99,6 +148,193 @@ impl Criterion {
             name: name.to_string(),
         }
     }
+
+    fn report(&self, name: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{name:<44} (no samples)");
+            return;
+        }
+        let stats = SampleStats::from_samples(samples);
+        let rejected = if stats.rejected > 0 {
+            format!(", {} outliers rejected", stats.rejected)
+        } else {
+            String::new()
+        };
+        println!(
+            "{name:<44} time: [{} {} {}]  ({} samples{rejected})",
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.mean_ns),
+            fmt_ns(stats.max_ns),
+            samples.len(),
+        );
+        if let Some(baseline) = &self.compare_baseline {
+            match self.load_baseline(name, baseline) {
+                Some(old) if old.mean_ns > 0.0 => {
+                    let change = (stats.mean_ns - old.mean_ns) / old.mean_ns * 100.0;
+                    println!(
+                        "{:<44} change: [{change:+.2}%] vs baseline '{baseline}' \
+                         (mean {} -> {})",
+                        "",
+                        fmt_ns(old.mean_ns),
+                        fmt_ns(stats.mean_ns),
+                    );
+                }
+                _ => println!(
+                    "{:<44} no saved baseline '{baseline}' for this benchmark",
+                    ""
+                ),
+            }
+        }
+        if let Some(baseline) = &self.save_baseline {
+            if let Err(e) = self.store_baseline(name, baseline, &stats) {
+                eprintln!("warning: could not save baseline '{baseline}' for {name}: {e}");
+            }
+        }
+    }
+
+    fn baseline_path(&self, bench: &str, baseline: &str) -> PathBuf {
+        // Sanitizing alone would collide names differing only in
+        // punctuation ("a/b" vs "a b"); an FNV-1a tag of the raw pair
+        // keeps every (bench, baseline) on its own file.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in bench.bytes().chain([0u8]).chain(baseline.bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        self.baseline_dir.join(format!(
+            "{}.{}.{:08x}.json",
+            sanitize(bench),
+            sanitize(baseline),
+            h as u32,
+        ))
+    }
+
+    fn load_baseline(&self, bench: &str, baseline: &str) -> Option<BaselineRecord> {
+        let text = std::fs::read_to_string(self.baseline_path(bench, baseline)).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    fn store_baseline(
+        &self,
+        bench: &str,
+        baseline: &str,
+        stats: &SampleStats,
+    ) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.baseline_dir)?;
+        let record = BaselineRecord {
+            bench: bench.to_string(),
+            baseline: baseline.to_string(),
+            mean_ns: stats.mean_ns,
+            median_ns: stats.median_ns,
+            min_ns: stats.min_ns,
+            max_ns: stats.max_ns,
+            samples: stats.samples as u64,
+            rejected: stats.rejected as u64,
+        };
+        let json = serde_json::to_string_pretty(&record)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        std::fs::write(self.baseline_path(bench, baseline), json)
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
+}
+
+/// A persisted benchmark baseline (one JSON file per benchmark+baseline).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineRecord {
+    /// Benchmark name.
+    pub bench: String,
+    /// Baseline name it was saved under.
+    pub baseline: String,
+    /// Outlier-filtered mean, ns.
+    pub mean_ns: f64,
+    /// Outlier-filtered median, ns.
+    pub median_ns: f64,
+    /// Outlier-filtered minimum, ns.
+    pub min_ns: f64,
+    /// Outlier-filtered maximum, ns.
+    pub max_ns: f64,
+    /// Measured sample count (before rejection).
+    pub samples: u64,
+    /// Samples rejected by the IQR fence.
+    pub rejected: u64,
+}
+
+/// Summary statistics over one benchmark's samples, after IQR outlier
+/// rejection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Filtered mean, ns.
+    pub mean_ns: f64,
+    /// Filtered median, ns.
+    pub median_ns: f64,
+    /// Filtered minimum, ns.
+    pub min_ns: f64,
+    /// Filtered maximum, ns.
+    pub max_ns: f64,
+    /// Measured sample count (before rejection).
+    pub samples: usize,
+    /// Samples rejected by the IQR fence.
+    pub rejected: usize,
+}
+
+impl SampleStats {
+    /// Computes filtered statistics from raw duration samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples` is empty.
+    pub fn from_samples(samples: &[Duration]) -> SampleStats {
+        assert!(!samples.is_empty(), "no samples");
+        let ns: Vec<f64> = samples.iter().map(|d| d.as_nanos() as f64).collect();
+        let (kept, rejected) = iqr_filter(&ns);
+        let mean = kept.iter().sum::<f64>() / kept.len() as f64;
+        let mut sorted = kept.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        SampleStats {
+            mean_ns: mean,
+            median_ns: quantile(&sorted, 0.5),
+            min_ns: sorted[0],
+            max_ns: sorted[sorted.len() - 1],
+            samples: samples.len(),
+            rejected,
+        }
+    }
+}
+
+/// Splits samples into those inside Tukey's fences
+/// `[Q1 − 1.5·IQR, Q3 + 1.5·IQR]` and a rejected-count. Fewer than four
+/// samples give no rejection (quartiles are meaningless).
+pub fn iqr_filter(ns: &[f64]) -> (Vec<f64>, usize) {
+    if ns.len() < 4 {
+        return (ns.to_vec(), 0);
+    }
+    let mut sorted = ns.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let q1 = quantile(&sorted, 0.25);
+    let q3 = quantile(&sorted, 0.75);
+    let iqr = q3 - q1;
+    let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let kept: Vec<f64> = ns.iter().copied().filter(|&x| x >= lo && x <= hi).collect();
+    let rejected = ns.len() - kept.len();
+    if kept.is_empty() {
+        // Degenerate distributions must never reject everything.
+        return (ns.to_vec(), 0);
+    }
+    (kept, rejected)
+}
+
+/// Linear-interpolated quantile over an already sorted slice.
+fn quantile(sorted: &[f64], p: f64) -> f64 {
+    let pos = p * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
 }
 
 /// A named group of benchmarks sharing configuration.
@@ -166,34 +402,15 @@ impl Bencher {
     }
 }
 
-fn report(name: &str, samples: &[Duration]) {
-    if samples.is_empty() {
-        println!("{name:<44} (no samples)");
-        return;
-    }
-    let total: Duration = samples.iter().sum();
-    let mean = total / samples.len() as u32;
-    let min = samples.iter().min().expect("non-empty");
-    let max = samples.iter().max().expect("non-empty");
-    println!(
-        "{name:<44} time: [{} {} {}]  ({} samples)",
-        fmt_duration(*min),
-        fmt_duration(mean),
-        fmt_duration(*max),
-        samples.len(),
-    );
-}
-
-fn fmt_duration(d: Duration) -> String {
-    let ns = d.as_nanos();
-    if ns < 1_000 {
-        format!("{ns} ns")
-    } else if ns < 1_000_000 {
-        format!("{:.2} us", ns as f64 / 1e3)
-    } else if ns < 1_000_000_000 {
-        format!("{:.2} ms", ns as f64 / 1e6)
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1e6)
     } else {
-        format!("{:.3} s", ns as f64 / 1e9)
+        format!("{:.3} s", ns / 1e9)
     }
 }
 
@@ -237,9 +454,10 @@ mod tests {
     #[test]
     fn groups_prefix_names_and_filter_applies() {
         let mut c = Criterion {
-            sample_size: 2,
             filter: Some("wanted".into()),
+            ..Criterion::default()
         };
+        c.sample_size(2);
         let mut group = c.benchmark_group("g");
         let mut ran_wanted = false;
         let mut ran_other = false;
@@ -259,5 +477,76 @@ mod tests {
             b.iter_batched(|| setups += 1, |_| (), BatchSize::SmallInput)
         });
         assert_eq!(setups, 3);
+    }
+
+    #[test]
+    fn iqr_rejects_the_stray_sample() {
+        let mut ns: Vec<f64> = (0..20).map(|i| 100.0 + f64::from(i)).collect();
+        ns[13] = 5_000.0; // the scheduler hiccup
+        let (kept, rejected) = iqr_filter(&ns);
+        assert_eq!(rejected, 1);
+        assert!(kept.iter().all(|&x| x < 1_000.0));
+
+        // Tight distributions lose nothing.
+        let tight: Vec<f64> = (0..20).map(|i| 100.0 + f64::from(i)).collect();
+        let (kept, rejected) = iqr_filter(&tight);
+        assert_eq!(rejected, 0);
+        assert_eq!(kept.len(), 20);
+
+        // Tiny sample sets are never filtered.
+        let (kept, rejected) = iqr_filter(&[1.0, 1e9]);
+        assert_eq!((kept.len(), rejected), (2, 0));
+    }
+
+    #[test]
+    fn stats_reflect_filtering() {
+        let mut samples = vec![Duration::from_nanos(100); 15];
+        samples.push(Duration::from_micros(500));
+        let stats = SampleStats::from_samples(&samples);
+        assert_eq!(stats.samples, 16);
+        assert_eq!(stats.rejected, 1);
+        assert!((stats.mean_ns - 100.0).abs() < 1e-9);
+        assert!((stats.max_ns - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_save_and_compare_round_trip() {
+        let dir = std::env::temp_dir().join(format!("criterion-shim-test-{}", std::process::id()));
+        let mut c = Criterion::default();
+        c.sample_size(3).baseline_dir(&dir).save_baseline("main");
+        c.bench_function("shim/baseline", |b| b.iter(|| std::hint::black_box(3 * 7)));
+        let saved = c.load_baseline("shim/baseline", "main").expect("saved");
+        assert_eq!(saved.bench, "shim/baseline");
+        assert_eq!(saved.baseline, "main");
+        assert!(saved.mean_ns >= 0.0);
+        assert_eq!(saved.samples, 3);
+
+        // A comparing run reads the record back (and re-reports cleanly).
+        let mut c2 = Criterion::default();
+        c2.sample_size(3).baseline_dir(&dir).retain_baseline("main");
+        c2.bench_function("shim/baseline", |b| b.iter(|| std::hint::black_box(3 * 7)));
+        assert!(c2.load_baseline("shim/baseline", "main").is_some());
+        assert!(c2.load_baseline("shim/baseline", "other").is_none());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn baseline_paths_are_sanitized_and_collision_free() {
+        let c = Criterion::default();
+        let p = c.baseline_path("group/bench name", "my base");
+        let file = p.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(file.starts_with("group-bench-name.my-base."));
+        assert!(file.ends_with(".json"));
+        // Names differing only in punctuation must not share a file.
+        assert_ne!(
+            c.baseline_path("group/mean aos", "main"),
+            c.baseline_path("group mean-aos", "main"),
+        );
+        // The path is stable for the same pair.
+        assert_eq!(
+            c.baseline_path("group/bench name", "my base"),
+            c.baseline_path("group/bench name", "my base"),
+        );
     }
 }

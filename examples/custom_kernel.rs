@@ -51,13 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.runs_executed
     );
 
-    // Section VI: outlier-band suggestions from the observed durations.
-    let durations: Vec<u64> = report
-        .run_profile
-        .points
-        .iter()
-        .filter_map(|p| p.toi_ns.map(|_| report.exec_time_ns))
-        .collect();
+    // Section VI: outlier-band suggestions from the observed durations
+    // (one entry per LOI — a popcount of the store's validity bitmap).
+    let durations: Vec<u64> = vec![report.exec_time_ns; report.run_profile.store.in_exec_count()];
     let targets = outliers::suggest_targets(&durations, report.margin_frac);
     println!(
         "\noutlier execution-time bands worth a dedicated profile: {}",

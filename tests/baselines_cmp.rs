@@ -53,18 +53,18 @@ fn synchronized_profile_is_more_coherent_than_unsynchronized() {
     };
     let mut runner = FingravRunner::new(&mut gpu, runner_cfg);
     let report = runner.profile(&kernel).expect("profiles");
-    // Clip to the busy window (ignore the logger drain).
-    let busy_end = report
-        .run_profile
-        .points
+    // Clip to the busy window (ignore the logger drain): the validity
+    // bitmap gates the run-time column without materializing points.
+    let run_store = &report.run_profile.store;
+    let busy_end = run_store
+        .run_times_ns()
         .iter()
-        .filter(|p| p.exec_pos != u32::MAX)
-        .map(|p| p.run_time_ns)
+        .enumerate()
+        .filter(|&(i, _)| run_store.in_exec(i))
+        .map(|(_, &t)| t)
         .fold(0.0_f64, f64::max);
     let mut synced = report.run_profile.clone();
-    synced
-        .points
-        .retain(|p| p.run_time_ns >= 0.0 && p.run_time_ns <= busy_end);
+    synced.retain(|p| p.run_time_ns() >= 0.0 && p.run_time_ns() <= busy_end);
 
     let mut gpu = Simulation::new(sim_cfg, 82).expect("valid");
     let cfg = BaselineConfig {
@@ -74,9 +74,7 @@ fn synchronized_profile_is_more_coherent_than_unsynchronized() {
         ..BaselineConfig::default()
     };
     let mut unsynced = unsynchronized::profile(&mut gpu, &kernel, &cfg).expect("baseline");
-    unsynced
-        .points
-        .retain(|p| p.run_time_ns >= 0.0 && p.run_time_ns <= busy_end);
+    unsynced.retain(|p| p.run_time_ns() >= 0.0 && p.run_time_ns() <= busy_end);
 
     let (r2_sync, r2_unsync) = (r2(&synced), r2(&unsynced));
     assert!(

@@ -1,0 +1,321 @@
+//! Columnar `ProfileStore` guarantees: lossless round trips through the
+//! binary on-disk format and the JSON fallback, equivalence of columnar
+//! and legacy AoS stitching, robust rejection of damaged files, byte-for-
+//! byte CSV stability against pre-refactor golden fixtures, and binary
+//! artefact bit-identity across campaign worker counts.
+
+use fingrav::baselines::common::BaselineConfig;
+use fingrav::baselines::unsynchronized;
+use fingrav::core::backend::SimulationFactory;
+use fingrav::core::campaign::Campaign;
+use fingrav::core::executor::CampaignExecutor;
+use fingrav::core::profile::{
+    loi_points, place_logs, push_loi_points, push_run_profile_points, run_profile_points,
+    PowerProfile, ProfileAxis, ProfileKind, ProfilePoint,
+};
+use fingrav::core::report::profile_to_csv;
+use fingrav::core::runner::{FingravRunner, RunnerConfig};
+use fingrav::core::store::{ProfileStore, StoreCodecError};
+use fingrav::core::sync::{ReadDelayCalibration, TimeSync};
+use fingrav::sim::kernel::KernelHandle;
+use fingrav::sim::telemetry::PowerLog;
+use fingrav::sim::trace::{RunTrace, TimedExecution, TimestampRead};
+use fingrav::sim::{ComponentPower, CpuTime, GpuTicks, SimConfig, Simulation};
+use fingrav::workloads::suite;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Property: store ⇄ binary ⇄ JSON round trips
+// ---------------------------------------------------------------------
+
+/// Builds a store from three independently drawn columns (zipped to the
+/// shortest), with validity derived from the exec column.
+fn build_store(runs: &[u32], vals: &[f64], execs: &[u32]) -> ProfileStore {
+    let n = runs.len().min(vals.len()).min(execs.len());
+    let mut store = ProfileStore::with_capacity(n);
+    for i in 0..n {
+        let valid = !execs[i].is_multiple_of(3);
+        store.push(ProfilePoint {
+            run: runs[i],
+            exec_pos: valid.then_some(execs[i]),
+            toi_ns: valid.then_some(vals[i].abs()),
+            run_time_ns: vals[i],
+            power: ComponentPower::new(
+                vals[i] * 0.50,
+                vals[i] * 0.25,
+                vals[i] * 0.15,
+                vals[i] * 0.10,
+            ),
+        });
+    }
+    store
+}
+
+proptest! {
+    /// Binary encode → decode is lossless and re-encodes bit-identically;
+    /// the JSON fallback round-trips to an equal store.
+    #[test]
+    fn store_round_trips_through_binary_and_json(
+        runs in prop::collection::vec(0u32..500, 0..120),
+        vals in prop::collection::vec(-1.0e7f64..1.0e7, 0..120),
+        execs in prop::collection::vec(0u32..64, 0..120),
+    ) {
+        let store = build_store(&runs, &vals, &execs);
+
+        let bytes = store.to_bytes();
+        prop_assert_eq!(bytes.len(), store.encoded_len());
+        let restored = match ProfileStore::from_bytes(&bytes) {
+            Ok(s) => s,
+            Err(e) => return Err(format!("decode failed: {e}")),
+        };
+        prop_assert_eq!(&restored, &store);
+        prop_assert_eq!(restored.to_bytes(), bytes);
+        prop_assert!(store.diff(&restored).is_identical());
+
+        let json = serde_json::to_string(&store).expect("serializes");
+        let from_json: ProfileStore = match serde_json::from_str(&json) {
+            Ok(s) => s,
+            Err(e) => return Err(format!("json decode failed: {e}")),
+        };
+        prop_assert_eq!(&from_json, &store);
+    }
+
+    /// Any truncation of a valid encoding is rejected as `Truncated`,
+    /// never decoded into a wrong store and never a panic.
+    #[test]
+    fn truncated_encodings_never_decode(
+        runs in prop::collection::vec(0u32..500, 1..40),
+        vals in prop::collection::vec(-1.0e6f64..1.0e6, 1..40),
+        execs in prop::collection::vec(0u32..64, 1..40),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let store = build_store(&runs, &vals, &execs);
+        let bytes = store.to_bytes();
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        match ProfileStore::from_bytes(&bytes[..cut]) {
+            Err(StoreCodecError::Truncated(_)) => {}
+            other => return Err(format!("cut at {cut}: expected Truncated, got {other:?}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property: columnar stitching ≡ legacy AoS stitching on random traces
+// ---------------------------------------------------------------------
+
+/// Identity-ish sync: tick k ↦ cpu 10·k ns (100 MHz anchored at zero).
+fn identity_sync() -> TimeSync {
+    let read = TimestampRead {
+        cpu_before: CpuTime::from_nanos(0),
+        cpu_after: CpuTime::from_nanos(0),
+        ticks: GpuTicks::from_raw(0),
+    };
+    let calib = ReadDelayCalibration {
+        median_rtt_ns: 0,
+        assumed_sample_frac: 0.5,
+    };
+    TimeSync::from_anchor(&read, &calib, 100e6)
+}
+
+/// Builds a random trace: sorted, non-overlapping executions plus power
+/// logs at arbitrary ticks (inside and outside executions).
+fn build_trace(starts: &[u64], ticks: &[u64]) -> RunTrace {
+    let mut starts: Vec<u64> = starts.to_vec();
+    starts.sort_unstable();
+    starts.dedup();
+    let mut trace = RunTrace::default();
+    for (i, &s) in starts.iter().enumerate() {
+        let gap = starts.get(i + 1).map(|&n| n - s).unwrap_or(20_000);
+        let end = s + (gap / 2).max(1);
+        trace.executions.push(TimedExecution {
+            kernel: KernelHandle::default(),
+            index: i as u32,
+            cpu_start: CpuTime::from_nanos(s),
+            cpu_end: CpuTime::from_nanos(end),
+        });
+    }
+    for (i, &t) in ticks.iter().enumerate() {
+        trace.power_logs.push(PowerLog {
+            ticks: GpuTicks::from_raw(t),
+            avg: ComponentPower::new(
+                100.0 + i as f64,
+                50.0 + i as f64,
+                25.0 + i as f64,
+                12.0 + i as f64,
+            ),
+        });
+    }
+    trace
+}
+
+proptest! {
+    /// The columnar appenders and the legacy AoS builders stitch random
+    /// traces into equal stores, for run profiles and filtered LOI sets.
+    #[test]
+    fn columnar_stitching_matches_legacy_aos(
+        starts in prop::collection::vec(0u64..5_000_000, 1..24),
+        ticks in prop::collection::vec(0u64..600_000, 0..100),
+        run in 0u32..1000,
+    ) {
+        let trace = build_trace(&starts, &ticks);
+        let placed = place_logs(&trace, &identity_sync());
+
+        let legacy_run = ProfileStore::from_points(run_profile_points(run, &placed));
+        let mut columnar_run = ProfileStore::new();
+        push_run_profile_points(&mut columnar_run, run, &placed);
+        prop_assert_eq!(&columnar_run, &legacy_run);
+        prop_assert_eq!(columnar_run.to_bytes(), legacy_run.to_bytes());
+
+        let select = |pos: usize| pos.is_multiple_of(2);
+        let legacy_loi = ProfileStore::from_points(loi_points(run, &placed, select));
+        let mut columnar_loi = ProfileStore::new();
+        push_loi_points(&mut columnar_loi, run, &placed, select);
+        prop_assert_eq!(&columnar_loi, &legacy_loi);
+
+        // Every LOI is marked in-execution; the run profile's bitmap
+        // popcount equals the number of placed logs inside executions.
+        prop_assert_eq!(columnar_loi.in_exec_count(), columnar_loi.len());
+        let inside = placed.iter().filter(|l| l.containing_exec.is_some()).count();
+        prop_assert_eq!(columnar_run.in_exec_count(), inside);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Corrupt-header rejection (integration-level)
+// ---------------------------------------------------------------------
+
+#[test]
+fn corrupt_headers_are_rejected_with_specific_errors() {
+    let store = build_store(&[1, 2, 3], &[10.0, -20.0, 30.0], &[1, 3, 5]);
+    let good = store.to_bytes();
+
+    let mut bad_magic = good.clone();
+    bad_magic[..8].copy_from_slice(b"NOTPROF!");
+    assert!(matches!(
+        ProfileStore::from_bytes(&bad_magic),
+        Err(StoreCodecError::BadMagic(_))
+    ));
+
+    let mut future_version = good.clone();
+    future_version[8..12].copy_from_slice(&7u32.to_le_bytes());
+    assert!(matches!(
+        ProfileStore::from_bytes(&future_version),
+        Err(StoreCodecError::UnsupportedVersion(7))
+    ));
+
+    let mut absurd_len = good.clone();
+    absurd_len[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(matches!(
+        ProfileStore::from_bytes(&absurd_len),
+        Err(StoreCodecError::Corrupt(_))
+    ));
+
+    // A header alone (no column data) is truncated, not corrupt.
+    assert!(matches!(
+        ProfileStore::from_bytes(&good[..24]),
+        Err(StoreCodecError::Truncated(_))
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Golden CSV bytes: the refactor must not move a single byte
+// ---------------------------------------------------------------------
+
+/// `profile_to_csv` output against fixtures generated by the pre-refactor
+/// `Vec<ProfilePoint>` implementation (same seeds, same kernels). Any
+/// drift in sort order, sentinel rendering, or float formatting fails
+/// here byte-for-byte.
+#[test]
+fn profile_csvs_match_pre_refactor_golden_bytes() {
+    let machine = SimConfig::default().machine.clone();
+    let kernel = suite::cb_gemm(&machine, 4096);
+
+    let mut sim = Simulation::new(SimConfig::default(), 0xF1C4).expect("valid");
+    let mut runner = FingravRunner::new(&mut sim, RunnerConfig::quick(12));
+    let report = runner.profile(&kernel).expect("profiles");
+    assert_eq!(
+        profile_to_csv(&report.run_profile, ProfileAxis::RunTime),
+        include_str!("data/golden_run_profile.csv"),
+        "run-profile CSV drifted from the pre-refactor bytes"
+    );
+    assert_eq!(
+        profile_to_csv(&report.ssp_profile, ProfileAxis::Toi),
+        include_str!("data/golden_ssp_toi.csv"),
+        "SSP-profile CSV drifted from the pre-refactor bytes"
+    );
+
+    let mut sim = Simulation::new(SimConfig::default(), 0xBEEF).expect("valid");
+    let cfg = BaselineConfig {
+        runs: 6,
+        executions_per_run: 10,
+        ..BaselineConfig::default()
+    };
+    let unsynced = unsynchronized::profile(&mut sim, &kernel, &cfg).expect("baseline");
+    assert_eq!(
+        profile_to_csv(&unsynced, ProfileAxis::RunTime),
+        include_str!("data/golden_unsync_runtime.csv"),
+        "unsynchronized-baseline CSV (u32::MAX sentinel rows) drifted"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Binary artefacts are bit-identical across campaign worker counts
+// ---------------------------------------------------------------------
+
+#[test]
+fn store_binary_artifact_identical_across_worker_counts() {
+    let machine = SimConfig::default().machine.clone();
+    let mut campaign = Campaign::new(RunnerConfig::quick(6));
+    campaign.add(suite::cb_gemm(&machine, 2048));
+    campaign.add(suite::mb_gemv(&machine, 4096));
+    let factory = SimulationFactory::new(SimConfig::default(), 9001);
+
+    let encode = |executor: CampaignExecutor| -> Vec<Vec<u8>> {
+        executor
+            .run(&campaign, &factory)
+            .expect("campaign profiles")
+            .reports
+            .iter()
+            .flat_map(|r| {
+                [
+                    r.run_profile.store.to_bytes(),
+                    r.sse_profile.store.to_bytes(),
+                    r.ssp_profile.store.to_bytes(),
+                ]
+            })
+            .collect()
+    };
+
+    let serial = encode(CampaignExecutor::serial());
+    for workers in [2, 4] {
+        let parallel = encode(CampaignExecutor::new(workers));
+        assert_eq!(
+            serial, parallel,
+            "store bytes changed under {workers} workers"
+        );
+    }
+
+    // And the persisted artefacts decode back to the in-memory stores.
+    for bytes in &serial {
+        let restored = ProfileStore::from_bytes(bytes).expect("decodes");
+        assert_eq!(restored.to_bytes(), *bytes);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The labelled profile wrapper round-trips with its store intact
+// ---------------------------------------------------------------------
+
+#[test]
+fn power_profile_json_round_trip_keeps_columns() {
+    let store = build_store(&[0, 1, 2, 3], &[5.0, -2.5, 7.25, 0.0], &[0, 1, 2, 3]);
+    let profile = PowerProfile {
+        label: "CB-4K-GEMM".to_string(),
+        kind: ProfileKind::Custom("roundtrip".to_string()),
+        store,
+    };
+    let json = serde_json::to_string(&profile).expect("serializes");
+    let restored: PowerProfile = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(restored, profile);
+    assert!(profile.store.diff(&restored.store).is_identical());
+}
