@@ -20,6 +20,9 @@ fn main() {
         Scale::Quick => Some("--quick"),
         Scale::Bench => Some("--bench"),
     };
+    // Forward an explicit --workers N to every child so the whole artefact
+    // tree shards consistently (results are worker-count-invariant).
+    let workers = fingrav_bench::harness::worker_override();
 
     // Each artefact is its own binary; running them in-process sequentially
     // would serialize, so spawn the sibling binaries in parallel instead.
@@ -53,6 +56,9 @@ fn main() {
                     cmd.arg("--out").arg(&dir_str);
                     if let Some(flag) = scale_flag {
                         cmd.arg(flag);
+                    }
+                    if let Some(n) = workers {
+                        cmd.arg("--workers").arg(n.to_string());
                     }
                     let out = cmd
                         .output()

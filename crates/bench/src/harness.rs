@@ -1,9 +1,13 @@
 //! Experiment-harness plumbing: scales, seeds, simulation construction,
-//! and campaign execution over the parallel executor.
+//! and campaign execution over the parallel executor (with live progress
+//! on stderr).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use fingrav_core::backend::{FnBackendFactory, SimulationFactory};
 use fingrav_core::campaign::Campaign;
-use fingrav_core::executor::CampaignExecutor;
+use fingrav_core::executor::{CampaignExecutor, CampaignObserver, CampaignTally};
 use fingrav_core::runner::{KernelPowerReport, RunnerConfig};
 use fingrav_sim::config::SimConfig;
 use fingrav_sim::engine::Simulation;
@@ -20,40 +24,101 @@ pub enum Scale {
     Bench,
 }
 
-impl Scale {
-    /// Parses `--quick`/`--full`/`--bench` argv; defaults to `Full`.
-    /// Unrecognized flags are surfaced on stderr (`--out DIR`, which every
-    /// binary also accepts, is recognized and skipped along with its
-    /// value).
-    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Scale {
-        let (scale, unknown) = Scale::parse_args(args);
-        for flag in unknown {
-            eprintln!("warning: unrecognized flag `{flag}` (expected --quick, --full, --bench, or --out DIR)");
-        }
-        scale
-    }
+/// Everything the shared experiment argv grammar understands:
+/// `--quick|--full|--bench`, `--out DIR`, `--workers N`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The compute scale (last scale flag wins).
+    pub scale: Scale,
+    /// Explicit campaign worker count (`--workers N`), if given.
+    pub workers: Option<usize>,
+    /// Flags the grammar did not recognize.
+    pub unknown: Vec<String>,
+}
 
-    /// Like [`Scale::from_args`], returning the unrecognized flags instead
-    /// of printing them. The last scale flag wins when several are given.
-    pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> (Scale, Vec<String>) {
-        let mut scale = Scale::Full;
-        let mut unknown = Vec::new();
-        let mut args = args.into_iter();
+impl ParsedArgs {
+    /// Parses the shared experiment argv grammar without side effects.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> ParsedArgs {
+        let mut parsed = ParsedArgs {
+            scale: Scale::Full,
+            workers: None,
+            unknown: Vec::new(),
+        };
+        let mut args = args.into_iter().peekable();
         while let Some(a) = args.next() {
             match a.as_str() {
-                "--quick" => scale = Scale::Quick,
-                "--full" => scale = Scale::Full,
-                "--bench" => scale = Scale::Bench,
+                "--quick" => parsed.scale = Scale::Quick,
+                "--full" => parsed.scale = Scale::Full,
+                "--bench" => parsed.scale = Scale::Bench,
                 "--out" => {
                     let _dir = args.next();
                 }
-                flag if flag.starts_with('-') => unknown.push(a),
+                // Peek before consuming the value: `--workers --bench`
+                // must not swallow the sibling flag.
+                "--workers" => match args
+                    .peek()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                {
+                    Some(n) => {
+                        parsed.workers = Some(n);
+                        args.next();
+                    }
+                    None => parsed.unknown.push("--workers".into()),
+                },
+                flag if flag.starts_with('-') => parsed.unknown.push(a),
                 // Bare positionals (e.g. a cargo-bench filter) pass through
                 // silently, matching the previous behaviour.
                 _ => {}
             }
         }
-        (scale, unknown)
+        parsed
+    }
+}
+
+/// Campaign worker-count override set by `--workers N` (0 = automatic).
+static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker count every harness campaign shards across
+/// (`None` restores the automatic available-parallelism sizing). Set by
+/// [`Scale::from_args`] when the binary received `--workers N`.
+pub fn set_workers(workers: Option<usize>) {
+    WORKER_OVERRIDE.store(workers.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The `--workers` override currently in effect, if any.
+pub fn worker_override() -> Option<usize> {
+    match WORKER_OVERRIDE.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+impl Scale {
+    /// Parses the shared experiment argv (`--quick`/`--full`/`--bench`,
+    /// `--out DIR`, `--workers N`); defaults to `Full`. A `--workers N`
+    /// flag is applied process-wide via [`set_workers`], so every campaign
+    /// the binary runs shards across exactly `N` workers (results are
+    /// bit-identical for any worker count; only wall-clock changes).
+    /// Unrecognized flags are surfaced on stderr.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Scale {
+        let parsed = ParsedArgs::parse(args);
+        for flag in &parsed.unknown {
+            eprintln!(
+                "warning: unrecognized flag `{flag}` \
+                 (expected --quick, --full, --bench, --workers N, or --out DIR)"
+            );
+        }
+        set_workers(parsed.workers);
+        parsed.scale
+    }
+
+    /// Like [`Scale::from_args`], returning the unrecognized flags instead
+    /// of printing them and without applying the worker override. The last
+    /// scale flag wins when several are given.
+    pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> (Scale, Vec<String>) {
+        let parsed = ParsedArgs::parse(args);
+        (parsed.scale, parsed.unknown)
     }
 
     /// Run count to use when the paper would use `full` runs.
@@ -96,10 +161,63 @@ pub fn runner_config(runs: Option<u32>) -> RunnerConfig {
     }
 }
 
-/// The worker count experiment campaigns shard across (the machine's
-/// available parallelism, as sized by the executor itself).
+/// The worker count experiment campaigns shard across: the `--workers N`
+/// override when one was parsed, otherwise the machine's available
+/// parallelism (as sized by the executor itself).
 pub fn default_workers() -> usize {
-    CampaignExecutor::with_available_parallelism().workers()
+    worker_override().unwrap_or_else(|| CampaignExecutor::with_available_parallelism().workers())
+}
+
+/// Live campaign progress on stderr: one line per finished (or failed)
+/// entry, with the slot's emitted-log and completed-launch counts drawn
+/// from a [`CampaignTally`]. Streaming means the line appears the moment
+/// the entry finishes — long campaigns are observable while they run, and
+/// because only stderr is written, regenerated artefacts stay
+/// byte-identical.
+pub struct CampaignProgress {
+    tally: CampaignTally,
+    total: usize,
+    started: Instant,
+}
+
+impl CampaignProgress {
+    /// Creates a progress observer for a campaign of `total` entries.
+    pub fn new(total: usize) -> Self {
+        CampaignProgress {
+            tally: CampaignTally::new(total),
+            total,
+            started: Instant::now(),
+        }
+    }
+
+    /// The underlying live counters.
+    pub fn tally(&self) -> &CampaignTally {
+        &self.tally
+    }
+}
+
+impl CampaignObserver for CampaignProgress {
+    fn entry_event(&self, index: usize, event: &fingrav_core::observe::ProfilingEvent) {
+        self.tally.entry_event(index, event);
+    }
+
+    fn entry_finished(&self, index: usize, report: &KernelPowerReport) {
+        self.tally.entry_finished(index, report);
+        eprintln!(
+            "  [{}/{}] {} done in {:.1}s: {} logs, {} launches, {} SSP LOIs",
+            self.tally.finished(),
+            self.total,
+            report.label,
+            self.started.elapsed().as_secs_f64(),
+            self.tally.logs(index),
+            self.tally.launches(index),
+            report.ssp_loi_count(),
+        );
+    }
+
+    fn entry_failed(&self, index: usize, error: &fingrav_core::error::MethodologyError) {
+        eprintln!("  [slot {index}] FAILED: {error}");
+    }
 }
 
 /// The deterministic default-config backend factory for an experiment:
@@ -118,8 +236,15 @@ pub fn named_campaign_report(campaign: &Campaign, names: Vec<String>) -> Vec<Ker
         Simulation::new(SimConfig::default(), seed_for(&names[i]))
             .map_err(|e| fingrav_core::error::MethodologyError::Backend(e.to_string()))
     });
+    let progress = CampaignProgress::new(campaign.len());
     CampaignExecutor::new(default_workers())
-        .run(campaign, &factory)
+        .execute_observed(
+            campaign,
+            &factory,
+            &progress,
+            &fingrav_core::executor::CancellationToken::new(),
+        )
+        .into_report()
         .expect("experiment kernels profile cleanly")
         .reports
 }
@@ -145,8 +270,12 @@ mod tests {
     use super::*;
     use fingrav_core::runner::FingravRunner;
 
+    /// Serializes tests that touch the process-wide worker override.
+    static WORKERS_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn scale_parsing() {
+        let _guard = WORKERS_GUARD.lock().unwrap();
         assert_eq!(Scale::from_args(vec![]), Scale::Full);
         assert_eq!(Scale::from_args(vec!["--quick".into()]), Scale::Quick);
         assert_eq!(Scale::from_args(vec!["--bench".into()]), Scale::Bench);
@@ -155,6 +284,40 @@ mod tests {
             Scale::from_args(vec!["--out".into(), "x".into()]),
             Scale::Full
         );
+    }
+
+    #[test]
+    fn workers_flag_parses_without_side_effects() {
+        let parsed = ParsedArgs::parse(vec!["--workers".into(), "3".into(), "--bench".into()]);
+        assert_eq!(parsed.workers, Some(3));
+        assert_eq!(parsed.scale, Scale::Bench);
+        assert!(parsed.unknown.is_empty());
+        // A missing or non-positive value is surfaced, not silently eaten.
+        let parsed = ParsedArgs::parse(vec!["--workers".into(), "zero".into()]);
+        assert_eq!(parsed.workers, None);
+        assert_eq!(parsed.unknown, vec!["--workers".to_string()]);
+        let parsed = ParsedArgs::parse(vec!["--workers".into(), "0".into()]);
+        assert_eq!(parsed.workers, None);
+        assert!(!parsed.unknown.is_empty());
+        // A malformed value never swallows a sibling flag.
+        let parsed = ParsedArgs::parse(vec!["--workers".into(), "--bench".into()]);
+        assert_eq!(parsed.workers, None);
+        assert_eq!(parsed.scale, Scale::Bench);
+        assert_eq!(parsed.unknown, vec!["--workers".to_string()]);
+    }
+
+    #[test]
+    fn workers_flag_overrides_campaign_sharding() {
+        let _guard = WORKERS_GUARD.lock().unwrap();
+        assert_eq!(
+            Scale::from_args(vec!["--workers".into(), "2".into()]),
+            Scale::Full
+        );
+        assert_eq!(worker_override(), Some(2));
+        assert_eq!(default_workers(), 2);
+        set_workers(None);
+        assert_eq!(worker_override(), None);
+        assert!(default_workers() >= 1);
     }
 
     #[test]

@@ -8,6 +8,16 @@
 //! it here, and a future real-hardware driver (ROCm SMI + HIP) would
 //! implement the same trait.
 //!
+//! Script execution is *session-based*: the required primitive is
+//! [`PowerBackend::run_script_observed`], which streams
+//! [`TelemetryEvent`](fingrav_sim::session::TelemetryEvent)s into a
+//! [`TelemetrySink`] while the device runs and
+//! honors a cooperative [`AbortHandle`]. [`PowerBackend::begin_script`]
+//! packages that primitive as an observable, abortable [`ScriptSession`];
+//! the batch [`PowerBackend::run_script`] is a provided method on top
+//! (no-op sink, never aborted), so pre-session call sites keep working
+//! unchanged and produce bit-identical traces.
+//!
 //! Multi-kernel campaigns need one *fresh, isolated* device session per
 //! kernel (measurement guidance #2), created on whichever worker thread
 //! the kernel lands on. [`BackendFactory`] captures that second surface: a
@@ -21,6 +31,7 @@ use fingrav_sim::engine::Simulation;
 use fingrav_sim::kernel::{KernelDesc, KernelHandle};
 use fingrav_sim::rng::mix_seed;
 use fingrav_sim::script::Script;
+use fingrav_sim::session::{AbortHandle, NoopSink, TelemetrySink};
 use fingrav_sim::time::SimDuration;
 use fingrav_sim::trace::RunTrace;
 
@@ -36,12 +47,49 @@ pub trait PowerBackend {
     /// descriptor.
     fn register_kernel(&mut self, desc: &KernelDesc) -> MethodologyResult<KernelHandle>;
 
-    /// Executes one host script and returns the observable trace.
+    /// Executes one host script as a streaming session — the required
+    /// script primitive. Implementations must push every observable
+    /// moment into `sink` while the script runs (see
+    /// [`fingrav_sim::session`] for the event contract), poll `abort` at
+    /// host boundaries, and on abort return the partial trace observed so
+    /// far, tagged [`RunTrace::aborted`].
     ///
     /// # Errors
     ///
     /// Returns [`MethodologyError::Backend`] on device errors.
-    fn run_script(&mut self, script: &Script) -> MethodologyResult<RunTrace>;
+    fn run_script_observed(
+        &mut self,
+        script: &Script,
+        sink: &mut dyn TelemetrySink,
+        abort: &AbortHandle,
+    ) -> MethodologyResult<RunTrace>;
+
+    /// Executes one host script and returns the observable trace — the
+    /// batch convenience, provided on top of the session primitive (no-op
+    /// sink, never aborted). Traces are bit-identical to a streamed
+    /// session of the same script.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MethodologyError::Backend`] on device errors.
+    fn run_script(&mut self, script: &Script) -> MethodologyResult<RunTrace> {
+        self.run_script_observed(script, &mut NoopSink, &AbortHandle::new())
+    }
+
+    /// Begins an observable, abortable script session: events flow into
+    /// `sink` once [`ScriptSession::run`] is called, and
+    /// [`ScriptSession::abort_handle`] stops it cooperatively from any
+    /// thread.
+    fn begin_script<'s, S: TelemetrySink>(
+        &'s mut self,
+        script: &'s Script,
+        sink: S,
+    ) -> ScriptSession<'s, Self, S>
+    where
+        Self: Sized,
+    {
+        ScriptSession::new(self, script, sink)
+    }
 
     /// The averaging window of the platform's fine power logger (1 ms on
     /// MI300X).
@@ -135,14 +183,95 @@ where
     }
 }
 
+/// An observable, abortable script execution in progress.
+///
+/// Created by [`PowerBackend::begin_script`]. The session borrows the
+/// backend; [`ScriptSession::run`] drives the script to completion (or to
+/// the abort point), pushing
+/// [`TelemetryEvent`](fingrav_sim::session::TelemetryEvent)s into the sink as the
+/// device produces them. Grab an [`AbortHandle`] *before* calling `run`
+/// and hand it to whatever decides to stop early — the handle is `Send`,
+/// the session is not required to be.
+///
+/// # Examples
+///
+/// ```
+/// use fingrav_core::backend::PowerBackend;
+/// use fingrav_sim::session::{ChannelSink, TelemetryEvent};
+/// use fingrav_sim::{Script, SimConfig, Simulation};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut gpu = Simulation::new(SimConfig::default(), 7)?;
+/// let script = Script::builder()
+///     .read_gpu_timestamp()
+///     .build();
+/// let (sink, events) = ChannelSink::bounded(64);
+/// let trace = gpu.begin_script(&script, sink).run()?;
+/// let streamed: Vec<TelemetryEvent> = events.iter().collect();
+/// assert_eq!(streamed.len(), 5); // started, op start, read, op finish, done
+/// assert_eq!(trace.timestamp_reads.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ScriptSession<'s, B: PowerBackend + ?Sized, S: TelemetrySink> {
+    backend: &'s mut B,
+    script: &'s Script,
+    sink: S,
+    abort: AbortHandle,
+}
+
+impl<'s, B: PowerBackend + ?Sized, S: TelemetrySink> ScriptSession<'s, B, S> {
+    /// Creates a session over a backend, script, and sink.
+    pub fn new(backend: &'s mut B, script: &'s Script, sink: S) -> Self {
+        ScriptSession {
+            backend,
+            script,
+            sink,
+            abort: AbortHandle::new(),
+        }
+    }
+
+    /// Replaces the session's abort token with an external one (e.g. a
+    /// campaign-wide cancellation token shared by many sessions).
+    #[must_use]
+    pub fn with_abort(mut self, abort: AbortHandle) -> Self {
+        self.abort = abort;
+        self
+    }
+
+    /// A handle that stops this session cooperatively from any thread.
+    pub fn abort_handle(&self) -> AbortHandle {
+        self.abort.clone()
+    }
+
+    /// Drives the script to completion (or to the abort point), streaming
+    /// events into the sink. An aborted session still returns `Ok` with a
+    /// well-formed partial trace tagged [`RunTrace::aborted`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MethodologyError::Backend`] on device errors.
+    pub fn run(mut self) -> MethodologyResult<RunTrace> {
+        self.backend
+            .run_script_observed(self.script, &mut self.sink, &self.abort)
+    }
+}
+
 impl PowerBackend for Simulation {
     fn register_kernel(&mut self, desc: &KernelDesc) -> MethodologyResult<KernelHandle> {
         Simulation::register_kernel(self, desc.clone())
             .map_err(|e| MethodologyError::Backend(e.to_string()))
     }
 
-    fn run_script(&mut self, script: &Script) -> MethodologyResult<RunTrace> {
-        Simulation::run_script(self, script).map_err(|e| MethodologyError::Backend(e.to_string()))
+    fn run_script_observed(
+        &mut self,
+        script: &Script,
+        sink: &mut dyn TelemetrySink,
+        abort: &AbortHandle,
+    ) -> MethodologyResult<RunTrace> {
+        Simulation::run_script_observed(self, script, sink, abort)
+            .map_err(|e| MethodologyError::Backend(e.to_string()))
     }
 
     fn logger_window(&self) -> SimDuration {

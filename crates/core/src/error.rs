@@ -19,6 +19,11 @@ pub enum MethodologyError {
     EmptyProbe,
     /// Configuration inconsistency.
     InvalidConfig(String),
+    /// A script session was cancelled mid-measurement (cooperative abort
+    /// via an [`fingrav_sim::session::AbortHandle`] or a campaign
+    /// cancellation token); partial measurements are discarded because the
+    /// methodology's statistics need complete runs.
+    Aborted,
 }
 
 impl fmt::Display for MethodologyError {
@@ -33,6 +38,7 @@ impl fmt::Display for MethodologyError {
             }
             MethodologyError::EmptyProbe => f.write_str("probe run produced no measurements"),
             MethodologyError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            MethodologyError::Aborted => f.write_str("measurement aborted mid-script"),
         }
     }
 }
@@ -59,6 +65,7 @@ mod tests {
         assert!(!format!("{}", MethodologyError::NoGoldenRuns).is_empty());
         assert!(!format!("{}", MethodologyError::EmptyProbe).is_empty());
         assert!(format!("{}", MethodologyError::InvalidConfig("y".into())).contains('y'));
+        assert!(format!("{}", MethodologyError::Aborted).contains("aborted"));
     }
 
     #[test]

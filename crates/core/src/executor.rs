@@ -22,14 +22,126 @@
 //! is deterministic — see the policy docs), while `CollectAll` profiles
 //! everything and reports every error alongside the successful reports,
 //! which the pre-refactor serial loop could not do.
+//!
+//! Campaigns are also *observable and cancellable*:
+//! [`CampaignExecutor::execute_observed`] streams per-entry lifecycle and
+//! device events into a [`CampaignObserver`] while workers run, and a
+//! [`CancellationToken`] stops the campaign early under **both** error
+//! policies — pending entries are skipped and in-flight script sessions
+//! abort cooperatively at their next host boundary (surfacing as
+//! [`MethodologyError::Aborted`] on their slots). Each slot's event stream
+//! is deterministic regardless of worker count; only the interleaving
+//! *between* slots depends on scheduling.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 use crate::backend::BackendFactory;
 use crate::campaign::{Campaign, CampaignReport};
 use crate::error::{MethodologyError, MethodologyResult};
+use crate::observe::{ProfilingEvent, ProfilingSink};
 use crate::runner::{FingravRunner, KernelPowerReport};
+use fingrav_sim::session::TelemetryEvent;
+
+/// Cooperative cancellation for a whole campaign: the same shared-flag
+/// type a single script session aborts with, shared across every session
+/// the campaign starts.
+pub type CancellationToken = fingrav_sim::session::AbortHandle;
+
+/// Live observer of a sharded campaign.
+///
+/// Methods take `&self` and may be called concurrently from worker
+/// threads (the trait requires `Sync`); all default to no-ops so
+/// implementors override only what they watch. Calls for one slot always
+/// arrive in order (`entry_started`, then its `entry_event`s, then exactly
+/// one of `entry_finished`/`entry_failed`); calls for different slots
+/// interleave arbitrarily under sharding.
+pub trait CampaignObserver: Sync {
+    /// A worker claimed entry `index` and is about to profile it.
+    fn entry_started(&self, index: usize, label: &str) {
+        let _ = (index, label);
+    }
+    /// A stage boundary or device event of entry `index`'s profiling.
+    fn entry_event(&self, index: usize, event: &ProfilingEvent) {
+        let _ = (index, event);
+    }
+    /// Entry `index` produced a report.
+    fn entry_finished(&self, index: usize, report: &KernelPowerReport) {
+        let _ = (index, report);
+    }
+    /// Entry `index` failed (including [`MethodologyError::Aborted`] when
+    /// a cancellation cut its session short).
+    fn entry_failed(&self, index: usize, error: &MethodologyError) {
+        let _ = (index, error);
+    }
+    /// Entry `index` was never started (fail-fast or cancellation).
+    fn entry_skipped(&self, index: usize) {
+        let _ = index;
+    }
+}
+
+/// A [`CampaignObserver`] that ignores everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopCampaignObserver;
+
+impl CampaignObserver for NoopCampaignObserver {}
+
+/// A ready-made observer tracking live per-slot progress counters:
+/// emitted power logs, completed launches, and finished entries. Cheap
+/// enough to attach to any campaign; compose it inside a richer observer
+/// for display.
+#[derive(Debug)]
+pub struct CampaignTally {
+    logs: Vec<AtomicU64>,
+    launches: Vec<AtomicU64>,
+    finished: AtomicUsize,
+}
+
+impl CampaignTally {
+    /// Creates a tally for a campaign of `entries` slots.
+    pub fn new(entries: usize) -> Self {
+        CampaignTally {
+            logs: (0..entries).map(|_| AtomicU64::new(0)).collect(),
+            launches: (0..entries).map(|_| AtomicU64::new(0)).collect(),
+            finished: AtomicUsize::new(0),
+        }
+    }
+
+    /// Power logs emitted so far while profiling slot `index`.
+    pub fn logs(&self, index: usize) -> u64 {
+        self.logs[index].load(Ordering::Relaxed)
+    }
+
+    /// Timed launches completed so far while profiling slot `index`.
+    pub fn launches(&self, index: usize) -> u64 {
+        self.launches[index].load(Ordering::Relaxed)
+    }
+
+    /// Entries that have produced a report so far.
+    pub fn finished(&self) -> usize {
+        self.finished.load(Ordering::Relaxed)
+    }
+}
+
+impl CampaignObserver for CampaignTally {
+    fn entry_event(&self, index: usize, event: &ProfilingEvent) {
+        if let ProfilingEvent::Device(device) = event {
+            match device {
+                TelemetryEvent::PowerLogEmitted { .. } => {
+                    self.logs[index].fetch_add(1, Ordering::Relaxed);
+                }
+                TelemetryEvent::LaunchCompleted { .. } => {
+                    self.launches[index].fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn entry_finished(&self, _index: usize, _report: &KernelPowerReport) {
+        self.finished.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 /// What the executor does when a kernel's measurement fails.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -98,6 +210,31 @@ impl CampaignExecutor {
     /// Measures every campaign entry, sharded across the configured
     /// workers, and returns the per-slot outcome (campaign order).
     pub fn execute<F: BackendFactory>(&self, campaign: &Campaign, factory: &F) -> CampaignOutcome {
+        self.execute_observed(
+            campaign,
+            factory,
+            &NoopCampaignObserver,
+            &CancellationToken::new(),
+        )
+    }
+
+    /// Like [`CampaignExecutor::execute`], streaming per-entry lifecycle
+    /// and device events into `observer` while workers run and honoring
+    /// `cancel`: once the token fires, no new entry starts (they are
+    /// reported skipped, under both error policies) and every in-flight
+    /// script session aborts at its next host boundary, surfacing
+    /// [`MethodologyError::Aborted`] on its slot.
+    ///
+    /// With a no-op observer and an unfired token this is exactly
+    /// [`CampaignExecutor::execute`] — same backend call sequence, same
+    /// bit-identical results.
+    pub fn execute_observed<F: BackendFactory>(
+        &self,
+        campaign: &Campaign,
+        factory: &F,
+        observer: &dyn CampaignObserver,
+        cancel: &CancellationToken,
+    ) -> CampaignOutcome {
         let n = campaign.len();
         let mut outcome = CampaignOutcome {
             reports: Vec::with_capacity(n),
@@ -112,7 +249,11 @@ impl CampaignExecutor {
         if self.workers == 1 {
             // In-place serial path: no threads, same claim loop semantics.
             for index in 0..n {
-                match profile_slot(campaign, factory, index) {
+                if cancel.is_aborted() {
+                    outcome.skipped.extend(index..n);
+                    break;
+                }
+                match profile_slot(campaign, factory, index, observer, cancel) {
                     Ok(report) => outcome.reports[index] = Some(report),
                     Err(e) => {
                         outcome.errors.push((index, e));
@@ -122,6 +263,9 @@ impl CampaignExecutor {
                         }
                     }
                 }
+            }
+            for &index in &outcome.skipped {
+                observer.entry_skipped(index);
             }
             return outcome;
         }
@@ -137,14 +281,14 @@ impl CampaignExecutor {
                 let next = &next;
                 let cancelled = &cancelled;
                 scope.spawn(move || loop {
-                    if fail_fast && cancelled.load(Ordering::Acquire) {
+                    if cancel.is_aborted() || (fail_fast && cancelled.load(Ordering::Acquire)) {
                         return;
                     }
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     if index >= n {
                         return;
                     }
-                    let result = profile_slot(campaign, factory, index);
+                    let result = profile_slot(campaign, factory, index, observer, cancel);
                     if result.is_err() && fail_fast {
                         cancelled.store(true, Ordering::Release);
                     }
@@ -171,6 +315,9 @@ impl CampaignExecutor {
                 outcome.reports[i].is_none() && !outcome.errors.iter().any(|(e, _)| *e == i)
             })
             .collect();
+        for &index in &outcome.skipped {
+            observer.entry_skipped(index);
+        }
         outcome
     }
 
@@ -190,17 +337,44 @@ impl CampaignExecutor {
     }
 }
 
+/// Forwards one slot's profiling events to the campaign observer.
+struct SlotSink<'o> {
+    index: usize,
+    observer: &'o dyn CampaignObserver,
+}
+
+impl ProfilingSink for SlotSink<'_> {
+    fn on_event(&mut self, event: ProfilingEvent) {
+        self.observer.entry_event(self.index, &event);
+    }
+}
+
 /// Profiles one campaign slot on a fresh backend (shared by the serial and
-/// threaded paths, so both issue the identical call sequence).
+/// threaded paths, so both issue the identical call sequence), reporting
+/// its lifecycle to the observer and honoring the cancellation token.
 fn profile_slot<F: BackendFactory>(
     campaign: &Campaign,
     factory: &F,
     index: usize,
+    observer: &dyn CampaignObserver,
+    cancel: &CancellationToken,
 ) -> MethodologyResult<KernelPowerReport> {
     let entry = &campaign.entries()[index];
-    let mut backend = factory.create(index)?;
-    let mut runner = FingravRunner::new(&mut backend, entry.effective_config(campaign.config()));
-    runner.profile(&entry.desc)
+    observer.entry_started(index, &entry.desc.name);
+    let result = (|| {
+        let mut backend = factory.create(index)?;
+        let mut sink = SlotSink { index, observer };
+        let mut runner =
+            FingravRunner::new(&mut backend, entry.effective_config(campaign.config()))
+                .with_observer(&mut sink)
+                .with_abort(cancel.clone());
+        runner.profile(&entry.desc)
+    })();
+    match &result {
+        Ok(report) => observer.entry_finished(index, report),
+        Err(e) => observer.entry_failed(index, e),
+    }
+    result
 }
 
 /// Per-slot outcome of a sharded campaign, in campaign order.

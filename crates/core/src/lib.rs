@@ -53,6 +53,7 @@ pub mod error;
 pub mod executor;
 pub mod guidance;
 pub mod insights;
+pub mod observe;
 pub mod outliers;
 pub mod phases;
 pub mod profile;
@@ -64,12 +65,15 @@ pub mod stats;
 pub mod store;
 pub mod sync;
 
-pub use backend::{BackendFactory, FnBackendFactory, PowerBackend, SimulationFactory};
+pub use backend::{
+    BackendFactory, FnBackendFactory, PowerBackend, ScriptSession, SimulationFactory,
+};
 pub use binning::{bin_durations, Binning};
 pub use campaign::{Campaign, CampaignEntry, CampaignReport};
 pub use error::{MethodologyError, MethodologyResult};
-pub use executor::{CampaignExecutor, CampaignOutcome, ErrorPolicy};
+pub use executor::{CampaignExecutor, CampaignObserver, CampaignOutcome, ErrorPolicy};
 pub use guidance::{GuidanceEntry, GuidanceTable};
+pub use observe::{ProfilingEvent, ProfilingSink, StageKind};
 pub use profile::{PowerAxis, PowerProfile, ProfileAxis, ProfileKind, ProfilePoint};
 pub use runner::{FingravRunner, KernelPowerReport, LoggerChoice, RunnerConfig};
 pub use stages::{RunCollection, SspArtifact, StagePipeline, StitchedProfiles, TimingArtifact};

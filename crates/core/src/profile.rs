@@ -325,8 +325,12 @@ pub fn push_loi_points(
 }
 
 /// Builds a [`ProfileKind::Run`] profile from placed logs as owned points —
-/// the legacy AoS path, kept for columnar-equivalence testing and callers
-/// that want rows. Prefer [`push_run_profile_points`] on hot paths.
+/// the legacy AoS path, retained **only** so the columnar fast path can be
+/// proven equivalent in tests. Hidden from the public API surface: the one
+/// supported way to build profiles is [`push_run_profile_points`] (the AoS
+/// and columnar paths were proven byte-equivalent in PR 2, so there is
+/// nothing this buys a caller).
+#[doc(hidden)]
 pub fn run_profile_points(run: u32, placed: &[PlacedLog]) -> Vec<ProfilePoint> {
     placed
         .iter()
@@ -341,7 +345,10 @@ pub fn run_profile_points(run: u32, placed: &[PlacedLog]) -> Vec<ProfilePoint> {
 }
 
 /// Builds LOI points for executions selected by `select` as owned points —
-/// the legacy AoS path. Prefer [`push_loi_points`] on hot paths.
+/// the legacy AoS path, retained **only** for columnar-equivalence tests
+/// (see [`run_profile_points`]). The supported builder is
+/// [`push_loi_points`].
+#[doc(hidden)]
 pub fn loi_points(
     run: u32,
     placed: &[PlacedLog],

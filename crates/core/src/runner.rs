@@ -18,6 +18,7 @@
 //! 9. stitches LOIs/TOIs into the run, SSE, and SSP power profiles.
 
 use fingrav_sim::kernel::{KernelDesc, KernelHandle};
+use fingrav_sim::session::AbortHandle;
 use fingrav_sim::time::SimDuration;
 use fingrav_sim::trace::RunTrace;
 use serde::{Deserialize, Serialize};
@@ -25,6 +26,7 @@ use serde::{Deserialize, Serialize};
 use crate::backend::PowerBackend;
 use crate::error::{MethodologyError, MethodologyResult};
 use crate::guidance::{GuidanceEntry, GuidanceTable};
+use crate::observe::ProfilingSink;
 use crate::profile::PowerProfile;
 use crate::stages::StagePipeline;
 use crate::sync::TimeSync;
@@ -215,21 +217,49 @@ impl KernelPowerReport {
 /// `profile` composes the typed stages of [`crate::stages`] — timing probe,
 /// SSP search, run collection, binning, stitching, finalization — into the
 /// paper's nine-step recipe. Drive [`StagePipeline`] directly to run,
-/// inspect, or checkpoint individual stages.
+/// inspect, or checkpoint individual stages. Attach a
+/// [`ProfilingSink`] via [`FingravRunner::with_observer`] to stream
+/// stage-scoped telemetry while the device runs, and a cancellation
+/// token via [`FingravRunner::with_abort`] to stop a profiling
+/// mid-measurement ([`MethodologyError::Aborted`]).
 pub struct FingravRunner<'a, B: PowerBackend> {
     backend: &'a mut B,
     config: RunnerConfig,
+    observer: Option<&'a mut dyn ProfilingSink>,
+    abort: AbortHandle,
 }
 
 impl<'a, B: PowerBackend> FingravRunner<'a, B> {
     /// Creates a runner with explicit configuration.
     pub fn new(backend: &'a mut B, config: RunnerConfig) -> Self {
-        FingravRunner { backend, config }
+        FingravRunner {
+            backend,
+            config,
+            observer: None,
+            abort: AbortHandle::new(),
+        }
     }
 
     /// Creates a runner with the paper-default configuration.
     pub fn with_defaults(backend: &'a mut B) -> Self {
         FingravRunner::new(backend, RunnerConfig::default())
+    }
+
+    /// Attaches an observer: every stage boundary and device event of the
+    /// profiling is forwarded to `sink` while the device runs.
+    #[must_use]
+    pub fn with_observer(mut self, sink: &'a mut dyn ProfilingSink) -> Self {
+        self.observer = Some(sink);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token; when it fires,
+    /// [`FingravRunner::profile`] returns [`MethodologyError::Aborted`] at
+    /// the next host boundary.
+    #[must_use]
+    pub fn with_abort(mut self, abort: AbortHandle) -> Self {
+        self.abort = abort;
+        self
     }
 
     /// The active configuration.
@@ -260,6 +290,10 @@ impl<'a, B: PowerBackend> FingravRunner<'a, B> {
         label: &str,
     ) -> MethodologyResult<KernelPowerReport> {
         let mut pipeline = StagePipeline::new(&mut *self.backend, self.config.clone())?;
+        if let Some(sink) = self.observer.as_deref_mut() {
+            pipeline.set_observer(sink);
+        }
+        pipeline.set_abort(self.abort.clone());
         // Step 2 precursor: calibrate the timestamp-read delay.
         let calibration = pipeline.calibrate()?;
         // Steps 1 + 3: timing probe, warm-up (SSE) detection, guidance.

@@ -24,9 +24,19 @@
 //! Every stage drives the backend through the same call sequence the
 //! monolith used, so profiles produced by the staged pipeline are
 //! bit-identical to the pre-refactor runner given the same backend seed.
+//!
+//! Pipelines are observable and abortable: [`StagePipeline::set_observer`]
+//! streams stage boundaries plus every device event of the scripts the
+//! stages run into a [`crate::observe::ProfilingSink`] (ordering
+//! guarantees in [`crate::observe`]), and [`StagePipeline::set_abort`]
+//! attaches a cooperative cancellation token — a fired token surfaces as
+//! [`MethodologyError::Aborted`] from the stage whose script it cut. With
+//! no observer and an unfired token the pipeline is exactly the batch
+//! path.
 
 use fingrav_sim::kernel::KernelHandle;
 use fingrav_sim::script::Script;
+use fingrav_sim::session::{AbortHandle, NoopSink};
 use fingrav_sim::time::SimDuration;
 use fingrav_sim::trace::RunTrace;
 
@@ -38,6 +48,7 @@ use crate::differentiation::{
 };
 use crate::error::{MethodologyError, MethodologyResult};
 use crate::guidance::GuidanceEntry;
+use crate::observe::{ForwardDeviceEvents, ProfilingEvent, ProfilingSink, StageKind};
 use crate::profile::{
     place_logs, push_loi_points, push_run_profile_points, PlacedLog, PowerProfile, ProfileKind,
 };
@@ -112,6 +123,8 @@ pub struct RunCollection {
 pub struct StagePipeline<'a, B: PowerBackend> {
     backend: &'a mut B,
     config: RunnerConfig,
+    observer: Option<&'a mut dyn ProfilingSink>,
+    abort: AbortHandle,
 }
 
 impl<'a, B: PowerBackend> StagePipeline<'a, B> {
@@ -123,12 +136,60 @@ impl<'a, B: PowerBackend> StagePipeline<'a, B> {
     /// device if the configuration is degenerate.
     pub fn new(backend: &'a mut B, config: RunnerConfig) -> MethodologyResult<Self> {
         config.validate()?;
-        Ok(StagePipeline { backend, config })
+        Ok(StagePipeline {
+            backend,
+            config,
+            observer: None,
+            abort: AbortHandle::new(),
+        })
+    }
+
+    /// Attaches an observer: stage boundaries and every device event of
+    /// the scripts the pipeline runs are forwarded to `sink`, in pipeline
+    /// order (see [`crate::observe`] for the ordering guarantees).
+    pub fn set_observer(&mut self, sink: &'a mut dyn ProfilingSink) {
+        self.observer = Some(sink);
+    }
+
+    /// Attaches a cooperative cancellation token: when it fires, the
+    /// script in flight stops at the next host boundary and the pipeline
+    /// stage surfaces [`MethodologyError::Aborted`].
+    pub fn set_abort(&mut self, abort: AbortHandle) {
+        self.abort = abort;
     }
 
     /// The active configuration.
     pub fn config(&self) -> &RunnerConfig {
         &self.config
+    }
+
+    /// Emits a stage-boundary event to the observer, if any.
+    fn emit(&mut self, event: ProfilingEvent) {
+        if let Some(sink) = self.observer.as_deref_mut() {
+            sink.on_event(event);
+        }
+    }
+
+    /// Runs one script through the session API, forwarding device events
+    /// to the observer and surfacing a cancelled session as
+    /// [`MethodologyError::Aborted`]. Every pipeline script goes through
+    /// here, so the observed and unobserved paths issue the identical
+    /// backend call sequence.
+    fn run_script(&mut self, script: &Script) -> MethodologyResult<RunTrace> {
+        let trace = match self.observer.as_deref_mut() {
+            Some(sink) => {
+                let mut forward = ForwardDeviceEvents(sink);
+                self.backend
+                    .run_script_observed(script, &mut forward, &self.abort)?
+            }
+            None => self
+                .backend
+                .run_script_observed(script, &mut NoopSink, &self.abort)?,
+        };
+        if trace.aborted {
+            return Err(MethodologyError::Aborted);
+        }
+        Ok(trace)
     }
 
     /// The averaging window of the logger being driven.
@@ -146,12 +207,19 @@ impl<'a, B: PowerBackend> StagePipeline<'a, B> {
     ///
     /// Propagates backend errors and calibration failures.
     pub fn calibrate(&mut self) -> MethodologyResult<ReadDelayCalibration> {
+        self.emit(ProfilingEvent::StageStarted {
+            stage: StageKind::Calibrate,
+        });
         let mut b = Script::builder();
         for _ in 0..self.config.calibration_reads.max(1) {
             b = b.read_gpu_timestamp();
         }
-        let trace = self.backend.run_script(&b.build())?;
-        ReadDelayCalibration::from_reads(&trace.timestamp_reads)
+        let trace = self.run_script(&b.build())?;
+        let calibration = ReadDelayCalibration::from_reads(&trace.timestamp_reads)?;
+        self.emit(ProfilingEvent::StageFinished {
+            stage: StageKind::Calibrate,
+        });
+        Ok(calibration)
     }
 
     /// Stage: times the kernel, detects the warm-up (SSE) count, and looks
@@ -166,6 +234,9 @@ impl<'a, B: PowerBackend> StagePipeline<'a, B> {
         kernel: KernelHandle,
         calibration: &ReadDelayCalibration,
     ) -> MethodologyResult<TimingArtifact> {
+        self.emit(ProfilingEvent::StageStarted {
+            stage: StageKind::TimingProbe,
+        });
         let probe = self.run_probe(kernel, self.config.timing_probe_executions, calibration)?;
         let durations = probe.trace.execution_durations_ns();
         if durations.is_empty() {
@@ -179,6 +250,9 @@ impl<'a, B: PowerBackend> StagePipeline<'a, B> {
         let guidance = *self.config.guidance.lookup(exec_time);
         let runs = self.config.runs_override.unwrap_or(guidance.runs);
         let margin_frac = self.config.margin_override.unwrap_or(guidance.margin_frac);
+        self.emit(ProfilingEvent::StageFinished {
+            stage: StageKind::TimingProbe,
+        });
         Ok(TimingArtifact {
             sse_index,
             exec_time_ns,
@@ -203,6 +277,9 @@ impl<'a, B: PowerBackend> StagePipeline<'a, B> {
         calibration: &ReadDelayCalibration,
         timing: &TimingArtifact,
     ) -> MethodologyResult<SspArtifact> {
+        self.emit(ProfilingEvent::StageStarted {
+            stage: StageKind::SspSearch,
+        });
         let window = self.window();
         let exec_time = timing.exec_time();
         let min_execs = ssp_min_executions(window, exec_time, timing.sse_index + 1);
@@ -279,6 +356,9 @@ impl<'a, B: PowerBackend> StagePipeline<'a, B> {
             .clamp(2, self.config.tail_executions_cap);
         let executions_per_run = ssp_index + 1 + tail;
         let loi_target = timing.guidance.recommended_lois(exec_time);
+        self.emit(ProfilingEvent::StageFinished {
+            stage: StageKind::SspSearch,
+        });
         Ok(SspArtifact {
             ssp_index,
             throttle_detected,
@@ -304,6 +384,9 @@ impl<'a, B: PowerBackend> StagePipeline<'a, B> {
         timing: &TimingArtifact,
         ssp: &SspArtifact,
     ) -> MethodologyResult<RunCollection> {
+        self.emit(ProfilingEvent::StageStarted {
+            stage: StageKind::CollectRuns,
+        });
         let mut collected: Vec<CollectedRun> = Vec::new();
         let mut batch = timing.runs;
         let mut batches_left = self.config.extra_run_batches;
@@ -323,6 +406,9 @@ impl<'a, B: PowerBackend> StagePipeline<'a, B> {
             );
             let enough = profiles.ssp.len() as u32 >= ssp.loi_target;
             if enough || batches_left == 0 {
+                self.emit(ProfilingEvent::StageFinished {
+                    stage: StageKind::CollectRuns,
+                });
                 return Ok(RunCollection {
                     collected,
                     binning,
@@ -444,7 +530,7 @@ impl<'a, B: PowerBackend> StagePipeline<'a, B> {
             b.stop_power_logger()
         };
         let script = b.sleep(self.config.inter_run_idle).build();
-        let mut trace = self.backend.run_script(&script)?;
+        let mut trace = self.run_script(&script)?;
         if coarse {
             // Downstream placement machinery reads `power_logs`; when the
             // methodology drives the external logger, its logs take that

@@ -19,6 +19,7 @@ use crate::kernel::{KernelDesc, KernelHandle};
 use crate::power::PowerModel;
 use crate::rng::SimRng;
 use crate::script::{HostOp, Script};
+use crate::session::{AbortHandle, NoopSink, TelemetryEvent, TelemetrySink};
 use crate::telemetry::AveragingPowerLogger;
 use crate::thermal::ThermalState;
 use crate::time::{CpuTime, SimDuration, SimTime};
@@ -66,6 +67,10 @@ struct ScriptState {
     launch: Option<LaunchState>,
     trace: RunTrace,
     done: bool,
+    /// Index of the blocking op in flight, for `OpFinished` emission.
+    pending_op: Option<usize>,
+    /// Set when an abort cut the script short.
+    aborted: bool,
 }
 
 /// A persistent simulated profiling session on one GPU.
@@ -249,13 +254,42 @@ impl Simulation {
         self.device.kernel(handle)
     }
 
-    /// Runs one host script to completion and returns its trace.
+    /// Runs one host script to completion and returns its trace — the
+    /// batch entry point, equivalent to a streaming session with a no-op
+    /// sink (it *is* one; the traces are bit-identical).
     ///
     /// # Errors
     ///
     /// Returns [`SimError::UnknownKernel`] if the script launches an
     /// unregistered kernel.
     pub fn run_script(&mut self, script: &Script) -> SimResult<RunTrace> {
+        self.run_script_observed(script, &mut NoopSink, &AbortHandle::new())
+    }
+
+    /// Runs one host script as a streaming session: every observable
+    /// moment (op start/finish, log emission, launch completion, timestamp
+    /// read) is pushed into `sink` *while the script runs*, and `abort`
+    /// requests a cooperative stop at the next host boundary.
+    ///
+    /// With a [`NoopSink`] and a never-fired abort this is bit-identical
+    /// to [`Simulation::run_script`]: event emission never touches the
+    /// RNG or the event queue. An aborted session returns a well-formed
+    /// partial trace tagged [`RunTrace::aborted`]; because aborts only
+    /// take effect between ops and between launch executions, the device
+    /// is always quiescent afterwards and the session remains usable.
+    ///
+    /// See [`crate::session`] for the event-ordering guarantees.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownKernel`] if the script launches an
+    /// unregistered kernel.
+    pub fn run_script_observed(
+        &mut self,
+        script: &Script,
+        sink: &mut dyn TelemetrySink,
+        abort: &AbortHandle,
+    ) -> SimResult<RunTrace> {
         // Validate all kernel references up front.
         for op in script.ops() {
             if let HostOp::LaunchTimed { kernel, .. } = op {
@@ -273,6 +307,8 @@ impl Simulation {
             launch: None,
             trace: RunTrace::default(),
             done: false,
+            pending_op: None,
+            aborted: false,
         });
 
         // Seed the recurring background events on their global grids so the
@@ -288,8 +324,12 @@ impl Simulation {
             s.trace.truth.freq_changes.push((self.now, f0));
         }
 
+        sink.on_event(TelemetryEvent::ScriptStarted {
+            ops: script.ops().len(),
+        });
+
         // Kick off the host immediately.
-        self.handle_host(HostPhase::NextOp);
+        self.handle_host(HostPhase::NextOp, sink, abort);
 
         while !self.script.as_ref().expect("script in progress").done {
             let (t, ev) = self
@@ -301,19 +341,23 @@ impl Simulation {
             match ev {
                 Event::Sensor => self.handle_sensor(),
                 Event::PmTick => self.handle_pm_tick(),
-                Event::LoggerEmit => self.handle_logger_emit(),
-                Event::CoarseEmit => self.handle_coarse_emit(),
-                Event::HostResume(phase) => self.handle_host(phase),
+                Event::LoggerEmit => self.handle_logger_emit(sink),
+                Event::CoarseEmit => self.handle_coarse_emit(sink),
+                Event::HostResume(phase) => self.handle_host(phase, sink, abort),
                 Event::KernelEnd { generation } => self.handle_kernel_end(generation),
             }
         }
 
         let mut state = self.script.take().expect("script state");
+        state.trace.aborted = state.aborted;
         state.trace.power_logs = self.logger.drain_logs();
         state.trace.coarse_logs = self.coarse.drain_logs();
         state.trace.truth.final_temp_c = self.thermal.temp_c();
         // Drop leftover background/stale events; the next script reseeds.
         self.queue.clear();
+        sink.on_event(TelemetryEvent::ScriptDone {
+            aborted: state.aborted,
+        });
         Ok(state.trace)
     }
 
@@ -402,15 +446,19 @@ impl Simulation {
         self.schedule_on_grid(self.cfg.pm.control_period, Event::PmTick);
     }
 
-    fn handle_logger_emit(&mut self) {
+    fn handle_logger_emit(&mut self, sink: &mut dyn TelemetrySink) {
         let ticks = self.gpu_clock.ticks_at(self.now);
-        self.logger.emit(self.now, ticks);
+        if let Some(log) = self.logger.emit(self.now, ticks) {
+            sink.on_event(TelemetryEvent::PowerLogEmitted { coarse: false, log });
+        }
         self.schedule_on_grid(self.cfg.telemetry.logger_period, Event::LoggerEmit);
     }
 
-    fn handle_coarse_emit(&mut self) {
+    fn handle_coarse_emit(&mut self, sink: &mut dyn TelemetrySink) {
         let ticks = self.gpu_clock.ticks_at(self.now);
-        self.coarse.emit(self.now, ticks);
+        if let Some(log) = self.coarse.emit(self.now, ticks) {
+            sink.on_event(TelemetryEvent::PowerLogEmitted { coarse: true, log });
+        }
         self.schedule_on_grid(self.cfg.telemetry.coarse_period, Event::CoarseEmit);
     }
 
@@ -459,7 +507,7 @@ impl Simulation {
             .schedule(t + d, Event::HostResume(HostPhase::KernelBegin));
     }
 
-    fn handle_host(&mut self, phase: HostPhase) {
+    fn handle_host(&mut self, phase: HostPhase, sink: &mut dyn TelemetrySink, abort: &AbortHandle) {
         let t = self.now;
         match phase {
             HostPhase::KernelBegin => {
@@ -476,49 +524,80 @@ impl Simulation {
                 let cpu_end = self.cpu_now_noisy(t);
                 let s = self.script.as_mut().expect("script in progress");
                 let launch = s.launch.as_mut().expect("launch in progress");
-                s.trace.executions.push(TimedExecution {
+                let execution = TimedExecution {
                     kernel: launch.kernel,
                     index: launch.completed,
                     cpu_start: launch.cpu_start_pending,
                     cpu_end,
-                });
+                };
+                s.trace.executions.push(execution);
                 launch.completed += 1;
-                if launch.completed < launch.total {
-                    self.start_dispatch();
-                } else {
+                let finished = launch.completed >= launch.total;
+                sink.on_event(TelemetryEvent::LaunchCompleted { execution });
+                if finished {
                     self.script.as_mut().expect("script").launch = None;
-                    self.process_ops();
+                    self.process_ops(sink, abort);
+                } else if abort.is_aborted() {
+                    // Cooperative stop between executions: the launch op is
+                    // cut off (no OpFinished), the device is quiescent.
+                    let s = self.script.as_mut().expect("script");
+                    s.launch = None;
+                    s.pending_op = None;
+                    s.done = true;
+                    s.aborted = true;
+                } else {
+                    self.start_dispatch();
                 }
             }
-            HostPhase::NextOp => self.process_ops(),
+            HostPhase::NextOp => self.process_ops(sink, abort),
+        }
+    }
+
+    /// Emits the `OpFinished` of the blocking op that just completed, if
+    /// one is pending.
+    fn finish_pending_op(&mut self, sink: &mut dyn TelemetrySink) {
+        if let Some(index) = self.script.as_mut().and_then(|s| s.pending_op.take()) {
+            sink.on_event(TelemetryEvent::OpFinished { index });
         }
     }
 
     /// Interprets script operations until one blocks (schedules a resume
-    /// event) or the script ends.
-    fn process_ops(&mut self) {
+    /// event), the script ends, or an abort is observed at an op boundary.
+    fn process_ops(&mut self, sink: &mut dyn TelemetrySink, abort: &AbortHandle) {
+        self.finish_pending_op(sink);
         loop {
             let t = self.now;
-            let op = {
+            let (op_idx, op) = {
                 let s = self.script.as_ref().expect("script in progress");
                 match s.ops.get(s.op_idx) {
-                    Some(op) => *op,
+                    Some(op) => (s.op_idx, *op),
                     None => {
+                        // Out of ops: the script *finished*. This is
+                        // checked before the abort flag so a request that
+                        // lands during the final op never mislabels a
+                        // complete trace as aborted.
                         self.script.as_mut().expect("script").done = true;
                         return;
                     }
                 }
             };
+            if abort.is_aborted() {
+                let s = self.script.as_mut().expect("script in progress");
+                s.done = true;
+                s.aborted = true;
+                return;
+            }
+            sink.on_event(TelemetryEvent::OpStarted { index: op_idx, op });
             match op {
                 HostOp::Sleep(d) => {
-                    self.advance_op();
+                    self.advance_op(Some(op_idx));
                     self.queue
                         .schedule(t + d, Event::HostResume(HostPhase::NextOp));
                     return;
                 }
                 HostOp::SleepUniform { min, max } => {
                     let ns = self.rng.uniform_u64(min.as_nanos(), max.as_nanos());
-                    self.advance_op();
+                    self.advance_op(Some(op_idx));
                     self.queue.schedule(
                         t + SimDuration::from_nanos(ns),
                         Event::HostResume(HostPhase::NextOp),
@@ -533,22 +612,26 @@ impl Simulation {
                     let ticks = self.gpu_clock.ticks_at(sample_at);
                     let cpu_before = self.cpu_now_noisy(t);
                     let cpu_after = self.cpu_now_noisy(t + rtt);
-                    let s = self.script.as_mut().expect("script in progress");
-                    s.trace.timestamp_reads.push(TimestampRead {
+                    let read = TimestampRead {
                         cpu_before,
                         cpu_after,
                         ticks,
-                    });
-                    self.advance_op();
+                    };
+                    let s = self.script.as_mut().expect("script in progress");
+                    s.trace.timestamp_reads.push(read);
+                    sink.on_event(TelemetryEvent::GpuTimestampRead { read });
+                    self.advance_op(Some(op_idx));
                     self.queue
                         .schedule(t + rtt, Event::HostResume(HostPhase::NextOp));
                     return;
                 }
                 HostOp::LaunchTimed { kernel, executions } => {
-                    self.advance_op();
                     if executions == 0 {
+                        self.advance_op(None);
+                        sink.on_event(TelemetryEvent::OpFinished { index: op_idx });
                         continue;
                     }
+                    self.advance_op(Some(op_idx));
                     self.script.as_mut().expect("script").launch = Some(LaunchState {
                         kernel,
                         total: executions,
@@ -560,30 +643,40 @@ impl Simulation {
                 }
                 HostOp::StartPowerLogger => {
                     self.logger.set_enabled(true);
-                    self.advance_op();
+                    self.advance_op(None);
+                    sink.on_event(TelemetryEvent::OpFinished { index: op_idx });
                 }
                 HostOp::StopPowerLogger => {
                     self.logger.set_enabled(false);
-                    self.advance_op();
+                    self.advance_op(None);
+                    sink.on_event(TelemetryEvent::OpFinished { index: op_idx });
                 }
                 HostOp::StartCoarseLogger => {
                     self.coarse.set_enabled(true);
-                    self.advance_op();
+                    self.advance_op(None);
+                    sink.on_event(TelemetryEvent::OpFinished { index: op_idx });
                 }
                 HostOp::StopCoarseLogger => {
                     self.coarse.set_enabled(false);
-                    self.advance_op();
+                    self.advance_op(None);
+                    sink.on_event(TelemetryEvent::OpFinished { index: op_idx });
                 }
                 HostOp::BeginRun => {
                     self.device.begin_run(&mut self.rng);
-                    self.advance_op();
+                    self.advance_op(None);
+                    sink.on_event(TelemetryEvent::OpFinished { index: op_idx });
                 }
             }
         }
     }
 
-    fn advance_op(&mut self) {
-        self.script.as_mut().expect("script in progress").op_idx += 1;
+    /// Advances past the current op, recording it as the in-flight
+    /// blocking op when `pending` is set (its `OpFinished` fires when the
+    /// host resumes).
+    fn advance_op(&mut self, pending: Option<usize>) {
+        let s = self.script.as_mut().expect("script in progress");
+        s.op_idx += 1;
+        s.pending_op = pending;
     }
 }
 
@@ -971,6 +1064,224 @@ mod tests {
         assert!(fork.temp_c() < parent.temp_c());
         assert_eq!(fork.now(), SimTime::ZERO);
         assert_eq!(fork.f_mhz(), SimConfig::default().pm.idle_f_mhz);
+    }
+
+    /// Records every event; used to assert stream/trace agreement.
+    fn record_run(s: &mut Simulation, script: &Script) -> (RunTrace, Vec<TelemetryEvent>) {
+        let mut events = Vec::new();
+        let mut sink = |e: TelemetryEvent| events.push(e);
+        let trace = s
+            .run_script_observed(script, &mut sink, &AbortHandle::new())
+            .unwrap();
+        (trace, events)
+    }
+
+    fn instrumented_script(k: crate::kernel::KernelHandle) -> Script {
+        Script::builder()
+            .begin_run()
+            .start_power_logger()
+            .read_gpu_timestamp()
+            .launch_timed(k, 4)
+            .sleep(SimDuration::from_millis(1))
+            .read_gpu_timestamp()
+            .stop_power_logger()
+            .build()
+    }
+
+    #[test]
+    fn streamed_session_is_bit_identical_to_batch_run() {
+        let script = |s: &mut Simulation| {
+            let k = s.register_kernel(heavy()).unwrap();
+            instrumented_script(k)
+        };
+        let mut batch = sim(61);
+        let sc = script(&mut batch);
+        let batch_trace = batch.run_script(&sc).unwrap();
+
+        let mut streamed = sim(61);
+        let sc = script(&mut streamed);
+        let (stream_trace, events) = record_run(&mut streamed, &sc);
+        assert_eq!(batch_trace, stream_trace);
+        assert!(!stream_trace.aborted);
+        assert!(events.len() > 10, "streaming must actually stream");
+    }
+
+    #[test]
+    fn event_stream_mirrors_the_trace_in_order() {
+        let mut s = sim(62);
+        let k = s.register_kernel(heavy()).unwrap();
+        let script = instrumented_script(k);
+        let (trace, events) = record_run(&mut s, &script);
+
+        assert_eq!(
+            events.first(),
+            Some(&TelemetryEvent::ScriptStarted { ops: 7 })
+        );
+        assert_eq!(
+            events.last(),
+            Some(&TelemetryEvent::ScriptDone { aborted: false })
+        );
+
+        // Every observable record appears as an event, in trace order.
+        let execs: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::LaunchCompleted { execution } => Some(*execution),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(execs, trace.executions);
+        let logs: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::PowerLogEmitted { coarse: false, log } => Some(*log),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(logs, trace.power_logs);
+        let reads: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::GpuTimestampRead { read } => Some(*read),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reads, trace.timestamp_reads);
+
+        // Op lifecycle: indices start strictly increasing, every started op
+        // finishes (nothing was aborted), finishes never precede starts.
+        let mut started = Vec::new();
+        let mut finished = Vec::new();
+        for e in &events {
+            match e {
+                TelemetryEvent::OpStarted { index, .. } => started.push(*index),
+                TelemetryEvent::OpFinished { index } => {
+                    assert!(started.contains(index), "op {index} finished before start");
+                    finished.push(*index);
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(started, (0..7).collect::<Vec<_>>());
+        assert_eq!(finished, started);
+    }
+
+    #[test]
+    fn abort_mid_launch_yields_partial_well_formed_trace() {
+        let mut s = sim(63);
+        let k = s.register_kernel(heavy()).unwrap();
+        let script = Script::builder()
+            .begin_run()
+            .start_power_logger()
+            .launch_timed(k, 50)
+            .stop_power_logger()
+            .build();
+        let abort = AbortHandle::new();
+        let stop_after = 3usize;
+        let mut completions = 0usize;
+        let handle = abort.clone();
+        let mut sink = |e: TelemetryEvent| {
+            if matches!(e, TelemetryEvent::LaunchCompleted { .. }) {
+                completions += 1;
+                if completions == stop_after {
+                    handle.abort();
+                }
+            }
+        };
+        let trace = s.run_script_observed(&script, &mut sink, &abort).unwrap();
+        assert!(trace.aborted, "trace must be tagged aborted");
+        assert_eq!(trace.executions.len(), stop_after, "stops at the boundary");
+        for (i, e) in trace.executions.iter().enumerate() {
+            assert_eq!(e.index, i as u32);
+            assert!(e.duration_ns() > 0);
+        }
+        // Logs observed so far are kept and stay tick-ordered.
+        for w in trace.power_logs.windows(2) {
+            assert!(w[1].ticks.as_raw() > w[0].ticks.as_raw());
+        }
+        // The session stays usable: the device is quiescent, a follow-up
+        // script runs normally.
+        let follow_up = Script::builder().begin_run().launch_timed(k, 2).build();
+        let t2 = s.run_script(&follow_up).unwrap();
+        assert!(!t2.aborted);
+        assert_eq!(t2.executions.len(), 2);
+    }
+
+    #[test]
+    fn abort_during_the_final_op_does_not_mislabel_a_complete_trace() {
+        // The flag fires while the last execution of the last op runs; by
+        // the time the engine reaches an abort point, every op has
+        // completed — the trace is complete and must not be tagged.
+        let mut s = sim(66);
+        let k = s.register_kernel(light()).unwrap();
+        let script = Script::builder().begin_run().launch_timed(k, 3).build();
+        let abort = AbortHandle::new();
+        let handle = abort.clone();
+        let mut completions = 0usize;
+        let mut last = None;
+        let mut sink = |e: TelemetryEvent| {
+            if matches!(e, TelemetryEvent::LaunchCompleted { .. }) {
+                completions += 1;
+                if completions == 3 {
+                    handle.abort();
+                }
+            }
+            last = Some(e);
+        };
+        let trace = s.run_script_observed(&script, &mut sink, &abort).unwrap();
+        assert!(!trace.aborted, "a finished script is not aborted");
+        assert_eq!(trace.executions.len(), 3);
+        assert_eq!(last, Some(TelemetryEvent::ScriptDone { aborted: false }));
+    }
+
+    #[test]
+    fn abort_before_any_op_yields_empty_aborted_trace() {
+        let mut s = sim(64);
+        let k = s.register_kernel(light()).unwrap();
+        let script = Script::builder().launch_timed(k, 5).build();
+        let abort = AbortHandle::new();
+        abort.abort();
+        let mut events = Vec::new();
+        let mut sink = |e: TelemetryEvent| events.push(e);
+        let trace = s.run_script_observed(&script, &mut sink, &abort).unwrap();
+        assert!(trace.aborted);
+        assert!(trace.executions.is_empty());
+        assert_eq!(
+            events,
+            vec![
+                TelemetryEvent::ScriptStarted { ops: 1 },
+                TelemetryEvent::ScriptDone { aborted: true },
+            ]
+        );
+    }
+
+    #[test]
+    fn aborted_op_never_receives_op_finished() {
+        let mut s = sim(65);
+        let k = s.register_kernel(heavy()).unwrap();
+        let script = Script::builder().begin_run().launch_timed(k, 50).build();
+        let abort = AbortHandle::new();
+        let handle = abort.clone();
+        let mut events = Vec::new();
+        let mut sink = |e: TelemetryEvent| {
+            if matches!(e, TelemetryEvent::LaunchCompleted { .. }) {
+                handle.abort();
+            }
+            events.push(e);
+        };
+        let trace = s.run_script_observed(&script, &mut sink, &abort).unwrap();
+        assert!(trace.aborted);
+        // The launch op (index 1) started but never finished.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TelemetryEvent::OpStarted { index: 1, .. })));
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, TelemetryEvent::OpFinished { index: 1 })));
+        assert_eq!(
+            events.last(),
+            Some(&TelemetryEvent::ScriptDone { aborted: true })
+        );
     }
 
     #[test]

@@ -72,6 +72,7 @@ pub mod kernel;
 pub mod power;
 pub mod rng;
 pub mod script;
+pub mod session;
 pub mod telemetry;
 pub mod thermal;
 pub mod time;
@@ -83,6 +84,7 @@ pub use error::{SimError, SimResult};
 pub use kernel::{KernelDesc, KernelHandle, VariationConfig};
 pub use power::{Activity, Component, ComponentPower};
 pub use script::{HostOp, Script};
+pub use session::{AbortHandle, ChannelSink, NoopSink, TelemetryEvent, TelemetrySink};
 pub use telemetry::PowerLog;
 pub use time::{CpuTime, GpuTicks, SimDuration, SimTime};
 pub use trace::{RunTrace, TimedExecution, TimestampRead};

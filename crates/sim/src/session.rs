@@ -1,0 +1,368 @@
+//! Streaming script sessions: observable, abortable script execution.
+//!
+//! Historically [`crate::engine::Simulation::run_script`] was a batch call:
+//! it blocked until the script ended and the logger's logs were only
+//! visible afterwards, so a long campaign could neither be observed live
+//! nor stopped early. This module is the streaming half of the redesign:
+//! while a script runs, the engine pushes [`TelemetryEvent`]s into a
+//! [`TelemetrySink`] *as they happen*, and an [`AbortHandle`] lets another
+//! thread request a cooperative stop that still yields a well-formed
+//! (partial) trace.
+//!
+//! # Event ordering guarantees
+//!
+//! The engine is a deterministic discrete-event simulator, so the event
+//! stream of a script is itself deterministic: the same session seed and
+//! script produce the exact same event sequence, byte for byte, no matter
+//! which sink consumes it (a no-op sink, a bounded channel, a recording
+//! test sink) and no matter how slowly the consumer drains it. The
+//! guarantees, in order of delivery:
+//!
+//! 1. [`TelemetryEvent::ScriptStarted`] is always the first event of a
+//!    session and [`TelemetryEvent::ScriptDone`] is always the last.
+//! 2. Every script op emits [`TelemetryEvent::OpStarted`] when the host
+//!    interpreter picks it up. Ops that complete (i.e. were not cut off by
+//!    an abort) emit a matching [`TelemetryEvent::OpFinished`]; `Started`
+//!    and `Finished` events of the same op bracket every event the op
+//!    produced. Op indices are strictly increasing.
+//! 3. [`TelemetryEvent::PowerLogEmitted`] fires at the logger's emission
+//!    tick, in tick order — the exact logs `RunTrace::power_logs` (or
+//!    `coarse_logs`) will contain, in the same order.
+//! 4. [`TelemetryEvent::LaunchCompleted`] fires once per timed execution,
+//!    when the host observes completion — the exact entries (and order) of
+//!    `RunTrace::executions`.
+//! 5. [`TelemetryEvent::GpuTimestampRead`] fires when the read is issued —
+//!    the exact entries (and order) of `RunTrace::timestamp_reads`.
+//!
+//! # Abort semantics
+//!
+//! Abort is *cooperative*: the engine checks the [`AbortHandle`] at host
+//! boundaries only — between script ops and between the executions of a
+//! timed launch — never mid-kernel, so the device is always quiescent when
+//! a session stops. Everything observed before the stop is kept: the
+//! returned trace carries every completed execution, emitted log, and
+//! timestamp read, and is tagged [`crate::trace::RunTrace::aborted`]. An
+//! op cut off by an abort never receives its `OpFinished`; `ScriptDone`
+//! reports `aborted: true` and is still delivered last.
+//!
+//! # Backpressure
+//!
+//! [`ChannelSink`] sends over a *bounded* [`std::sync::mpsc::sync_channel`]:
+//! when the consumer falls behind, the engine blocks inside the sink until
+//! a slot frees up. Because the engine is otherwise pure computation (it
+//! never takes a lock the consumer could hold), a draining consumer always
+//! unblocks it — slow consumers slow the producer down, they cannot
+//! deadlock it. A dropped receiver does not kill the session either: the
+//! sink silently discards further events and the script runs to
+//! completion.
+//!
+//! The no-deadlock guarantee therefore has one obligation on the
+//! consumer: *keep draining or hang up*. A consumer that stops receiving
+//! while keeping the `Receiver` alive parks the engine in the full
+//! channel, where it cannot reach an abort point. When the consumer is
+//! also the one requesting the abort, attach the session's handle to the
+//! sink with [`ChannelSink::with_abort`]: once the handle fires, a send
+//! that would block drops the event instead, so the engine always reaches
+//! its next abort check even if the consumer walked away mid-stream.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+
+use crate::script::HostOp;
+use crate::telemetry::PowerLog;
+use crate::trace::{TimedExecution, TimestampRead};
+
+/// One observable moment of a running script session.
+///
+/// See the [module docs](self) for the ordering guarantees.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TelemetryEvent {
+    /// The session began interpreting the script.
+    ScriptStarted {
+        /// Number of ops in the script.
+        ops: usize,
+    },
+    /// The host interpreter picked up script op `index`.
+    OpStarted {
+        /// Zero-based index of the op within the script.
+        index: usize,
+        /// The op itself.
+        op: HostOp,
+    },
+    /// Script op `index` ran to completion (never emitted for the op an
+    /// abort cut off).
+    OpFinished {
+        /// Zero-based index of the op within the script.
+        index: usize,
+    },
+    /// A power logger emitted a log (the same value `RunTrace` collects).
+    PowerLogEmitted {
+        /// True for the coarse (amd-smi-class) logger, false for the fine
+        /// internal logger.
+        coarse: bool,
+        /// The emitted log.
+        log: PowerLog,
+    },
+    /// The host observed one timed kernel execution complete.
+    LaunchCompleted {
+        /// The execution record appended to `RunTrace::executions`.
+        execution: TimedExecution,
+    },
+    /// The host read the GPU timestamp counter.
+    GpuTimestampRead {
+        /// The read appended to `RunTrace::timestamp_reads`.
+        read: TimestampRead,
+    },
+    /// The session ended; always the last event.
+    ScriptDone {
+        /// True when the session was cut short by an [`AbortHandle`].
+        aborted: bool,
+    },
+}
+
+/// A consumer of [`TelemetryEvent`]s.
+///
+/// Implementations may block (that is the backpressure contract:
+/// [`ChannelSink`] blocks when its bounded channel is full) but must not
+/// panic — a sink runs inside the engine's event loop.
+///
+/// Any `FnMut(TelemetryEvent)` closure is a sink.
+pub trait TelemetrySink {
+    /// Receives one event, in session order.
+    fn on_event(&mut self, event: TelemetryEvent);
+}
+
+impl<F: FnMut(TelemetryEvent)> TelemetrySink for F {
+    fn on_event(&mut self, event: TelemetryEvent) {
+        self(event)
+    }
+}
+
+/// A sink that discards every event. Running a session with it is
+/// bit-identical to the batch `run_script` path (it *is* that path).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl TelemetrySink for NoopSink {
+    fn on_event(&mut self, _event: TelemetryEvent) {}
+}
+
+/// A [`TelemetrySink`] over a bounded channel: the producing engine blocks
+/// when the channel is full (backpressure) and keeps running — discarding
+/// events — once the receiver is gone.
+///
+/// Attach the session's abort handle via [`ChannelSink::with_abort`] when
+/// the consumer may stop draining after requesting an abort; see the
+/// [module docs](self) for the contract.
+#[derive(Debug, Clone)]
+pub struct ChannelSink {
+    tx: SyncSender<TelemetryEvent>,
+    disconnected: bool,
+    abort: Option<AbortHandle>,
+}
+
+impl ChannelSink {
+    /// Wraps an existing bounded sender.
+    pub fn new(tx: SyncSender<TelemetryEvent>) -> Self {
+        ChannelSink {
+            tx,
+            disconnected: false,
+            abort: None,
+        }
+    }
+
+    /// Creates a bounded event channel of the given capacity and returns
+    /// the sink half plus the receiver. Capacity 0 is a rendezvous
+    /// channel: the engine blocks until every event is received.
+    pub fn bounded(capacity: usize) -> (ChannelSink, Receiver<TelemetryEvent>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
+        (ChannelSink::new(tx), rx)
+    }
+
+    /// Makes the sink abort-aware: once `abort` fires, a send that would
+    /// block drops its event instead, so a consumer that aborts the
+    /// session and then stops draining can never strand the engine in a
+    /// full channel. Events already buffered stay readable.
+    #[must_use]
+    pub fn with_abort(mut self, abort: AbortHandle) -> Self {
+        self.abort = Some(abort);
+        self
+    }
+}
+
+impl TelemetrySink for ChannelSink {
+    fn on_event(&mut self, event: TelemetryEvent) {
+        if self.disconnected {
+            return;
+        }
+        // Fast path, then block for backpressure; a hung-up receiver turns
+        // the sink into a no-op instead of erroring the session.
+        match self.tx.try_send(event) {
+            Ok(()) => {}
+            Err(TrySendError::Disconnected(_)) => self.disconnected = true,
+            Err(TrySendError::Full(event)) => match &self.abort {
+                None => {
+                    if self.tx.send(event).is_err() {
+                        self.disconnected = true;
+                    }
+                }
+                Some(abort) => {
+                    // Bounded wait: keep offering the event until a slot
+                    // frees, the receiver hangs up, or the abort fires (the
+                    // session is stopping; the event no longer matters).
+                    let mut event = event;
+                    loop {
+                        if abort.is_aborted() {
+                            return;
+                        }
+                        match self.tx.try_send(event) {
+                            Ok(()) => return,
+                            Err(TrySendError::Disconnected(_)) => {
+                                self.disconnected = true;
+                                return;
+                            }
+                            Err(TrySendError::Full(e)) => {
+                                event = e;
+                                std::thread::sleep(std::time::Duration::from_micros(50));
+                            }
+                        }
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// A cloneable, thread-safe abort flag for cooperative session
+/// cancellation.
+///
+/// Cloning shares the flag: any clone's [`AbortHandle::abort`] is observed
+/// by every holder. The engine polls it at host boundaries (see the
+/// [module docs](self)); campaign executors reuse the same type as their
+/// cancellation token.
+#[derive(Debug, Clone, Default)]
+pub struct AbortHandle(Arc<AtomicBool>);
+
+impl AbortHandle {
+    /// Creates a fresh, un-aborted handle.
+    pub fn new() -> Self {
+        AbortHandle::default()
+    }
+
+    /// Requests a cooperative stop. Idempotent; never blocks.
+    pub fn abort(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// True once [`AbortHandle::abort`] has been called on any clone.
+    pub fn is_aborted(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::ComponentPower;
+    use crate::time::GpuTicks;
+
+    fn log() -> PowerLog {
+        PowerLog {
+            ticks: GpuTicks::from_raw(7),
+            avg: ComponentPower::new(1.0, 2.0, 3.0, 4.0),
+        }
+    }
+
+    #[test]
+    fn abort_handle_is_shared_across_clones() {
+        let a = AbortHandle::new();
+        let b = a.clone();
+        assert!(!a.is_aborted());
+        b.abort();
+        assert!(a.is_aborted());
+        b.abort(); // idempotent
+        assert!(b.is_aborted());
+    }
+
+    #[test]
+    fn channel_sink_delivers_in_order() {
+        let (mut sink, rx) = ChannelSink::bounded(8);
+        sink.on_event(TelemetryEvent::ScriptStarted { ops: 2 });
+        sink.on_event(TelemetryEvent::ScriptDone { aborted: false });
+        drop(sink);
+        let events: Vec<_> = rx.iter().collect();
+        assert_eq!(
+            events,
+            vec![
+                TelemetryEvent::ScriptStarted { ops: 2 },
+                TelemetryEvent::ScriptDone { aborted: false },
+            ]
+        );
+    }
+
+    #[test]
+    fn channel_sink_blocks_until_drained_then_survives_hangup() {
+        let (mut sink, rx) = ChannelSink::bounded(1);
+        let producer = std::thread::spawn(move || {
+            for _ in 0..64 {
+                sink.on_event(TelemetryEvent::PowerLogEmitted {
+                    coarse: false,
+                    log: log(),
+                });
+            }
+            sink
+        });
+        // Drain a prefix slowly, then hang up mid-stream.
+        for _ in 0..10 {
+            rx.recv().expect("producer is live");
+        }
+        drop(rx);
+        let mut sink = producer.join().expect("producer finishes despite hangup");
+        // Further sends are silently discarded.
+        sink.on_event(TelemetryEvent::ScriptDone { aborted: false });
+    }
+
+    #[test]
+    fn abort_aware_sink_drops_instead_of_blocking_once_aborted() {
+        let abort = AbortHandle::new();
+        let (sink, rx) = ChannelSink::bounded(1);
+        let mut sink = sink.with_abort(abort.clone());
+        sink.on_event(TelemetryEvent::ScriptStarted { ops: 1 }); // fills the buffer
+        abort.abort();
+        // Without abort-awareness this would block forever: the buffer is
+        // full and nobody is draining.
+        sink.on_event(TelemetryEvent::ScriptDone { aborted: true });
+        assert_eq!(rx.try_recv(), Ok(TelemetryEvent::ScriptStarted { ops: 1 }));
+        assert!(rx.try_recv().is_err(), "the post-abort event was dropped");
+    }
+
+    #[test]
+    fn abort_fired_while_blocked_unparks_the_sender() {
+        let abort = AbortHandle::new();
+        let (sink, rx) = ChannelSink::bounded(1);
+        let mut sink = sink.with_abort(abort.clone());
+        let producer = std::thread::spawn(move || {
+            sink.on_event(TelemetryEvent::ScriptStarted { ops: 1 });
+            // Blocks in the bounded-wait loop until the abort fires.
+            sink.on_event(TelemetryEvent::ScriptDone { aborted: true });
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        abort.abort();
+        producer.join().expect("producer unparks without a drain");
+        drop(rx);
+    }
+
+    #[test]
+    fn closures_are_sinks() {
+        let mut seen = 0usize;
+        {
+            let mut sink = |_e: TelemetryEvent| seen += 1;
+            let dyn_sink: &mut dyn TelemetrySink = &mut sink;
+            dyn_sink.on_event(TelemetryEvent::ScriptStarted { ops: 0 });
+            dyn_sink.on_event(TelemetryEvent::ScriptDone { aborted: false });
+        }
+        assert_eq!(seen, 2);
+    }
+}

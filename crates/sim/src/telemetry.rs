@@ -142,10 +142,12 @@ impl AveragingPowerLogger {
     }
 
     /// Emits a log at `t` (if enabled): the average of all samples in
-    /// `(t - window, t]`, stamped with `ticks`.
-    pub fn emit(&mut self, t: SimTime, ticks: GpuTicks) {
+    /// `(t - window, t]`, stamped with `ticks`. Returns the emitted log so
+    /// streaming sessions can forward it the moment it exists (`None` when
+    /// disabled or when no sample fell in the window).
+    pub fn emit(&mut self, t: SimTime, ticks: GpuTicks) -> Option<PowerLog> {
         if !self.enabled {
-            return;
+            return None;
         }
         let cutoff = t.saturating_sub(self.window);
         let mut sum = ComponentPower::ZERO;
@@ -156,12 +158,15 @@ impl AveragingPowerLogger {
                 n += 1;
             }
         }
-        if n > 0 {
-            self.logs.push(PowerLog {
-                ticks,
-                avg: sum / n as f64,
-            });
+        if n == 0 {
+            return None;
         }
+        let log = PowerLog {
+            ticks,
+            avg: sum / n as f64,
+        };
+        self.logs.push(log);
+        Some(log)
     }
 
     /// Takes all logs emitted since the last drain.
@@ -169,7 +174,10 @@ impl AveragingPowerLogger {
         std::mem::take(&mut self.logs)
     }
 
-    /// Number of undrained logs.
+    /// Number of undrained logs — the authoritative pending count. Use
+    /// this (never a throwaway [`AveragingPowerLogger::drain_logs`]) to
+    /// observe how many logs have accumulated: draining is destructive and
+    /// streaming consumers rely on every drain being intentional.
     pub fn pending_logs(&self) -> usize {
         self.logs.len()
     }
@@ -200,9 +208,10 @@ mod tests {
         for i in 0..=50 {
             l.push_sample(SimTime::from_micros(i * 20), w(250.0));
         }
-        l.emit(SimTime::from_millis(1), GpuTicks::from_raw(1));
+        let emitted = l.emit(SimTime::from_millis(1), GpuTicks::from_raw(1));
+        assert_eq!(l.pending_logs(), 1);
         let logs = l.drain_logs();
-        assert_eq!(logs.len(), 1);
+        assert_eq!(emitted, Some(logs[0]));
         assert!((logs[0].avg.xcd - 250.0).abs() < 1e-9);
         assert_eq!(logs[0].ticks, GpuTicks::from_raw(1));
     }
@@ -226,9 +235,8 @@ mod tests {
     fn disabled_logger_emits_nothing() {
         let mut l = AveragingPowerLogger::new(SimDuration::from_millis(1));
         l.push_sample(SimTime::ZERO, w(10.0));
-        l.emit(SimTime::from_millis(1), GpuTicks::from_raw(0));
+        assert_eq!(l.emit(SimTime::from_millis(1), GpuTicks::from_raw(0)), None);
         assert_eq!(l.pending_logs(), 0);
-        assert!(l.drain_logs().is_empty());
     }
 
     #[test]
@@ -254,15 +262,17 @@ mod tests {
     #[test]
     fn emit_without_samples_is_skipped() {
         let mut l = logger_1ms();
-        l.emit(SimTime::from_millis(5), GpuTicks::from_raw(0));
-        assert!(l.drain_logs().is_empty());
+        assert_eq!(l.emit(SimTime::from_millis(5), GpuTicks::from_raw(0)), None);
+        assert_eq!(l.pending_logs(), 0);
     }
 
     #[test]
     fn drain_clears_logs() {
         let mut l = logger_1ms();
         l.push_sample(SimTime::from_nanos(1), w(10.0));
-        l.emit(SimTime::from_nanos(1), GpuTicks::from_raw(0));
+        assert!(l
+            .emit(SimTime::from_nanos(1), GpuTicks::from_raw(0))
+            .is_some());
         assert_eq!(l.pending_logs(), 1);
         assert_eq!(l.drain_logs().len(), 1);
         assert_eq!(l.pending_logs(), 0);

@@ -103,6 +103,10 @@ pub struct RunTrace {
     pub power_logs: Vec<PowerLog>,
     /// Coarse logs emitted while enabled.
     pub coarse_logs: Vec<PowerLog>,
+    /// True when the script was cut short by a cooperative abort (see
+    /// [`crate::session::AbortHandle`]): everything observed before the
+    /// stop is present and well-formed, but the script did not finish.
+    pub aborted: bool,
     /// Simulator ground truth (not available on real hardware).
     pub truth: GroundTruth,
 }

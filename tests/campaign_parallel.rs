@@ -1,12 +1,25 @@
 //! Campaign determinism under sharding: a parallel `CampaignExecutor` run
 //! must serialize to a byte-identical `CampaignReport` as the serial path
 //! with the same seeds, and the report must survive a serde round-trip.
+//!
+//! Streaming-session coverage rides along: bounded-channel backpressure
+//! must never deadlock the engine, a mid-script abort must yield a valid
+//! partial trace, per-slot event streams must be bit-identical across
+//! worker counts, and campaign cancellation must stop pending entries and
+//! abort in-flight sessions under both error policies.
 
-use fingrav::core::backend::SimulationFactory;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+use fingrav::core::backend::{PowerBackend, SimulationFactory};
 use fingrav::core::campaign::{Campaign, CampaignReport};
-use fingrav::core::executor::{CampaignExecutor, ErrorPolicy};
+use fingrav::core::error::MethodologyError;
+use fingrav::core::executor::{CampaignExecutor, CampaignObserver, CancellationToken, ErrorPolicy};
+use fingrav::core::observe::ProfilingEvent;
 use fingrav::core::runner::RunnerConfig;
-use fingrav::sim::{SimConfig, Simulation};
+use fingrav::sim::session::{ChannelSink, TelemetryEvent};
+use fingrav::sim::{Script, SimConfig, SimDuration, Simulation};
 use fingrav::workloads::suite;
 
 /// Eight suite kernels (the six GEMM/GEMVs plus two collectives): enough
@@ -88,6 +101,306 @@ fn worker_count_never_changes_results() {
             "{workers} workers diverged"
         );
     }
+}
+
+/// Order-sensitive per-slot digest of every profiling event: identical
+/// streams fold to identical `(digest, count)` pairs, and any reordering,
+/// insertion, or mutation changes the digest.
+struct Recorder {
+    slots: Vec<Mutex<(u64, usize)>>,
+}
+
+impl Recorder {
+    fn new(entries: usize) -> Self {
+        Recorder {
+            slots: (0..entries).map(|_| Mutex::new((0, 0))).collect(),
+        }
+    }
+
+    fn digests(&self) -> Vec<(u64, usize)> {
+        self.slots
+            .iter()
+            .map(|s| *s.lock().expect("recorder slot"))
+            .collect()
+    }
+}
+
+impl CampaignObserver for Recorder {
+    fn entry_event(&self, index: usize, event: &ProfilingEvent) {
+        let mut slot = self.slots[index].lock().expect("recorder slot");
+        let mut h = DefaultHasher::new();
+        slot.0.hash(&mut h);
+        format!("{event:?}").hash(&mut h);
+        *slot = (h.finish(), slot.1 + 1);
+    }
+}
+
+#[test]
+fn bounded_channel_backpressure_never_deadlocks_the_engine() {
+    let machine = SimConfig::default().machine.clone();
+    let desc = suite::cb_gemm(&machine, 2048);
+    let script_for = |sim: &mut Simulation| {
+        let k = PowerBackend::register_kernel(sim, &desc).expect("register");
+        Script::builder()
+            .begin_run()
+            .start_power_logger()
+            .read_gpu_timestamp()
+            .launch_timed(k, 12)
+            .sleep(SimDuration::from_millis(1))
+            .read_gpu_timestamp()
+            .stop_power_logger()
+            .build()
+    };
+
+    // Reference: the plain batch call on an identically-seeded device.
+    let mut reference_sim = Simulation::new(SimConfig::default(), 4711).expect("valid");
+    let script = script_for(&mut reference_sim);
+    let reference = PowerBackend::run_script(&mut reference_sim, &script).expect("runs");
+
+    // Streamed: a capacity-1 channel with a deliberately slow consumer, so
+    // the engine spends most of the run blocked on backpressure.
+    let mut sim = Simulation::new(SimConfig::default(), 4711).expect("valid");
+    let script = script_for(&mut sim);
+    let (sink, rx) = ChannelSink::bounded(1);
+    let consumer = std::thread::spawn(move || {
+        let mut events = Vec::new();
+        for event in rx.iter() {
+            if events.len() % 8 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            events.push(event);
+        }
+        events
+    });
+    let trace = sim.begin_script(&script, sink).run().expect("session runs");
+    let events = consumer.join().expect("consumer finishes: no deadlock");
+
+    assert_eq!(trace, reference, "backpressure must not change the trace");
+    assert_eq!(
+        events.first(),
+        Some(&TelemetryEvent::ScriptStarted { ops: 7 })
+    );
+    assert_eq!(
+        events.last(),
+        Some(&TelemetryEvent::ScriptDone { aborted: false })
+    );
+    // The sink-driven stream carries the full trace, event for event.
+    let streamed_execs: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            TelemetryEvent::LaunchCompleted { execution } => Some(*execution),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(streamed_execs, trace.executions);
+    let streamed_logs: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            TelemetryEvent::PowerLogEmitted { coarse: false, log } => Some(*log),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(streamed_logs, trace.power_logs);
+}
+
+#[test]
+fn mid_script_abort_yields_a_valid_partial_trace() {
+    let machine = SimConfig::default().machine.clone();
+    let desc = suite::cb_gemm(&machine, 4096);
+    let mut sim = Simulation::new(SimConfig::default(), 515).expect("valid");
+    let k = PowerBackend::register_kernel(&mut sim, &desc).expect("register");
+    let script = Script::builder()
+        .begin_run()
+        .start_power_logger()
+        .launch_timed(k, 40)
+        .sleep(SimDuration::from_millis(1))
+        .stop_power_logger()
+        .build();
+
+    let session = sim.begin_script(&script, |_: TelemetryEvent| {});
+    let abort = session.abort_handle();
+    abort.abort(); // fire before the first op: deterministic cut point
+    let trace = session.run().expect("aborted sessions still return Ok");
+    assert!(trace.aborted);
+    assert!(trace.executions.is_empty());
+
+    // Fire mid-launch from the sink itself: the partial trace keeps every
+    // completed execution, in order, and the session stays usable.
+    let mut sim = Simulation::new(SimConfig::default(), 515).expect("valid");
+    let k = PowerBackend::register_kernel(&mut sim, &desc).expect("register");
+    let handle = fingrav::sim::session::AbortHandle::new();
+    let stopper = handle.clone();
+    let mut launches = 0u32;
+    let sink = move |event: TelemetryEvent| {
+        if matches!(event, TelemetryEvent::LaunchCompleted { .. }) {
+            launches += 1;
+            if launches == 6 {
+                stopper.abort();
+            }
+        }
+    };
+    let session = sim.begin_script(&script, sink).with_abort(handle);
+    let trace = session.run().expect("aborted sessions still return Ok");
+    assert!(trace.aborted, "trace must be tagged");
+    assert!(
+        !trace.executions.is_empty() && trace.executions.len() < 40,
+        "partial: got {}",
+        trace.executions.len()
+    );
+    for (i, e) in trace.executions.iter().enumerate() {
+        assert_eq!(e.index, i as u32, "executions stay dense and ordered");
+        assert!(e.duration_ns() > 0);
+    }
+    for w in trace.power_logs.windows(2) {
+        assert!(
+            w[1].ticks.as_raw() > w[0].ticks.as_raw(),
+            "logs tick-ordered"
+        );
+    }
+    // The device is quiescent after the cooperative stop: profiling on the
+    // same session still works.
+    let follow_up = Script::builder().begin_run().launch_timed(k, 2).build();
+    let t2 = PowerBackend::run_script(&mut sim, &follow_up).expect("runs");
+    assert!(!t2.aborted);
+    assert_eq!(t2.executions.len(), 2);
+}
+
+#[test]
+fn per_slot_event_streams_are_identical_across_worker_counts() {
+    let machine = SimConfig::default().machine.clone();
+    let mut campaign = Campaign::new(RunnerConfig::quick(6));
+    campaign.add_all(
+        suite::gemm_suite(&machine)
+            .into_iter()
+            .take(4)
+            .map(|k| k.desc),
+    );
+    let factory = SimulationFactory::new(SimConfig::default(), 2024);
+
+    // The unobserved plain run is the report reference.
+    let plain = CampaignExecutor::serial()
+        .run(&campaign, &factory)
+        .expect("profiles");
+
+    let mut streams: Vec<Vec<(u64, usize)>> = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let recorder = Recorder::new(campaign.len());
+        let outcome = CampaignExecutor::new(workers).execute_observed(
+            &campaign,
+            &factory,
+            &recorder,
+            &CancellationToken::new(),
+        );
+        let report = outcome.into_report().expect("profiles");
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&plain).unwrap(),
+            "a sink-driven run must match run_script bit for bit ({workers} workers)"
+        );
+        let digests = recorder.digests();
+        for (slot, &(_, count)) in digests.iter().enumerate() {
+            assert!(
+                count > 100,
+                "slot {slot} must stream real events, got {count}"
+            );
+        }
+        streams.push(digests);
+    }
+    assert_eq!(streams[0], streams[1], "2 workers diverged from 1");
+    assert_eq!(streams[0], streams[2], "8 workers diverged from 1");
+}
+
+/// Cancels after the first finished entry; counts lifecycle calls.
+struct CancelAfterFirst {
+    cancel: CancellationToken,
+    finished: Mutex<Vec<usize>>,
+    skipped: Mutex<Vec<usize>>,
+}
+
+impl CampaignObserver for CancelAfterFirst {
+    fn entry_finished(&self, index: usize, _report: &fingrav::core::runner::KernelPowerReport) {
+        self.finished.lock().unwrap().push(index);
+        self.cancel.abort();
+    }
+    fn entry_skipped(&self, index: usize) {
+        self.skipped.lock().unwrap().push(index);
+    }
+}
+
+#[test]
+fn cancellation_token_stops_pending_entries_under_both_policies() {
+    let campaign = suite_campaign();
+    let factory = SimulationFactory::new(SimConfig::default(), 31337);
+
+    for policy in [ErrorPolicy::FailFast, ErrorPolicy::CollectAll] {
+        // Pre-fired token: nothing starts, everything is skipped.
+        let cancel = CancellationToken::new();
+        cancel.abort();
+        let outcome = CampaignExecutor::new(3)
+            .error_policy(policy)
+            .execute_observed(
+                &campaign,
+                &factory,
+                &fingrav::core::executor::NoopCampaignObserver,
+                &cancel,
+            );
+        assert!(outcome.reports.iter().all(Option::is_none));
+        assert!(outcome.errors.is_empty());
+        assert_eq!(outcome.skipped, (0..campaign.len()).collect::<Vec<_>>());
+
+        // Token fired after the first entry finishes (serial executor for
+        // a deterministic cut): exactly one report, the rest skipped.
+        let observer = CancelAfterFirst {
+            cancel: CancellationToken::new(),
+            finished: Mutex::new(Vec::new()),
+            skipped: Mutex::new(Vec::new()),
+        };
+        let outcome = CampaignExecutor::serial()
+            .error_policy(policy)
+            .execute_observed(&campaign, &factory, &observer, &observer.cancel);
+        assert_eq!(outcome.reports.iter().filter(|r| r.is_some()).count(), 1);
+        assert_eq!(*observer.finished.lock().unwrap(), vec![0]);
+        assert_eq!(outcome.skipped, (1..campaign.len()).collect::<Vec<_>>());
+        assert_eq!(*observer.skipped.lock().unwrap(), outcome.skipped);
+    }
+}
+
+/// Cancels the campaign from inside slot 0's event stream, so the cut
+/// lands mid-script and the in-flight session must abort.
+struct CancelOnFirstLog {
+    cancel: CancellationToken,
+}
+
+impl CampaignObserver for CancelOnFirstLog {
+    fn entry_event(&self, index: usize, event: &ProfilingEvent) {
+        if index == 0
+            && matches!(
+                event,
+                ProfilingEvent::Device(TelemetryEvent::PowerLogEmitted { .. })
+            )
+        {
+            self.cancel.abort();
+        }
+    }
+}
+
+#[test]
+fn cancellation_aborts_the_in_flight_session() {
+    let campaign = suite_campaign();
+    let factory = SimulationFactory::new(SimConfig::default(), 606);
+    let observer = CancelOnFirstLog {
+        cancel: CancellationToken::new(),
+    };
+    let outcome = CampaignExecutor::serial()
+        .error_policy(ErrorPolicy::CollectAll)
+        .execute_observed(&campaign, &factory, &observer, &observer.cancel);
+    // Slot 0 was cut mid-measurement: it surfaces as Aborted, not as a
+    // report; everything after it never starts.
+    assert!(outcome.reports.iter().all(Option::is_none));
+    assert_eq!(outcome.errors.len(), 1);
+    assert_eq!(outcome.errors[0].0, 0);
+    assert!(matches!(outcome.errors[0].1, MethodologyError::Aborted));
+    assert_eq!(outcome.skipped, (1..campaign.len()).collect::<Vec<_>>());
 }
 
 #[test]

@@ -102,6 +102,9 @@ proptest! {
         }
         let emit_t = SimTime::from_nanos(1 + (powers.len() as u64 - 1) * step);
         logger.emit(emit_t, GpuTicks::from_raw(0));
+        // The pending count is the authoritative way to observe how many
+        // logs accumulated; draining is reserved for consuming them.
+        prop_assert_eq!(logger.pending_logs(), 1);
         let logs = logger.drain_logs();
         prop_assert_eq!(logs.len(), 1);
         let avg = logs[0].avg.xcd;
