@@ -21,8 +21,12 @@ fn main() {
         Scale::Bench => Some("--bench"),
     };
     // Forward an explicit --workers N to every child so the whole artefact
-    // tree shards consistently (results are worker-count-invariant).
+    // tree shards consistently (results are worker-count-invariant), and
+    // the checkpointing flags so every child campaign is durable under the
+    // same root.
     let workers = fingrav_bench::harness::worker_override();
+    let checkpoint_dir = fingrav_bench::harness::checkpoint_override();
+    let resume = fingrav_bench::harness::resume_override();
 
     // Each artefact is its own binary; running them in-process sequentially
     // would serialize, so spawn the sibling binaries in parallel instead.
@@ -51,6 +55,7 @@ fn main() {
             .map(|bin| {
                 let exe = exe_dir.join(bin);
                 let dir_str = dir_str.clone();
+                let checkpoint_dir = checkpoint_dir.clone();
                 s.spawn(move || {
                     let mut cmd = std::process::Command::new(&exe);
                     cmd.arg("--out").arg(&dir_str);
@@ -59,6 +64,12 @@ fn main() {
                     }
                     if let Some(n) = workers {
                         cmd.arg("--workers").arg(n.to_string());
+                    }
+                    if let Some(ck) = &checkpoint_dir {
+                        cmd.arg("--checkpoint-dir").arg(ck);
+                        if resume {
+                            cmd.arg("--resume");
+                        }
                     }
                     let out = cmd
                         .output()

@@ -2,11 +2,14 @@
 //! and campaign execution over the parallel executor (with live progress
 //! on stderr).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use fingrav_core::backend::{FnBackendFactory, SimulationFactory};
 use fingrav_core::campaign::Campaign;
+use fingrav_core::checkpoint::campaign_digest;
 use fingrav_core::executor::{CampaignExecutor, CampaignObserver, CampaignTally};
 use fingrav_core::runner::{KernelPowerReport, RunnerConfig};
 use fingrav_sim::config::SimConfig;
@@ -25,13 +28,20 @@ pub enum Scale {
 }
 
 /// Everything the shared experiment argv grammar understands:
-/// `--quick|--full|--bench`, `--out DIR`, `--workers N`.
+/// `--quick|--full|--bench`, `--out DIR`, `--workers N`,
+/// `--checkpoint-dir DIR`, `--resume`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParsedArgs {
     /// The compute scale (last scale flag wins).
     pub scale: Scale,
     /// Explicit campaign worker count (`--workers N`), if given.
     pub workers: Option<usize>,
+    /// Root directory campaigns checkpoint into (`--checkpoint-dir DIR`),
+    /// if given.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Whether to resume existing checkpoints instead of re-running
+    /// (`--resume`; only meaningful with `--checkpoint-dir`).
+    pub resume: bool,
     /// Flags the grammar did not recognize.
     pub unknown: Vec<String>,
 }
@@ -42,6 +52,8 @@ impl ParsedArgs {
         let mut parsed = ParsedArgs {
             scale: Scale::Full,
             workers: None,
+            checkpoint_dir: None,
+            resume: false,
             unknown: Vec::new(),
         };
         let mut args = args.into_iter().peekable();
@@ -50,6 +62,7 @@ impl ParsedArgs {
                 "--quick" => parsed.scale = Scale::Quick,
                 "--full" => parsed.scale = Scale::Full,
                 "--bench" => parsed.scale = Scale::Bench,
+                "--resume" => parsed.resume = true,
                 "--out" => {
                     let _dir = args.next();
                 }
@@ -66,6 +79,13 @@ impl ParsedArgs {
                     }
                     None => parsed.unknown.push("--workers".into()),
                 },
+                // A directory value may legitimately start with a dash, so
+                // (like `--out`) the value is consumed unconditionally —
+                // but a missing value is surfaced.
+                "--checkpoint-dir" => match args.next() {
+                    Some(dir) => parsed.checkpoint_dir = Some(PathBuf::from(dir)),
+                    None => parsed.unknown.push("--checkpoint-dir".into()),
+                },
                 flag if flag.starts_with('-') => parsed.unknown.push(a),
                 // Bare positionals (e.g. a cargo-bench filter) pass through
                 // silently, matching the previous behaviour.
@@ -78,6 +98,10 @@ impl ParsedArgs {
 
 /// Campaign worker-count override set by `--workers N` (0 = automatic).
 static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+/// Checkpoint root set by `--checkpoint-dir DIR` (None = not durable).
+static CHECKPOINT_OVERRIDE: Mutex<Option<PathBuf>> = Mutex::new(None);
+/// `--resume` flag: load existing checkpoints instead of re-measuring.
+static RESUME_OVERRIDE: AtomicBool = AtomicBool::new(false);
 
 /// Overrides the worker count every harness campaign shards across
 /// (`None` restores the automatic available-parallelism sizing). Set by
@@ -94,6 +118,29 @@ pub fn worker_override() -> Option<usize> {
     }
 }
 
+/// Makes every harness campaign durable: each campaign checkpoints into a
+/// digest-keyed subdirectory of `root` (`None` turns checkpointing back
+/// off), and `resume` selects whether existing complete checkpoints are
+/// loaded instead of re-measured. Set by [`Scale::from_args`] when the
+/// binary received `--checkpoint-dir DIR` / `--resume`.
+pub fn set_checkpointing(root: Option<PathBuf>, resume: bool) {
+    *CHECKPOINT_OVERRIDE.lock().expect("checkpoint override") = root;
+    RESUME_OVERRIDE.store(resume, Ordering::Relaxed);
+}
+
+/// The `--checkpoint-dir` root currently in effect, if any.
+pub fn checkpoint_override() -> Option<PathBuf> {
+    CHECKPOINT_OVERRIDE
+        .lock()
+        .expect("checkpoint override")
+        .clone()
+}
+
+/// Whether `--resume` is in effect.
+pub fn resume_override() -> bool {
+    RESUME_OVERRIDE.load(Ordering::Relaxed)
+}
+
 impl Scale {
     /// Parses the shared experiment argv (`--quick`/`--full`/`--bench`,
     /// `--out DIR`, `--workers N`); defaults to `Full`. A `--workers N`
@@ -106,10 +153,12 @@ impl Scale {
         for flag in &parsed.unknown {
             eprintln!(
                 "warning: unrecognized flag `{flag}` \
-                 (expected --quick, --full, --bench, --workers N, or --out DIR)"
+                 (expected --quick, --full, --bench, --workers N, --out DIR, \
+                  --checkpoint-dir DIR, or --resume)"
             );
         }
         set_workers(parsed.workers);
+        set_checkpointing(parsed.checkpoint_dir.clone(), parsed.resume);
         parsed.scale
     }
 
@@ -226,24 +275,62 @@ pub fn campaign_factory(name: &str) -> SimulationFactory {
     SimulationFactory::new(SimConfig::default(), seed_for(name))
 }
 
+/// The checkpoint subdirectory a harness campaign lives under: a readable
+/// head (the first seed name) plus a hash of the campaign digest *and* the
+/// seed names, so distinct campaigns (or the same kernels under different
+/// seeding) never share a checkpoint.
+fn checkpoint_key(names: &[String], campaign: &Campaign) -> String {
+    let head: String = names
+        .first()
+        .map(String::as_str)
+        .unwrap_or("campaign")
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    let tag = campaign_digest(campaign) ^ seed_for(&names.join("\n"));
+    format!("{head}-{tag:016x}")
+}
+
 /// Runs a campaign where slot `i` is seeded `seed_for(&names[i])` directly
 /// (the historical one-simulation-per-experiment-name convention), sharded
 /// across [`default_workers`]. Regenerated artefacts are bit-identical to
 /// the old serial loops; only wall-clock changes.
+///
+/// When a `--checkpoint-dir` is in effect the campaign is durable: it
+/// checkpoints into a digest-keyed subdirectory as it runs, and with
+/// `--resume` an existing checkpoint is completed (or, if already
+/// complete, simply loaded) instead of re-measured — artefacts stay
+/// byte-identical either way.
 pub fn named_campaign_report(campaign: &Campaign, names: Vec<String>) -> Vec<KernelPowerReport> {
     assert_eq!(names.len(), campaign.len(), "one seed name per entry");
+    let key = checkpoint_key(&names, campaign);
     let factory = FnBackendFactory(move |i: usize| {
         Simulation::new(SimConfig::default(), seed_for(&names[i]))
             .map_err(|e| fingrav_core::error::MethodologyError::Backend(e.to_string()))
     });
     let progress = CampaignProgress::new(campaign.len());
-    CampaignExecutor::new(default_workers())
-        .execute_observed(
-            campaign,
-            &factory,
-            &progress,
-            &fingrav_core::executor::CancellationToken::new(),
-        )
+    let executor = CampaignExecutor::new(default_workers());
+    let cancel = fingrav_core::executor::CancellationToken::new();
+    let outcome = match checkpoint_override() {
+        Some(root) => {
+            let dir = root.join(key);
+            let manifest = dir.join(fingrav_core::checkpoint::MANIFEST_FILE);
+            if resume_override() && manifest.is_file() {
+                executor.resume_observed(campaign, &factory, &dir, &progress, &cancel)
+            } else {
+                executor.execute_sharded_observed(campaign, &factory, &dir, &progress, &cancel)
+            }
+            .expect("campaign checkpoint is writable and consistent")
+        }
+        None => executor.execute_observed(campaign, &factory, &progress, &cancel),
+    };
+    outcome
         .into_report()
         .expect("experiment kernels profile cleanly")
         .reports

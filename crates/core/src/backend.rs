@@ -127,6 +127,16 @@ pub trait BackendFactory: Send + Sync {
     /// Returns [`MethodologyError::Backend`] when the device cannot be
     /// brought up.
     fn create(&self, index: usize) -> MethodologyResult<Self::Backend>;
+
+    /// The deterministic seed behind slot `index`, when the factory has
+    /// one. Purely informational: campaign checkpoints record it in the
+    /// manifest so a persisted campaign can be audited (and individual
+    /// slots re-derived by hand). Factories with opaque seeding return
+    /// `None`, the default.
+    fn slot_seed_hint(&self, index: usize) -> Option<u64> {
+        let _ = index;
+        None
+    }
 }
 
 /// [`BackendFactory`] for the simulator: every campaign slot gets a fresh
@@ -163,6 +173,10 @@ impl BackendFactory for SimulationFactory {
     fn create(&self, index: usize) -> MethodologyResult<Simulation> {
         Simulation::new(self.config.clone(), self.slot_seed(index))
             .map_err(|e| MethodologyError::Backend(e.to_string()))
+    }
+
+    fn slot_seed_hint(&self, index: usize) -> Option<u64> {
+        Some(SimulationFactory::slot_seed(self, index))
     }
 }
 

@@ -1,0 +1,1728 @@
+//! Campaign checkpoints: the versioned `FGRVCKPT` on-disk format plus the
+//! scatter/gather directory layout the sharded executor persists into.
+//!
+//! A campaign checkpoint makes multi-kernel campaigns *durable and
+//! restartable*: every entry that finishes is written to disk the moment
+//! its report exists, so a cancelled (or crashed) campaign resumes from
+//! where it stopped and finishes with artifacts byte-identical to an
+//! uninterrupted run — the executor's determinism guarantee extended
+//! across process boundaries.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <checkpoint-dir>/
+//! ├── manifest.fgrvckpt            # CampaignManifest: digest, statuses, seeds
+//! ├── shard-00/
+//! │   ├── entry-0000.fgrvckpt      # EntryArtifact: full KernelPowerReport
+//! │   └── entry-0002.fgrvckpt      #   (profiles embedded as FGRVPROF blocks)
+//! └── shard-01/
+//!     └── entry-0001.fgrvckpt
+//! ```
+//!
+//! Entries are planned round-robin onto shards (`index % workers`); a
+//! resume re-plans only the unfinished entries, so the same entry can
+//! legitimately appear under two shards after a crash between the entry
+//! write and the manifest update — [`gather`] detects such duplicates and
+//! verifies them against each other with [`ProfileStore::diff`], naming
+//! the shards and the first differing column if they ever disagree.
+//!
+//! ## The `FGRVCKPT` format
+//!
+//! Every checkpoint file follows the `FGRVPROF` codec conventions
+//! established by [`crate::store`]: an 8-byte magic, a `u32` version, a
+//! section tag, then a little-endian payload; decoding surfaces
+//! [`CheckpointError::BadMagic`] / [`CheckpointError::UnsupportedVersion`]
+//! / [`CheckpointError::Truncated`] / [`CheckpointError::Corrupt`] —
+//! never a panic — and bounds every allocation before trusting a length
+//! field, so a corrupt header cannot drive memory commitment.
+//!
+//! Three section kinds exist:
+//!
+//! * **Manifest** ([`CampaignManifest`]) — the campaign plan: config
+//!   digest, worker count, and per-entry label/seed/status/shard rows;
+//! * **Entry artifact** ([`EntryArtifact`]) — one finished entry's
+//!   [`KernelPowerReport`], its stitched profiles embedded in their
+//!   native `FGRVPROF` binary form via [`ProfileStore::write_to`];
+//! * **Stage state** ([`StageCheckpoint`]) — the mid-entry boundary: the
+//!   typed pipeline artifacts ([`TimingArtifact`], [`SspArtifact`],
+//!   [`RunCollection`]) persisted between stages, for runners that want
+//!   to checkpoint *inside* an entry.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use fingrav_sim::kernel::KernelHandle;
+use fingrav_sim::power::ComponentPower;
+use fingrav_sim::telemetry::PowerLog;
+use fingrav_sim::time::{CpuTime, GpuTicks, SimDuration, SimTime};
+use fingrav_sim::trace::{GroundTruth, RunTrace, TimedExecution, TimestampRead, TrueExecution};
+
+use crate::binning::{Bin, Binning};
+use crate::campaign::{Campaign, CampaignReport};
+use crate::error::MethodologyError;
+use crate::guidance::GuidanceEntry;
+use crate::profile::{PowerProfile, ProfileKind};
+use crate::runner::{CollectedRun, KernelPowerReport};
+use crate::stages::{RunCollection, SspArtifact, StitchedProfiles, TimingArtifact};
+use crate::store::{ProfileStore, StoreCodecError};
+use crate::sync::{ReadDelayCalibration, TimeSync};
+
+/// Magic bytes opening every checkpoint file.
+pub const CKPT_MAGIC: [u8; 8] = *b"FGRVCKPT";
+/// Current checkpoint-format version.
+pub const CKPT_VERSION: u32 = 1;
+
+/// File name of the manifest inside a checkpoint directory.
+pub const MANIFEST_FILE: &str = "manifest.fgrvckpt";
+
+/// Section tags distinguishing the payload kinds of a checkpoint file.
+const SECTION_MANIFEST: u32 = 1;
+const SECTION_ENTRY: u32 = 2;
+const SECTION_STAGE: u32 = 3;
+
+/// Hard ceiling on any decoded collection length: 2^32 elements of the
+/// smallest element would already be a multi-GiB checkpoint; anything
+/// larger is a corrupt length field, not data.
+const MAX_SEQ_LEN: usize = u32::MAX as usize;
+/// Elements of capacity committed ahead of decoding a sequence. Bounds the
+/// memory a corrupt length field can commit before the first short read
+/// surfaces as `Truncated` (mirrors the `FGRVPROF` chunked column reads).
+const PREALLOC_ELEMS: usize = 64 * 1024;
+/// Ceiling on decoded string lengths (labels are tens of bytes).
+const MAX_STR_LEN: usize = 1 << 20;
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// Failure writing, reading, or trusting a campaign checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The reader or writer failed below the format layer.
+    Io(io::Error),
+    /// The stream does not start with [`CKPT_MAGIC`].
+    BadMagic([u8; 8]),
+    /// The stream's format version is not [`CKPT_VERSION`].
+    UnsupportedVersion(u32),
+    /// The stream ended inside the named block.
+    Truncated(&'static str),
+    /// The stream decoded but violates a format invariant.
+    Corrupt(String),
+    /// An embedded `FGRVPROF` profile block failed to decode.
+    Store(StoreCodecError),
+    /// The checkpoint was taken under a different campaign configuration
+    /// (config, entry list, or per-entry overrides changed); resuming it
+    /// would silently mix incompatible measurements.
+    ConfigMismatch {
+        /// Digest of the campaign being resumed.
+        expected: u64,
+        /// Digest recorded in the manifest.
+        found: u64,
+    },
+    /// The checkpoint is valid but does not cover every campaign entry
+    /// (gathering requires a complete campaign; resume the checkpoint
+    /// first).
+    Incomplete {
+        /// Campaign indices with no persisted report.
+        missing: Vec<usize>,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "i/o error on checkpoint: {e}"),
+            CheckpointError::BadMagic(m) => {
+                write!(f, "not a campaign checkpoint (magic {m:02x?})")
+            }
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {v} (expected {CKPT_VERSION})"
+                )
+            }
+            CheckpointError::Truncated(block) => {
+                write!(f, "checkpoint truncated inside the {block} block")
+            }
+            CheckpointError::Corrupt(why) => write!(f, "corrupt checkpoint: {why}"),
+            CheckpointError::Store(e) => write!(f, "embedded profile store: {e}"),
+            CheckpointError::ConfigMismatch { expected, found } => write!(
+                f,
+                "checkpoint was taken under a different campaign \
+                 (config digest {found:016x}, campaign digests to {expected:016x})"
+            ),
+            CheckpointError::Incomplete { missing } => write!(
+                f,
+                "checkpoint covers only part of the campaign ({} entries missing: {:?})",
+                missing.len(),
+                missing
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<StoreCodecError> for CheckpointError {
+    fn from(e: StoreCodecError) -> Self {
+        // A truncation inside an embedded FGRVPROF block is a truncation
+        // of the checkpoint stream itself.
+        match e {
+            StoreCodecError::Truncated(block) => CheckpointError::Truncated(block),
+            StoreCodecError::Io(io) if io.kind() == io::ErrorKind::UnexpectedEof => {
+                CheckpointError::Truncated("embedded profile store")
+            }
+            other => CheckpointError::Store(other),
+        }
+    }
+}
+
+impl From<CheckpointError> for MethodologyError {
+    fn from(e: CheckpointError) -> Self {
+        MethodologyError::Checkpoint(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Low-level codec plumbing
+// ---------------------------------------------------------------------
+
+fn read_exact_ck<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    block: &'static str,
+) -> Result<(), CheckpointError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            CheckpointError::Truncated(block)
+        } else {
+            CheckpointError::Io(e)
+        }
+    })
+}
+
+/// Binary little-endian encode/decode of one checkpoint field.
+///
+/// Floats travel as raw bit patterns, so every round trip is bit-exact —
+/// the property the resume guarantee ("byte-identical to an uninterrupted
+/// run") reduces to.
+trait Codec: Sized {
+    /// Static block label used in [`CheckpointError::Truncated`].
+    const BLOCK: &'static str;
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()>;
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError>;
+}
+
+macro_rules! int_codec {
+    ($t:ty, $label:literal) => {
+        impl Codec for $t {
+            const BLOCK: &'static str = $label;
+            fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+                w.write_all(&self.to_le_bytes())
+            }
+            fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+                let mut b = [0u8; std::mem::size_of::<$t>()];
+                read_exact_ck(r, &mut b, Self::BLOCK)?;
+                Ok(<$t>::from_le_bytes(b))
+            }
+        }
+    };
+}
+
+int_codec!(u8, "u8 field");
+int_codec!(u32, "u32 field");
+int_codec!(u64, "u64 field");
+
+impl Codec for f64 {
+    const BLOCK: &'static str = "f64 field";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(&self.to_bits().to_le_bytes())
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        let mut b = [0u8; 8];
+        read_exact_ck(r, &mut b, Self::BLOCK)?;
+        Ok(f64::from_bits(u64::from_le_bytes(b)))
+    }
+}
+
+impl Codec for bool {
+    const BLOCK: &'static str = "bool field";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(&[u8::from(*self)])
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CheckpointError::Corrupt(format!(
+                "bool field holds {other} (expected 0 or 1)"
+            ))),
+        }
+    }
+}
+
+impl Codec for String {
+    const BLOCK: &'static str = "string";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        (self.len() as u64).encode(w)?;
+        w.write_all(self.as_bytes())
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        let len = u64::decode(r)? as usize;
+        if len > MAX_STR_LEN {
+            return Err(CheckpointError::Corrupt(format!(
+                "implausible string length {len}"
+            )));
+        }
+        let mut buf = vec![0u8; len];
+        read_exact_ck(r, &mut buf, Self::BLOCK)?;
+        String::from_utf8(buf)
+            .map_err(|_| CheckpointError::Corrupt("string is not valid UTF-8".into()))
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    const BLOCK: &'static str = "option tag";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        match self {
+            None => 0u8.encode(w),
+            Some(v) => {
+                1u8.encode(w)?;
+                v.encode(w)
+            }
+        }
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            other => Err(CheckpointError::Corrupt(format!(
+                "option tag holds {other} (expected 0 or 1)"
+            ))),
+        }
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    const BLOCK: &'static str = "sequence length";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        (self.len() as u64).encode(w)?;
+        for v in self {
+            v.encode(w)?;
+        }
+        Ok(())
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        let len = u64::decode(r)? as usize;
+        if len > MAX_SEQ_LEN {
+            return Err(CheckpointError::Corrupt(format!(
+                "implausible sequence length {len}"
+            )));
+        }
+        // Capacity is committed ahead only up to a chunk: a corrupt length
+        // cannot drive allocation past what the stream actually delivers.
+        let mut out = Vec::with_capacity(len.min(PREALLOC_ELEMS));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    const BLOCK: &'static str = "pair";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.0.encode(w)?;
+        self.1.encode(w)
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Domain-type codecs (simulator observables)
+// ---------------------------------------------------------------------
+
+macro_rules! u64_newtype_codec {
+    ($t:ty, $label:literal, $get:expr, $make:expr) => {
+        impl Codec for $t {
+            const BLOCK: &'static str = $label;
+            fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+                #[allow(clippy::redundant_closure_call)]
+                ($get)(self).encode(w)
+            }
+            fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+                #[allow(clippy::redundant_closure_call)]
+                Ok(($make)(u64::decode(r)?))
+            }
+        }
+    };
+}
+
+u64_newtype_codec!(CpuTime, "cpu time", |t: &CpuTime| t.as_nanos(), |ns| {
+    CpuTime::from_nanos(ns)
+});
+u64_newtype_codec!(GpuTicks, "gpu ticks", |t: &GpuTicks| t.as_raw(), |v| {
+    GpuTicks::from_raw(v)
+});
+u64_newtype_codec!(SimTime, "sim time", |t: &SimTime| t.as_nanos(), |ns| {
+    SimTime::from_nanos(ns)
+});
+u64_newtype_codec!(
+    SimDuration,
+    "sim duration",
+    |t: &SimDuration| t.as_nanos(),
+    SimDuration::from_nanos
+);
+u64_newtype_codec!(
+    KernelHandle,
+    "kernel handle",
+    |k: &KernelHandle| k.index() as u64,
+    |v| KernelHandle::from_index(v as usize)
+);
+
+impl Codec for ComponentPower {
+    const BLOCK: &'static str = "component power";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        for v in [self.xcd, self.iod, self.hbm, self.rest] {
+            v.encode(w)?;
+        }
+        Ok(())
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        Ok(ComponentPower::new(
+            f64::decode(r)?,
+            f64::decode(r)?,
+            f64::decode(r)?,
+            f64::decode(r)?,
+        ))
+    }
+}
+
+impl Codec for PowerLog {
+    const BLOCK: &'static str = "power log";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.ticks.encode(w)?;
+        self.avg.encode(w)
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        Ok(PowerLog {
+            ticks: GpuTicks::decode(r)?,
+            avg: ComponentPower::decode(r)?,
+        })
+    }
+}
+
+impl Codec for TimedExecution {
+    const BLOCK: &'static str = "timed execution";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.kernel.encode(w)?;
+        self.index.encode(w)?;
+        self.cpu_start.encode(w)?;
+        self.cpu_end.encode(w)
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        Ok(TimedExecution {
+            kernel: KernelHandle::decode(r)?,
+            index: u32::decode(r)?,
+            cpu_start: CpuTime::decode(r)?,
+            cpu_end: CpuTime::decode(r)?,
+        })
+    }
+}
+
+impl Codec for TimestampRead {
+    const BLOCK: &'static str = "timestamp read";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.cpu_before.encode(w)?;
+        self.cpu_after.encode(w)?;
+        self.ticks.encode(w)
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        Ok(TimestampRead {
+            cpu_before: CpuTime::decode(r)?,
+            cpu_after: CpuTime::decode(r)?,
+            ticks: GpuTicks::decode(r)?,
+        })
+    }
+}
+
+impl Codec for TrueExecution {
+    const BLOCK: &'static str = "true execution";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.kernel.encode(w)?;
+        self.start.encode(w)?;
+        self.end.encode(w)?;
+        self.index.encode(w)?;
+        self.execs_since_cold.encode(w)?;
+        self.outlier.encode(w)
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        Ok(TrueExecution {
+            kernel: KernelHandle::decode(r)?,
+            start: SimTime::decode(r)?,
+            end: SimTime::decode(r)?,
+            index: u32::decode(r)?,
+            execs_since_cold: u32::decode(r)?,
+            outlier: bool::decode(r)?,
+        })
+    }
+}
+
+impl Codec for GroundTruth {
+    const BLOCK: &'static str = "ground truth";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.executions.encode(w)?;
+        self.freq_changes.encode(w)?;
+        self.final_temp_c.encode(w)?;
+        self.instant_power.encode(w)
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        Ok(GroundTruth {
+            executions: Vec::decode(r)?,
+            freq_changes: Vec::decode(r)?,
+            final_temp_c: f64::decode(r)?,
+            instant_power: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Codec for RunTrace {
+    const BLOCK: &'static str = "run trace";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.executions.encode(w)?;
+        self.timestamp_reads.encode(w)?;
+        self.power_logs.encode(w)?;
+        self.coarse_logs.encode(w)?;
+        self.aborted.encode(w)?;
+        self.truth.encode(w)
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        Ok(RunTrace {
+            executions: Vec::decode(r)?,
+            timestamp_reads: Vec::decode(r)?,
+            power_logs: Vec::decode(r)?,
+            coarse_logs: Vec::decode(r)?,
+            aborted: bool::decode(r)?,
+            truth: GroundTruth::decode(r)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Domain-type codecs (methodology artifacts)
+// ---------------------------------------------------------------------
+
+impl Codec for TimeSync {
+    const BLOCK: &'static str = "time sync";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let (anchor_cpu_ns, anchor_ticks, ns_per_tick) = self.to_parts();
+        anchor_cpu_ns.encode(w)?;
+        anchor_ticks.encode(w)?;
+        ns_per_tick.encode(w)
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        Ok(TimeSync::from_parts(
+            f64::decode(r)?,
+            f64::decode(r)?,
+            f64::decode(r)?,
+        ))
+    }
+}
+
+impl Codec for ReadDelayCalibration {
+    const BLOCK: &'static str = "read-delay calibration";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.median_rtt_ns.encode(w)?;
+        self.assumed_sample_frac.encode(w)
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        Ok(ReadDelayCalibration {
+            median_rtt_ns: u64::decode(r)?,
+            assumed_sample_frac: f64::decode(r)?,
+        })
+    }
+}
+
+impl Codec for GuidanceEntry {
+    const BLOCK: &'static str = "guidance entry";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.min_exec.encode(w)?;
+        self.max_exec.encode(w)?;
+        self.runs.encode(w)?;
+        self.loi_interval.encode(w)?;
+        self.margin_frac.encode(w)
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        Ok(GuidanceEntry {
+            min_exec: SimDuration::decode(r)?,
+            max_exec: Option::decode(r)?,
+            runs: u32::decode(r)?,
+            loi_interval: SimDuration::decode(r)?,
+            margin_frac: f64::decode(r)?,
+        })
+    }
+}
+
+impl Codec for TimingArtifact {
+    const BLOCK: &'static str = "timing artifact";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.sse_index.encode(w)?;
+        self.exec_time_ns.encode(w)?;
+        self.guidance.encode(w)?;
+        self.runs.encode(w)?;
+        self.margin_frac.encode(w)
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        Ok(TimingArtifact {
+            sse_index: u32::decode(r)?,
+            exec_time_ns: u64::decode(r)?,
+            guidance: GuidanceEntry::decode(r)?,
+            runs: u32::decode(r)?,
+            margin_frac: f64::decode(r)?,
+        })
+    }
+}
+
+impl Codec for SspArtifact {
+    const BLOCK: &'static str = "ssp artifact";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.ssp_index.encode(w)?;
+        self.throttle_detected.encode(w)?;
+        self.executions_per_run.encode(w)?;
+        self.loi_target.encode(w)
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        Ok(SspArtifact {
+            ssp_index: u32::decode(r)?,
+            throttle_detected: bool::decode(r)?,
+            executions_per_run: u32::decode(r)?,
+            loi_target: u32::decode(r)?,
+        })
+    }
+}
+
+impl Codec for Bin {
+    const BLOCK: &'static str = "bin";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.low_ns.encode(w)?;
+        self.high_ns.encode(w)?;
+        let members: Vec<u64> = self.members.iter().map(|&m| m as u64).collect();
+        members.encode(w)
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        Ok(Bin {
+            low_ns: u64::decode(r)?,
+            high_ns: u64::decode(r)?,
+            members: Vec::<u64>::decode(r)?
+                .into_iter()
+                .map(|m| m as usize)
+                .collect(),
+        })
+    }
+}
+
+impl Codec for Binning {
+    const BLOCK: &'static str = "binning";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.bins.encode(w)?;
+        (self.golden as u64).encode(w)?;
+        self.margin_frac.encode(w)
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        let bins: Vec<Bin> = Vec::decode(r)?;
+        let golden = u64::decode(r)? as usize;
+        // A valid binning always holds at least one bin (the golden one),
+        // so an empty bin list is rejected here too — `golden_bin()`
+        // indexes `bins[golden]` and must never panic on decoded data.
+        if golden >= bins.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "golden-bin index {golden} out of range for {} bins",
+                bins.len()
+            )));
+        }
+        Ok(Binning {
+            bins,
+            golden,
+            margin_frac: f64::decode(r)?,
+        })
+    }
+}
+
+impl Codec for ProfileKind {
+    const BLOCK: &'static str = "profile kind";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        match self {
+            ProfileKind::Run => 0u8.encode(w),
+            ProfileKind::Sse => 1u8.encode(w),
+            ProfileKind::Ssp => 2u8.encode(w),
+            ProfileKind::Outlier => 3u8.encode(w),
+            ProfileKind::Custom(s) => {
+                4u8.encode(w)?;
+                s.encode(w)
+            }
+        }
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        match u8::decode(r)? {
+            0 => Ok(ProfileKind::Run),
+            1 => Ok(ProfileKind::Sse),
+            2 => Ok(ProfileKind::Ssp),
+            3 => Ok(ProfileKind::Outlier),
+            4 => Ok(ProfileKind::Custom(String::decode(r)?)),
+            other => Err(CheckpointError::Corrupt(format!(
+                "unknown profile-kind tag {other}"
+            ))),
+        }
+    }
+}
+
+impl Codec for PowerProfile {
+    const BLOCK: &'static str = "power profile";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.label.encode(w)?;
+        self.kind.encode(w)?;
+        // Profiles embed in their native FGRVPROF binary form, so the
+        // persisted bytes are exactly what `ProfileStore::write_to` emits.
+        self.store.write_to(w)
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        Ok(PowerProfile {
+            label: String::decode(r)?,
+            kind: ProfileKind::decode(r)?,
+            store: ProfileStore::read_from(r)?,
+        })
+    }
+}
+
+impl Codec for CollectedRun {
+    const BLOCK: &'static str = "collected run";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.trace.encode(w)?;
+        self.sync.encode(w)?;
+        self.steady_median_ns.encode(w)
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        Ok(CollectedRun {
+            trace: RunTrace::decode(r)?,
+            sync: TimeSync::decode(r)?,
+            steady_median_ns: u64::decode(r)?,
+        })
+    }
+}
+
+impl Codec for StitchedProfiles {
+    const BLOCK: &'static str = "stitched profiles";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.run.encode(w)?;
+        self.sse.encode(w)?;
+        self.ssp.encode(w)
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        Ok(StitchedProfiles {
+            run: PowerProfile::decode(r)?,
+            sse: PowerProfile::decode(r)?,
+            ssp: PowerProfile::decode(r)?,
+        })
+    }
+}
+
+impl Codec for RunCollection {
+    const BLOCK: &'static str = "run collection";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.collected.encode(w)?;
+        self.binning.encode(w)?;
+        self.profiles.encode(w)
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        Ok(RunCollection {
+            collected: Vec::decode(r)?,
+            binning: Binning::decode(r)?,
+            profiles: StitchedProfiles::decode(r)?,
+        })
+    }
+}
+
+impl Codec for KernelPowerReport {
+    const BLOCK: &'static str = "kernel power report";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.label.encode(w)?;
+        self.exec_time_ns.encode(w)?;
+        self.guidance.encode(w)?;
+        self.margin_frac.encode(w)?;
+        self.sse_index.encode(w)?;
+        self.ssp_index.encode(w)?;
+        self.executions_per_run.encode(w)?;
+        self.runs_executed.encode(w)?;
+        self.golden_runs.encode(w)?;
+        self.throttle_detected.encode(w)?;
+        self.read_delay_ns.encode(w)?;
+        self.estimated_drift_ppm.encode(w)?;
+        self.run_profile.encode(w)?;
+        self.sse_profile.encode(w)?;
+        self.ssp_profile.encode(w)?;
+        self.sse_mean_total_w.encode(w)?;
+        self.ssp_mean_total_w.encode(w)?;
+        self.sse_vs_ssp_error.encode(w)
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        Ok(KernelPowerReport {
+            label: String::decode(r)?,
+            exec_time_ns: u64::decode(r)?,
+            guidance: GuidanceEntry::decode(r)?,
+            margin_frac: f64::decode(r)?,
+            sse_index: u32::decode(r)?,
+            ssp_index: u32::decode(r)?,
+            executions_per_run: u32::decode(r)?,
+            runs_executed: u32::decode(r)?,
+            golden_runs: u32::decode(r)?,
+            throttle_detected: bool::decode(r)?,
+            read_delay_ns: f64::decode(r)?,
+            estimated_drift_ppm: Option::decode(r)?,
+            run_profile: PowerProfile::decode(r)?,
+            sse_profile: PowerProfile::decode(r)?,
+            ssp_profile: PowerProfile::decode(r)?,
+            sse_mean_total_w: Option::decode(r)?,
+            ssp_mean_total_w: Option::decode(r)?,
+            sse_vs_ssp_error: Option::decode(r)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// File headers
+// ---------------------------------------------------------------------
+
+fn write_header<W: Write>(w: &mut W, section: u32) -> io::Result<()> {
+    w.write_all(&CKPT_MAGIC)?;
+    w.write_all(&CKPT_VERSION.to_le_bytes())?;
+    w.write_all(&section.to_le_bytes())
+}
+
+fn read_header<R: Read>(r: &mut R, expected_section: u32) -> Result<(), CheckpointError> {
+    let mut magic = [0u8; 8];
+    read_exact_ck(r, &mut magic, "magic")?;
+    if magic != CKPT_MAGIC {
+        return Err(CheckpointError::BadMagic(magic));
+    }
+    let version = u32::decode(r)?;
+    if version != CKPT_VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let section = u32::decode(r)?;
+    if section != expected_section {
+        return Err(CheckpointError::Corrupt(format!(
+            "section tag {section} where {expected_section} was expected"
+        )));
+    }
+    Ok(())
+}
+
+fn from_bytes_with<T>(
+    bytes: &[u8],
+    read: impl FnOnce(&mut &[u8]) -> Result<T, CheckpointError>,
+) -> Result<T, CheckpointError> {
+    let mut cursor = bytes;
+    let value = read(&mut cursor)?;
+    if !cursor.is_empty() {
+        return Err(CheckpointError::Corrupt(format!(
+            "{} trailing bytes after the payload",
+            cursor.len()
+        )));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------
+// Campaign digest
+// ---------------------------------------------------------------------
+
+/// Digest of a campaign's methodology-relevant identity: the default
+/// [`crate::runner::RunnerConfig`], every entry's kernel descriptor, and
+/// every per-entry config override, in campaign order (FNV-1a over their
+/// canonical JSON). Two campaigns digest equal iff a checkpoint taken
+/// under one can be resumed under the other.
+pub fn campaign_digest(campaign: &Campaign) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |s: &str| {
+        for b in s.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        // Field separator so adjacent strings cannot alias.
+        h ^= 0xff;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    mix(&serde_json::to_string(campaign.config()).expect("runner config serializes to JSON"));
+    for entry in campaign.entries() {
+        mix(&serde_json::to_string(&entry.desc).expect("kernel desc serializes"));
+        match &entry.config {
+            Some(cfg) => mix(&serde_json::to_string(cfg).expect("entry config serializes")),
+            None => mix("<campaign-default>"),
+        }
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------
+
+/// Lifecycle state of one campaign entry inside a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryStatus {
+    /// Not started (or skipped by fail-fast / cancellation).
+    Pending,
+    /// Finished; its [`EntryArtifact`] is on disk.
+    Done,
+    /// Its measurement failed with a non-abort error.
+    Failed,
+    /// A cancellation cut its session mid-measurement.
+    Aborted,
+}
+
+impl EntryStatus {
+    /// True when a resume must (re-)measure the entry.
+    pub fn needs_rerun(&self) -> bool {
+        !matches!(self, EntryStatus::Done)
+    }
+}
+
+impl fmt::Display for EntryStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EntryStatus::Pending => "pending",
+            EntryStatus::Done => "done",
+            EntryStatus::Failed => "failed",
+            EntryStatus::Aborted => "aborted",
+        })
+    }
+}
+
+impl Codec for EntryStatus {
+    const BLOCK: &'static str = "entry status";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let tag: u8 = match self {
+            EntryStatus::Pending => 0,
+            EntryStatus::Done => 1,
+            EntryStatus::Failed => 2,
+            EntryStatus::Aborted => 3,
+        };
+        tag.encode(w)
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        match u8::decode(r)? {
+            0 => Ok(EntryStatus::Pending),
+            1 => Ok(EntryStatus::Done),
+            2 => Ok(EntryStatus::Failed),
+            3 => Ok(EntryStatus::Aborted),
+            other => Err(CheckpointError::Corrupt(format!(
+                "unknown entry-status tag {other}"
+            ))),
+        }
+    }
+}
+
+/// One campaign entry's row in the manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestEntry {
+    /// Kernel label (must match the campaign entry at the same index).
+    pub label: String,
+    /// The deterministic backend seed behind the slot, when the factory
+    /// exposes one ([`crate::backend::BackendFactory::slot_seed_hint`]).
+    pub seed: Option<u64>,
+    /// Lifecycle state.
+    pub status: EntryStatus,
+    /// Shard the entry is (or was last) planned onto.
+    pub shard: u32,
+}
+
+impl Codec for ManifestEntry {
+    const BLOCK: &'static str = "manifest entry";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.label.encode(w)?;
+        self.seed.encode(w)?;
+        self.status.encode(w)?;
+        self.shard.encode(w)
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        Ok(ManifestEntry {
+            label: String::decode(r)?,
+            seed: Option::decode(r)?,
+            status: EntryStatus::decode(r)?,
+            shard: u32::decode(r)?,
+        })
+    }
+}
+
+/// The campaign plan persisted at the root of a checkpoint directory:
+/// which campaign this is (config digest), how it was sharded, and where
+/// every entry stands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignManifest {
+    /// [`campaign_digest`] of the campaign the checkpoint belongs to.
+    pub config_digest: u64,
+    /// Worker count the current plan round-robins entries across.
+    pub workers: u32,
+    /// One row per campaign entry, in campaign order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl CampaignManifest {
+    /// Plans a fresh checkpoint for `campaign`: every entry `Pending`,
+    /// sharded round-robin across `workers`, seeds recorded from the
+    /// factory when it exposes them.
+    pub fn plan<F: crate::backend::BackendFactory>(
+        campaign: &Campaign,
+        factory: &F,
+        workers: usize,
+    ) -> Self {
+        let workers = workers.max(1);
+        CampaignManifest {
+            config_digest: campaign_digest(campaign),
+            workers: workers as u32,
+            entries: campaign
+                .entries()
+                .iter()
+                .enumerate()
+                .map(|(i, e)| ManifestEntry {
+                    label: e.desc.name.clone(),
+                    seed: factory.slot_seed_hint(i),
+                    status: EntryStatus::Pending,
+                    shard: (i % workers) as u32,
+                })
+                .collect(),
+        }
+    }
+
+    /// Indices whose entries a resume must (re-)measure, ascending.
+    pub fn rerun_indices(&self) -> Vec<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.status.needs_rerun())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// True when every entry is `Done`.
+    pub fn is_complete(&self) -> bool {
+        self.entries.iter().all(|e| e.status == EntryStatus::Done)
+    }
+
+    /// Writes the manifest as an `FGRVCKPT` manifest section.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write_header(w, SECTION_MANIFEST)?;
+        self.config_digest.encode(w)?;
+        self.workers.encode(w)?;
+        self.entries.encode(w)
+    }
+
+    /// Reads a manifest previously written by [`CampaignManifest::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`CheckpointError`] for foreign, newer, truncated,
+    /// or invariant-violating streams.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        read_header(r, SECTION_MANIFEST)?;
+        Ok(CampaignManifest {
+            config_digest: u64::decode(r)?,
+            workers: u32::decode(r)?,
+            entries: Vec::decode(r)?,
+        })
+    }
+
+    /// Encodes to an owned buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_to(&mut out).expect("Vec writes are infallible");
+        out
+    }
+
+    /// Decodes from an owned buffer, rejecting trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// As [`CampaignManifest::read_from`], plus
+    /// [`CheckpointError::Corrupt`] on trailing bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        from_bytes_with(bytes, |r| CampaignManifest::read_from(r))
+    }
+
+    /// Checks that this manifest belongs to `campaign`: digest, entry
+    /// count, and per-entry labels must all agree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::ConfigMismatch`] on a digest mismatch
+    /// and [`CheckpointError::Corrupt`] on structural disagreement.
+    pub fn verify_against(&self, campaign: &Campaign) -> Result<(), CheckpointError> {
+        let expected = campaign_digest(campaign);
+        if self.config_digest != expected {
+            return Err(CheckpointError::ConfigMismatch {
+                expected,
+                found: self.config_digest,
+            });
+        }
+        if self.entries.len() != campaign.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "manifest plans {} entries but the campaign has {}",
+                self.entries.len(),
+                campaign.len()
+            )));
+        }
+        for (i, (row, entry)) in self.entries.iter().zip(campaign.entries()).enumerate() {
+            if row.label != entry.desc.name {
+                return Err(CheckpointError::Corrupt(format!(
+                    "manifest entry {i} is labelled `{}` but the campaign says `{}`",
+                    row.label, entry.desc.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry artifact
+// ---------------------------------------------------------------------
+
+/// One finished campaign entry, persisted the moment its report exists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntryArtifact {
+    /// Campaign index of the entry.
+    pub index: u32,
+    /// [`campaign_digest`] of the owning campaign, so a stray entry file
+    /// can be validated without its manifest.
+    pub config_digest: u64,
+    /// The entry's full report, profiles included.
+    pub report: KernelPowerReport,
+}
+
+impl EntryArtifact {
+    /// Writes the artifact as an `FGRVCKPT` entry section.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write_header(w, SECTION_ENTRY)?;
+        self.index.encode(w)?;
+        self.config_digest.encode(w)?;
+        self.report.encode(w)
+    }
+
+    /// Reads an artifact previously written by [`EntryArtifact::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`CheckpointError`] for foreign, newer, truncated,
+    /// or invariant-violating streams.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        read_header(r, SECTION_ENTRY)?;
+        Ok(EntryArtifact {
+            index: u32::decode(r)?,
+            config_digest: u64::decode(r)?,
+            report: KernelPowerReport::decode(r)?,
+        })
+    }
+
+    /// Encodes to an owned buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_to(&mut out).expect("Vec writes are infallible");
+        out
+    }
+
+    /// Decodes from an owned buffer, rejecting trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// As [`EntryArtifact::read_from`], plus [`CheckpointError::Corrupt`]
+    /// on trailing bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        from_bytes_with(bytes, |r| EntryArtifact::read_from(r))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stage checkpoint (mid-entry boundary)
+// ---------------------------------------------------------------------
+
+/// The mid-entry checkpoint boundary: every typed artifact the stage
+/// pipeline has produced so far for one kernel. A runner that persists
+/// this after each stage can resume *inside* an entry — rerun only the
+/// stages whose artifact is absent, then [`crate::stages::StagePipeline::
+/// finalize`] from the restored state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageCheckpoint {
+    /// Kernel label.
+    pub label: String,
+    /// The read-delay calibration (always present; it is the first stage).
+    pub calibration: ReadDelayCalibration,
+    /// Timing-probe output, when that stage finished.
+    pub timing: Option<TimingArtifact>,
+    /// SSP-search output, when that stage finished.
+    pub ssp: Option<SspArtifact>,
+    /// Run-collection output (full traces, binning, stitched profiles),
+    /// when that stage finished.
+    pub collection: Option<RunCollection>,
+}
+
+impl StageCheckpoint {
+    /// Writes the stage state as an `FGRVCKPT` stage section.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write_header(w, SECTION_STAGE)?;
+        self.label.encode(w)?;
+        self.calibration.encode(w)?;
+        self.timing.encode(w)?;
+        self.ssp.encode(w)?;
+        self.collection.encode(w)
+    }
+
+    /// Reads stage state previously written by [`StageCheckpoint::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`CheckpointError`] for foreign, newer, truncated,
+    /// or invariant-violating streams.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        read_header(r, SECTION_STAGE)?;
+        Ok(StageCheckpoint {
+            label: String::decode(r)?,
+            calibration: ReadDelayCalibration::decode(r)?,
+            timing: Option::decode(r)?,
+            ssp: Option::decode(r)?,
+            collection: Option::decode(r)?,
+        })
+    }
+
+    /// Encodes to an owned buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_to(&mut out).expect("Vec writes are infallible");
+        out
+    }
+
+    /// Decodes from an owned buffer, rejecting trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// As [`StageCheckpoint::read_from`], plus [`CheckpointError::Corrupt`]
+    /// on trailing bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        from_bytes_with(bytes, |r| StageCheckpoint::read_from(r))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint directory
+// ---------------------------------------------------------------------
+
+/// A campaign checkpoint directory: the manifest plus per-shard entry
+/// artifacts (see the module docs for the layout).
+#[derive(Debug, Clone)]
+pub struct CheckpointDir {
+    root: PathBuf,
+}
+
+impl CheckpointDir {
+    /// Creates (or reuses) the directory at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn create(root: &Path) -> Result<Self, CheckpointError> {
+        fs::create_dir_all(root)?;
+        Ok(CheckpointDir {
+            root: root.to_path_buf(),
+        })
+    }
+
+    /// Opens an existing checkpoint directory; it must already hold a
+    /// manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] when no manifest exists at `root`.
+    pub fn open(root: &Path) -> Result<Self, CheckpointError> {
+        let dir = CheckpointDir {
+            root: root.to_path_buf(),
+        };
+        if !dir.manifest_path().is_file() {
+            return Err(CheckpointError::Io(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no {MANIFEST_FILE} under {}", root.display()),
+            )));
+        }
+        Ok(dir)
+    }
+
+    /// The directory root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of the manifest file.
+    pub fn manifest_path(&self) -> PathBuf {
+        self.root.join(MANIFEST_FILE)
+    }
+
+    /// Path of entry `index`'s artifact under shard `shard`.
+    pub fn entry_path(&self, shard: u32, index: usize) -> PathBuf {
+        self.root
+            .join(format!("shard-{shard:02}"))
+            .join(format!("entry-{index:04}.fgrvckpt"))
+    }
+
+    /// Atomically replaces the manifest (write-to-temp, then rename), so a
+    /// crash mid-update leaves the previous manifest intact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_manifest(&self, manifest: &CampaignManifest) -> Result<(), CheckpointError> {
+        let tmp = self.root.join(format!("{MANIFEST_FILE}.tmp"));
+        let mut file = fs::File::create(&tmp)?;
+        manifest.write_to(&mut file)?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, self.manifest_path())?;
+        Ok(())
+    }
+
+    /// Reads and decodes the manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`CheckpointError`] on a missing, truncated, or
+    /// corrupt manifest.
+    pub fn read_manifest(&self) -> Result<CampaignManifest, CheckpointError> {
+        CampaignManifest::from_bytes(&fs::read(self.manifest_path())?)
+    }
+
+    /// Writes entry `artifact` under shard `shard`, returning the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_entry(
+        &self,
+        shard: u32,
+        artifact: &EntryArtifact,
+    ) -> Result<PathBuf, CheckpointError> {
+        let path = self.entry_path(shard, artifact.index as usize);
+        fs::create_dir_all(path.parent().expect("entry paths have a shard parent"))?;
+        // Write-to-temp then rename, like the manifest: a crash mid-write
+        // must never leave a truncated `entry-*.fgrvckpt` behind (the
+        // `.tmp` suffix keeps it invisible to the entry-file scan, so a
+        // half-written temp is simply ignored on resume).
+        let tmp = path.with_extension("fgrvckpt.tmp");
+        let mut file = fs::File::create(&tmp)?;
+        artifact.write_to(&mut file)?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// Reads and decodes one entry artifact file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`CheckpointError`] on a missing, truncated, or
+    /// corrupt file.
+    pub fn read_entry(&self, path: &Path) -> Result<EntryArtifact, CheckpointError> {
+        EntryArtifact::from_bytes(&fs::read(path)?)
+    }
+
+    /// Scans the shard directories for entry files, returning
+    /// `(shard, index, path)` triples sorted by `(index, shard)`. Files
+    /// that do not follow the naming scheme are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-walk failures.
+    pub fn entry_files(&self) -> Result<Vec<(u32, usize, PathBuf)>, CheckpointError> {
+        let mut out = Vec::new();
+        for dir_entry in fs::read_dir(&self.root)? {
+            let dir_entry = dir_entry?;
+            let name = dir_entry.file_name();
+            let Some(shard) = name
+                .to_str()
+                .and_then(|n| n.strip_prefix("shard-"))
+                .and_then(|n| n.parse::<u32>().ok())
+            else {
+                continue;
+            };
+            if !dir_entry.file_type()?.is_dir() {
+                continue;
+            }
+            for file in fs::read_dir(dir_entry.path())? {
+                let file = file?;
+                let name = file.file_name();
+                let Some(index) = name
+                    .to_str()
+                    .and_then(|n| n.strip_prefix("entry-"))
+                    .and_then(|n| n.strip_suffix(".fgrvckpt"))
+                    .and_then(|n| n.parse::<usize>().ok())
+                else {
+                    continue;
+                };
+                out.push((shard, index, file.path()));
+            }
+        }
+        out.sort_by_key(|&(shard, index, _)| (index, shard));
+        Ok(out)
+    }
+
+    /// Every persisted file of entry `index`, as `(shard, path)` pairs
+    /// sorted by shard. Normally zero or one; more after a crash between
+    /// an entry write and its manifest update (see [`gather`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-walk failures.
+    pub fn find_entry(&self, index: usize) -> Result<Vec<(u32, PathBuf)>, CheckpointError> {
+        Ok(self
+            .entry_files()?
+            .into_iter()
+            .filter(|&(_, i, _)| i == index)
+            .map(|(shard, _, path)| (shard, path))
+            .collect())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Gather
+// ---------------------------------------------------------------------
+
+/// The merged result of gathering a completed checkpoint: the campaign
+/// report in campaign order, plus the three campaign-wide profile stores
+/// concatenated entry by entry with [`ProfileStore::extend_from`].
+#[derive(Debug, Clone)]
+pub struct GatheredCampaign {
+    /// One report per entry, campaign order.
+    pub report: CampaignReport,
+    /// Every entry's run profile, concatenated in campaign order.
+    pub run: ProfileStore,
+    /// Every entry's SSE profile, concatenated in campaign order.
+    pub sse: ProfileStore,
+    /// Every entry's SSP profile, concatenated in campaign order.
+    pub ssp: ProfileStore,
+}
+
+/// Verifies two persisted copies of the same entry against each other,
+/// column by column, naming the shards and the first differing column on
+/// a mismatch. Also used by the executor's persisting observer to check a
+/// re-measured entry against a copy left by an earlier run.
+pub(crate) fn verify_duplicate(
+    index: usize,
+    a_shard: u32,
+    a: &EntryArtifact,
+    b_shard: u32,
+    b: &EntryArtifact,
+) -> Result<(), CheckpointError> {
+    for (what, left, right) in [
+        ("run", &a.report.run_profile, &b.report.run_profile),
+        ("sse", &a.report.sse_profile, &b.report.sse_profile),
+        ("ssp", &a.report.ssp_profile, &b.report.ssp_profile),
+    ] {
+        let diff = left.store.diff(&right.store);
+        if !diff.is_identical() {
+            return Err(CheckpointError::Corrupt(format!(
+                "entry {index} disagrees between shard {a_shard} and shard {b_shard}: \
+                 {what} profile {}",
+                diff.mismatch_brief()
+            )));
+        }
+    }
+    if a.report != b.report {
+        return Err(CheckpointError::Corrupt(format!(
+            "entry {index} disagrees between shard {a_shard} and shard {b_shard}: \
+             report scalars differ (profiles are identical)"
+        )));
+    }
+    Ok(())
+}
+
+/// Merges a completed checkpoint back into a [`CampaignReport`] plus
+/// campaign-wide concatenated profile stores, verifying along the way:
+///
+/// * the manifest must belong to `campaign` (digest, labels);
+/// * every entry must have a persisted artifact whose own digest and
+///   label agree;
+/// * when an entry was persisted by more than one shard (crash window
+///   between an entry write and the manifest update), the copies are
+///   compared with [`ProfileStore::diff`] and must be bit-identical — a
+///   mismatch is reported with the shard ids and the first differing
+///   column, not as a bare error.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Incomplete`] naming the uncovered entries
+/// when the campaign has not finished, and the other typed
+/// [`CheckpointError`]s for damaged or foreign checkpoints.
+pub fn gather(
+    dir: &CheckpointDir,
+    campaign: &Campaign,
+) -> Result<GatheredCampaign, CheckpointError> {
+    let manifest = dir.read_manifest()?;
+    manifest.verify_against(campaign)?;
+
+    let digest = manifest.config_digest;
+    let mut per_entry: Vec<Option<(u32, EntryArtifact)>> = vec![None; campaign.len()];
+    for (shard, index, path) in dir.entry_files()? {
+        if index >= campaign.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "shard {shard} holds entry {index} but the campaign has only {} entries",
+                campaign.len()
+            )));
+        }
+        let artifact = dir.read_entry(&path)?;
+        if artifact.index as usize != index {
+            return Err(CheckpointError::Corrupt(format!(
+                "entry file {} claims index {} (shard {shard})",
+                path.display(),
+                artifact.index
+            )));
+        }
+        if artifact.config_digest != digest {
+            return Err(CheckpointError::ConfigMismatch {
+                expected: digest,
+                found: artifact.config_digest,
+            });
+        }
+        if artifact.report.label != manifest.entries[index].label {
+            return Err(CheckpointError::Corrupt(format!(
+                "entry {index} (shard {shard}) is labelled `{}` but the manifest says `{}`",
+                artifact.report.label, manifest.entries[index].label
+            )));
+        }
+        match &per_entry[index] {
+            Some((first_shard, first)) => {
+                verify_duplicate(index, *first_shard, first, shard, &artifact)?
+            }
+            None => per_entry[index] = Some((shard, artifact)),
+        }
+    }
+
+    let missing: Vec<usize> = per_entry
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    if !missing.is_empty() {
+        return Err(CheckpointError::Incomplete { missing });
+    }
+
+    let mut run = ProfileStore::new();
+    let mut sse = ProfileStore::new();
+    let mut ssp = ProfileStore::new();
+    let mut reports = Vec::with_capacity(campaign.len());
+    for entry in per_entry.into_iter().flatten() {
+        let (_, artifact) = entry;
+        run.extend_from(&artifact.report.run_profile.store);
+        sse.extend_from(&artifact.report.sse_profile.store);
+        ssp.extend_from(&artifact.report.ssp_profile.store);
+        reports.push(artifact.report);
+    }
+    Ok(GatheredCampaign {
+        report: CampaignReport { reports },
+        run,
+        sse,
+        ssp,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunnerConfig;
+    use fingrav_sim::power::Activity;
+
+    fn desc(name: &str) -> fingrav_sim::kernel::KernelDesc {
+        fingrav_sim::kernel::KernelDesc {
+            name: name.into(),
+            base_exec: SimDuration::from_micros(100),
+            freq_insensitive_frac: 0.5,
+            activity: Activity::new(0.5, 0.4, 0.3),
+            compute_utilization: 0.4,
+            flops: 1e10,
+            hbm_bytes: 1e7,
+            llc_bytes: 1e8,
+            workgroups: 64,
+        }
+    }
+
+    fn small_campaign() -> Campaign {
+        let mut c = Campaign::new(RunnerConfig::quick(6));
+        c.add(desc("a")).add(desc("b"));
+        c
+    }
+
+    #[test]
+    fn digest_tracks_config_entries_and_overrides() {
+        let a = small_campaign();
+        assert_eq!(campaign_digest(&a), campaign_digest(&small_campaign()));
+
+        let mut reordered = Campaign::new(RunnerConfig::quick(6));
+        reordered.add(desc("b")).add(desc("a"));
+        assert_ne!(campaign_digest(&a), campaign_digest(&reordered));
+
+        let mut other_config = Campaign::new(RunnerConfig::quick(7));
+        other_config.add(desc("a")).add(desc("b"));
+        assert_ne!(campaign_digest(&a), campaign_digest(&other_config));
+
+        let mut with_override = Campaign::new(RunnerConfig::quick(6));
+        with_override
+            .add(desc("a"))
+            .add_with_config(desc("b"), RunnerConfig::quick(6));
+        assert_ne!(campaign_digest(&a), campaign_digest(&with_override));
+    }
+
+    #[test]
+    fn manifest_round_trips_and_verifies() {
+        let campaign = small_campaign();
+        let factory =
+            crate::backend::SimulationFactory::new(fingrav_sim::config::SimConfig::default(), 7);
+        let mut manifest = CampaignManifest::plan(&campaign, &factory, 3);
+        assert_eq!(manifest.entries.len(), 2);
+        assert_eq!(manifest.entries[0].seed, Some(factory.slot_seed(0)));
+        assert_eq!(manifest.entries[1].shard, 1);
+        manifest.entries[0].status = EntryStatus::Done;
+        manifest.entries[1].status = EntryStatus::Aborted;
+
+        let bytes = manifest.to_bytes();
+        let restored = CampaignManifest::from_bytes(&bytes).unwrap();
+        assert_eq!(restored, manifest);
+        assert_eq!(restored.rerun_indices(), vec![1]);
+        assert!(!restored.is_complete());
+        restored.verify_against(&campaign).unwrap();
+
+        let mut other = Campaign::new(RunnerConfig::quick(9));
+        other.add(desc("a")).add(desc("b"));
+        assert!(matches!(
+            restored.verify_against(&other),
+            Err(CheckpointError::ConfigMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn manifest_codec_rejects_damage() {
+        let campaign = small_campaign();
+        let factory =
+            crate::backend::SimulationFactory::new(fingrav_sim::config::SimConfig::default(), 7);
+        let good = CampaignManifest::plan(&campaign, &factory, 2).to_bytes();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(matches!(
+            CampaignManifest::from_bytes(&bad_magic),
+            Err(CheckpointError::BadMagic(_))
+        ));
+
+        let mut bad_version = good.clone();
+        bad_version[8..12].copy_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(
+            CampaignManifest::from_bytes(&bad_version),
+            Err(CheckpointError::UnsupportedVersion(9))
+        ));
+
+        // Every truncation is Truncated, never a panic or a wrong decode.
+        for cut in 0..good.len() {
+            assert!(matches!(
+                CampaignManifest::from_bytes(&good[..cut]),
+                Err(CheckpointError::Truncated(_))
+            ));
+        }
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(matches!(
+            CampaignManifest::from_bytes(&trailing),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn absurd_lengths_do_not_drive_allocation() {
+        let campaign = small_campaign();
+        let factory =
+            crate::backend::SimulationFactory::new(fingrav_sim::config::SimConfig::default(), 7);
+        let good = CampaignManifest::plan(&campaign, &factory, 2).to_bytes();
+        // The entry-sequence length sits right after digest (8) + workers
+        // (4) in the payload (header is 16 bytes).
+        let mut absurd = good.clone();
+        absurd[28..36].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            CampaignManifest::from_bytes(&absurd),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        // A large-but-plausible length must fail as Truncated after at
+        // most one chunk of committed capacity, not allocate it all.
+        let mut big = good.clone();
+        big[28..36].copy_from_slice(&(1u64 << 31).to_le_bytes());
+        assert!(matches!(
+            CampaignManifest::from_bytes(&big),
+            Err(CheckpointError::Truncated(_))
+        ));
+    }
+
+    #[test]
+    fn status_and_display() {
+        assert!(EntryStatus::Pending.needs_rerun());
+        assert!(EntryStatus::Failed.needs_rerun());
+        assert!(EntryStatus::Aborted.needs_rerun());
+        assert!(!EntryStatus::Done.needs_rerun());
+        assert_eq!(EntryStatus::Aborted.to_string(), "aborted");
+    }
+
+    #[test]
+    fn checkpoint_error_displays() {
+        let cases: Vec<CheckpointError> = vec![
+            CheckpointError::Io(io::Error::other("x")),
+            CheckpointError::BadMagic(*b"NOTCKPT!"),
+            CheckpointError::UnsupportedVersion(9),
+            CheckpointError::Truncated("manifest entry"),
+            CheckpointError::Corrupt("y".into()),
+            CheckpointError::Store(StoreCodecError::BadMagic(*b"NOTPROF!")),
+            CheckpointError::ConfigMismatch {
+                expected: 1,
+                found: 2,
+            },
+            CheckpointError::Incomplete { missing: vec![3] },
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

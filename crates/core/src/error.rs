@@ -24,6 +24,10 @@ pub enum MethodologyError {
     /// cancellation token); partial measurements are discarded because the
     /// methodology's statistics need complete runs.
     Aborted,
+    /// A campaign checkpoint could not be written, read, or trusted (see
+    /// [`crate::checkpoint::CheckpointError`] for the typed causes; this
+    /// variant carries its rendered message through executor APIs).
+    Checkpoint(String),
 }
 
 impl fmt::Display for MethodologyError {
@@ -39,6 +43,7 @@ impl fmt::Display for MethodologyError {
             MethodologyError::EmptyProbe => f.write_str("probe run produced no measurements"),
             MethodologyError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             MethodologyError::Aborted => f.write_str("measurement aborted mid-script"),
+            MethodologyError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }
@@ -66,6 +71,7 @@ mod tests {
         assert!(!format!("{}", MethodologyError::EmptyProbe).is_empty());
         assert!(format!("{}", MethodologyError::InvalidConfig("y".into())).contains('y'));
         assert!(format!("{}", MethodologyError::Aborted).contains("aborted"));
+        assert!(format!("{}", MethodologyError::Checkpoint("z".into())).contains('z'));
     }
 
     #[test]

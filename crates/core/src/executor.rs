@@ -32,12 +32,23 @@
 //! [`MethodologyError::Aborted`] on their slots). Each slot's event stream
 //! is deterministic regardless of worker count; only the interleaving
 //! *between* slots depends on scheduling.
+//!
+//! Campaigns are also *durable*:
+//! [`CampaignExecutor::execute_sharded`] persists every finished entry
+//! into a [`crate::checkpoint`] directory as it completes, and
+//! [`CampaignExecutor::resume`] finishes a cancelled/crashed campaign from
+//! that checkpoint — re-measuring only the unfinished entries — with
+//! final artifacts byte-identical to an uninterrupted run.
 
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
 
 use crate::backend::BackendFactory;
 use crate::campaign::{Campaign, CampaignReport};
+use crate::checkpoint::{
+    CampaignManifest, CheckpointDir, CheckpointError, EntryArtifact, EntryStatus,
+};
 use crate::error::{MethodologyError, MethodologyResult};
 use crate::observe::{ProfilingEvent, ProfilingSink};
 use crate::runner::{FingravRunner, KernelPowerReport};
@@ -235,22 +246,41 @@ impl CampaignExecutor {
         observer: &dyn CampaignObserver,
         cancel: &CancellationToken,
     ) -> CampaignOutcome {
-        let n = campaign.len();
-        let mut outcome = CampaignOutcome {
-            reports: Vec::with_capacity(n),
-            errors: Vec::new(),
-            skipped: Vec::new(),
-        };
-        outcome.reports.resize_with(n, || None);
+        let plan: Vec<usize> = (0..campaign.len()).collect();
+        self.execute_plan(
+            campaign,
+            factory,
+            &plan,
+            observer,
+            cancel,
+            CampaignOutcome::empty(campaign.len()),
+        )
+    }
+
+    /// Runs the claim loop over an explicit plan of campaign indices,
+    /// merging the results into `outcome` (whose slots outside the plan —
+    /// e.g. entries restored from a checkpoint — are left untouched).
+    /// Shared by the full, sharded, and resumed execution paths, so all
+    /// three issue identical per-slot backend call sequences.
+    fn execute_plan<F: BackendFactory>(
+        &self,
+        campaign: &Campaign,
+        factory: &F,
+        plan: &[usize],
+        observer: &dyn CampaignObserver,
+        cancel: &CancellationToken,
+        mut outcome: CampaignOutcome,
+    ) -> CampaignOutcome {
+        let n = plan.len();
         if n == 0 {
             return outcome;
         }
 
         if self.workers == 1 {
             // In-place serial path: no threads, same claim loop semantics.
-            for index in 0..n {
+            for (pos, &index) in plan.iter().enumerate() {
                 if cancel.is_aborted() {
-                    outcome.skipped.extend(index..n);
+                    outcome.skipped.extend(plan[pos..].iter().copied());
                     break;
                 }
                 match profile_slot(campaign, factory, index, observer, cancel) {
@@ -258,7 +288,7 @@ impl CampaignExecutor {
                     Err(e) => {
                         outcome.errors.push((index, e));
                         if self.policy == ErrorPolicy::FailFast {
-                            outcome.skipped.extend(index + 1..n);
+                            outcome.skipped.extend(plan[pos + 1..].iter().copied());
                             break;
                         }
                     }
@@ -284,10 +314,11 @@ impl CampaignExecutor {
                     if cancel.is_aborted() || (fail_fast && cancelled.load(Ordering::Acquire)) {
                         return;
                     }
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= n {
+                    let pos = next.fetch_add(1, Ordering::Relaxed);
+                    if pos >= n {
                         return;
                     }
+                    let index = plan[pos];
                     let result = profile_slot(campaign, factory, index, observer, cancel);
                     if result.is_err() && fail_fast {
                         cancelled.store(true, Ordering::Release);
@@ -310,7 +341,9 @@ impl CampaignExecutor {
         });
 
         outcome.errors.sort_by_key(|(index, _)| *index);
-        outcome.skipped = (0..n)
+        outcome.skipped = plan
+            .iter()
+            .copied()
             .filter(|&i| {
                 outcome.reports[i].is_none() && !outcome.errors.iter().any(|(e, _)| *e == i)
             })
@@ -319,6 +352,265 @@ impl CampaignExecutor {
             observer.entry_skipped(index);
         }
         outcome
+    }
+
+    /// Like [`CampaignExecutor::execute`], but *durable*: the campaign is
+    /// planned into a checkpoint directory first (manifest with per-entry
+    /// statuses, entries sharded round-robin across the worker count), and
+    /// every entry's full report is persisted under its shard the moment
+    /// it finishes — so a cancelled or crashed campaign can later be
+    /// completed with [`CampaignExecutor::resume`] and yield artifacts
+    /// byte-identical to an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MethodologyError::Checkpoint`] when the checkpoint
+    /// directory cannot be created or a persistence write fails
+    /// (measurement errors stay inside the returned outcome, as in
+    /// [`CampaignExecutor::execute`]).
+    pub fn execute_sharded<F: BackendFactory>(
+        &self,
+        campaign: &Campaign,
+        factory: &F,
+        dir: &Path,
+    ) -> MethodologyResult<CampaignOutcome> {
+        self.execute_sharded_observed(
+            campaign,
+            factory,
+            dir,
+            &NoopCampaignObserver,
+            &CancellationToken::new(),
+        )
+    }
+
+    /// [`CampaignExecutor::execute_sharded`] with a live observer and a
+    /// cancellation token (same contract as
+    /// [`CampaignExecutor::execute_observed`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`CampaignExecutor::execute_sharded`].
+    pub fn execute_sharded_observed<F: BackendFactory>(
+        &self,
+        campaign: &Campaign,
+        factory: &F,
+        dir: &Path,
+        observer: &dyn CampaignObserver,
+        cancel: &CancellationToken,
+    ) -> MethodologyResult<CampaignOutcome> {
+        let ckdir = CheckpointDir::create(dir).map_err(MethodologyError::from)?;
+        // Refuse to silently repurpose a directory that already checkpoints
+        // a *different* campaign: its stale entry files would poison this
+        // run (or a later gather) with misleading corruption errors. A
+        // matching digest is fine — re-running the same campaign over its
+        // own checkpoint just re-verifies the persisted entries.
+        if ckdir.manifest_path().is_file() {
+            let existing = ckdir.read_manifest().map_err(MethodologyError::from)?;
+            existing
+                .verify_against(campaign)
+                .map_err(MethodologyError::from)?;
+        }
+        let manifest = CampaignManifest::plan(campaign, factory, self.workers);
+        ckdir
+            .write_manifest(&manifest)
+            .map_err(MethodologyError::from)?;
+        let plan: Vec<usize> = (0..campaign.len()).collect();
+        self.run_checkpointed(
+            campaign,
+            factory,
+            &ckdir,
+            manifest,
+            &plan,
+            observer,
+            cancel,
+            CampaignOutcome::empty(campaign.len()),
+        )
+    }
+
+    /// Completes a previously checkpointed campaign: entries the manifest
+    /// records as done are restored from their persisted artifacts (no
+    /// re-measurement), everything else — pending, failed, or aborted
+    /// entries — is re-planned across this executor's workers and measured
+    /// exactly as an uninterrupted run would have, because every slot's
+    /// backend derives solely from its campaign index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MethodologyError::Checkpoint`] when the checkpoint is
+    /// missing, damaged (typed causes in
+    /// [`crate::checkpoint::CheckpointError`]), or was taken under a
+    /// different campaign configuration (config-digest mismatch).
+    pub fn resume<F: BackendFactory>(
+        &self,
+        campaign: &Campaign,
+        factory: &F,
+        dir: &Path,
+    ) -> MethodologyResult<CampaignOutcome> {
+        self.resume_observed(
+            campaign,
+            factory,
+            dir,
+            &NoopCampaignObserver,
+            &CancellationToken::new(),
+        )
+    }
+
+    /// [`CampaignExecutor::resume`] with a live observer and a
+    /// cancellation token.
+    ///
+    /// # Errors
+    ///
+    /// As [`CampaignExecutor::resume`].
+    pub fn resume_observed<F: BackendFactory>(
+        &self,
+        campaign: &Campaign,
+        factory: &F,
+        dir: &Path,
+        observer: &dyn CampaignObserver,
+        cancel: &CancellationToken,
+    ) -> MethodologyResult<CampaignOutcome> {
+        let ckdir = CheckpointDir::open(dir).map_err(MethodologyError::from)?;
+        let mut manifest = ckdir.read_manifest().map_err(MethodologyError::from)?;
+        manifest
+            .verify_against(campaign)
+            .map_err(MethodologyError::from)?;
+
+        // One directory scan, indexed per entry (a per-entry find_entry
+        // would walk every shard directory once per Done entry).
+        let mut files_by_index: Vec<Vec<(u32, std::path::PathBuf)>> =
+            vec![Vec::new(); campaign.len()];
+        for (shard, index, path) in ckdir.entry_files().map_err(MethodologyError::from)? {
+            if index >= campaign.len() {
+                return Err(CheckpointError::Corrupt(format!(
+                    "shard {shard} holds entry {index} but the campaign has only {} entries",
+                    campaign.len()
+                ))
+                .into());
+            }
+            files_by_index[index].push((shard, path));
+        }
+
+        let mut outcome = CampaignOutcome::empty(campaign.len());
+        let mut plan = Vec::new();
+        for (index, copies) in files_by_index.iter().enumerate() {
+            if manifest.entries[index].status == EntryStatus::Done {
+                // Restore the persisted report; a missing file (crash
+                // between the manifest update and a later inspection)
+                // demotes the entry back to a re-run instead of failing.
+                match copies.first() {
+                    Some((shard, path)) => {
+                        let artifact = ckdir.read_entry(path).map_err(MethodologyError::from)?;
+                        if artifact.config_digest != manifest.config_digest {
+                            return Err(CheckpointError::ConfigMismatch {
+                                expected: manifest.config_digest,
+                                found: artifact.config_digest,
+                            }
+                            .into());
+                        }
+                        // The file must actually hold this slot's entry
+                        // (a copied/renamed file during manual recovery
+                        // would otherwise fill the slot with wrong data).
+                        if artifact.index as usize != index {
+                            return Err(CheckpointError::Corrupt(format!(
+                                "entry file {} (shard {shard}) claims index {} but sits in \
+                                 slot {index}",
+                                path.display(),
+                                artifact.index
+                            ))
+                            .into());
+                        }
+                        if artifact.report.label != manifest.entries[index].label {
+                            return Err(CheckpointError::Corrupt(format!(
+                                "entry {index} (shard {shard}) is labelled `{}` but the \
+                                 manifest says `{}`",
+                                artifact.report.label, manifest.entries[index].label
+                            ))
+                            .into());
+                        }
+                        // Crash-window duplicates must agree before any
+                        // copy is trusted (same verification gather does);
+                        // a diverged copy names its shard and column.
+                        for (other_shard, other_path) in &copies[1..] {
+                            let other = ckdir
+                                .read_entry(other_path)
+                                .map_err(MethodologyError::from)?;
+                            crate::checkpoint::verify_duplicate(
+                                index,
+                                *shard,
+                                &artifact,
+                                *other_shard,
+                                &other,
+                            )
+                            .map_err(MethodologyError::from)?;
+                        }
+                        outcome.reports[index] = Some(artifact.report);
+                    }
+                    None => {
+                        manifest.entries[index].status = EntryStatus::Pending;
+                        plan.push(index);
+                    }
+                }
+            } else {
+                plan.push(index);
+            }
+        }
+        if plan.is_empty() {
+            return Ok(outcome);
+        }
+        // Re-plan the remaining entries round-robin across this executor's
+        // workers (which may differ from the original run's).
+        manifest.workers = self.workers as u32;
+        for (pos, &index) in plan.iter().enumerate() {
+            manifest.entries[index].shard = (pos % self.workers) as u32;
+        }
+        ckdir
+            .write_manifest(&manifest)
+            .map_err(MethodologyError::from)?;
+        let mut resumed = self.run_checkpointed(
+            campaign, factory, &ckdir, manifest, &plan, observer, cancel, outcome,
+        )?;
+        resumed.skipped.sort_unstable();
+        Ok(resumed)
+    }
+
+    /// Shared tail of the sharded and resumed paths: wraps the caller's
+    /// observer in the persisting observer, runs the plan over the (possibly
+    /// prefilled) outcome, then surfaces any persistence failure recorded
+    /// along the way.
+    #[allow(clippy::too_many_arguments)]
+    fn run_checkpointed<F: BackendFactory>(
+        &self,
+        campaign: &Campaign,
+        factory: &F,
+        ckdir: &CheckpointDir,
+        manifest: CampaignManifest,
+        plan: &[usize],
+        observer: &dyn CampaignObserver,
+        cancel: &CancellationToken,
+        prefilled: CampaignOutcome,
+    ) -> MethodologyResult<CampaignOutcome> {
+        // One directory scan up front: entry files left by an earlier run
+        // (the crash window between an entry write and its manifest
+        // update) are indexed here so the per-entry persist path never
+        // walks the directory itself.
+        let mut preexisting: Vec<Vec<(u32, std::path::PathBuf)>> = vec![Vec::new(); campaign.len()];
+        for (shard, index, path) in ckdir.entry_files().map_err(MethodologyError::from)? {
+            if index < preexisting.len() {
+                preexisting[index].push((shard, path));
+            }
+        }
+        let persist = PersistingObserver {
+            inner: observer,
+            dir: ckdir,
+            state: Mutex::new(manifest),
+            preexisting,
+            failure: Mutex::new(None),
+        };
+        let outcome = self.execute_plan(campaign, factory, plan, &persist, cancel, prefilled);
+        if let Some(e) = persist.failure.into_inner().expect("persist failure lock") {
+            return Err(e.into());
+        }
+        Ok(outcome)
     }
 
     /// Measures every campaign entry and assembles the combined report
@@ -334,6 +626,100 @@ impl CampaignExecutor {
         factory: &F,
     ) -> MethodologyResult<CampaignReport> {
         self.execute(campaign, factory).into_report()
+    }
+}
+
+/// Observer wrapper that makes a campaign durable: every finished entry's
+/// report is written under its planned shard the moment it exists, and the
+/// manifest statuses are kept current (atomic rewrite per change, so a
+/// crash at any point leaves a resumable checkpoint). Persistence failures
+/// cannot surface through the observer interface, so the first one is
+/// recorded and re-raised after the campaign drains.
+struct PersistingObserver<'a> {
+    inner: &'a dyn CampaignObserver,
+    dir: &'a CheckpointDir,
+    state: Mutex<CampaignManifest>,
+    /// Entry files found on disk before this run started, per campaign
+    /// index (scanned once in `run_checkpointed`; normally all empty).
+    preexisting: Vec<Vec<(u32, std::path::PathBuf)>>,
+    failure: Mutex<Option<CheckpointError>>,
+}
+
+impl PersistingObserver<'_> {
+    fn record_failure(&self, e: CheckpointError) {
+        let mut slot = self.failure.lock().expect("persist failure lock");
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+
+    fn persist_finished(
+        &self,
+        index: usize,
+        report: &KernelPowerReport,
+    ) -> Result<(), CheckpointError> {
+        let (shard, digest) = {
+            let state = self.state.lock().expect("manifest lock");
+            (state.entries[index].shard, state.config_digest)
+        };
+        let artifact = EntryArtifact {
+            index: index as u32,
+            config_digest: digest,
+            report: report.clone(),
+        };
+        // A file for this entry may already exist (crash window between an
+        // earlier entry write and its manifest update). The fresh result
+        // must be bit-identical to it — slots derive solely from their
+        // campaign index — so a disagreement means the checkpoint and the
+        // campaign have diverged, and it is reported with the shards and
+        // the first differing column rather than silently overwritten.
+        for (old_shard, path) in &self.preexisting[index] {
+            let old = self.dir.read_entry(path)?;
+            crate::checkpoint::verify_duplicate(index, *old_shard, &old, shard, &artifact)?;
+        }
+        self.dir.write_entry(shard, &artifact)?;
+        let mut state = self.state.lock().expect("manifest lock");
+        state.entries[index].status = EntryStatus::Done;
+        self.dir.write_manifest(&state)
+    }
+
+    fn set_status(&self, index: usize, status: EntryStatus) -> Result<(), CheckpointError> {
+        let mut state = self.state.lock().expect("manifest lock");
+        state.entries[index].status = status;
+        self.dir.write_manifest(&state)
+    }
+}
+
+impl CampaignObserver for PersistingObserver<'_> {
+    fn entry_started(&self, index: usize, label: &str) {
+        self.inner.entry_started(index, label);
+    }
+
+    fn entry_event(&self, index: usize, event: &ProfilingEvent) {
+        self.inner.entry_event(index, event);
+    }
+
+    fn entry_finished(&self, index: usize, report: &KernelPowerReport) {
+        if let Err(e) = self.persist_finished(index, report) {
+            self.record_failure(e);
+        }
+        self.inner.entry_finished(index, report);
+    }
+
+    fn entry_failed(&self, index: usize, error: &MethodologyError) {
+        let status = if matches!(error, MethodologyError::Aborted) {
+            EntryStatus::Aborted
+        } else {
+            EntryStatus::Failed
+        };
+        if let Err(e) = self.set_status(index, status) {
+            self.record_failure(e);
+        }
+        self.inner.entry_failed(index, error);
+    }
+
+    fn entry_skipped(&self, index: usize) {
+        self.inner.entry_skipped(index);
     }
 }
 
@@ -390,6 +776,17 @@ pub struct CampaignOutcome {
 }
 
 impl CampaignOutcome {
+    /// An outcome with `n` empty slots (no reports, errors, or skips).
+    pub fn empty(n: usize) -> Self {
+        let mut reports = Vec::with_capacity(n);
+        reports.resize_with(n, || None);
+        CampaignOutcome {
+            reports,
+            errors: Vec::new(),
+            skipped: Vec::new(),
+        }
+    }
+
     /// True when every entry produced a report.
     pub fn is_complete(&self) -> bool {
         self.reports.iter().all(Option::is_some)
@@ -582,6 +979,47 @@ mod tests {
             unexplained_skip.into_report(),
             Err(MethodologyError::Backend(ref m)) if m.contains("skipped")
         ));
+    }
+
+    #[test]
+    fn sharded_execution_persists_and_resumes_in_place() {
+        let campaign = campaign_of(3);
+        let factory = SimulationFactory::new(SimConfig::default(), 808);
+        let dir = std::env::temp_dir().join(format!("fingrav-exec-ckpt-{}", std::process::id()));
+
+        let direct = CampaignExecutor::new(2).run(&campaign, &factory).unwrap();
+        let sharded = CampaignExecutor::new(2)
+            .execute_sharded(&campaign, &factory, &dir)
+            .unwrap()
+            .into_report()
+            .unwrap();
+        assert_eq!(direct, sharded, "checkpointing must not perturb results");
+
+        // The checkpoint is complete and resume is a pure restore.
+        let manifest = crate::checkpoint::CheckpointDir::open(&dir)
+            .unwrap()
+            .read_manifest()
+            .unwrap();
+        assert!(manifest.is_complete());
+        assert_eq!(manifest.workers, 2);
+        let restored = CampaignExecutor::new(4)
+            .resume(&campaign, &factory, &dir)
+            .unwrap()
+            .into_report()
+            .unwrap();
+        assert_eq!(restored, direct);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_without_a_checkpoint_is_a_typed_error() {
+        let campaign = campaign_of(2);
+        let factory = SimulationFactory::new(SimConfig::default(), 808);
+        let missing = std::env::temp_dir().join("fingrav-no-such-checkpoint");
+        let err = CampaignExecutor::serial()
+            .resume(&campaign, &factory, &missing)
+            .unwrap_err();
+        assert!(matches!(err, MethodologyError::Checkpoint(_)));
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod backend;
 pub mod binning;
 pub mod campaign;
 pub mod chart;
+pub mod checkpoint;
 pub mod differentiation;
 pub mod energy;
 pub mod error;
@@ -70,6 +71,10 @@ pub use backend::{
 };
 pub use binning::{bin_durations, Binning};
 pub use campaign::{Campaign, CampaignEntry, CampaignReport};
+pub use checkpoint::{
+    campaign_digest, gather, CampaignManifest, CheckpointDir, CheckpointError, EntryArtifact,
+    EntryStatus, GatheredCampaign, ManifestEntry, StageCheckpoint,
+};
 pub use error::{MethodologyError, MethodologyResult};
 pub use executor::{CampaignExecutor, CampaignObserver, CampaignOutcome, ErrorPolicy};
 pub use guidance::{GuidanceEntry, GuidanceTable};

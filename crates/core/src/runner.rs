@@ -148,7 +148,7 @@ impl RunnerConfig {
 }
 
 /// One collected profiling run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CollectedRun {
     /// The observable trace.
     pub trace: RunTrace,

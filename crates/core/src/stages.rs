@@ -94,7 +94,7 @@ pub struct SspArtifact {
 }
 
 /// The three stitched profiles of a kernel (paper step 9).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StitchedProfiles {
     /// All logs of golden runs on run-relative time.
     pub run: PowerProfile,
@@ -106,7 +106,7 @@ pub struct StitchedProfiles {
 
 /// Output of the run-collection stage (paper steps 5–8): every collected
 /// run, the golden binning over them, and the stitched profiles.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunCollection {
     /// All runs executed, including top-up batches, in execution order.
     pub collected: Vec<CollectedRun>,

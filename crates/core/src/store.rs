@@ -843,6 +843,32 @@ impl StoreDiff {
         self.len_a == self.len_b && self.columns.iter().all(|c| c.differing == 0)
     }
 
+    /// The first column that differs, in column order, if any. Campaign
+    /// gathering uses this to name the offending column (and its first
+    /// differing index) when two shards disagree about an entry, instead
+    /// of reporting a bare mismatch.
+    pub fn first_mismatch(&self) -> Option<&ColumnDiff> {
+        self.columns.iter().find(|c| c.differing > 0)
+    }
+
+    /// One-line description of the mismatch: the length disagreement or
+    /// the first differing column with its first index. `"identical"` when
+    /// the stores match.
+    pub fn mismatch_brief(&self) -> String {
+        if self.len_a != self.len_b {
+            return format!("length {} vs {}", self.len_a, self.len_b);
+        }
+        match self.first_mismatch() {
+            Some(c) => format!(
+                "column `{}` differs at {} entries (first at index {})",
+                c.column,
+                c.differing,
+                c.first_index.unwrap_or(0)
+            ),
+            None => "identical".to_string(),
+        }
+    }
+
     /// One human-readable line per differing column (plus a length line
     /// when the stores disagree on point count); `"identical"` otherwise.
     pub fn summary(&self) -> String {

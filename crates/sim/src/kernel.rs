@@ -34,6 +34,15 @@ impl KernelHandle {
     pub fn index(&self) -> usize {
         self.0
     }
+
+    /// Rebuilds a handle from a raw registration index.
+    ///
+    /// Exists for trace persistence (decoding a serialized
+    /// [`crate::trace::RunTrace`] back into memory); a rebuilt handle is
+    /// only meaningful against the simulation that originally issued it.
+    pub fn from_index(index: usize) -> Self {
+        KernelHandle(index)
+    }
 }
 
 impl Default for KernelHandle {

@@ -1,0 +1,476 @@
+//! `FGRVCKPT` codec guarantees: lossless bit-exact round trips for the
+//! manifest, entry-artifact, and stage-state sections (including the
+//! stage artifacts `TimingArtifact` / `SspArtifact` / `RunCollection`),
+//! systematic rejection of every truncation and of bit-flipped
+//! magic/version/length fields with a specific typed error — never a
+//! panic or an unbounded allocation — and a committed golden fixture that
+//! fails loudly if a format change breaks v1 compatibility.
+
+use fingrav::core::binning::bin_durations;
+use fingrav::core::campaign::Campaign;
+use fingrav::core::checkpoint::{
+    CampaignManifest, CheckpointError, EntryArtifact, EntryStatus, ManifestEntry, StageCheckpoint,
+    CKPT_VERSION,
+};
+use fingrav::core::guidance::GuidanceEntry;
+use fingrav::core::profile::{PowerProfile, ProfileKind};
+use fingrav::core::runner::{CollectedRun, KernelPowerReport, RunnerConfig};
+use fingrav::core::stages::{RunCollection, SspArtifact, StitchedProfiles, TimingArtifact};
+use fingrav::core::sync::ReadDelayCalibration;
+use fingrav::sim::{SimConfig, SimDuration};
+use fingrav::workloads::suite;
+use proptest::prelude::*;
+
+mod common;
+use common::{assert_all_truncations_rejected, build_store, build_trace, identity_sync};
+
+// ---------------------------------------------------------------------
+// Deterministic fixtures (also the committed golden files)
+// ---------------------------------------------------------------------
+
+fn golden_manifest() -> CampaignManifest {
+    CampaignManifest {
+        config_digest: 0x0123_4567_89ab_cdef,
+        workers: 3,
+        entries: vec![
+            ManifestEntry {
+                label: "CB-4K-GEMM".to_string(),
+                seed: Some(0xdead_beef),
+                status: EntryStatus::Done,
+                shard: 0,
+            },
+            ManifestEntry {
+                label: "MB-8K-GEMV".to_string(),
+                seed: None,
+                status: EntryStatus::Aborted,
+                shard: 1,
+            },
+            ManifestEntry {
+                label: "allreduce-64MB".to_string(),
+                seed: Some(7),
+                status: EntryStatus::Pending,
+                shard: 2,
+            },
+        ],
+    }
+}
+
+fn golden_profile(label: &str, kind: ProfileKind, salt: u32) -> PowerProfile {
+    let runs: Vec<u32> = (0..12).map(|i| (i + salt) % 5).collect();
+    let vals: Vec<f64> = (0..12)
+        .map(|i| f64::from(i) * 13.25 - f64::from(salt))
+        .collect();
+    let execs: Vec<u32> = (0..12).map(|i| (i * 7 + salt) % 9).collect();
+    PowerProfile {
+        label: label.to_string(),
+        kind,
+        store: build_store(&runs, &vals, &execs),
+    }
+}
+
+fn golden_entry() -> EntryArtifact {
+    EntryArtifact {
+        index: 1,
+        config_digest: 0x0123_4567_89ab_cdef,
+        report: KernelPowerReport {
+            label: "MB-8K-GEMV".to_string(),
+            exec_time_ns: 123_456,
+            guidance: GuidanceEntry {
+                min_exec: SimDuration::from_micros(50),
+                max_exec: Some(SimDuration::from_micros(200)),
+                runs: 200,
+                loi_interval: SimDuration::from_micros(10),
+                margin_frac: 0.05,
+            },
+            margin_frac: 0.05,
+            sse_index: 3,
+            ssp_index: 11,
+            executions_per_run: 14,
+            runs_executed: 20,
+            golden_runs: 17,
+            throttle_detected: true,
+            read_delay_ns: 750.25,
+            estimated_drift_ppm: Some(-17.5),
+            run_profile: golden_profile("MB-8K-GEMV", ProfileKind::Run, 0),
+            sse_profile: golden_profile("MB-8K-GEMV", ProfileKind::Sse, 1),
+            ssp_profile: golden_profile("MB-8K-GEMV", ProfileKind::Ssp, 2),
+            sse_mean_total_w: None,
+            ssp_mean_total_w: Some(812.0625),
+            sse_vs_ssp_error: None,
+        },
+    }
+}
+
+fn golden_stage() -> StageCheckpoint {
+    let starts: Vec<u64> = (0..6).map(|i| 10_000 + i * 40_000).collect();
+    let ticks: Vec<u64> = (0..15).map(|i| 500 + i * 2_500).collect();
+    let collected: Vec<CollectedRun> = (0..3)
+        .map(|r| CollectedRun {
+            trace: build_trace(&starts, &ticks),
+            sync: identity_sync(),
+            steady_median_ns: 40_000 + r * 10,
+        })
+        .collect();
+    let medians: Vec<u64> = collected.iter().map(|c| c.steady_median_ns).collect();
+    let binning = bin_durations(&medians, 0.05).expect("non-empty");
+    StageCheckpoint {
+        label: "stage-golden".to_string(),
+        calibration: ReadDelayCalibration {
+            median_rtt_ns: 1_500,
+            assumed_sample_frac: 0.5,
+        },
+        timing: Some(TimingArtifact {
+            sse_index: 2,
+            exec_time_ns: 40_005,
+            guidance: GuidanceEntry {
+                min_exec: SimDuration::from_micros(25),
+                max_exec: Some(SimDuration::from_micros(50)),
+                runs: 400,
+                loi_interval: SimDuration::from_micros(5),
+                margin_frac: 0.05,
+            },
+            runs: 400,
+            margin_frac: 0.05,
+        }),
+        ssp: Some(SspArtifact {
+            ssp_index: 24,
+            throttle_detected: false,
+            executions_per_run: 27,
+            loi_target: 8,
+        }),
+        collection: Some(RunCollection {
+            collected,
+            binning,
+            profiles: StitchedProfiles {
+                run: golden_profile("stage-golden", ProfileKind::Run, 3),
+                sse: golden_profile("stage-golden", ProfileKind::Sse, 4),
+                ssp: golden_profile("stage-golden", ProfileKind::Ssp, 5),
+            },
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Golden fixture: committed v1 bytes must keep decoding forever
+// ---------------------------------------------------------------------
+
+/// Decodes the committed `FGRVCKPT` v1 fixtures. A format change that
+/// breaks v1 compatibility fails here loudly (decode error or value
+/// drift) instead of silently re-encoding; a deliberate break must bump
+/// [`CKPT_VERSION`] and regenerate via
+/// `cargo test --test checkpoint_codec -- --ignored`.
+#[test]
+fn golden_checkpoint_fixtures_decode() {
+    assert_eq!(
+        CKPT_VERSION, 1,
+        "bumping the version invalidates the fixtures"
+    );
+
+    let manifest_bytes = include_bytes!("data/golden_manifest.fgrvckpt");
+    let manifest = CampaignManifest::from_bytes(manifest_bytes).expect("v1 manifest decodes");
+    assert_eq!(manifest, golden_manifest());
+    assert_eq!(
+        golden_manifest().to_bytes(),
+        manifest_bytes,
+        "manifest encoding drifted from the committed v1 bytes"
+    );
+
+    let entry_bytes = include_bytes!("data/golden_entry.fgrvckpt");
+    let entry = EntryArtifact::from_bytes(entry_bytes).expect("v1 entry decodes");
+    assert_eq!(entry, golden_entry());
+    assert_eq!(
+        golden_entry().to_bytes(),
+        entry_bytes,
+        "entry encoding drifted from the committed v1 bytes"
+    );
+
+    let stage_bytes = include_bytes!("data/golden_stage.fgrvckpt");
+    let stage = StageCheckpoint::from_bytes(stage_bytes).expect("v1 stage state decodes");
+    assert_eq!(stage, golden_stage());
+    assert_eq!(
+        golden_stage().to_bytes(),
+        stage_bytes,
+        "stage-state encoding drifted from the committed v1 bytes"
+    );
+}
+
+/// Regenerates the golden fixtures (run explicitly with `--ignored` after
+/// a deliberate, version-bumped format change).
+#[test]
+#[ignore = "rewrites the committed golden fixtures"]
+fn regenerate_golden_checkpoint_fixtures() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data");
+    std::fs::write(
+        dir.join("golden_manifest.fgrvckpt"),
+        golden_manifest().to_bytes(),
+    )
+    .unwrap();
+    std::fs::write(dir.join("golden_entry.fgrvckpt"), golden_entry().to_bytes()).unwrap();
+    std::fs::write(dir.join("golden_stage.fgrvckpt"), golden_stage().to_bytes()).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Systematic corruption: every truncation, every structural bit flip
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_truncation_is_rejected_with_a_typed_error() {
+    // Every cut of every section kind: always `Truncated`, never a panic,
+    // a success, or a misclassified error.
+    assert_all_truncations_rejected(
+        &golden_manifest().to_bytes(),
+        1,
+        CampaignManifest::from_bytes,
+        |e| matches!(e, CheckpointError::Truncated(_)),
+    );
+    assert_all_truncations_rejected(
+        &golden_entry().to_bytes(),
+        1,
+        EntryArtifact::from_bytes,
+        |e| matches!(e, CheckpointError::Truncated(_)),
+    );
+    assert_all_truncations_rejected(
+        &golden_stage().to_bytes(),
+        1,
+        StageCheckpoint::from_bytes,
+        |e| matches!(e, CheckpointError::Truncated(_)),
+    );
+}
+
+#[test]
+fn flipped_magic_version_and_section_fields_are_typed() {
+    let good = golden_entry().to_bytes();
+
+    // Every single-bit flip inside the magic is BadMagic.
+    for byte in 0..8 {
+        for bit in 0..8 {
+            let mut bad = good.clone();
+            bad[byte] ^= 1 << bit;
+            assert!(
+                matches!(
+                    EntryArtifact::from_bytes(&bad),
+                    Err(CheckpointError::BadMagic(_))
+                ),
+                "magic byte {byte} bit {bit}"
+            );
+        }
+    }
+    // Every single-bit flip inside the version is UnsupportedVersion.
+    for byte in 8..12 {
+        for bit in 0..8 {
+            let mut bad = good.clone();
+            bad[byte] ^= 1 << bit;
+            assert!(
+                matches!(
+                    EntryArtifact::from_bytes(&bad),
+                    Err(CheckpointError::UnsupportedVersion(_))
+                ),
+                "version byte {byte} bit {bit}"
+            );
+        }
+    }
+    // Every single-bit flip inside the section tag is Corrupt.
+    for byte in 12..16 {
+        for bit in 0..8 {
+            let mut bad = good.clone();
+            bad[byte] ^= 1 << bit;
+            assert!(
+                matches!(
+                    EntryArtifact::from_bytes(&bad),
+                    Err(CheckpointError::Corrupt(_))
+                ),
+                "section byte {byte} bit {bit}"
+            );
+        }
+    }
+    // Reading a valid file as the wrong section kind is Corrupt, not a
+    // misdecode.
+    assert!(matches!(
+        CampaignManifest::from_bytes(&good),
+        Err(CheckpointError::Corrupt(_))
+    ));
+}
+
+#[test]
+fn absurd_length_fields_never_over_allocate() {
+    // The manifest's entry-count u64 lives at offset 28 (16-byte header +
+    // digest + workers). An absurd value must be rejected as Corrupt
+    // before any allocation is sized from it; a large-but-plausible value
+    // must fail as Truncated after at most one bounded chunk.
+    let good = golden_manifest().to_bytes();
+    let mut absurd = good.clone();
+    absurd[28..36].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(matches!(
+        CampaignManifest::from_bytes(&absurd),
+        Err(CheckpointError::Corrupt(_))
+    ));
+    let mut big = good.clone();
+    big[28..36].copy_from_slice(&(3_000_000_000u64).to_le_bytes());
+    assert!(matches!(
+        CampaignManifest::from_bytes(&big),
+        Err(CheckpointError::Truncated(_))
+    ));
+
+    // Same for a string length inside the first manifest entry (right
+    // after the sequence count).
+    let mut long_label = good.clone();
+    long_label[36..44].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(matches!(
+        CampaignManifest::from_bytes(&long_label),
+        Err(CheckpointError::Corrupt(_))
+    ));
+
+    // Trailing garbage after a well-formed payload is Corrupt.
+    let mut trailing = good;
+    trailing.extend_from_slice(&[0, 1, 2]);
+    assert!(matches!(
+        CampaignManifest::from_bytes(&trailing),
+        Err(CheckpointError::Corrupt(_))
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Properties: round trips and no-panic under arbitrary damage
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Manifests round-trip bit-exactly through the binary format.
+    #[test]
+    fn manifest_round_trips(
+        digest in 0u64..u64::MAX,
+        workers in 1u32..64,
+        label_lens in prop::collection::vec(0usize..40, 0..20),
+        seeds in prop::collection::vec(0u64..u64::MAX, 0..20),
+        statuses in prop::collection::vec(0u8..4, 0..20),
+    ) {
+        let n = label_lens.len().min(seeds.len()).min(statuses.len());
+        let manifest = CampaignManifest {
+            config_digest: digest,
+            workers,
+            entries: (0..n)
+                .map(|i| ManifestEntry {
+                    // Labels of arbitrary length, including Unicode.
+                    label: "κ-".chars().chain(
+                        std::iter::repeat_n('x', label_lens[i])
+                    ).collect(),
+                    seed: (seeds[i] % 3 != 0).then_some(seeds[i]),
+                    status: match statuses[i] {
+                        0 => EntryStatus::Pending,
+                        1 => EntryStatus::Done,
+                        2 => EntryStatus::Failed,
+                        _ => EntryStatus::Aborted,
+                    },
+                    shard: i as u32 % workers,
+                })
+                .collect(),
+        };
+        let bytes = manifest.to_bytes();
+        let restored = match CampaignManifest::from_bytes(&bytes) {
+            Ok(m) => m,
+            Err(e) => return Err(format!("decode failed: {e}")),
+        };
+        prop_assert_eq!(&restored, &manifest);
+        prop_assert_eq!(restored.to_bytes(), bytes);
+    }
+
+    /// Stage checkpoints — including the full `RunCollection` with traces,
+    /// sync, binning, and stitched profiles — round-trip bit-exactly.
+    #[test]
+    fn stage_checkpoint_round_trips(
+        starts in prop::collection::vec(0u64..5_000_000, 1..10),
+        ticks in prop::collection::vec(0u64..600_000, 0..30),
+        medians in prop::collection::vec(10_000u64..1_000_000, 1..8),
+        runs in prop::collection::vec(0u32..100, 0..40),
+        vals in prop::collection::vec(-1.0e6f64..1.0e6, 0..40),
+        execs in prop::collection::vec(0u32..32, 0..40),
+        shape in 0u8..4,
+    ) {
+        let (with_ssp, with_collection) = (shape & 1 != 0, shape & 2 != 0);
+        let collected: Vec<CollectedRun> = medians
+            .iter()
+            .map(|&m| CollectedRun {
+                trace: build_trace(&starts, &ticks),
+                sync: identity_sync(),
+                steady_median_ns: m,
+            })
+            .collect();
+        let binning = bin_durations(&medians, 0.05).expect("non-empty medians");
+        let profile = |kind: ProfileKind| PowerProfile {
+            label: "prop".to_string(),
+            kind,
+            store: build_store(&runs, &vals, &execs),
+        };
+        let stage = StageCheckpoint {
+            label: "prop".to_string(),
+            calibration: ReadDelayCalibration { median_rtt_ns: 1_000, assumed_sample_frac: 0.5 },
+            timing: Some(TimingArtifact {
+                sse_index: 2,
+                exec_time_ns: medians[0],
+                guidance: GuidanceEntry {
+                    min_exec: SimDuration::from_micros(25),
+                    max_exec: None,
+                    runs: 200,
+                    loi_interval: SimDuration::from_micros(10),
+                    margin_frac: 0.02,
+                },
+                runs: 200,
+                margin_frac: 0.02,
+            }),
+            ssp: with_ssp.then_some(SspArtifact {
+                ssp_index: 9,
+                throttle_detected: true,
+                executions_per_run: 12,
+                loi_target: 5,
+            }),
+            collection: with_collection.then(|| RunCollection {
+                collected,
+                binning,
+                profiles: StitchedProfiles {
+                    run: profile(ProfileKind::Run),
+                    sse: profile(ProfileKind::Sse),
+                    ssp: profile(ProfileKind::Custom("x".into())),
+                },
+            }),
+        };
+        let bytes = stage.to_bytes();
+        let restored = match StageCheckpoint::from_bytes(&bytes) {
+            Ok(s) => s,
+            Err(e) => return Err(format!("decode failed: {e}")),
+        };
+        prop_assert_eq!(&restored, &stage);
+        prop_assert_eq!(restored.to_bytes(), bytes);
+    }
+
+    /// Arbitrary single-byte damage anywhere in an entry artifact never
+    /// panics: it either still decodes (payload float bits) or surfaces a
+    /// typed error.
+    #[test]
+    fn byte_damage_never_panics(offset_frac in 0.0f64..1.0, flip in 1u8..=255) {
+        let mut bytes = golden_entry().to_bytes();
+        let offset = ((bytes.len() - 1) as f64 * offset_frac) as usize;
+        bytes[offset] ^= flip;
+        let _ = EntryArtifact::from_bytes(&bytes); // must not panic
+    }
+}
+
+// ---------------------------------------------------------------------
+// Campaign digest sanity against real campaigns
+// ---------------------------------------------------------------------
+
+#[test]
+fn campaign_digest_is_stable_and_sensitive() {
+    use fingrav::core::checkpoint::campaign_digest;
+    let machine = SimConfig::default().machine.clone();
+    let build = |runs: u32| {
+        let mut c = Campaign::new(RunnerConfig::quick(runs));
+        c.add_all(
+            suite::gemm_suite(&machine)
+                .into_iter()
+                .take(3)
+                .map(|k| k.desc),
+        );
+        c
+    };
+    assert_eq!(campaign_digest(&build(6)), campaign_digest(&build(6)));
+    assert_ne!(campaign_digest(&build(6)), campaign_digest(&build(7)));
+}

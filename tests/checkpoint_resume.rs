@@ -1,0 +1,539 @@
+//! Checkpoint/resume determinism under fault injection: a campaign cut at
+//! *every* entry boundary of a 6-entry campaign — by an injected backend
+//! failure or by a campaign-wide cancellation fired mid-script from
+//! inside the target entry — and then resumed from its checkpoint must
+//! produce reports, CSV artefacts, and gathered profile stores
+//! byte-identical to an uninterrupted run, under both error policies and
+//! across worker counts 1/2/8. Damaged or config-mismatched checkpoints
+//! are rejected with typed errors, never panics.
+
+use std::path::{Path, PathBuf};
+
+use fingrav::core::backend::{BackendFactory, PowerBackend, SimulationFactory};
+use fingrav::core::campaign::{Campaign, CampaignReport};
+use fingrav::core::checkpoint::{gather, CheckpointDir, EntryStatus, StageCheckpoint};
+use fingrav::core::error::{MethodologyError, MethodologyResult};
+use fingrav::core::executor::{
+    CampaignExecutor, CancellationToken, ErrorPolicy, NoopCampaignObserver,
+};
+use fingrav::core::profile::ProfileAxis;
+use fingrav::core::report::profile_to_csv;
+use fingrav::core::runner::{FingravRunner, RunnerConfig};
+use fingrav::core::stages::StagePipeline;
+use fingrav::sim::kernel::{KernelDesc, KernelHandle};
+use fingrav::sim::power::Activity;
+use fingrav::sim::script::Script;
+use fingrav::sim::session::{AbortHandle, TelemetrySink};
+use fingrav::sim::time::SimDuration;
+use fingrav::sim::trace::RunTrace;
+use fingrav::sim::{SimConfig, Simulation};
+
+// ---------------------------------------------------------------------
+// Fault injection plumbing
+// ---------------------------------------------------------------------
+
+/// How the scripted fault manifests at the target entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultMode {
+    /// The backend for the target slot fails to come up (a hard error).
+    FailEntry,
+    /// The campaign-wide cancellation token fires from inside the target
+    /// slot's session (before its third script), so the entry aborts
+    /// mid-measurement and the rest of the campaign is cancelled.
+    CancelCampaign,
+}
+
+/// A [`PowerBackend`] wrapper that optionally fires a cancellation token
+/// after a scripted number of scripts, then passes through unchanged (so
+/// healthy slots produce bit-identical traces to a plain `Simulation`).
+struct FaultBackend {
+    inner: Simulation,
+    fire: Option<(CancellationToken, u32)>,
+    scripts_seen: u32,
+}
+
+impl PowerBackend for FaultBackend {
+    fn register_kernel(&mut self, desc: &KernelDesc) -> MethodologyResult<KernelHandle> {
+        PowerBackend::register_kernel(&mut self.inner, desc)
+    }
+
+    fn run_script_observed(
+        &mut self,
+        script: &Script,
+        sink: &mut dyn TelemetrySink,
+        abort: &AbortHandle,
+    ) -> MethodologyResult<RunTrace> {
+        if let Some((token, after)) = &self.fire {
+            if self.scripts_seen == *after {
+                token.abort();
+            }
+        }
+        self.scripts_seen += 1;
+        PowerBackend::run_script_observed(&mut self.inner, script, sink, abort)
+    }
+
+    fn logger_window(&self) -> SimDuration {
+        self.inner.logger_window()
+    }
+
+    fn coarse_logger_window(&self) -> SimDuration {
+        self.inner.coarse_logger_window()
+    }
+
+    fn gpu_counter_hz(&self) -> f64 {
+        self.inner.gpu_counter_hz()
+    }
+}
+
+/// A factory that injects the scripted fault at one entry index and is a
+/// transparent wrapper everywhere else.
+struct FaultInjectingFactory {
+    inner: SimulationFactory,
+    target: usize,
+    mode: FaultMode,
+    cancel: CancellationToken,
+}
+
+impl BackendFactory for FaultInjectingFactory {
+    type Backend = FaultBackend;
+
+    fn create(&self, index: usize) -> MethodologyResult<FaultBackend> {
+        if index == self.target && self.mode == FaultMode::FailEntry {
+            return Err(MethodologyError::Backend(format!(
+                "injected fault at slot {index}"
+            )));
+        }
+        Ok(FaultBackend {
+            inner: self.inner.create(index)?,
+            fire: (index == self.target && self.mode == FaultMode::CancelCampaign)
+                .then(|| (self.cancel.clone(), 2)),
+            scripts_seen: 0,
+        })
+    }
+
+    fn slot_seed_hint(&self, index: usize) -> Option<u64> {
+        BackendFactory::slot_seed_hint(&self.inner, index)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------
+
+fn kernel(name: &str, us: u64, xcd: f64) -> KernelDesc {
+    KernelDesc {
+        name: name.into(),
+        base_exec: SimDuration::from_micros(us),
+        freq_insensitive_frac: 0.4,
+        activity: Activity::new(xcd, 0.4, 0.3),
+        compute_utilization: xcd * 0.7,
+        flops: 1e10,
+        hbm_bytes: 1e7,
+        llc_bytes: 1e8,
+        workgroups: 128,
+    }
+}
+
+/// The 6-entry campaign every cut point is exercised against.
+fn campaign6() -> Campaign {
+    let mut campaign = Campaign::new(RunnerConfig::quick(5));
+    for i in 0..6usize {
+        campaign.add(kernel(
+            &format!("cut-k{i}"),
+            60 + 12 * i as u64,
+            0.35 + 0.08 * i as f64,
+        ));
+    }
+    campaign
+}
+
+fn clean_factory() -> SimulationFactory {
+    SimulationFactory::new(SimConfig::default(), 0xFA57)
+}
+
+/// Every CSV artefact the bench layer would render from a report (the
+/// byte-identity claim covers these, not just the in-memory structs).
+fn csvs_of(report: &CampaignReport) -> Vec<String> {
+    report
+        .reports
+        .iter()
+        .flat_map(|r| {
+            [
+                profile_to_csv(&r.run_profile, ProfileAxis::RunTime),
+                profile_to_csv(&r.sse_profile, ProfileAxis::Toi),
+                profile_to_csv(&r.ssp_profile, ProfileAxis::Toi),
+            ]
+        })
+        .collect()
+}
+
+fn scratch_root(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fingrav-ckpt-{tag}-{}", std::process::id()))
+}
+
+// ---------------------------------------------------------------------
+// The headline property
+// ---------------------------------------------------------------------
+
+/// Cuts the campaign at every entry index, under both fault modes and
+/// both error policies, with the worker count rotating through 1/2/8 —
+/// then resumes and asserts byte-identity of reports, CSVs, and gathered
+/// stores against the uninterrupted reference.
+#[test]
+fn every_cut_point_resumes_byte_identical() {
+    let campaign = campaign6();
+    let clean = clean_factory();
+    let reference = CampaignExecutor::serial()
+        .run(&campaign, &clean)
+        .expect("uninterrupted campaign profiles");
+    let ref_json = serde_json::to_string(&reference).expect("serializes");
+    let ref_csvs = csvs_of(&reference);
+
+    let root = scratch_root("cuts");
+    for cut in 0..campaign.len() {
+        for mode in [FaultMode::FailEntry, FaultMode::CancelCampaign] {
+            for policy in [ErrorPolicy::FailFast, ErrorPolicy::CollectAll] {
+                let workers = [1, 2, 8][(cut + usize::from(mode == FaultMode::CancelCampaign)) % 3];
+                let dir = root.join(format!("cut{cut}-{mode:?}-{policy:?}"));
+                let cancel = CancellationToken::new();
+                let faulty = FaultInjectingFactory {
+                    inner: clean.clone(),
+                    target: cut,
+                    mode,
+                    cancel: cancel.clone(),
+                };
+                let executor = CampaignExecutor::new(workers).error_policy(policy);
+                let outcome = executor
+                    .execute_sharded_observed(
+                        &campaign,
+                        &faulty,
+                        &dir,
+                        &NoopCampaignObserver,
+                        &cancel,
+                    )
+                    .expect("checkpointing itself succeeds");
+                assert!(
+                    !outcome.is_complete(),
+                    "cut {cut} {mode:?} {policy:?}: the fault must leave work undone"
+                );
+                let manifest = CheckpointDir::open(&dir)
+                    .expect("checkpoint exists")
+                    .read_manifest()
+                    .expect("manifest decodes");
+                assert!(!manifest.is_complete());
+                assert!(manifest.entries[cut].status.needs_rerun());
+                if mode == FaultMode::FailEntry {
+                    assert_eq!(manifest.entries[cut].status, EntryStatus::Failed);
+                } else {
+                    assert_eq!(manifest.entries[cut].status, EntryStatus::Aborted);
+                }
+
+                // Resume with a healthy factory; only unfinished entries
+                // are re-measured, on the same per-index seeds.
+                let resumed = CampaignExecutor::new(workers)
+                    .error_policy(policy)
+                    .resume(&campaign, &clean, &dir)
+                    .expect("resume completes");
+                assert!(resumed.is_complete(), "cut {cut} {mode:?} {policy:?}");
+                let report = resumed.into_report().expect("all entries report");
+                assert_eq!(
+                    serde_json::to_string(&report).expect("serializes"),
+                    ref_json,
+                    "cut {cut} {mode:?} {policy:?} ({workers} workers): resumed report drifted"
+                );
+                assert_eq!(
+                    csvs_of(&report),
+                    ref_csvs,
+                    "cut {cut} {mode:?} {policy:?}: CSV artefacts drifted"
+                );
+
+                // The completed checkpoint gathers into stores matching
+                // the reference reports byte for byte.
+                let ckdir = CheckpointDir::open(&dir).expect("checkpoint exists");
+                assert!(ckdir.read_manifest().expect("manifest").is_complete());
+                let gathered = gather(&ckdir, &campaign).expect("gather succeeds");
+                let mut expected_run = fingrav::core::store::ProfileStore::new();
+                for r in &reference.reports {
+                    expected_run.extend_from(&r.run_profile.store);
+                }
+                assert_eq!(gathered.run.to_bytes(), expected_run.to_bytes());
+            }
+        }
+    }
+    std::fs::remove_dir_all(&root).expect("scratch cleanup");
+}
+
+/// A resume may use a different worker count than the original run; the
+/// artefacts must not care.
+#[test]
+fn resume_with_a_different_worker_count_is_identical() {
+    let campaign = campaign6();
+    let clean = clean_factory();
+    let reference = CampaignExecutor::serial()
+        .run(&campaign, &clean)
+        .expect("profiles");
+    let root = scratch_root("workers");
+
+    let cancel = CancellationToken::new();
+    let faulty = FaultInjectingFactory {
+        inner: clean.clone(),
+        target: 3,
+        mode: FaultMode::CancelCampaign,
+        cancel: cancel.clone(),
+    };
+    let outcome = CampaignExecutor::new(2)
+        .execute_sharded_observed(&campaign, &faulty, &root, &NoopCampaignObserver, &cancel)
+        .expect("checkpointing succeeds");
+    assert!(!outcome.is_complete());
+
+    let resumed = CampaignExecutor::new(8)
+        .resume(&campaign, &clean, &root)
+        .expect("resume completes")
+        .into_report()
+        .expect("complete");
+    assert_eq!(
+        serde_json::to_string(&resumed).unwrap(),
+        serde_json::to_string(&reference).unwrap(),
+        "worker-count asymmetry between run and resume changed artefacts"
+    );
+    std::fs::remove_dir_all(&root).expect("scratch cleanup");
+}
+
+/// Resuming a complete checkpoint restores from disk without touching the
+/// factory: a factory that would fail every slot must never be asked.
+#[test]
+fn resume_of_a_complete_checkpoint_never_remeasures() {
+    let campaign = campaign6();
+    let clean = clean_factory();
+    let root = scratch_root("noremeasure");
+    let full = CampaignExecutor::new(2)
+        .execute_sharded(&campaign, &clean, &root)
+        .expect("checkpointing succeeds")
+        .into_report()
+        .expect("complete");
+
+    struct PoisonFactory;
+    impl BackendFactory for PoisonFactory {
+        type Backend = Simulation;
+        fn create(&self, index: usize) -> MethodologyResult<Simulation> {
+            Err(MethodologyError::Backend(format!(
+                "slot {index} must not be re-measured"
+            )))
+        }
+    }
+    let restored = CampaignExecutor::new(2)
+        .resume(&campaign, &PoisonFactory, &root)
+        .expect("pure restore")
+        .into_report()
+        .expect("complete");
+    assert_eq!(
+        serde_json::to_string(&restored).unwrap(),
+        serde_json::to_string(&full).unwrap()
+    );
+    std::fs::remove_dir_all(&root).expect("scratch cleanup");
+}
+
+// ---------------------------------------------------------------------
+// Rejection paths: corruption and config drift
+// ---------------------------------------------------------------------
+
+fn flip_byte(path: &Path, offset: usize) {
+    let mut bytes = std::fs::read(path).expect("readable");
+    bytes[offset] ^= 0xff;
+    std::fs::write(path, bytes).expect("writable");
+}
+
+#[test]
+fn corrupted_checkpoints_are_rejected_with_typed_errors() {
+    let campaign = campaign6();
+    let clean = clean_factory();
+    let root = scratch_root("corrupt");
+    CampaignExecutor::new(2)
+        .execute_sharded(&campaign, &clean, &root)
+        .expect("checkpointing succeeds");
+
+    // A flipped manifest magic byte: resume fails with a Checkpoint error
+    // that names the cause, never a panic.
+    let ckdir = CheckpointDir::open(&root).expect("open");
+    flip_byte(&ckdir.manifest_path(), 0);
+    let err = CampaignExecutor::new(2)
+        .resume(&campaign, &clean, &root)
+        .expect_err("corrupt manifest must be rejected");
+    match &err {
+        MethodologyError::Checkpoint(msg) => {
+            assert!(msg.contains("not a campaign checkpoint"), "{msg}")
+        }
+        other => panic!("expected a Checkpoint error, got {other:?}"),
+    }
+    flip_byte(&ckdir.manifest_path(), 0); // restore
+
+    // A truncated entry file is also typed, and so is gather over it.
+    let (_, _, first_entry) = ckdir.entry_files().expect("entries")[0].clone();
+    let full = std::fs::read(&first_entry).unwrap();
+    std::fs::write(&first_entry, &full[..full.len() / 2]).unwrap();
+    let err = CampaignExecutor::new(2)
+        .resume(&campaign, &clean, &root)
+        .expect_err("truncated entry must be rejected");
+    assert!(matches!(err, MethodologyError::Checkpoint(_)));
+    let err = gather(&ckdir, &campaign).expect_err("gather rejects it too");
+    assert!(err.to_string().contains("truncated"), "{err}");
+    std::fs::write(&first_entry, &full).unwrap();
+
+    // Restored to health, everything works again.
+    assert!(CampaignExecutor::new(2)
+        .resume(&campaign, &clean, &root)
+        .is_ok());
+    std::fs::remove_dir_all(&root).expect("scratch cleanup");
+}
+
+#[test]
+fn config_drift_is_rejected_by_digest() {
+    let campaign = campaign6();
+    let clean = clean_factory();
+    let root = scratch_root("digest");
+    CampaignExecutor::new(2)
+        .execute_sharded(&campaign, &clean, &root)
+        .expect("checkpointing succeeds");
+
+    // Same kernels, different methodology settings: the digest differs and
+    // the checkpoint must refuse to resume under it.
+    let mut drifted = Campaign::new(RunnerConfig::quick(9));
+    for entry in campaign.entries() {
+        drifted.add(entry.desc.clone());
+    }
+    let err = CampaignExecutor::new(2)
+        .resume(&drifted, &clean, &root)
+        .expect_err("config drift must be rejected");
+    match &err {
+        MethodologyError::Checkpoint(msg) => {
+            assert!(msg.contains("different campaign"), "{msg}")
+        }
+        other => panic!("expected a Checkpoint error, got {other:?}"),
+    }
+
+    // So does a reordered entry list (digest covers order).
+    let mut reordered = Campaign::new(RunnerConfig::quick(5));
+    for entry in campaign.entries().iter().rev() {
+        reordered.add(entry.desc.clone());
+    }
+    assert!(CampaignExecutor::new(2)
+        .resume(&reordered, &clean, &root)
+        .is_err());
+
+    // A fresh execute_sharded must refuse to repurpose the directory for
+    // a different campaign (its stale entry files would poison the run)...
+    let err = CampaignExecutor::new(2)
+        .execute_sharded(&drifted, &clean, &root)
+        .expect_err("a foreign checkpoint directory must be refused");
+    assert!(matches!(err, MethodologyError::Checkpoint(_)));
+    // ...while the *same* campaign may re-run over its own checkpoint
+    // (the persisted entries are re-verified against the fresh results).
+    assert!(CampaignExecutor::new(2)
+        .execute_sharded(&campaign, &clean, &root)
+        .is_ok());
+    std::fs::remove_dir_all(&root).expect("scratch cleanup");
+}
+
+// ---------------------------------------------------------------------
+// Gather's duplicate verification names shard and column
+// ---------------------------------------------------------------------
+
+#[test]
+fn gather_verifies_duplicates_and_names_shard_and_column() {
+    let campaign = campaign6();
+    let clean = clean_factory();
+    let root = scratch_root("dup");
+    CampaignExecutor::new(2)
+        .execute_sharded(&campaign, &clean, &root)
+        .expect("checkpointing succeeds");
+    let ckdir = CheckpointDir::open(&root).expect("open");
+
+    // A byte-identical duplicate under another shard (the legitimate
+    // crash-window case) is tolerated.
+    let (shard, index, path) = ckdir.entry_files().expect("entries")[0].clone();
+    let other_shard = shard + 40;
+    let dup_path = ckdir.entry_path(other_shard, index);
+    std::fs::create_dir_all(dup_path.parent().unwrap()).unwrap();
+    std::fs::copy(&path, &dup_path).unwrap();
+    let gathered = gather(&ckdir, &campaign).expect("identical duplicates are fine");
+    assert_eq!(gathered.report.reports.len(), campaign.len());
+
+    // A *disagreeing* duplicate is rejected, and the error names both
+    // shards and the first differing column instead of a bare mismatch.
+    let mut artifact = ckdir.read_entry(&dup_path).expect("decodes");
+    let mut tampered = fingrav::core::store::ProfileStore::new();
+    for (i, p) in artifact.report.run_profile.store.iter().enumerate() {
+        let mut point = p.to_point();
+        if i == 0 {
+            point.power.xcd += 1.0;
+        }
+        tampered.push(point);
+    }
+    artifact.report.run_profile.store = tampered;
+    std::fs::write(&dup_path, artifact.to_bytes()).unwrap();
+    let err = gather(&ckdir, &campaign).expect_err("disagreeing duplicates are rejected");
+    let msg = err.to_string();
+    assert!(msg.contains(&format!("shard {shard}")), "{msg}");
+    assert!(msg.contains(&format!("shard {other_shard}")), "{msg}");
+    assert!(msg.contains("column `xcd`"), "{msg}");
+    assert!(msg.contains("first at index 0"), "{msg}");
+
+    // Resume performs the same duplicate verification before trusting any
+    // copy — the diverged duplicate must not silently win the restore.
+    let err = CampaignExecutor::new(2)
+        .resume(&campaign, &clean, &root)
+        .expect_err("resume rejects diverged duplicates too");
+    let msg = err.to_string();
+    assert!(msg.contains("column `xcd`"), "{msg}");
+    std::fs::remove_dir_all(&root).expect("scratch cleanup");
+}
+
+// ---------------------------------------------------------------------
+// Stage-level checkpointing: persist between stages, finalize restored
+// ---------------------------------------------------------------------
+
+/// The mid-entry boundary works end to end: artifacts persisted after the
+/// run-collection stage and decoded back finalize into a report identical
+/// to an unstaged `FingravRunner::profile` on the same seed.
+#[test]
+fn stage_checkpoint_survives_persistence_and_finalizes_identically() {
+    let desc = kernel("stage-ckpt", 110, 0.6);
+    let config = RunnerConfig::quick(6);
+
+    let mut sim = Simulation::new(SimConfig::default(), 0x57A6E).unwrap();
+    let mut runner = FingravRunner::new(&mut sim, config.clone());
+    let direct = runner.profile(&desc).unwrap();
+
+    let mut sim = Simulation::new(SimConfig::default(), 0x57A6E).unwrap();
+    let handle = PowerBackend::register_kernel(&mut sim, &desc).unwrap();
+    let mut pipeline = StagePipeline::new(&mut sim, config).unwrap();
+    let calibration = pipeline.calibrate().unwrap();
+    let timing = pipeline.timing_probe(handle, &calibration).unwrap();
+    let ssp = pipeline.ssp_search(handle, &calibration, &timing).unwrap();
+    let collection = pipeline
+        .collect_runs(handle, &desc.name, &calibration, &timing, &ssp)
+        .unwrap();
+
+    // Persist the full stage state, round-trip it, then finalize from the
+    // *restored* artifacts.
+    let stage = StageCheckpoint {
+        label: desc.name.clone(),
+        calibration,
+        timing: Some(timing),
+        ssp: Some(ssp),
+        collection: Some(collection),
+    };
+    let restored = StageCheckpoint::from_bytes(&stage.to_bytes()).unwrap();
+    assert_eq!(restored, stage);
+    let report = pipeline.finalize(
+        &restored.label,
+        &restored.calibration,
+        &restored.timing.unwrap(),
+        &restored.ssp.unwrap(),
+        restored.collection.unwrap(),
+    );
+    assert_eq!(
+        report, direct,
+        "restored artifacts must finalize identically"
+    );
+}

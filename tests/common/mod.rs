@@ -1,0 +1,104 @@
+//! Generators shared by the codec-hardening integration tests
+//! (`profile_store.rs`, `checkpoint_codec.rs`, `checkpoint_resume.rs`):
+//! random columnar stores, random traces, and the systematic
+//! truncation/corruption drivers both the `FGRVPROF` and `FGRVCKPT`
+//! adversarial suites run over.
+//!
+//! Each integration test is its own crate, so this module is compiled
+//! per test binary; not every binary uses every helper.
+#![allow(dead_code)]
+
+use fingrav::core::profile::ProfilePoint;
+use fingrav::core::store::ProfileStore;
+use fingrav::core::sync::{ReadDelayCalibration, TimeSync};
+use fingrav::sim::kernel::KernelHandle;
+use fingrav::sim::telemetry::PowerLog;
+use fingrav::sim::trace::{RunTrace, TimedExecution, TimestampRead};
+use fingrav::sim::{ComponentPower, CpuTime, GpuTicks};
+
+/// Builds a store from three independently drawn columns (zipped to the
+/// shortest), with validity derived from the exec column.
+pub fn build_store(runs: &[u32], vals: &[f64], execs: &[u32]) -> ProfileStore {
+    let n = runs.len().min(vals.len()).min(execs.len());
+    let mut store = ProfileStore::with_capacity(n);
+    for i in 0..n {
+        let valid = !execs[i].is_multiple_of(3);
+        store.push(ProfilePoint {
+            run: runs[i],
+            exec_pos: valid.then_some(execs[i]),
+            toi_ns: valid.then_some(vals[i].abs()),
+            run_time_ns: vals[i],
+            power: ComponentPower::new(
+                vals[i] * 0.50,
+                vals[i] * 0.25,
+                vals[i] * 0.15,
+                vals[i] * 0.10,
+            ),
+        });
+    }
+    store
+}
+
+/// Identity-ish sync: tick k ↦ cpu 10·k ns (100 MHz anchored at zero).
+pub fn identity_sync() -> TimeSync {
+    let read = TimestampRead {
+        cpu_before: CpuTime::from_nanos(0),
+        cpu_after: CpuTime::from_nanos(0),
+        ticks: GpuTicks::from_raw(0),
+    };
+    let calib = ReadDelayCalibration {
+        median_rtt_ns: 0,
+        assumed_sample_frac: 0.5,
+    };
+    TimeSync::from_anchor(&read, &calib, 100e6)
+}
+
+/// Builds a random trace: sorted, non-overlapping executions plus power
+/// logs at arbitrary ticks (inside and outside executions).
+pub fn build_trace(starts: &[u64], ticks: &[u64]) -> RunTrace {
+    let mut starts: Vec<u64> = starts.to_vec();
+    starts.sort_unstable();
+    starts.dedup();
+    let mut trace = RunTrace::default();
+    for (i, &s) in starts.iter().enumerate() {
+        let gap = starts.get(i + 1).map(|&n| n - s).unwrap_or(20_000);
+        let end = s + (gap / 2).max(1);
+        trace.executions.push(TimedExecution {
+            kernel: KernelHandle::default(),
+            index: i as u32,
+            cpu_start: CpuTime::from_nanos(s),
+            cpu_end: CpuTime::from_nanos(end),
+        });
+    }
+    for (i, &t) in ticks.iter().enumerate() {
+        trace.power_logs.push(PowerLog {
+            ticks: GpuTicks::from_raw(t),
+            avg: ComponentPower::new(
+                100.0 + i as f64,
+                50.0 + i as f64,
+                25.0 + i as f64,
+                12.0 + i as f64,
+            ),
+        });
+    }
+    trace
+}
+
+/// Asserts that every truncation of `bytes` decodes to the error `check`
+/// accepts (and never panics or succeeds). `stride` subsamples long
+/// encodings; pass 1 to try every cut.
+pub fn assert_all_truncations_rejected<T, E: std::fmt::Debug>(
+    bytes: &[u8],
+    stride: usize,
+    decode: impl Fn(&[u8]) -> Result<T, E>,
+    check: impl Fn(&E) -> bool,
+) {
+    assert!(stride >= 1);
+    for cut in (0..bytes.len()).step_by(stride) {
+        match decode(&bytes[..cut]) {
+            Err(e) if check(&e) => {}
+            Err(e) => panic!("cut at {cut}/{}: unexpected error {e:?}", bytes.len()),
+            Ok(_) => panic!("cut at {cut}/{}: decoded successfully", bytes.len()),
+        }
+    }
+}

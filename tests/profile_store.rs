@@ -11,45 +11,21 @@ use fingrav::core::campaign::Campaign;
 use fingrav::core::executor::CampaignExecutor;
 use fingrav::core::profile::{
     loi_points, place_logs, push_loi_points, push_run_profile_points, run_profile_points,
-    PowerProfile, ProfileAxis, ProfileKind, ProfilePoint,
+    PowerProfile, ProfileAxis, ProfileKind,
 };
 use fingrav::core::report::profile_to_csv;
 use fingrav::core::runner::{FingravRunner, RunnerConfig};
 use fingrav::core::store::{ProfileStore, StoreCodecError};
-use fingrav::core::sync::{ReadDelayCalibration, TimeSync};
-use fingrav::sim::kernel::KernelHandle;
-use fingrav::sim::telemetry::PowerLog;
-use fingrav::sim::trace::{RunTrace, TimedExecution, TimestampRead};
-use fingrav::sim::{ComponentPower, CpuTime, GpuTicks, SimConfig, Simulation};
+use fingrav::sim::{SimConfig, Simulation};
 use fingrav::workloads::suite;
 use proptest::prelude::*;
+
+mod common;
+use common::{build_store, build_trace, identity_sync};
 
 // ---------------------------------------------------------------------
 // Property: store ⇄ binary ⇄ JSON round trips
 // ---------------------------------------------------------------------
-
-/// Builds a store from three independently drawn columns (zipped to the
-/// shortest), with validity derived from the exec column.
-fn build_store(runs: &[u32], vals: &[f64], execs: &[u32]) -> ProfileStore {
-    let n = runs.len().min(vals.len()).min(execs.len());
-    let mut store = ProfileStore::with_capacity(n);
-    for i in 0..n {
-        let valid = !execs[i].is_multiple_of(3);
-        store.push(ProfilePoint {
-            run: runs[i],
-            exec_pos: valid.then_some(execs[i]),
-            toi_ns: valid.then_some(vals[i].abs()),
-            run_time_ns: vals[i],
-            power: ComponentPower::new(
-                vals[i] * 0.50,
-                vals[i] * 0.25,
-                vals[i] * 0.15,
-                vals[i] * 0.10,
-            ),
-        });
-    }
-    store
-}
 
 proptest! {
     /// Binary encode → decode is lossless and re-encodes bit-identically;
@@ -102,51 +78,6 @@ proptest! {
 // ---------------------------------------------------------------------
 // Property: columnar stitching ≡ legacy AoS stitching on random traces
 // ---------------------------------------------------------------------
-
-/// Identity-ish sync: tick k ↦ cpu 10·k ns (100 MHz anchored at zero).
-fn identity_sync() -> TimeSync {
-    let read = TimestampRead {
-        cpu_before: CpuTime::from_nanos(0),
-        cpu_after: CpuTime::from_nanos(0),
-        ticks: GpuTicks::from_raw(0),
-    };
-    let calib = ReadDelayCalibration {
-        median_rtt_ns: 0,
-        assumed_sample_frac: 0.5,
-    };
-    TimeSync::from_anchor(&read, &calib, 100e6)
-}
-
-/// Builds a random trace: sorted, non-overlapping executions plus power
-/// logs at arbitrary ticks (inside and outside executions).
-fn build_trace(starts: &[u64], ticks: &[u64]) -> RunTrace {
-    let mut starts: Vec<u64> = starts.to_vec();
-    starts.sort_unstable();
-    starts.dedup();
-    let mut trace = RunTrace::default();
-    for (i, &s) in starts.iter().enumerate() {
-        let gap = starts.get(i + 1).map(|&n| n - s).unwrap_or(20_000);
-        let end = s + (gap / 2).max(1);
-        trace.executions.push(TimedExecution {
-            kernel: KernelHandle::default(),
-            index: i as u32,
-            cpu_start: CpuTime::from_nanos(s),
-            cpu_end: CpuTime::from_nanos(end),
-        });
-    }
-    for (i, &t) in ticks.iter().enumerate() {
-        trace.power_logs.push(PowerLog {
-            ticks: GpuTicks::from_raw(t),
-            avg: ComponentPower::new(
-                100.0 + i as f64,
-                50.0 + i as f64,
-                25.0 + i as f64,
-                12.0 + i as f64,
-            ),
-        });
-    }
-    trace
-}
 
 proptest! {
     /// The columnar appenders and the legacy AoS builders stitch random
