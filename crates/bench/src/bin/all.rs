@@ -27,6 +27,11 @@ fn main() {
     let workers = fingrav_bench::harness::worker_override();
     let checkpoint_dir = fingrav_bench::harness::checkpoint_override();
     let resume = fingrav_bench::harness::resume_override();
+    let serve = fingrav_bench::harness::serve_override();
+    let connect = fingrav_bench::harness::connect_override();
+    // Transport runs share one listen address, so the children must bind
+    // (and connect) one at a time, in the same order on both nodes.
+    let sequential = serve.is_some() || connect.is_some();
 
     // Each artefact is its own binary; running them in-process sequentially
     // would serialize, so spawn the sibling binaries in parallel instead.
@@ -49,48 +54,60 @@ fn main() {
         .expect("exe dir")
         .to_path_buf();
 
-    let failed: Vec<&str> = std::thread::scope(|s| {
-        let handles: Vec<_> = bins
-            .into_iter()
-            .map(|bin| {
-                let exe = exe_dir.join(bin);
-                let dir_str = dir_str.clone();
-                let checkpoint_dir = checkpoint_dir.clone();
-                s.spawn(move || {
-                    let mut cmd = std::process::Command::new(&exe);
-                    cmd.arg("--out").arg(&dir_str);
-                    if let Some(flag) = scale_flag {
-                        cmd.arg(flag);
-                    }
-                    if let Some(n) = workers {
-                        cmd.arg("--workers").arg(n.to_string());
-                    }
-                    if let Some(ck) = &checkpoint_dir {
-                        cmd.arg("--checkpoint-dir").arg(ck);
-                        if resume {
-                            cmd.arg("--resume");
-                        }
-                    }
-                    let out = cmd
-                        .output()
-                        .unwrap_or_else(|e| panic!("failed to launch {}: {e}", exe.display()));
-                    println!(
-                        "---- {bin} ({}) ----\n{}{}",
-                        if out.status.success() { "ok" } else { "FAILED" },
-                        String::from_utf8_lossy(&out.stdout),
-                        String::from_utf8_lossy(&out.stderr),
-                    );
-                    (bin, out.status.success())
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("experiment thread"))
+    let run_bin = |bin: &'static str| {
+        let exe = exe_dir.join(bin);
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("--out").arg(&dir_str);
+        if let Some(flag) = scale_flag {
+            cmd.arg(flag);
+        }
+        if let Some(n) = workers {
+            cmd.arg("--workers").arg(n.to_string());
+        }
+        if let Some(ck) = &checkpoint_dir {
+            cmd.arg("--checkpoint-dir").arg(ck);
+            if resume {
+                cmd.arg("--resume");
+            }
+        }
+        if let Some(addr) = &serve {
+            cmd.arg("--serve").arg(addr);
+        }
+        if let Some(addr) = &connect {
+            cmd.arg("--connect").arg(addr);
+        }
+        let out = cmd
+            .output()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", exe.display()));
+        println!(
+            "---- {bin} ({}) ----\n{}{}",
+            if out.status.success() { "ok" } else { "FAILED" },
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr),
+        );
+        (bin, out.status.success())
+    };
+
+    let failed: Vec<&str> = if sequential {
+        bins.into_iter()
+            .map(run_bin)
             .filter(|&(_, ok)| !ok)
             .map(|(bin, _)| bin)
             .collect()
-    });
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = bins
+                .into_iter()
+                .map(|bin| s.spawn(|| run_bin(bin)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("experiment thread"))
+                .filter(|&(_, ok)| !ok)
+                .map(|(bin, _)| bin)
+                .collect()
+        })
+    };
 
     if failed.is_empty() {
         println!(

@@ -12,8 +12,8 @@
 //!    utilization-per-XCD-watt spread across CB GEMMs shows the headroom.
 //!
 //! Every recommendation profiles its kernels as one sharded campaign on
-//! [`CampaignExecutor`]; per-kernel seeds match the historical serial
-//! binaries, so regenerated CSVs are unchanged.
+//! [`fingrav_core::executor::CampaignExecutor`]; per-kernel seeds match
+//! the historical serial binaries, so regenerated CSVs are unchanged.
 
 use fingrav_bench::harness::{default_workers, named_campaign_report, runner_config, Scale};
 use fingrav_bench::render::out_dir;

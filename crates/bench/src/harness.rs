@@ -29,7 +29,7 @@ pub enum Scale {
 
 /// Everything the shared experiment argv grammar understands:
 /// `--quick|--full|--bench`, `--out DIR`, `--workers N`,
-/// `--checkpoint-dir DIR`, `--resume`.
+/// `--checkpoint-dir DIR`, `--resume`, `--serve ADDR`, `--connect ADDR`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParsedArgs {
     /// The compute scale (last scale flag wins).
@@ -42,6 +42,15 @@ pub struct ParsedArgs {
     /// Whether to resume existing checkpoints instead of re-running
     /// (`--resume`; only meaningful with `--checkpoint-dir`).
     pub resume: bool,
+    /// Coordinator address campaigns are served on (`--serve ADDR`):
+    /// every harness campaign is measured by remote workers instead of
+    /// local threads.
+    pub serve: Option<String>,
+    /// Coordinator address this process works for (`--connect ADDR`):
+    /// every harness campaign runs as a transport worker of the sibling
+    /// `--serve` process, then downloads the finished reports so the
+    /// rendered artefacts are byte-identical on both nodes.
+    pub connect: Option<String>,
     /// Flags the grammar did not recognize.
     pub unknown: Vec<String>,
 }
@@ -54,6 +63,8 @@ impl ParsedArgs {
             workers: None,
             checkpoint_dir: None,
             resume: false,
+            serve: None,
+            connect: None,
             unknown: Vec::new(),
         };
         let mut args = args.into_iter().peekable();
@@ -86,6 +97,14 @@ impl ParsedArgs {
                     Some(dir) => parsed.checkpoint_dir = Some(PathBuf::from(dir)),
                     None => parsed.unknown.push("--checkpoint-dir".into()),
                 },
+                "--serve" => match args.next() {
+                    Some(addr) => parsed.serve = Some(addr),
+                    None => parsed.unknown.push("--serve".into()),
+                },
+                "--connect" => match args.next() {
+                    Some(addr) => parsed.connect = Some(addr),
+                    None => parsed.unknown.push("--connect".into()),
+                },
                 flag if flag.starts_with('-') => parsed.unknown.push(a),
                 // Bare positionals (e.g. a cargo-bench filter) pass through
                 // silently, matching the previous behaviour.
@@ -102,6 +121,28 @@ static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 static CHECKPOINT_OVERRIDE: Mutex<Option<PathBuf>> = Mutex::new(None);
 /// `--resume` flag: load existing checkpoints instead of re-measuring.
 static RESUME_OVERRIDE: AtomicBool = AtomicBool::new(false);
+/// Coordinator address set by `--serve ADDR` (None = local execution).
+static SERVE_OVERRIDE: Mutex<Option<String>> = Mutex::new(None);
+/// Coordinator address set by `--connect ADDR` (None = local execution).
+static CONNECT_OVERRIDE: Mutex<Option<String>> = Mutex::new(None);
+/// Per-process campaign ordinal: every `named_campaign_report` call gets
+/// the next position, and because the `--serve` and `--connect` processes
+/// run the same binary with the same flags, both sides count campaigns
+/// identically — which is what lets the transport handshake distinguish
+/// "coordinator still draining the previous campaign" from "coordinator
+/// already restored this campaign from a checkpoint".
+static CAMPAIGN_SEQUENCE: AtomicUsize = AtomicUsize::new(0);
+/// The one listener a `--serve` process hosts every campaign on, bound
+/// at the first serve. Rebinding the fixed address per campaign could
+/// intermittently fail with `EADDRINUSE` while the previous campaign's
+/// closed connections sit in TIME_WAIT.
+static SERVE_LISTENER: Mutex<Option<std::net::TcpListener>> = Mutex::new(None);
+/// Whether this `--connect` process has completed at least one campaign
+/// over the wire. Once it has, a refused connection means the serving
+/// process exited (its listener lives for the process lifetime), so
+/// later campaigns fall back to local measurement after a short grace
+/// instead of burning the full first-contact window.
+static WIRE_CONTACTED: AtomicBool = AtomicBool::new(false);
 
 /// Overrides the worker count every harness campaign shards across
 /// (`None` restores the automatic available-parallelism sizing). Set by
@@ -141,6 +182,27 @@ pub fn resume_override() -> bool {
     RESUME_OVERRIDE.load(Ordering::Relaxed)
 }
 
+/// Switches every harness campaign onto the cross-node transport
+/// (`None`/`None` restores local execution): with `serve` set, campaigns
+/// are coordinated on that address and measured by remote workers; with
+/// `connect` set, this process works for (and then downloads results
+/// from) the coordinator there. Set by [`Scale::from_args`] when the
+/// binary received `--serve ADDR` / `--connect ADDR`.
+pub fn set_transport(serve: Option<String>, connect: Option<String>) {
+    *SERVE_OVERRIDE.lock().expect("serve override") = serve;
+    *CONNECT_OVERRIDE.lock().expect("connect override") = connect;
+}
+
+/// The `--serve` address currently in effect, if any.
+pub fn serve_override() -> Option<String> {
+    SERVE_OVERRIDE.lock().expect("serve override").clone()
+}
+
+/// The `--connect` address currently in effect, if any.
+pub fn connect_override() -> Option<String> {
+    CONNECT_OVERRIDE.lock().expect("connect override").clone()
+}
+
 impl Scale {
     /// Parses the shared experiment argv (`--quick`/`--full`/`--bench`,
     /// `--out DIR`, `--workers N`); defaults to `Full`. A `--workers N`
@@ -154,8 +216,14 @@ impl Scale {
             eprintln!(
                 "warning: unrecognized flag `{flag}` \
                  (expected --quick, --full, --bench, --workers N, --out DIR, \
-                  --checkpoint-dir DIR, or --resume)"
+                  --checkpoint-dir DIR, --resume, --serve ADDR, or --connect ADDR)"
             );
+        }
+        if parsed.serve.is_some() && parsed.connect.is_some() {
+            eprintln!("warning: --serve and --connect are mutually exclusive; ignoring both");
+            set_transport(None, None);
+        } else {
+            set_transport(parsed.serve.clone(), parsed.connect.clone());
         }
         set_workers(parsed.workers);
         set_checkpointing(parsed.checkpoint_dir.clone(), parsed.resume);
@@ -307,6 +375,13 @@ fn checkpoint_key(names: &[String], campaign: &Campaign) -> String {
 /// `--resume` an existing checkpoint is completed (or, if already
 /// complete, simply loaded) instead of re-measured — artefacts stay
 /// byte-identical either way.
+///
+/// When `--serve ADDR` / `--connect ADDR` is in effect the campaign is
+/// *distributed* instead: the serving process coordinates it over the
+/// [`fingrav_core::transport`] protocol while connecting processes
+/// measure the entries and then download the finished reports — both
+/// sides render byte-identical artefacts because every entry derives
+/// solely from its campaign index and seed name.
 pub fn named_campaign_report(campaign: &Campaign, names: Vec<String>) -> Vec<KernelPowerReport> {
     assert_eq!(names.len(), campaign.len(), "one seed name per entry");
     let key = checkpoint_key(&names, campaign);
@@ -315,8 +390,237 @@ pub fn named_campaign_report(campaign: &Campaign, names: Vec<String>) -> Vec<Ker
             .map_err(|e| fingrav_core::error::MethodologyError::Backend(e.to_string()))
     });
     let progress = CampaignProgress::new(campaign.len());
-    let executor = CampaignExecutor::new(default_workers());
     let cancel = fingrav_core::executor::CancellationToken::new();
+    let sequence = CAMPAIGN_SEQUENCE.fetch_add(1, Ordering::SeqCst) as u64;
+
+    if let Some(addr) = connect_override() {
+        // Worker mode: measure whatever the coordinator assigns, then
+        // fetch the complete report set so rendering proceeds unchanged.
+        let local_fallback = |why: &str| {
+            eprintln!("  campaign #{sequence}: {why}; measuring locally");
+            CampaignExecutor::new(default_workers())
+                .execute_observed(campaign, &factory, &progress, &cancel)
+                .into_report()
+                .expect("experiment kernels profile cleanly")
+                .reports
+        };
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+        // Transport faults get their own retry budget, counted per fault
+        // streak rather than from campaign start: a long-running campaign
+        // must not lose its right to reconnect just because the fault
+        // arrived late.
+        let mut fault_retries = 0u32;
+        loop {
+            // First contact gets a generous window (the serving process
+            // may not have started); once the wire has worked, a refusal
+            // means the serving process exited, so give up quickly.
+            let patience = if WIRE_CONTACTED.load(Ordering::Relaxed) {
+                std::time::Duration::from_secs(5)
+            } else {
+                std::time::Duration::from_secs(120)
+            };
+            let stream = match fingrav_core::transport::connect_with_retry(addr.as_str(), patience)
+            {
+                Ok(stream) => stream,
+                // The serving process can legitimately be gone already:
+                // its final campaigns may all have restored from
+                // checkpoints. Local measurement is byte-identical.
+                Err(e) => return local_fallback(&format!("coordinator unreachable ({e})")),
+            };
+            match fingrav_core::transport::work(
+                stream,
+                campaign,
+                &factory,
+                &progress,
+                &cancel,
+                &fingrav_core::transport::WorkerOptions {
+                    max_entries: None,
+                    fetch_reports: true,
+                    sequence,
+                },
+            ) {
+                Ok(summary) => {
+                    WIRE_CONTACTED.store(true, Ordering::Relaxed);
+                    if summary.aborted {
+                        panic!(
+                            "campaign #{sequence}: the coordinator cancelled the campaign \
+                             (see the --serve process's log)"
+                        );
+                    }
+                    match summary.reports {
+                        Some(reports) => return reports,
+                        // complete=false: a kernel genuinely failed on
+                        // some worker or persistence broke — mirror the
+                        // local path's loud failure rather than hiding
+                        // the cause behind an invariant message.
+                        None => panic!(
+                            "campaign #{sequence} failed on the coordinator \
+                             (campaign_complete = {}; see the --serve process's log)",
+                            summary.campaign_complete
+                        ),
+                    }
+                }
+                // The coordinator restored this campaign from a complete
+                // checkpoint and moved on; measuring locally yields
+                // byte-identical reports (every slot derives solely from
+                // its index and seed name) and keeps the two processes'
+                // campaign sequences aligned.
+                Err(fingrav_core::transport::TransportError::Denied { code, detail })
+                    if code == fingrav_core::transport::DENY_SEQUENCE_PASSED =>
+                {
+                    return local_fallback(&detail);
+                }
+                // The previous campaign's listener is still draining on
+                // this address; reconnect until ours comes up.
+                Err(fingrav_core::transport::TransportError::Denied { code, detail })
+                    if code == fingrav_core::transport::DENY_SEQUENCE_EARLY =>
+                {
+                    if std::time::Instant::now() >= deadline {
+                        panic!("coordinator never reached campaign #{sequence}: {detail}");
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+                // A same-sequence digest mismatch means the two processes
+                // run different campaign definitions (skewed binaries or
+                // flags) — rendering silently diverging artifact trees
+                // would be worse than failing loudly.
+                Err(e @ fingrav_core::transport::TransportError::DigestMismatch { .. }) => {
+                    panic!("serve/connect campaign definitions disagree: {e}")
+                }
+                Err(fingrav_core::transport::TransportError::Denied { code, detail })
+                    if code == fingrav_core::transport::DENY_DIGEST_MISMATCH =>
+                {
+                    panic!("serve/connect campaign definitions disagree: {detail}")
+                }
+                // Anything else — a dropped connection, an unexpected
+                // frame — first tries to reconnect and resume (the
+                // coordinator re-plans the dropped entries, so a fresh
+                // connection picks the campaign back up); a persistent
+                // fault streak falls back to local measurement, which
+                // yields the same bytes and always makes progress.
+                Err(e) => {
+                    fault_retries += 1;
+                    if fault_retries > 20 {
+                        return local_fallback(&format!("transport fault ({e})"));
+                    }
+                    eprintln!("  campaign #{sequence}: transport fault ({e}); reconnecting");
+                    std::thread::sleep(std::time::Duration::from_millis(250));
+                }
+            }
+        }
+    }
+    if let Some(addr) = serve_override() {
+        // Coordinator mode: remote workers measure; persistence lands in
+        // the usual digest-keyed checkpoint layout so `--resume` (or a
+        // plain executor resume) completes an interrupted serve. Without
+        // an explicit `--checkpoint-dir` the checkpoints go to a
+        // pid-keyed temp root: scoping to this invocation keeps the
+        // within-run duplicate-campaign short-circuit while making sure
+        // a later run (possibly of a different build) never restores
+        // this run's artifacts. The root is left behind for post-mortems
+        // (it is what `--resume` would complete) and is small at bench
+        // scale; full-scale serves should pass `--checkpoint-dir`.
+        let root = checkpoint_override().unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("fingrav-serve-{}", std::process::id()))
+        });
+        let dir = root.join(&key);
+        // Mirror the local path's `--resume` semantics: without the flag
+        // an existing checkpoint at this key is discarded and the
+        // campaign is measured afresh by the workers, instead of
+        // Coordinator::serve silently restoring a previous (possibly
+        // different-build) run's artifacts.
+        if !resume_override() && dir.exists() {
+            std::fs::remove_dir_all(&dir).expect("stale serve checkpoint removes");
+        }
+        // One listener hosts every campaign of this process (bound at
+        // the first serve); each campaign gets a clone. The bind itself
+        // retries: a previous process on this address (an earlier child
+        // of `all --serve`) leaves TIME_WAIT connections that can hold
+        // the port for up to a minute.
+        let listener = {
+            let mut slot = SERVE_LISTENER.lock().expect("serve listener");
+            slot.get_or_insert_with(|| {
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+                loop {
+                    match std::net::TcpListener::bind(addr.as_str()) {
+                        Ok(listener) => break listener,
+                        Err(e) if std::time::Instant::now() < deadline => {
+                            eprintln!("  waiting to bind {addr}: {e}");
+                            std::thread::sleep(std::time::Duration::from_millis(250));
+                        }
+                        Err(e) => panic!("coordinator address {addr} never bound: {e}"),
+                    }
+                }
+            })
+            .try_clone()
+            .expect("listener clones")
+        };
+        let coordinator =
+            fingrav_core::transport::Coordinator::from_listener(listener).sequence(sequence);
+        // Serve with a no-progress watchdog: Coordinator::serve blocks
+        // until workers finish the campaign, so a connect process that
+        // died (or gave up and measured locally) would otherwise hang
+        // this process forever. Five minutes with zero finished entries
+        // is a wedged run, not a slow one — cancel and fail loudly.
+        let watchdog_fired = AtomicBool::new(false);
+        let serve_done = AtomicBool::new(false);
+        let outcome = std::thread::scope(|s| {
+            s.spawn(|| {
+                // Progress is any live signal — finished entries OR the
+                // per-slot log/launch counters the workers stream — so a
+                // single legitimately slow entry on a healthy worker
+                // never trips the watchdog.
+                let observed = || {
+                    let tally = progress.tally();
+                    (0..campaign.len())
+                        .map(|i| tally.logs(i) + tally.launches(i))
+                        .sum::<u64>()
+                        + tally.finished() as u64
+                };
+                let mut last = observed();
+                let mut stalled_for = std::time::Duration::ZERO;
+                // Short ticks so the scope join after serve() returns is
+                // prompt; the stall threshold is what bounds patience.
+                let tick = std::time::Duration::from_millis(500);
+                while !serve_done.load(Ordering::Acquire) {
+                    std::thread::sleep(tick);
+                    let now = observed();
+                    if now != last {
+                        last = now;
+                        stalled_for = std::time::Duration::ZERO;
+                    } else {
+                        stalled_for += tick;
+                        if stalled_for >= std::time::Duration::from_secs(300) {
+                            eprintln!(
+                                "  campaign #{sequence}: no worker progress for \
+                                 {}s; cancelling the serve",
+                                stalled_for.as_secs()
+                            );
+                            watchdog_fired.store(true, Ordering::Release);
+                            cancel.abort();
+                            return;
+                        }
+                    }
+                }
+            });
+            let outcome = coordinator.serve(campaign, &dir, &progress, &cancel);
+            serve_done.store(true, Ordering::Release);
+            outcome
+        })
+        .expect("served campaign persists cleanly");
+        if watchdog_fired.load(Ordering::Acquire) {
+            panic!(
+                "campaign #{sequence}: no worker made progress within the watchdog \
+                 window — is the --connect process running and pointed at this address?"
+            );
+        }
+        return outcome
+            .into_report()
+            .expect("experiment kernels profile cleanly")
+            .reports;
+    }
+
+    let executor = CampaignExecutor::new(default_workers());
     let outcome = match checkpoint_override() {
         Some(root) => {
             let dir = root.join(key);
@@ -391,6 +695,31 @@ mod tests {
         assert_eq!(parsed.workers, None);
         assert_eq!(parsed.scale, Scale::Bench);
         assert_eq!(parsed.unknown, vec!["--workers".to_string()]);
+    }
+
+    #[test]
+    fn transport_flags_parse_without_side_effects() {
+        let parsed = ParsedArgs::parse(vec![
+            "--serve".into(),
+            "0.0.0.0:7000".into(),
+            "--bench".into(),
+        ]);
+        assert_eq!(parsed.serve.as_deref(), Some("0.0.0.0:7000"));
+        assert_eq!(parsed.connect, None);
+        assert_eq!(parsed.scale, Scale::Bench);
+        assert!(parsed.unknown.is_empty());
+
+        let parsed = ParsedArgs::parse(vec!["--connect".into(), "10.0.0.2:7000".into()]);
+        assert_eq!(parsed.connect.as_deref(), Some("10.0.0.2:7000"));
+        assert_eq!(parsed.serve, None);
+
+        // A missing address is surfaced, not silently eaten.
+        let parsed = ParsedArgs::parse(vec!["--serve".into()]);
+        assert_eq!(parsed.serve, None);
+        assert_eq!(parsed.unknown, vec!["--serve".to_string()]);
+        let parsed = ParsedArgs::parse(vec!["--connect".into()]);
+        assert_eq!(parsed.connect, None);
+        assert_eq!(parsed.unknown, vec!["--connect".to_string()]);
     }
 
     #[test]

@@ -48,6 +48,45 @@
 //!   typed pipeline artifacts ([`TimingArtifact`], [`SspArtifact`],
 //!   [`RunCollection`]) persisted between stages, for runners that want
 //!   to checkpoint *inside* an entry.
+//!
+//! # Example: manifest round trip and damage rejection
+//!
+//! ```
+//! use fingrav_core::backend::SimulationFactory;
+//! use fingrav_core::campaign::Campaign;
+//! use fingrav_core::checkpoint::{CampaignManifest, CheckpointError, EntryStatus};
+//! use fingrav_core::runner::RunnerConfig;
+//! use fingrav_sim::config::SimConfig;
+//! use fingrav_workloads::suite;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let machine = SimConfig::default().machine.clone();
+//! let mut campaign = Campaign::new(RunnerConfig::quick(6));
+//! campaign.add_all(suite::gemm_suite(&machine).into_iter().take(3).map(|k| k.desc));
+//! let factory = SimulationFactory::new(SimConfig::default(), 42);
+//!
+//! // Plan a fresh checkpoint: every entry pending, sharded round-robin.
+//! let mut manifest = CampaignManifest::plan(&campaign, &factory, 2);
+//! assert_eq!(manifest.entries[2].shard, 0);
+//! manifest.entries[0].status = EntryStatus::Done;
+//!
+//! // The FGRVCKPT encoding round-trips exactly and knows its campaign.
+//! let bytes = manifest.to_bytes();
+//! let restored = CampaignManifest::from_bytes(&bytes)?;
+//! assert_eq!(restored, manifest);
+//! assert_eq!(restored.rerun_indices(), vec![1, 2]);
+//! restored.verify_against(&campaign)?;
+//!
+//! // Damage decodes to a typed error, never a panic or a wrong value.
+//! let mut damaged = bytes.clone();
+//! damaged[0] ^= 0xff;
+//! assert!(matches!(
+//!     CampaignManifest::from_bytes(&damaged),
+//!     Err(CheckpointError::BadMagic(_))
+//! ));
+//! # Ok(())
+//! # }
+//! ```
 
 use std::fmt;
 use std::fs;
@@ -56,6 +95,8 @@ use std::path::{Path, PathBuf};
 
 use fingrav_sim::kernel::KernelHandle;
 use fingrav_sim::power::ComponentPower;
+use fingrav_sim::script::HostOp;
+use fingrav_sim::session::TelemetryEvent;
 use fingrav_sim::telemetry::PowerLog;
 use fingrav_sim::time::{CpuTime, GpuTicks, SimDuration, SimTime};
 use fingrav_sim::trace::{GroundTruth, RunTrace, TimedExecution, TimestampRead, TrueExecution};
@@ -204,7 +245,7 @@ impl From<CheckpointError> for MethodologyError {
 // Low-level codec plumbing
 // ---------------------------------------------------------------------
 
-fn read_exact_ck<R: Read>(
+pub(crate) fn read_exact_ck<R: Read>(
     r: &mut R,
     buf: &mut [u8],
     block: &'static str,
@@ -222,8 +263,10 @@ fn read_exact_ck<R: Read>(
 ///
 /// Floats travel as raw bit patterns, so every round trip is bit-exact —
 /// the property the resume guarantee ("byte-identical to an uninterrupted
-/// run") reduces to.
-trait Codec: Sized {
+/// run") reduces to. The same field encodings double as the payload
+/// grammar of the [`crate::transport`] wire frames, which is why the
+/// trait is crate-visible: the on-disk format *is* the wire format.
+pub(crate) trait Codec: Sized {
     /// Static block label used in [`CheckpointError::Truncated`].
     const BLOCK: &'static str;
     fn encode<W: Write>(&self, w: &mut W) -> io::Result<()>;
@@ -524,6 +567,131 @@ impl Codec for RunTrace {
             aborted: bool::decode(r)?,
             truth: GroundTruth::decode(r)?,
         })
+    }
+}
+
+impl Codec for HostOp {
+    const BLOCK: &'static str = "host op";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        match self {
+            HostOp::Sleep(d) => {
+                0u8.encode(w)?;
+                d.encode(w)
+            }
+            HostOp::SleepUniform { min, max } => {
+                1u8.encode(w)?;
+                min.encode(w)?;
+                max.encode(w)
+            }
+            HostOp::ReadGpuTimestamp => 2u8.encode(w),
+            HostOp::LaunchTimed { kernel, executions } => {
+                3u8.encode(w)?;
+                kernel.encode(w)?;
+                executions.encode(w)
+            }
+            HostOp::StartPowerLogger => 4u8.encode(w),
+            HostOp::StopPowerLogger => 5u8.encode(w),
+            HostOp::StartCoarseLogger => 6u8.encode(w),
+            HostOp::StopCoarseLogger => 7u8.encode(w),
+            HostOp::BeginRun => 8u8.encode(w),
+        }
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        match u8::decode(r)? {
+            0 => Ok(HostOp::Sleep(SimDuration::decode(r)?)),
+            1 => Ok(HostOp::SleepUniform {
+                min: SimDuration::decode(r)?,
+                max: SimDuration::decode(r)?,
+            }),
+            2 => Ok(HostOp::ReadGpuTimestamp),
+            3 => Ok(HostOp::LaunchTimed {
+                kernel: KernelHandle::decode(r)?,
+                executions: u32::decode(r)?,
+            }),
+            4 => Ok(HostOp::StartPowerLogger),
+            5 => Ok(HostOp::StopPowerLogger),
+            6 => Ok(HostOp::StartCoarseLogger),
+            7 => Ok(HostOp::StopCoarseLogger),
+            8 => Ok(HostOp::BeginRun),
+            other => Err(CheckpointError::Corrupt(format!(
+                "unknown host-op tag {other}"
+            ))),
+        }
+    }
+}
+
+impl Codec for TelemetryEvent {
+    const BLOCK: &'static str = "telemetry event";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        match self {
+            TelemetryEvent::ScriptStarted { ops } => {
+                0u8.encode(w)?;
+                (*ops as u64).encode(w)
+            }
+            TelemetryEvent::OpStarted { index, op } => {
+                1u8.encode(w)?;
+                (*index as u64).encode(w)?;
+                op.encode(w)
+            }
+            TelemetryEvent::OpFinished { index } => {
+                2u8.encode(w)?;
+                (*index as u64).encode(w)
+            }
+            TelemetryEvent::PowerLogEmitted { coarse, log } => {
+                3u8.encode(w)?;
+                coarse.encode(w)?;
+                log.encode(w)
+            }
+            TelemetryEvent::LaunchCompleted { execution } => {
+                4u8.encode(w)?;
+                execution.encode(w)
+            }
+            TelemetryEvent::GpuTimestampRead { read } => {
+                5u8.encode(w)?;
+                read.encode(w)
+            }
+            TelemetryEvent::ScriptDone { aborted } => {
+                6u8.encode(w)?;
+                aborted.encode(w)
+            }
+            // `TelemetryEvent` is non-exhaustive upstream: a variant this
+            // version has no tag for cannot travel, and silently dropping
+            // it would break the per-slot event-stream determinism the
+            // wire inherits — surface the gap as an encode error instead.
+            other => Err(io::Error::other(format!(
+                "telemetry event {other:?} has no wire encoding in this version"
+            ))),
+        }
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        match u8::decode(r)? {
+            0 => Ok(TelemetryEvent::ScriptStarted {
+                ops: u64::decode(r)? as usize,
+            }),
+            1 => Ok(TelemetryEvent::OpStarted {
+                index: u64::decode(r)? as usize,
+                op: HostOp::decode(r)?,
+            }),
+            2 => Ok(TelemetryEvent::OpFinished {
+                index: u64::decode(r)? as usize,
+            }),
+            3 => Ok(TelemetryEvent::PowerLogEmitted {
+                coarse: bool::decode(r)?,
+                log: PowerLog::decode(r)?,
+            }),
+            4 => Ok(TelemetryEvent::LaunchCompleted {
+                execution: TimedExecution::decode(r)?,
+            }),
+            5 => Ok(TelemetryEvent::GpuTimestampRead {
+                read: TimestampRead::decode(r)?,
+            }),
+            6 => Ok(TelemetryEvent::ScriptDone {
+                aborted: bool::decode(r)?,
+            }),
+            other => Err(CheckpointError::Corrupt(format!(
+                "unknown telemetry-event tag {other}"
+            ))),
+        }
     }
 }
 
@@ -836,7 +1004,7 @@ fn read_header<R: Read>(r: &mut R, expected_section: u32) -> Result<(), Checkpoi
     Ok(())
 }
 
-fn from_bytes_with<T>(
+pub(crate) fn from_bytes_with<T>(
     bytes: &[u8],
     read: impl FnOnce(&mut &[u8]) -> Result<T, CheckpointError>,
 ) -> Result<T, CheckpointError> {
@@ -1008,6 +1176,29 @@ impl CampaignManifest {
                     seed: factory.slot_seed_hint(i),
                     status: EntryStatus::Pending,
                     shard: (i % workers) as u32,
+                })
+                .collect(),
+        }
+    }
+
+    /// Plans a fresh checkpoint for a campaign whose measurements will run
+    /// on *remote* workers (see [`crate::transport`]): every entry
+    /// `Pending` with no seed hint (the coordinator never constructs a
+    /// backend, so it has no factory to ask), sharded onto shard 0 until a
+    /// worker claims it — the coordinator reassigns `shard` to the
+    /// completing worker's id the moment an entry artifact arrives.
+    pub fn plan_remote(campaign: &Campaign) -> Self {
+        CampaignManifest {
+            config_digest: campaign_digest(campaign),
+            workers: 1,
+            entries: campaign
+                .entries()
+                .iter()
+                .map(|e| ManifestEntry {
+                    label: e.desc.name.clone(),
+                    seed: None,
+                    status: EntryStatus::Pending,
+                    shard: 0,
                 })
                 .collect(),
         }
@@ -1561,6 +1752,100 @@ pub fn gather(
         sse,
         ssp,
     })
+}
+
+// ---------------------------------------------------------------------
+// Restore (shared by local resume and the transport coordinator)
+// ---------------------------------------------------------------------
+
+/// Result of [`restore_done_entries`]: the restored `(index, report)`
+/// pairs, then the ascending indices that must be (re-)measured.
+pub(crate) type RestoredEntries = (Vec<(usize, KernelPowerReport)>, Vec<usize>);
+
+/// Restores every `Done` entry of `manifest` from its persisted artifact
+/// and plans the rest: returns the restored `(index, report)` pairs plus
+/// the ascending list of indices that must be (re-)measured. Shared by
+/// [`crate::executor::CampaignExecutor::resume`] and the cross-node
+/// coordinator ([`crate::transport`]), so both trust a checkpoint under
+/// exactly the same verification:
+///
+/// * every restored artifact's own digest, index, and label must agree
+///   with the manifest;
+/// * crash-window duplicates must be bit-identical ([`verify_duplicate`])
+///   before any copy is trusted;
+/// * a `Done` entry whose file vanished is demoted to `Pending` in
+///   `manifest` and re-planned instead of failing the restore.
+pub(crate) fn restore_done_entries(
+    ckdir: &CheckpointDir,
+    campaign: &Campaign,
+    manifest: &mut CampaignManifest,
+) -> Result<RestoredEntries, CheckpointError> {
+    // One directory scan, indexed per entry (a per-entry find_entry would
+    // walk every shard directory once per Done entry).
+    let mut files_by_index: Vec<Vec<(u32, PathBuf)>> = vec![Vec::new(); campaign.len()];
+    for (shard, index, path) in ckdir.entry_files()? {
+        if index >= campaign.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "shard {shard} holds entry {index} but the campaign has only {} entries",
+                campaign.len()
+            )));
+        }
+        files_by_index[index].push((shard, path));
+    }
+
+    let mut restored = Vec::new();
+    let mut plan = Vec::new();
+    for (index, copies) in files_by_index.iter().enumerate() {
+        if manifest.entries[index].status == EntryStatus::Done {
+            // Restore the persisted report; a missing file (crash between
+            // the manifest update and a later inspection) demotes the
+            // entry back to a re-run instead of failing.
+            match copies.first() {
+                Some((shard, path)) => {
+                    let artifact = ckdir.read_entry(path)?;
+                    if artifact.config_digest != manifest.config_digest {
+                        return Err(CheckpointError::ConfigMismatch {
+                            expected: manifest.config_digest,
+                            found: artifact.config_digest,
+                        });
+                    }
+                    // The file must actually hold this slot's entry (a
+                    // copied/renamed file during manual recovery would
+                    // otherwise fill the slot with wrong data).
+                    if artifact.index as usize != index {
+                        return Err(CheckpointError::Corrupt(format!(
+                            "entry file {} (shard {shard}) claims index {} but sits in \
+                             slot {index}",
+                            path.display(),
+                            artifact.index
+                        )));
+                    }
+                    if artifact.report.label != manifest.entries[index].label {
+                        return Err(CheckpointError::Corrupt(format!(
+                            "entry {index} (shard {shard}) is labelled `{}` but the \
+                             manifest says `{}`",
+                            artifact.report.label, manifest.entries[index].label
+                        )));
+                    }
+                    // Crash-window duplicates must agree before any copy
+                    // is trusted (same verification gather does); a
+                    // diverged copy names its shard and column.
+                    for (other_shard, other_path) in &copies[1..] {
+                        let other = ckdir.read_entry(other_path)?;
+                        verify_duplicate(index, *shard, &artifact, *other_shard, &other)?;
+                    }
+                    restored.push((index, artifact.report));
+                }
+                None => {
+                    manifest.entries[index].status = EntryStatus::Pending;
+                    plan.push(index);
+                }
+            }
+        } else {
+            plan.push(index);
+        }
+    }
+    Ok((restored, plan))
 }
 
 #[cfg(test)]

@@ -28,6 +28,11 @@ pub enum MethodologyError {
     /// [`crate::checkpoint::CheckpointError`] for the typed causes; this
     /// variant carries its rendered message through executor APIs).
     Checkpoint(String),
+    /// A cross-node campaign connection failed or spoke the protocol
+    /// wrong (see [`crate::transport::TransportError`] for the typed
+    /// causes; this variant carries its rendered message through the
+    /// coordinator/worker APIs).
+    Transport(String),
 }
 
 impl fmt::Display for MethodologyError {
@@ -44,6 +49,7 @@ impl fmt::Display for MethodologyError {
             MethodologyError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             MethodologyError::Aborted => f.write_str("measurement aborted mid-script"),
             MethodologyError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            MethodologyError::Transport(msg) => write!(f, "transport error: {msg}"),
         }
     }
 }

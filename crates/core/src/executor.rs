@@ -39,6 +39,47 @@
 //! [`CampaignExecutor::resume`] finishes a cancelled/crashed campaign from
 //! that checkpoint — re-measuring only the unfinished entries — with
 //! final artifacts byte-identical to an uninterrupted run.
+//!
+//! # Example: cancel a sharded campaign, resume it byte-identically
+//!
+//! ```
+//! use fingrav_core::backend::SimulationFactory;
+//! use fingrav_core::campaign::Campaign;
+//! use fingrav_core::executor::{CampaignExecutor, CampaignObserver, CancellationToken};
+//! use fingrav_core::runner::{KernelPowerReport, RunnerConfig};
+//! use fingrav_sim::config::SimConfig;
+//! use fingrav_workloads::suite;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let machine = SimConfig::default().machine.clone();
+//! let mut campaign = Campaign::new(RunnerConfig::quick(6));
+//! campaign.add_all(suite::gemm_suite(&machine).into_iter().take(2).map(|k| k.desc));
+//! let factory = SimulationFactory::new(SimConfig::default(), 99);
+//! let dir = std::env::temp_dir().join(format!("fingrav-doc-resume-{}", std::process::id()));
+//!
+//! // An observer that cancels the campaign after the first entry lands.
+//! struct CancelAfterOne(CancellationToken);
+//! impl CampaignObserver for CancelAfterOne {
+//!     fn entry_finished(&self, _index: usize, _report: &KernelPowerReport) {
+//!         self.0.abort();
+//!     }
+//! }
+//! let observer = CancelAfterOne(CancellationToken::new());
+//! let partial = CampaignExecutor::serial()
+//!     .execute_sharded_observed(&campaign, &factory, &dir, &observer, &observer.0)?;
+//! assert!(!partial.is_complete(), "cancellation left work undone");
+//!
+//! // Resume re-measures only the unfinished entries; the result is
+//! // byte-identical to an uninterrupted run of the same campaign.
+//! let resumed = CampaignExecutor::serial()
+//!     .resume(&campaign, &factory, &dir)?
+//!     .into_report()?;
+//! let direct = CampaignExecutor::serial().run(&campaign, &factory)?;
+//! assert_eq!(resumed, direct);
+//! std::fs::remove_dir_all(&dir)?;
+//! # Ok(())
+//! # }
+//! ```
 
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -475,84 +516,12 @@ impl CampaignExecutor {
             .verify_against(campaign)
             .map_err(MethodologyError::from)?;
 
-        // One directory scan, indexed per entry (a per-entry find_entry
-        // would walk every shard directory once per Done entry).
-        let mut files_by_index: Vec<Vec<(u32, std::path::PathBuf)>> =
-            vec![Vec::new(); campaign.len()];
-        for (shard, index, path) in ckdir.entry_files().map_err(MethodologyError::from)? {
-            if index >= campaign.len() {
-                return Err(CheckpointError::Corrupt(format!(
-                    "shard {shard} holds entry {index} but the campaign has only {} entries",
-                    campaign.len()
-                ))
-                .into());
-            }
-            files_by_index[index].push((shard, path));
-        }
-
+        let (restored, plan) =
+            crate::checkpoint::restore_done_entries(&ckdir, campaign, &mut manifest)
+                .map_err(MethodologyError::from)?;
         let mut outcome = CampaignOutcome::empty(campaign.len());
-        let mut plan = Vec::new();
-        for (index, copies) in files_by_index.iter().enumerate() {
-            if manifest.entries[index].status == EntryStatus::Done {
-                // Restore the persisted report; a missing file (crash
-                // between the manifest update and a later inspection)
-                // demotes the entry back to a re-run instead of failing.
-                match copies.first() {
-                    Some((shard, path)) => {
-                        let artifact = ckdir.read_entry(path).map_err(MethodologyError::from)?;
-                        if artifact.config_digest != manifest.config_digest {
-                            return Err(CheckpointError::ConfigMismatch {
-                                expected: manifest.config_digest,
-                                found: artifact.config_digest,
-                            }
-                            .into());
-                        }
-                        // The file must actually hold this slot's entry
-                        // (a copied/renamed file during manual recovery
-                        // would otherwise fill the slot with wrong data).
-                        if artifact.index as usize != index {
-                            return Err(CheckpointError::Corrupt(format!(
-                                "entry file {} (shard {shard}) claims index {} but sits in \
-                                 slot {index}",
-                                path.display(),
-                                artifact.index
-                            ))
-                            .into());
-                        }
-                        if artifact.report.label != manifest.entries[index].label {
-                            return Err(CheckpointError::Corrupt(format!(
-                                "entry {index} (shard {shard}) is labelled `{}` but the \
-                                 manifest says `{}`",
-                                artifact.report.label, manifest.entries[index].label
-                            ))
-                            .into());
-                        }
-                        // Crash-window duplicates must agree before any
-                        // copy is trusted (same verification gather does);
-                        // a diverged copy names its shard and column.
-                        for (other_shard, other_path) in &copies[1..] {
-                            let other = ckdir
-                                .read_entry(other_path)
-                                .map_err(MethodologyError::from)?;
-                            crate::checkpoint::verify_duplicate(
-                                index,
-                                *shard,
-                                &artifact,
-                                *other_shard,
-                                &other,
-                            )
-                            .map_err(MethodologyError::from)?;
-                        }
-                        outcome.reports[index] = Some(artifact.report);
-                    }
-                    None => {
-                        manifest.entries[index].status = EntryStatus::Pending;
-                        plan.push(index);
-                    }
-                }
-            } else {
-                plan.push(index);
-            }
+        for (index, report) in restored {
+            outcome.reports[index] = Some(report);
         }
         if plan.is_empty() {
             return Ok(outcome);
@@ -738,7 +707,13 @@ impl ProfilingSink for SlotSink<'_> {
 /// Profiles one campaign slot on a fresh backend (shared by the serial and
 /// threaded paths, so both issue the identical call sequence), reporting
 /// its lifecycle to the observer and honoring the cancellation token.
-fn profile_slot<F: BackendFactory>(
+///
+/// Crate-visible because it is also the *remote execution seam*: a
+/// [`crate::transport`] worker measures each assigned entry through this
+/// exact function, so a cross-node campaign issues the identical per-slot
+/// backend call sequence as a local one — which is what reduces the
+/// distributed byte-identity guarantee to the executor's existing one.
+pub(crate) fn profile_slot<F: BackendFactory>(
     campaign: &Campaign,
     factory: &F,
     index: usize,

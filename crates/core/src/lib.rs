@@ -65,6 +65,7 @@ pub mod stages;
 pub mod stats;
 pub mod store;
 pub mod sync;
+pub mod transport;
 
 pub use backend::{
     BackendFactory, FnBackendFactory, PowerBackend, ScriptSession, SimulationFactory,
@@ -84,3 +85,6 @@ pub use runner::{FingravRunner, KernelPowerReport, LoggerChoice, RunnerConfig};
 pub use stages::{RunCollection, SspArtifact, StagePipeline, StitchedProfiles, TimingArtifact};
 pub use store::{ProfilePointRef, ProfileStore, StoreCodecError, StoreDiff};
 pub use sync::{ReadDelayCalibration, TimeSync};
+pub use transport::{
+    connect_with_retry, work, work_at, Coordinator, TransportError, WorkerOptions, WorkerSummary,
+};

@@ -26,6 +26,48 @@
 //! stream is always in the order above — which is what makes live
 //! observation compatible with the executor's bit-identical-results
 //! guarantee.
+//!
+//! # Example: watch the stages of one profile run
+//!
+//! Any `FnMut(ProfilingEvent)` closure is a [`ProfilingSink`]; here one
+//! collects the stage brackets while a kernel profiles:
+//!
+//! ```
+//! use fingrav_core::observe::{ProfilingEvent, StageKind};
+//! use fingrav_core::runner::{FingravRunner, RunnerConfig};
+//! use fingrav_sim::config::SimConfig;
+//! use fingrav_sim::engine::Simulation;
+//! use fingrav_workloads::suite;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut sim = Simulation::new(SimConfig::default(), 7)?;
+//! let kernel = suite::cb_gemm(&SimConfig::default().machine, 2048);
+//!
+//! let mut stages = Vec::new();
+//! let mut device_events = 0usize;
+//! let mut sink = |event: ProfilingEvent| match event {
+//!     ProfilingEvent::StageStarted { stage } => stages.push(stage),
+//!     ProfilingEvent::Device(_) => device_events += 1,
+//!     _ => {}
+//! };
+//! let mut runner = FingravRunner::new(&mut sim, RunnerConfig::quick(6))
+//!     .with_observer(&mut sink);
+//! runner.profile(&kernel)?;
+//!
+//! // Stages arrive in methodology order, device events in between.
+//! assert_eq!(
+//!     stages,
+//!     vec![
+//!         StageKind::Calibrate,
+//!         StageKind::TimingProbe,
+//!         StageKind::SspSearch,
+//!         StageKind::CollectRuns,
+//!     ]
+//! );
+//! assert!(device_events > 0);
+//! # Ok(())
+//! # }
+//! ```
 
 use std::fmt;
 
@@ -97,6 +139,72 @@ pub struct ForwardDeviceEvents<'a>(pub &'a mut dyn ProfilingSink);
 impl TelemetrySink for ForwardDeviceEvents<'_> {
     fn on_event(&mut self, event: TelemetryEvent) {
         self.0.on_event(ProfilingEvent::Device(event));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire codecs: progress events are serializable so a cross-node campaign
+// can stream them from worker to coordinator (see `crate::transport`).
+// ---------------------------------------------------------------------
+
+use crate::checkpoint::{CheckpointError, Codec};
+use std::io::{self, Read, Write};
+
+impl Codec for StageKind {
+    const BLOCK: &'static str = "stage kind";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let tag: u8 = match self {
+            StageKind::Calibrate => 0,
+            StageKind::TimingProbe => 1,
+            StageKind::SspSearch => 2,
+            StageKind::CollectRuns => 3,
+        };
+        tag.encode(w)
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        match u8::decode(r)? {
+            0 => Ok(StageKind::Calibrate),
+            1 => Ok(StageKind::TimingProbe),
+            2 => Ok(StageKind::SspSearch),
+            3 => Ok(StageKind::CollectRuns),
+            other => Err(CheckpointError::Corrupt(format!(
+                "unknown stage-kind tag {other}"
+            ))),
+        }
+    }
+}
+
+impl Codec for ProfilingEvent {
+    const BLOCK: &'static str = "profiling event";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        match self {
+            ProfilingEvent::StageStarted { stage } => {
+                0u8.encode(w)?;
+                stage.encode(w)
+            }
+            ProfilingEvent::StageFinished { stage } => {
+                1u8.encode(w)?;
+                stage.encode(w)
+            }
+            ProfilingEvent::Device(event) => {
+                2u8.encode(w)?;
+                event.encode(w)
+            }
+        }
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        match u8::decode(r)? {
+            0 => Ok(ProfilingEvent::StageStarted {
+                stage: StageKind::decode(r)?,
+            }),
+            1 => Ok(ProfilingEvent::StageFinished {
+                stage: StageKind::decode(r)?,
+            }),
+            2 => Ok(ProfilingEvent::Device(TelemetryEvent::decode(r)?)),
+            other => Err(CheckpointError::Corrupt(format!(
+                "unknown profiling-event tag {other}"
+            ))),
+        }
     }
 }
 

@@ -24,6 +24,43 @@
 //! *canonically zeroed* — `exec_pos = 0`, `toi_ns = 0.0` wherever the
 //! bitmap bit is clear — so structural equality, hashing of the encoded
 //! bytes, and the binary round trip are all bit-exact.
+//!
+//! # Example: binary round trip
+//!
+//! The on-disk `FGRVPROF` format (specified byte by byte in
+//! `docs/FORMATS.md`) round-trips bit-exactly, floats included:
+//!
+//! ```
+//! use fingrav_core::profile::ProfilePoint;
+//! use fingrav_core::store::ProfileStore;
+//! use fingrav_sim::ComponentPower;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut store = ProfileStore::new();
+//! store.push(ProfilePoint {
+//!     run: 0,
+//!     exec_pos: Some(3),
+//!     toi_ns: Some(1250.5),
+//!     run_time_ns: 410.0,
+//!     power: ComponentPower::new(310.2, 88.0, 61.5, 40.3),
+//! });
+//! store.push(ProfilePoint {
+//!     run: 1,
+//!     exec_pos: None, // outside any execution: lands as a cleared bitmap bit
+//!     toi_ns: None,
+//!     run_time_ns: 415.0,
+//!     power: ComponentPower::new(120.0, 80.0, 55.0, 39.9),
+//! });
+//!
+//! let bytes = store.to_bytes();
+//! assert_eq!(&bytes[0..8], b"FGRVPROF");
+//! let restored = ProfileStore::from_bytes(&bytes)?;
+//! assert_eq!(restored, store);
+//! assert_eq!(restored.to_bytes(), bytes, "re-encoding is bit-identical");
+//! assert!(store.diff(&restored).is_identical());
+//! # Ok(())
+//! # }
+//! ```
 
 use std::fmt;
 use std::io::{self, Read, Write};

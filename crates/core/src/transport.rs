@@ -1,0 +1,1802 @@
+//! Cross-node campaign transport: a coordinator/worker protocol over TCP.
+//!
+//! FinGraV campaigns are embarrassingly distributable — every entry is an
+//! independent per-kernel measurement whose backend derives solely from
+//! its campaign index — and [`crate::checkpoint`] already persists each
+//! finished entry as a self-contained `FGRVCKPT` block. This module ships
+//! those same blocks over a socket instead of (only) a filesystem:
+//!
+//! * a [`Coordinator`] binds a `TcpListener`, plans the campaign, and
+//!   hands out entry indices to whichever workers connect;
+//! * a worker ([`work`]) measures each assigned entry through the exact
+//!   per-slot path a local executor uses
+//!   (`crate::executor`'s claim loop), streaming scoped
+//!   [`ProfilingEvent`]s back as it runs and the finished
+//!   [`EntryArtifact`] — byte-for-byte the on-disk `FGRVCKPT` entry
+//!   section — when it completes;
+//! * the coordinator persists every artifact into a normal
+//!   [`CheckpointDir`], so [`crate::checkpoint::gather`] and
+//!   [`crate::executor::CampaignExecutor::resume`] work on the result
+//!   unchanged, and a campaign cut short on the wire is finished the same
+//!   way a locally cancelled one is.
+//!
+//! ## Fault model
+//!
+//! A worker that disappears mid-entry (dropped connection, truncated
+//! frame, or a cooperative abort surfacing as
+//! [`MethodologyError::Aborted`]) simply returns its in-flight entry to
+//! the queue; any later worker — including the same machine reconnecting —
+//! re-measures it and, because slots derive solely from their campaign
+//! index, produces a bit-identical artifact. The coordinator verifies
+//! that: a re-measured entry is diffed column-by-column against any copy
+//! already on disk before it is trusted (same
+//! [`ProfileStore::diff`](crate::store::ProfileStore::diff)-based check
+//! the local executor and `gather` apply).
+//!
+//! Lifecycle note: because an entry can be attempted more than once, a
+//! [`CampaignObserver`] watching a served campaign may see
+//! `entry_started` (and a trailing `entry_failed`) again for a slot that
+//! was re-planned; exactly one `entry_finished` still arrives per
+//! completed slot. Remote cancellation is *entry-granular*: a fired
+//! [`CancellationToken`] stops new assignments immediately (workers are
+//! told to abort when they next ask for work), but an entry already
+//! running on a remote worker finishes before its worker notices.
+//!
+//! ## Wire format
+//!
+//! The connection opens with a fixed 16-byte preamble in each direction
+//! ([`WIRE_MAGIC`], [`WIRE_VERSION`], reserved `u32`), then exchanges
+//! length-framed [`Frame`]s: a `u32` tag, a `u64` payload length, and a
+//! payload encoded with the same little-endian field grammar as the
+//! `FGRVCKPT` format (the on-disk format *is* the wire format — an
+//! [`EntryArtifact`] travels as the exact bytes `EntryArtifact::write_to`
+//! persists). `docs/FORMATS.md` is the normative byte-level spec.
+//!
+//! ## Example: a distributed campaign on TCP loopback
+//!
+//! ```
+//! use fingrav_core::backend::SimulationFactory;
+//! use fingrav_core::campaign::Campaign;
+//! use fingrav_core::executor::{CampaignExecutor, CancellationToken, NoopCampaignObserver};
+//! use fingrav_core::runner::RunnerConfig;
+//! use fingrav_core::transport::{work, Coordinator, WorkerOptions};
+//! use fingrav_sim::config::SimConfig;
+//! use fingrav_workloads::suite;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let machine = SimConfig::default().machine.clone();
+//! let mut campaign = Campaign::new(RunnerConfig::quick(6));
+//! campaign.add_all(suite::gemm_suite(&machine).into_iter().take(2).map(|k| k.desc));
+//! let factory = SimulationFactory::new(SimConfig::default(), 7);
+//!
+//! let coordinator = Coordinator::bind("127.0.0.1:0")?;
+//! let addr = coordinator.local_addr()?;
+//! let dir = std::env::temp_dir().join(format!("fingrav-doc-net-{}", std::process::id()));
+//!
+//! let outcome = std::thread::scope(|s| {
+//!     // One worker on the same machine; any number may connect.
+//!     s.spawn(|| {
+//!         let stream = std::net::TcpStream::connect(addr).expect("loopback connect");
+//!         work(
+//!             stream,
+//!             &campaign,
+//!             &factory,
+//!             &NoopCampaignObserver,
+//!             &CancellationToken::new(),
+//!             &WorkerOptions::default(),
+//!         )
+//!         .expect("worker runs to completion")
+//!     });
+//!     coordinator.serve(&campaign, &dir, &NoopCampaignObserver, &CancellationToken::new())
+//! })?;
+//!
+//! // Byte-identical to a purely local run of the same campaign.
+//! let local = CampaignExecutor::serial().run(&campaign, &factory)?;
+//! assert_eq!(outcome.into_report()?, local);
+//! std::fs::remove_dir_all(&dir)?;
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::campaign::Campaign;
+use crate::checkpoint::{
+    campaign_digest, restore_done_entries, CampaignManifest, CheckpointDir, CheckpointError, Codec,
+    EntryArtifact, EntryStatus,
+};
+use crate::error::{MethodologyError, MethodologyResult};
+use crate::executor::{
+    CampaignObserver, CampaignOutcome, CancellationToken, ErrorPolicy, NoopCampaignObserver,
+};
+use crate::observe::ProfilingEvent;
+use crate::runner::KernelPowerReport;
+
+/// Magic bytes opening the wire preamble in each direction.
+pub const WIRE_MAGIC: [u8; 8] = *b"FGRVWIRE";
+
+/// Version of the coordinator/worker wire protocol.
+///
+/// This constant is the single source of truth for the protocol version:
+/// both peers send it in their preamble and refuse a mismatch, and
+/// `docs/FORMATS.md` (the normative spec) cites the same value — a repo
+/// test cross-checks the two, so bumping one without the other fails CI.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Hard ceiling on a frame payload length. The largest legitimate payload
+/// is an [`EntryArtifact`] (a full report with embedded profiles — tens
+/// of MiB at paper scale); anything above this is a corrupt length field,
+/// not data, and must not drive allocation.
+pub const MAX_FRAME_LEN: u64 = 1 << 30;
+
+/// Deny code: the worker's campaign digest does not match the
+/// coordinator's (same sequence position — a genuinely different
+/// campaign definition).
+pub const DENY_DIGEST_MISMATCH: u8 = 1;
+/// Deny code: the coordinator has already moved past the worker's
+/// campaign sequence position (e.g. it restored that campaign from a
+/// complete checkpoint and never needed a worker). The worker should
+/// obtain that campaign's results some other way — the bench harness
+/// measures it locally, byte-identically.
+pub const DENY_SEQUENCE_PASSED: u8 = 2;
+/// Deny code: the worker is early — the coordinator has not reached the
+/// worker's campaign sequence position yet (its previous campaign is
+/// still draining). The worker should reconnect shortly.
+pub const DENY_SEQUENCE_EARLY: u8 = 3;
+
+/// Elements of capacity committed ahead of reading a frame payload, so a
+/// corrupt length field fails on the first short read instead of
+/// committing memory (mirrors the checkpoint codec's chunked reads).
+const READ_CHUNK: usize = 64 * 1024;
+
+/// How long assignment waiters sleep between cancellation checks, and how
+/// long the accept loop sleeps between polls.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// Failure of a transport connection or of the protocol spoken over it.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The socket failed below the protocol layer.
+    Io(io::Error),
+    /// The peer's preamble does not start with [`WIRE_MAGIC`].
+    BadMagic([u8; 8]),
+    /// The peer speaks a different [`WIRE_VERSION`].
+    UnsupportedVersion(u32),
+    /// The stream ended inside the named block.
+    Truncated(&'static str),
+    /// A frame decoded but violates the format's invariants.
+    Corrupt(String),
+    /// An artifact or handshake carried the wrong campaign digest.
+    DigestMismatch {
+        /// Digest of the local campaign.
+        expected: u64,
+        /// Digest the peer presented.
+        found: u64,
+    },
+    /// The coordinator refused the handshake.
+    Denied {
+        /// Machine-readable reason ([`DENY_DIGEST_MISMATCH`], …).
+        code: u8,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// An embedded checkpoint block failed to decode or verify.
+    Checkpoint(CheckpointError),
+    /// The peer sent a frame the protocol does not allow in this state.
+    Protocol(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "i/o error on transport: {e}"),
+            TransportError::BadMagic(m) => {
+                write!(f, "peer is not a fingrav transport (magic {m:02x?})")
+            }
+            TransportError::UnsupportedVersion(v) => {
+                write!(f, "unsupported wire version {v} (expected {WIRE_VERSION})")
+            }
+            TransportError::Truncated(block) => {
+                write!(f, "connection ended inside the {block} block")
+            }
+            TransportError::Corrupt(why) => write!(f, "corrupt frame: {why}"),
+            TransportError::DigestMismatch { expected, found } => write!(
+                f,
+                "campaign digest mismatch (peer has {found:016x}, local campaign \
+                 digests to {expected:016x})"
+            ),
+            TransportError::Denied { code, detail } => {
+                write!(
+                    f,
+                    "coordinator denied the handshake (code {code}): {detail}"
+                )
+            }
+            TransportError::Checkpoint(e) => write!(f, "embedded checkpoint block: {e}"),
+            TransportError::Protocol(why) => write!(f, "protocol violation: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Io(e) => Some(e),
+            TransportError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TransportError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TransportError::Truncated("frame")
+        } else {
+            TransportError::Io(e)
+        }
+    }
+}
+
+impl From<CheckpointError> for TransportError {
+    fn from(e: CheckpointError) -> Self {
+        // A truncation inside a frame payload is a truncation of the
+        // connection's stream.
+        match e {
+            CheckpointError::Truncated(block) => TransportError::Truncated(block),
+            CheckpointError::Io(io) if io.kind() == io::ErrorKind::UnexpectedEof => {
+                TransportError::Truncated("frame payload")
+            }
+            other => TransportError::Checkpoint(other),
+        }
+    }
+}
+
+impl From<TransportError> for MethodologyError {
+    fn from(e: TransportError) -> Self {
+        MethodologyError::Transport(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire codec: MethodologyError (Failed frames carry the typed error)
+// ---------------------------------------------------------------------
+
+impl Codec for MethodologyError {
+    const BLOCK: &'static str = "methodology error";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        match self {
+            MethodologyError::Backend(m) => {
+                0u8.encode(w)?;
+                m.encode(w)
+            }
+            MethodologyError::InsufficientSyncData => 1u8.encode(w),
+            MethodologyError::NoGoldenRuns => 2u8.encode(w),
+            MethodologyError::EmptyProbe => 3u8.encode(w),
+            MethodologyError::InvalidConfig(m) => {
+                4u8.encode(w)?;
+                m.encode(w)
+            }
+            MethodologyError::Aborted => 5u8.encode(w),
+            MethodologyError::Checkpoint(m) => {
+                6u8.encode(w)?;
+                m.encode(w)
+            }
+            MethodologyError::Transport(m) => {
+                7u8.encode(w)?;
+                m.encode(w)
+            }
+        }
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        match u8::decode(r)? {
+            0 => Ok(MethodologyError::Backend(String::decode(r)?)),
+            1 => Ok(MethodologyError::InsufficientSyncData),
+            2 => Ok(MethodologyError::NoGoldenRuns),
+            3 => Ok(MethodologyError::EmptyProbe),
+            4 => Ok(MethodologyError::InvalidConfig(String::decode(r)?)),
+            5 => Ok(MethodologyError::Aborted),
+            6 => Ok(MethodologyError::Checkpoint(String::decode(r)?)),
+            7 => Ok(MethodologyError::Transport(String::decode(r)?)),
+            other => Err(CheckpointError::Corrupt(format!(
+                "unknown methodology-error tag {other}"
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------
+
+const TAG_HELLO: u32 = 1;
+const TAG_WELCOME: u32 = 2;
+const TAG_DENY: u32 = 3;
+const TAG_REQUEST: u32 = 4;
+const TAG_ASSIGN: u32 = 5;
+const TAG_FINISHED: u32 = 6;
+const TAG_ABORT: u32 = 7;
+const TAG_STARTED: u32 = 8;
+const TAG_EVENT: u32 = 9;
+const TAG_DONE: u32 = 10;
+const TAG_FAILED: u32 = 11;
+const TAG_FETCH: u32 = 12;
+const TAG_ARTIFACT: u32 = 13;
+const TAG_BYE: u32 = 14;
+
+/// One protocol message. See the module docs for the conversation and
+/// `docs/FORMATS.md` for the byte-level layout.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Frame {
+    /// Worker → coordinator: first frame after the preamble; carries the
+    /// worker's local [`campaign_digest`] and its position in a
+    /// multi-campaign sequence (0 for standalone campaigns).
+    Hello {
+        /// Digest of the worker's campaign.
+        digest: u64,
+        /// Sequence position of the campaign (both sides of a
+        /// multi-campaign run count campaigns identically; standalone
+        /// uses 0).
+        sequence: u64,
+    },
+    /// Coordinator → worker: handshake accepted; the worker's shard id
+    /// and the campaign's entry count.
+    Welcome {
+        /// Shard id assigned to this connection (names the checkpoint
+        /// subdirectory its artifacts persist under).
+        shard: u32,
+        /// Number of campaign entries, for a structural sanity check.
+        entries: u64,
+    },
+    /// Coordinator → worker: handshake refused.
+    Deny {
+        /// Machine-readable reason ([`DENY_DIGEST_MISMATCH`], …).
+        code: u8,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Worker → coordinator: ready for an assignment.
+    Request,
+    /// Coordinator → worker: measure campaign entry `index`.
+    Assign {
+        /// Campaign index of the assigned entry.
+        index: u64,
+    },
+    /// Coordinator → worker: no work remains; fetch results or say
+    /// [`Frame::Bye`].
+    Finished {
+        /// True when every entry produced a report (a fail-fast error or
+        /// cancellation leaves this false).
+        complete: bool,
+    },
+    /// Coordinator → worker: the campaign was cancelled; stop asking.
+    Abort,
+    /// Worker → coordinator: measurement of entry `index` began.
+    Started {
+        /// Campaign index.
+        index: u64,
+        /// Kernel label (mirrors
+        /// [`CampaignObserver::entry_started`]).
+        label: String,
+    },
+    /// Worker → coordinator: one scoped progress event of the in-flight
+    /// entry.
+    Event {
+        /// Campaign index.
+        index: u64,
+        /// The stage-boundary or device event.
+        event: ProfilingEvent,
+    },
+    /// Worker → coordinator: entry `index` finished; the payload is the
+    /// entry's `FGRVCKPT` artifact, byte-for-byte what
+    /// [`EntryArtifact::write_to`] persists.
+    Done {
+        /// Campaign index.
+        index: u64,
+        /// Encoded [`EntryArtifact`].
+        artifact: Vec<u8>,
+    },
+    /// Worker → coordinator: entry `index` failed.
+    Failed {
+        /// Campaign index.
+        index: u64,
+        /// The typed failure ([`MethodologyError::Aborted`] marks a
+        /// cooperative abort, which the coordinator re-plans instead of
+        /// recording).
+        error: MethodologyError,
+    },
+    /// Worker → coordinator: send back entry `index`'s artifact (valid
+    /// once [`Frame::Finished`] reported the campaign complete).
+    Fetch {
+        /// Campaign index.
+        index: u64,
+    },
+    /// Coordinator → worker: reply to [`Frame::Fetch`]; encoded
+    /// [`EntryArtifact`].
+    Artifact {
+        /// Encoded [`EntryArtifact`].
+        artifact: Vec<u8>,
+    },
+    /// Worker → coordinator: the worker is leaving; close the connection.
+    Bye,
+}
+
+fn write_bytes<W: Write>(w: &mut W, bytes: &[u8]) -> io::Result<()> {
+    (bytes.len() as u64).encode(w)?;
+    w.write_all(bytes)
+}
+
+/// Reads `len` bytes with bounded, chunked allocation: the length is
+/// validated against [`MAX_FRAME_LEN`] *before* any narrowing cast (so a
+/// huge value cannot wrap on 32-bit targets), and capacity is committed
+/// at most one chunk ahead of the bytes actually arriving, so a corrupt
+/// length fails with `Truncated` instead of driving memory commitment.
+fn read_bounded<R: Read>(
+    r: &mut R,
+    len: u64,
+    block: &'static str,
+) -> Result<Vec<u8>, CheckpointError> {
+    if len > MAX_FRAME_LEN {
+        return Err(CheckpointError::Corrupt(format!(
+            "implausible byte-block length {len}"
+        )));
+    }
+    let len = len as usize;
+    let mut out = Vec::with_capacity(len.min(READ_CHUNK));
+    let mut remaining = len;
+    let mut chunk = [0u8; 4096];
+    while remaining > 0 {
+        let take = remaining.min(chunk.len());
+        crate::checkpoint::read_exact_ck(r, &mut chunk[..take], block)?;
+        out.extend_from_slice(&chunk[..take]);
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+fn read_bytes<R: Read>(r: &mut R, block: &'static str) -> Result<Vec<u8>, CheckpointError> {
+    let len = u64::decode(r)?;
+    read_bounded(r, len, block)
+}
+
+impl Frame {
+    fn tag(&self) -> u32 {
+        match self {
+            Frame::Hello { .. } => TAG_HELLO,
+            Frame::Welcome { .. } => TAG_WELCOME,
+            Frame::Deny { .. } => TAG_DENY,
+            Frame::Request => TAG_REQUEST,
+            Frame::Assign { .. } => TAG_ASSIGN,
+            Frame::Finished { .. } => TAG_FINISHED,
+            Frame::Abort => TAG_ABORT,
+            Frame::Started { .. } => TAG_STARTED,
+            Frame::Event { .. } => TAG_EVENT,
+            Frame::Done { .. } => TAG_DONE,
+            Frame::Failed { .. } => TAG_FAILED,
+            Frame::Fetch { .. } => TAG_FETCH,
+            Frame::Artifact { .. } => TAG_ARTIFACT,
+            Frame::Bye => TAG_BYE,
+        }
+    }
+
+    /// Encodes the payload. Fallible, not for I/O (the sink is a `Vec`),
+    /// but because a field can refuse to encode — a future
+    /// `TelemetryEvent` variant this wire version has no tag for
+    /// surfaces here as an error rather than a panic or a silent drop.
+    fn encode_payload(&self) -> io::Result<Vec<u8>> {
+        let mut out = Vec::new();
+        let w = &mut out;
+        let result: io::Result<()> = (|| match self {
+            Frame::Hello { digest, sequence } => {
+                digest.encode(w)?;
+                sequence.encode(w)
+            }
+            Frame::Welcome { shard, entries } => {
+                shard.encode(w)?;
+                entries.encode(w)
+            }
+            Frame::Deny { code, detail } => {
+                code.encode(w)?;
+                detail.encode(w)
+            }
+            Frame::Request | Frame::Abort | Frame::Bye => Ok(()),
+            Frame::Assign { index } | Frame::Fetch { index } => index.encode(w),
+            Frame::Finished { complete } => complete.encode(w),
+            Frame::Started { index, label } => {
+                index.encode(w)?;
+                label.encode(w)
+            }
+            Frame::Event { index, event } => {
+                index.encode(w)?;
+                event.encode(w)
+            }
+            Frame::Done { index, artifact } => {
+                index.encode(w)?;
+                write_bytes(w, artifact)
+            }
+            Frame::Failed { index, error } => {
+                index.encode(w)?;
+                error.encode(w)
+            }
+            Frame::Artifact { artifact } => write_bytes(w, artifact),
+        })();
+        result.map(|()| out)
+    }
+
+    fn decode_payload(tag: u32, payload: &[u8]) -> Result<Frame, CheckpointError> {
+        crate::checkpoint::from_bytes_with(payload, |r| match tag {
+            TAG_HELLO => Ok(Frame::Hello {
+                digest: u64::decode(r)?,
+                sequence: u64::decode(r)?,
+            }),
+            TAG_WELCOME => Ok(Frame::Welcome {
+                shard: u32::decode(r)?,
+                entries: u64::decode(r)?,
+            }),
+            TAG_DENY => Ok(Frame::Deny {
+                code: u8::decode(r)?,
+                detail: String::decode(r)?,
+            }),
+            TAG_REQUEST => Ok(Frame::Request),
+            TAG_ASSIGN => Ok(Frame::Assign {
+                index: u64::decode(r)?,
+            }),
+            TAG_FINISHED => Ok(Frame::Finished {
+                complete: bool::decode(r)?,
+            }),
+            TAG_ABORT => Ok(Frame::Abort),
+            TAG_STARTED => Ok(Frame::Started {
+                index: u64::decode(r)?,
+                label: String::decode(r)?,
+            }),
+            TAG_EVENT => Ok(Frame::Event {
+                index: u64::decode(r)?,
+                event: ProfilingEvent::decode(r)?,
+            }),
+            TAG_DONE => Ok(Frame::Done {
+                index: u64::decode(r)?,
+                artifact: read_bytes(r, "done artifact")?,
+            }),
+            TAG_FAILED => Ok(Frame::Failed {
+                index: u64::decode(r)?,
+                error: MethodologyError::decode(r)?,
+            }),
+            TAG_FETCH => Ok(Frame::Fetch {
+                index: u64::decode(r)?,
+            }),
+            TAG_ARTIFACT => Ok(Frame::Artifact {
+                artifact: read_bytes(r, "artifact")?,
+            }),
+            TAG_BYE => Ok(Frame::Bye),
+            other => Err(CheckpointError::Corrupt(format!(
+                "unknown frame tag {other}"
+            ))),
+        })
+    }
+
+    /// Writes the frame (tag, payload length, payload). The caller
+    /// flushes; frames may be buffered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let payload = self.encode_payload()?;
+        w.write_all(&self.tag().to_le_bytes())?;
+        w.write_all(&(payload.len() as u64).to_le_bytes())?;
+        w.write_all(&payload)
+    }
+
+    /// Reads one frame previously written by [`Frame::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`TransportError`] for truncated streams,
+    /// implausible lengths, unknown tags, and payloads that decode short,
+    /// long, or corrupt.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Frame, TransportError> {
+        let mut tag = [0u8; 4];
+        crate::checkpoint::read_exact_ck(r, &mut tag, "frame tag")?;
+        let tag = u32::from_le_bytes(tag);
+        let mut len = [0u8; 8];
+        crate::checkpoint::read_exact_ck(r, &mut len, "frame length")?;
+        let len = u64::from_le_bytes(len);
+        if len > MAX_FRAME_LEN {
+            return Err(TransportError::Corrupt(format!(
+                "implausible frame length {len}"
+            )));
+        }
+        let payload = read_bounded(r, len, "frame payload")?;
+        Ok(Frame::decode_payload(tag, &payload)?)
+    }
+}
+
+/// Writes the 16-byte preamble: magic, wire version, reserved.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_preamble<W: Write>(w: &mut W) -> io::Result<()> {
+    w.write_all(&WIRE_MAGIC)?;
+    w.write_all(&WIRE_VERSION.to_le_bytes())?;
+    w.write_all(&0u32.to_le_bytes())
+}
+
+/// Reads and validates a peer's preamble.
+///
+/// # Errors
+///
+/// Returns [`TransportError::BadMagic`] /
+/// [`TransportError::UnsupportedVersion`] on a foreign or
+/// differently-versioned peer, [`TransportError::Truncated`] when the
+/// stream ends inside the preamble.
+pub fn read_preamble<R: Read>(r: &mut R) -> Result<(), TransportError> {
+    let mut magic = [0u8; 8];
+    crate::checkpoint::read_exact_ck(r, &mut magic, "preamble magic")?;
+    if magic != WIRE_MAGIC {
+        return Err(TransportError::BadMagic(magic));
+    }
+    let mut version = [0u8; 4];
+    crate::checkpoint::read_exact_ck(r, &mut version, "preamble version")?;
+    let version = u32::from_le_bytes(version);
+    if version != WIRE_VERSION {
+        return Err(TransportError::UnsupportedVersion(version));
+    }
+    let mut reserved = [0u8; 4];
+    crate::checkpoint::read_exact_ck(r, &mut reserved, "preamble reserved")?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------
+
+/// The serving half of a cross-node campaign: binds a listener, plans (or
+/// resumes) the campaign into a [`CheckpointDir`], hands entries to
+/// connecting workers, and persists every artifact they stream back.
+#[derive(Debug)]
+pub struct Coordinator {
+    listener: TcpListener,
+    policy: ErrorPolicy,
+    sequence: u64,
+}
+
+struct CoordState {
+    manifest: CampaignManifest,
+    queue: VecDeque<usize>,
+    in_flight: usize,
+    reports: Vec<Option<KernelPowerReport>>,
+    errors: Vec<(usize, MethodologyError)>,
+    /// No further assignments: a fail-fast failure or cancellation fired.
+    halted: bool,
+    next_shard: u32,
+    connections: usize,
+    persist_failure: Option<CheckpointError>,
+}
+
+impl CoordState {
+    /// True when no entry is running and none will be assigned again.
+    fn over(&self) -> bool {
+        self.in_flight == 0 && (self.queue.is_empty() || self.halted)
+    }
+
+    /// True when every entry has a report.
+    fn complete(&self) -> bool {
+        self.reports.iter().all(Option::is_some)
+    }
+}
+
+struct CoordShared<'a> {
+    campaign: &'a Campaign,
+    dir: &'a CheckpointDir,
+    observer: &'a dyn CampaignObserver,
+    cancel: &'a CancellationToken,
+    policy: ErrorPolicy,
+    digest: u64,
+    sequence: u64,
+    /// Entry files found on disk before serving started, per campaign
+    /// index (re-measured entries must agree with them byte for byte).
+    preexisting: Vec<Vec<(u32, PathBuf)>>,
+    state: Mutex<CoordState>,
+    cond: Condvar,
+}
+
+impl Coordinator {
+    /// Binds the coordinator's listener.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<Coordinator> {
+        Ok(Coordinator::from_listener(TcpListener::bind(addr)?))
+    }
+
+    /// Wraps an already-bound listener. Lets one listener host several
+    /// campaigns back to back (see [`Coordinator::sequence`]): rebinding
+    /// a fixed port per campaign can hit `EADDRINUSE` while the previous
+    /// campaign's closed connections sit in TIME_WAIT, so a
+    /// multi-campaign process binds once and passes
+    /// [`TcpListener::try_clone`]s here.
+    pub fn from_listener(listener: TcpListener) -> Coordinator {
+        Coordinator {
+            listener,
+            policy: ErrorPolicy::default(),
+            sequence: 0,
+        }
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Sets the error policy applied to worker-reported measurement
+    /// failures (transport faults are never errors — they re-plan).
+    #[must_use]
+    pub fn error_policy(mut self, policy: ErrorPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets this campaign's position in a multi-campaign sequence.
+    ///
+    /// When one address hosts several campaigns back to back (the bench
+    /// harness's `--serve` mode), a worker can connect for campaign *n*
+    /// while the listener still belongs to campaign *n − 1* (draining)
+    /// or *n + 1* (the coordinator restored campaign *n* from a complete
+    /// checkpoint without needing a worker). The sequence number lets
+    /// the handshake tell those apart: an early worker is told to retry
+    /// ([`DENY_SEQUENCE_EARLY`]), a passed-over worker is told its
+    /// campaign is already done ([`DENY_SEQUENCE_PASSED`]), and only a
+    /// same-sequence digest disagreement is a real mismatch. Standalone
+    /// campaigns leave this at 0 on both sides.
+    #[must_use]
+    pub fn sequence(mut self, sequence: u64) -> Self {
+        self.sequence = sequence;
+        self
+    }
+
+    /// Serves the campaign until every entry is measured (or the campaign
+    /// fails/cancels), persisting into `dir` exactly as
+    /// [`crate::executor::CampaignExecutor::execute_sharded`] would: the
+    /// returned outcome, the checkpoint directory, and everything
+    /// [`crate::checkpoint::gather`] derives from it are byte-identical
+    /// to a single-node run of the same campaign.
+    ///
+    /// If `dir` already checkpoints this campaign (digest-verified), the
+    /// persisted `Done` entries are restored without re-measurement and
+    /// only the rest are served — the cross-node analogue of
+    /// [`crate::executor::CampaignExecutor::resume`].
+    ///
+    /// Blocks until done; workers may connect, leave, and reconnect at
+    /// any time (at least one must eventually connect to make progress).
+    /// `cancel` stops new assignments immediately and the serve returns
+    /// once in-flight remote entries drain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MethodologyError::Checkpoint`] when the directory cannot
+    /// be created, verified, or written, and
+    /// [`MethodologyError::Transport`] when the listener itself fails
+    /// (per-connection faults re-plan instead of failing the serve).
+    /// Worker-reported measurement errors stay inside the outcome.
+    pub fn serve(
+        &self,
+        campaign: &Campaign,
+        dir: &Path,
+        observer: &dyn CampaignObserver,
+        cancel: &CancellationToken,
+    ) -> MethodologyResult<CampaignOutcome> {
+        let ckdir = CheckpointDir::create(dir).map_err(MethodologyError::from)?;
+        let n = campaign.len();
+        let (mut manifest, restored_reports, plan) = if ckdir.manifest_path().is_file() {
+            let mut existing = ckdir.read_manifest().map_err(MethodologyError::from)?;
+            existing
+                .verify_against(campaign)
+                .map_err(MethodologyError::from)?;
+            let (restored, plan) = restore_done_entries(&ckdir, campaign, &mut existing)
+                .map_err(MethodologyError::from)?;
+            (existing, restored, plan)
+        } else {
+            (
+                CampaignManifest::plan_remote(campaign),
+                Vec::new(),
+                (0..n).collect(),
+            )
+        };
+        manifest.workers = 1;
+        ckdir
+            .write_manifest(&manifest)
+            .map_err(MethodologyError::from)?;
+
+        let mut reports: Vec<Option<KernelPowerReport>> = Vec::with_capacity(n);
+        reports.resize_with(n, || None);
+        for (index, report) in restored_reports {
+            reports[index] = Some(report);
+        }
+
+        // One scan up front: files left by an earlier (crashed) run are
+        // indexed so re-measured entries can be verified against them.
+        let mut preexisting: Vec<Vec<(u32, PathBuf)>> = vec![Vec::new(); n];
+        for (shard, index, path) in ckdir.entry_files().map_err(MethodologyError::from)? {
+            if index < n {
+                preexisting[index].push((shard, path));
+            }
+        }
+
+        let shared = CoordShared {
+            campaign,
+            dir: &ckdir,
+            observer,
+            cancel,
+            policy: self.policy,
+            digest: manifest.config_digest,
+            sequence: self.sequence,
+            preexisting,
+            state: Mutex::new(CoordState {
+                manifest,
+                queue: plan.iter().copied().collect(),
+                in_flight: 0,
+                reports,
+                errors: Vec::new(),
+                halted: false,
+                next_shard: 0,
+                connections: 0,
+                persist_failure: None,
+            }),
+            cond: Condvar::new(),
+        };
+
+        if !plan.is_empty() {
+            self.accept_loop(&shared).map_err(MethodologyError::from)?;
+        }
+
+        let mut state = shared.state.into_inner().expect("coordinator state");
+        let mut outcome = CampaignOutcome::empty(n);
+        outcome.reports = std::mem::take(&mut state.reports);
+        state.errors.sort_by_key(|(index, _)| *index);
+        outcome.errors = std::mem::take(&mut state.errors);
+        outcome.skipped = state
+            .queue
+            .iter()
+            .copied()
+            .filter(|&i| {
+                outcome.reports[i].is_none() && !outcome.errors.iter().any(|(e, _)| *e == i)
+            })
+            .collect();
+        outcome.skipped.sort_unstable();
+        for &index in &outcome.skipped {
+            observer.entry_skipped(index);
+        }
+        if let Some(e) = state.persist_failure {
+            return Err(e.into());
+        }
+        Ok(outcome)
+    }
+
+    fn accept_loop(&self, shared: &CoordShared<'_>) -> Result<(), TransportError> {
+        self.listener.set_nonblocking(true).map_err(io_err)?;
+        std::thread::scope(|scope| -> Result<(), TransportError> {
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        stream.set_nonblocking(false).map_err(io_err)?;
+                        shared.lock().connections += 1;
+                        scope.spawn(move || serve_connection(shared, stream));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        {
+                            let mut state = shared.lock();
+                            // Cancellation must be observed here too: with
+                            // no worker connected nothing else ever sets
+                            // `halted`, and a cancelled serve has to
+                            // return even if entries are still queued.
+                            if shared.cancel.is_aborted() {
+                                state.halted = true;
+                            }
+                            if state.over() && state.connections == 0 {
+                                return Ok(());
+                            }
+                            if state.persist_failure.is_some() && state.connections == 0 {
+                                return Ok(());
+                            }
+                        }
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    Err(e) => return Err(TransportError::Io(e)),
+                }
+            }
+        })
+    }
+}
+
+fn io_err(e: io::Error) -> TransportError {
+    TransportError::Io(e)
+}
+
+impl<'a> CoordShared<'a> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, CoordState> {
+        self.state.lock().expect("coordinator state lock")
+    }
+}
+
+/// Per-connection coordinator logic. Never returns an error to the accept
+/// loop: a faulty connection re-plans its in-flight entry and dies alone.
+fn serve_connection(shared: &CoordShared<'_>, stream: TcpStream) {
+    let mut current: Option<usize> = None;
+    let _ = handle_connection(shared, stream, &mut current);
+    let mut state = shared.lock();
+    if let Some(index) = current.take() {
+        // The worker vanished mid-entry: put the entry back at the front
+        // of the queue so another worker picks it up promptly.
+        state.queue.push_front(index);
+        state.in_flight -= 1;
+    }
+    state.connections -= 1;
+    drop(state);
+    shared.cond.notify_all();
+}
+
+fn handle_connection(
+    shared: &CoordShared<'_>,
+    stream: TcpStream,
+    current: &mut Option<usize>,
+) -> Result<(), TransportError> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().map_err(io_err)?);
+    let mut writer = BufWriter::new(stream);
+
+    // Handshake: the worker leads with its preamble and Hello; the
+    // coordinator answers with its preamble and Welcome or Deny.
+    read_preamble(&mut reader)?;
+    let hello = Frame::read_from(&mut reader)?;
+    let (digest, sequence) = match hello {
+        Frame::Hello { digest, sequence } => (digest, sequence),
+        other => {
+            return Err(TransportError::Protocol(format!(
+                "expected Hello, got {other:?}"
+            )))
+        }
+    };
+    write_preamble(&mut writer).map_err(io_err)?;
+    let deny = if sequence < shared.sequence {
+        Some((
+            DENY_SEQUENCE_PASSED,
+            format!(
+                "coordinator is already serving campaign #{} (worker asked for #{sequence})",
+                shared.sequence
+            ),
+        ))
+    } else if sequence > shared.sequence {
+        Some((
+            DENY_SEQUENCE_EARLY,
+            format!(
+                "coordinator is still serving campaign #{} (worker asked for #{sequence}); \
+                 reconnect shortly",
+                shared.sequence
+            ),
+        ))
+    } else if digest != shared.digest {
+        Some((
+            DENY_DIGEST_MISMATCH,
+            format!(
+                "campaign digest mismatch (worker has {digest:016x}, coordinator \
+                 serves {:016x})",
+                shared.digest
+            ),
+        ))
+    } else {
+        None
+    };
+    if let Some((code, detail)) = deny {
+        Frame::Deny {
+            code,
+            detail: detail.clone(),
+        }
+        .write_to(&mut writer)
+        .map_err(io_err)?;
+        writer.flush().map_err(io_err)?;
+        return Err(if code == DENY_DIGEST_MISMATCH {
+            TransportError::DigestMismatch {
+                expected: shared.digest,
+                found: digest,
+            }
+        } else {
+            TransportError::Denied { code, detail }
+        });
+    }
+    let shard = {
+        let mut state = shared.lock();
+        let shard = state.next_shard;
+        state.next_shard += 1;
+        state.manifest.workers = state.next_shard.max(1);
+        shard
+    };
+    Frame::Welcome {
+        shard,
+        entries: shared.campaign.len() as u64,
+    }
+    .write_to(&mut writer)
+    .map_err(io_err)?;
+    writer.flush().map_err(io_err)?;
+
+    loop {
+        match Frame::read_from(&mut reader)? {
+            Frame::Request => {
+                let reply = next_assignment(shared, current);
+                reply.write_to(&mut writer).map_err(io_err)?;
+                writer.flush().map_err(io_err)?;
+            }
+            Frame::Started { index, label } => {
+                let index = expect_current(shared, *current, index)?;
+                shared.observer.entry_started(index, &label);
+            }
+            Frame::Event { index, event } => {
+                let index = expect_current(shared, *current, index)?;
+                shared.observer.entry_event(index, &event);
+            }
+            Frame::Done { index, artifact } => {
+                let index = expect_current(shared, *current, index)?;
+                entry_done(shared, shard, index, &artifact)?;
+                *current = None;
+                shared.cond.notify_all();
+            }
+            Frame::Failed { index, error } => {
+                let index = expect_current(shared, *current, index)?;
+                entry_failed(shared, index, error);
+                *current = None;
+                shared.cond.notify_all();
+            }
+            Frame::Fetch { index } => {
+                let reply = fetch_artifact(shared, index)?;
+                reply.write_to(&mut writer).map_err(io_err)?;
+                writer.flush().map_err(io_err)?;
+            }
+            Frame::Bye => return Ok(()),
+            other => {
+                return Err(TransportError::Protocol(format!(
+                    "unexpected worker frame {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+/// Blocks until an entry is assignable, the campaign is over, or it is
+/// cancelled; returns the frame to send.
+fn next_assignment(shared: &CoordShared<'_>, current: &mut Option<usize>) -> Frame {
+    let mut state = shared.lock();
+    loop {
+        if shared.cancel.is_aborted() {
+            state.halted = true;
+            return Frame::Abort;
+        }
+        if state.persist_failure.is_some() {
+            state.halted = true;
+            return Frame::Abort;
+        }
+        if !state.halted {
+            if let Some(index) = state.queue.pop_front() {
+                state.in_flight += 1;
+                *current = Some(index);
+                return Frame::Assign {
+                    index: index as u64,
+                };
+            }
+        }
+        if state.over() {
+            return Frame::Finished {
+                complete: state.complete(),
+            };
+        }
+        let (next, _timeout) = shared
+            .cond
+            .wait_timeout(state, POLL_INTERVAL)
+            .expect("coordinator state lock");
+        state = next;
+    }
+}
+
+/// Validates that a worker frame names the entry it was assigned.
+fn expect_current(
+    shared: &CoordShared<'_>,
+    current: Option<usize>,
+    index: u64,
+) -> Result<usize, TransportError> {
+    let index = index as usize;
+    if index >= shared.campaign.len() {
+        return Err(TransportError::Protocol(format!(
+            "frame names entry {index} but the campaign has only {} entries",
+            shared.campaign.len()
+        )));
+    }
+    if current != Some(index) {
+        return Err(TransportError::Protocol(format!(
+            "frame names entry {index} but the connection was assigned {current:?}"
+        )));
+    }
+    Ok(index)
+}
+
+/// Persists a finished entry exactly as a local sharded run would, then
+/// records its report.
+fn entry_done(
+    shared: &CoordShared<'_>,
+    shard: u32,
+    index: usize,
+    bytes: &[u8],
+) -> Result<(), TransportError> {
+    let artifact = EntryArtifact::from_bytes(bytes)?;
+    if artifact.index as usize != index {
+        return Err(TransportError::Protocol(format!(
+            "artifact claims index {} but was delivered for entry {index}",
+            artifact.index
+        )));
+    }
+    if artifact.config_digest != shared.digest {
+        return Err(TransportError::DigestMismatch {
+            expected: shared.digest,
+            found: artifact.config_digest,
+        });
+    }
+    if artifact.report.label != shared.campaign.entries()[index].desc.name {
+        return Err(TransportError::Protocol(format!(
+            "artifact for entry {index} is labelled `{}` but the campaign says `{}`",
+            artifact.report.label,
+            shared.campaign.entries()[index].desc.name
+        )));
+    }
+    // A file for this entry may already exist (crash window of an earlier
+    // run, or a worker that died after its artifact was persisted but
+    // before its manifest update). The fresh result must be bit-identical.
+    // A mismatch is a *checkpoint* fault, not a connection fault:
+    // measurement is deterministic, so re-planning the entry would
+    // reproduce the same mismatch forever — halt the serve and surface
+    // the typed error instead (exactly what gather/resume do for the
+    // same tampered file).
+    let duplicates_ok = (|| -> Result<(), CheckpointError> {
+        for (old_shard, path) in &shared.preexisting[index] {
+            let old = shared.dir.read_entry(path)?;
+            crate::checkpoint::verify_duplicate(index, *old_shard, &old, shard, &artifact)?;
+        }
+        Ok(())
+    })();
+    if let Err(e) = duplicates_ok {
+        let mut state = shared.lock();
+        if state.persist_failure.is_none() {
+            state.persist_failure = Some(e);
+        }
+        state.halted = true;
+        state.in_flight -= 1;
+        drop(state);
+        shared.cond.notify_all();
+        return Ok(());
+    }
+    let persist = (|| -> Result<(), CheckpointError> {
+        shared.dir.write_entry(shard, &artifact)?;
+        let mut state = shared.lock();
+        state.manifest.entries[index].shard = shard;
+        state.manifest.entries[index].status = EntryStatus::Done;
+        shared.dir.write_manifest(&state.manifest)?;
+        state.in_flight -= 1;
+        state.reports[index] = Some(artifact.report.clone());
+        Ok(())
+    })();
+    if let Some(e) = persist.err() {
+        let mut state = shared.lock();
+        if state.persist_failure.is_none() {
+            state.persist_failure = Some(e);
+        }
+        state.halted = true;
+        // The entry itself arrived fine; only persistence failed. Leave
+        // in_flight consistent so the serve can drain.
+        if state.reports[index].is_none() {
+            state.in_flight -= 1;
+        }
+        drop(state);
+        shared.observer.entry_finished(index, &artifact.report);
+        return Ok(());
+    }
+    shared.observer.entry_finished(index, &artifact.report);
+    Ok(())
+}
+
+/// Records a worker-reported failure: aborts re-plan, real errors follow
+/// the error policy.
+fn entry_failed(shared: &CoordShared<'_>, index: usize, error: MethodologyError) {
+    let mut state = shared.lock();
+    state.in_flight -= 1;
+    if matches!(error, MethodologyError::Aborted) && !shared.cancel.is_aborted() {
+        // A worker being shut down (its local cancellation) is a
+        // transport-level fault, not a measurement verdict: re-plan.
+        state.manifest.entries[index].status = EntryStatus::Aborted;
+        state.queue.push_front(index);
+    } else {
+        let status = if matches!(error, MethodologyError::Aborted) {
+            EntryStatus::Aborted
+        } else {
+            EntryStatus::Failed
+        };
+        state.manifest.entries[index].status = status;
+        state.errors.push((index, error.clone()));
+        if shared.policy == ErrorPolicy::FailFast {
+            state.halted = true;
+        }
+    }
+    let persist = shared.dir.write_manifest(&state.manifest);
+    if let Err(e) = persist {
+        if state.persist_failure.is_none() {
+            state.persist_failure = Some(e);
+        }
+        state.halted = true;
+    }
+    drop(state);
+    shared.observer.entry_failed(index, &error);
+}
+
+/// Serves a Fetch request from the in-memory outcome.
+fn fetch_artifact(shared: &CoordShared<'_>, index: u64) -> Result<Frame, TransportError> {
+    let index = index as usize;
+    if index >= shared.campaign.len() {
+        return Err(TransportError::Protocol(format!(
+            "fetch names entry {index} but the campaign has only {} entries",
+            shared.campaign.len()
+        )));
+    }
+    let state = shared.lock();
+    let Some(report) = state.reports[index].clone() else {
+        return Err(TransportError::Protocol(format!(
+            "fetch for entry {index}, which has no report"
+        )));
+    };
+    let digest = shared.digest;
+    drop(state);
+    let artifact = EntryArtifact {
+        index: index as u32,
+        config_digest: digest,
+        report,
+    };
+    Ok(Frame::Artifact {
+        artifact: artifact.to_bytes(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------
+
+/// Knobs for [`work`].
+#[derive(Debug, Clone, Default)]
+pub struct WorkerOptions {
+    /// Leave (with a clean [`Frame::Bye`]) after measuring this many
+    /// entries; `None` works until the coordinator says the campaign is
+    /// over.
+    pub max_entries: Option<usize>,
+    /// After the campaign completes, download every entry artifact so
+    /// [`WorkerSummary::reports`] holds the full campaign-ordered report
+    /// set (what the bench harness uses to render identical artefacts on
+    /// every node).
+    pub fetch_reports: bool,
+    /// This campaign's position in a multi-campaign sequence (see
+    /// [`Coordinator::sequence`]); 0 for standalone campaigns.
+    pub sequence: u64,
+}
+
+/// What a worker did during one [`work`] call.
+#[derive(Debug, Clone)]
+pub struct WorkerSummary {
+    /// Shard id the coordinator assigned this connection.
+    pub shard: u32,
+    /// Campaign indices this worker measured and delivered, in
+    /// completion order.
+    pub completed: Vec<usize>,
+    /// True when the coordinator reported the campaign complete before
+    /// this worker left.
+    pub campaign_complete: bool,
+    /// True when the coordinator cancelled the campaign.
+    pub aborted: bool,
+    /// The full campaign-ordered report set, when
+    /// [`WorkerOptions::fetch_reports`] was set and the campaign
+    /// completed.
+    pub reports: Option<Vec<KernelPowerReport>>,
+}
+
+/// Forwards one in-flight entry's lifecycle onto the wire (and to the
+/// caller's local observer).
+struct WireObserver<'a, W: Write> {
+    writer: &'a Mutex<W>,
+    inner: &'a dyn CampaignObserver,
+    failure: Mutex<Option<io::Error>>,
+}
+
+impl<W: Write> WireObserver<'_, W> {
+    fn send(&self, frame: Frame, flush: bool) {
+        let mut w = self.writer.lock().expect("worker writer lock");
+        let result = frame.write_to(&mut *w).and_then(|()| {
+            // Entry and stage boundaries flush so the coordinator sees
+            // live progress promptly; the (much more frequent) device
+            // events ride the buffer and drain with the next flush.
+            if flush {
+                w.flush()
+            } else {
+                Ok(())
+            }
+        });
+        if let Err(e) = result {
+            let mut slot = self.failure.lock().expect("worker failure lock");
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+        }
+    }
+}
+
+impl<W: Write + Send> CampaignObserver for WireObserver<'_, W> {
+    fn entry_started(&self, index: usize, label: &str) {
+        self.send(
+            Frame::Started {
+                index: index as u64,
+                label: label.to_string(),
+            },
+            true,
+        );
+        self.inner.entry_started(index, label);
+    }
+
+    fn entry_event(&self, index: usize, event: &ProfilingEvent) {
+        let boundary = matches!(
+            event,
+            ProfilingEvent::StageStarted { .. } | ProfilingEvent::StageFinished { .. }
+        );
+        self.send(
+            Frame::Event {
+                index: index as u64,
+                event: event.clone(),
+            },
+            boundary,
+        );
+        self.inner.entry_event(index, event);
+    }
+
+    fn entry_finished(&self, index: usize, report: &KernelPowerReport) {
+        // The Done frame (with the encoded artifact) is sent by the work
+        // loop, which owns the artifact construction.
+        self.inner.entry_finished(index, report);
+    }
+
+    fn entry_failed(&self, index: usize, error: &MethodologyError) {
+        // Likewise: the work loop sends the Failed frame.
+        self.inner.entry_failed(index, error);
+    }
+}
+
+/// Connects to a coordinator, retrying while the address refuses — the
+/// coordinator may simply not have started yet (multi-node launches are
+/// not synchronized, and a multi-campaign process binds its listener
+/// lazily at its first serve).
+///
+/// # Errors
+///
+/// Returns the last connection error once `timeout` elapses.
+pub fn connect_with_retry<A: ToSocketAddrs>(addr: A, timeout: Duration) -> io::Result<TcpStream> {
+    let started = Instant::now();
+    loop {
+        match TcpStream::connect(&addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                if started.elapsed() >= timeout {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+/// Runs the worker half of a cross-node campaign over `stream`: handshake
+/// (digest-verified), then a pull loop — request an entry, measure it via
+/// the executor's per-slot path (bit-identical to a local run), stream
+/// progress events, deliver the artifact — until the coordinator reports
+/// the campaign over, `cancel` fires, or
+/// [`WorkerOptions::max_entries`] is reached.
+///
+/// `observer` sees this worker's slots exactly as a local campaign
+/// observer would; `cancel` aborts an in-flight measurement cooperatively
+/// (the coordinator re-plans that entry on another worker).
+///
+/// # Errors
+///
+/// Returns the typed [`TransportError`] when the connection drops, the
+/// coordinator denies the handshake, or the protocol is violated.
+pub fn work<F: crate::backend::BackendFactory>(
+    stream: TcpStream,
+    campaign: &Campaign,
+    factory: &F,
+    observer: &dyn CampaignObserver,
+    cancel: &CancellationToken,
+    options: &WorkerOptions,
+) -> Result<WorkerSummary, TransportError> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().map_err(io_err)?);
+    let writer = Mutex::new(BufWriter::new(stream));
+    let digest = campaign_digest(campaign);
+
+    let send = |frame: Frame| -> Result<(), TransportError> {
+        let mut w = writer.lock().expect("worker writer lock");
+        frame.write_to(&mut *w).map_err(io_err)?;
+        w.flush().map_err(io_err)
+    };
+
+    {
+        let mut w = writer.lock().expect("worker writer lock");
+        write_preamble(&mut *w).map_err(io_err)?;
+        Frame::Hello {
+            digest,
+            sequence: options.sequence,
+        }
+        .write_to(&mut *w)
+        .map_err(io_err)?;
+        w.flush().map_err(io_err)?;
+    }
+    read_preamble(&mut reader)?;
+    let shard = match Frame::read_from(&mut reader)? {
+        Frame::Welcome { shard, entries } => {
+            if entries as usize != campaign.len() {
+                return Err(TransportError::Protocol(format!(
+                    "coordinator serves {entries} entries but the local campaign has {}",
+                    campaign.len()
+                )));
+            }
+            shard
+        }
+        Frame::Deny { code, detail } => return Err(TransportError::Denied { code, detail }),
+        other => {
+            return Err(TransportError::Protocol(format!(
+                "expected Welcome or Deny, got {other:?}"
+            )))
+        }
+    };
+
+    let mut summary = WorkerSummary {
+        shard,
+        completed: Vec::new(),
+        campaign_complete: false,
+        aborted: false,
+        reports: None,
+    };
+
+    loop {
+        if cancel.is_aborted() {
+            break;
+        }
+        if options
+            .max_entries
+            .is_some_and(|max| summary.completed.len() >= max)
+        {
+            break;
+        }
+        send(Frame::Request)?;
+        match Frame::read_from(&mut reader)? {
+            Frame::Assign { index } => {
+                let index = index as usize;
+                if index >= campaign.len() {
+                    return Err(TransportError::Protocol(format!(
+                        "assigned entry {index} but the campaign has only {} entries",
+                        campaign.len()
+                    )));
+                }
+                let wire = WireObserver {
+                    writer: &writer,
+                    inner: observer,
+                    failure: Mutex::new(None),
+                };
+                let result = crate::executor::profile_slot(campaign, factory, index, &wire, cancel);
+                if let Some(e) = wire.failure.into_inner().expect("worker failure lock") {
+                    return Err(TransportError::Io(e));
+                }
+                match result {
+                    Ok(report) => {
+                        let artifact = EntryArtifact {
+                            index: index as u32,
+                            config_digest: digest,
+                            report,
+                        };
+                        send(Frame::Done {
+                            index: index as u64,
+                            artifact: artifact.to_bytes(),
+                        })?;
+                        summary.completed.push(index);
+                    }
+                    Err(error) => {
+                        send(Frame::Failed {
+                            index: index as u64,
+                            error,
+                        })?;
+                    }
+                }
+            }
+            Frame::Finished { complete } => {
+                summary.campaign_complete = complete;
+                break;
+            }
+            Frame::Abort => {
+                summary.aborted = true;
+                break;
+            }
+            other => {
+                return Err(TransportError::Protocol(format!(
+                    "expected Assign, Finished, or Abort, got {other:?}"
+                )))
+            }
+        }
+    }
+
+    if options.fetch_reports && summary.campaign_complete {
+        let mut reports = Vec::with_capacity(campaign.len());
+        for index in 0..campaign.len() {
+            send(Frame::Fetch {
+                index: index as u64,
+            })?;
+            match Frame::read_from(&mut reader)? {
+                Frame::Artifact { artifact } => {
+                    let artifact = EntryArtifact::from_bytes(&artifact)?;
+                    if artifact.index as usize != index {
+                        return Err(TransportError::Protocol(format!(
+                            "fetched artifact claims index {} (wanted {index})",
+                            artifact.index
+                        )));
+                    }
+                    if artifact.config_digest != digest {
+                        return Err(TransportError::DigestMismatch {
+                            expected: digest,
+                            found: artifact.config_digest,
+                        });
+                    }
+                    reports.push(artifact.report);
+                }
+                other => {
+                    return Err(TransportError::Protocol(format!(
+                        "expected Artifact, got {other:?}"
+                    )))
+                }
+            }
+        }
+        summary.reports = Some(reports);
+    }
+
+    send(Frame::Bye)?;
+    Ok(summary)
+}
+
+/// Convenience: [`connect_with_retry`] + [`work`] with a no-op observer
+/// and a fresh token.
+///
+/// # Errors
+///
+/// As [`connect_with_retry`] and [`work`].
+pub fn work_at<A: ToSocketAddrs, F: crate::backend::BackendFactory>(
+    addr: A,
+    campaign: &Campaign,
+    factory: &F,
+    options: &WorkerOptions,
+) -> Result<WorkerSummary, TransportError> {
+    let stream = connect_with_retry(addr, Duration::from_secs(30)).map_err(TransportError::Io)?;
+    work(
+        stream,
+        campaign,
+        factory,
+        &NoopCampaignObserver,
+        &CancellationToken::new(),
+        options,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::StageKind;
+    use fingrav_sim::session::TelemetryEvent;
+
+    fn round_trip(frame: Frame) -> Frame {
+        let mut bytes = Vec::new();
+        frame.write_to(&mut bytes).unwrap();
+        let mut cursor = &bytes[..];
+        let decoded = Frame::read_from(&mut cursor).unwrap();
+        assert!(cursor.is_empty(), "frame decode consumed the whole frame");
+        decoded
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let frames = vec![
+            Frame::Hello {
+                digest: 0xDEAD,
+                sequence: 4,
+            },
+            Frame::Welcome {
+                shard: 3,
+                entries: 14,
+            },
+            Frame::Deny {
+                code: DENY_DIGEST_MISMATCH,
+                detail: "nope".into(),
+            },
+            Frame::Request,
+            Frame::Assign { index: 7 },
+            Frame::Finished { complete: true },
+            Frame::Finished { complete: false },
+            Frame::Abort,
+            Frame::Started {
+                index: 2,
+                label: "CB-4K-GEMM".into(),
+            },
+            Frame::Event {
+                index: 2,
+                event: ProfilingEvent::StageStarted {
+                    stage: StageKind::SspSearch,
+                },
+            },
+            Frame::Event {
+                index: 2,
+                event: ProfilingEvent::Device(TelemetryEvent::ScriptDone { aborted: false }),
+            },
+            Frame::Done {
+                index: 2,
+                artifact: vec![1, 2, 3, 4],
+            },
+            Frame::Failed {
+                index: 2,
+                error: MethodologyError::Aborted,
+            },
+            Frame::Failed {
+                index: 9,
+                error: MethodologyError::Backend("slot 9 is broken".into()),
+            },
+            Frame::Fetch { index: 11 },
+            Frame::Artifact {
+                artifact: vec![9; 300],
+            },
+            Frame::Bye,
+        ];
+        for frame in frames {
+            assert_eq!(round_trip(frame.clone()), frame);
+        }
+    }
+
+    #[test]
+    fn frame_decode_rejects_damage() {
+        let mut bytes = Vec::new();
+        Frame::Started {
+            index: 1,
+            label: "k".into(),
+        }
+        .write_to(&mut bytes)
+        .unwrap();
+
+        // Every truncation is Truncated, never a panic or a wrong decode.
+        for cut in 0..bytes.len() {
+            let mut cursor = &bytes[..cut];
+            assert!(
+                matches!(
+                    Frame::read_from(&mut cursor),
+                    Err(TransportError::Truncated(_))
+                ),
+                "cut at {cut}"
+            );
+        }
+
+        // Unknown tag.
+        let mut unknown = bytes.clone();
+        unknown[0..4].copy_from_slice(&999u32.to_le_bytes());
+        assert!(matches!(
+            Frame::read_from(&mut &unknown[..]),
+            Err(TransportError::Checkpoint(CheckpointError::Corrupt(_)))
+        ));
+
+        // Implausible frame length must not drive allocation.
+        let mut absurd = bytes.clone();
+        absurd[4..12].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            Frame::read_from(&mut &absurd[..]),
+            Err(TransportError::Corrupt(_))
+        ));
+
+        // Trailing payload bytes are rejected.
+        let mut padded = Vec::new();
+        Frame::Request.write_to(&mut padded).unwrap();
+        padded[4..12].copy_from_slice(&1u64.to_le_bytes());
+        padded.push(0);
+        assert!(matches!(
+            Frame::read_from(&mut &padded[..]),
+            Err(TransportError::Checkpoint(CheckpointError::Corrupt(_)))
+        ));
+    }
+
+    #[test]
+    fn preamble_validates_magic_and_version() {
+        let mut good = Vec::new();
+        write_preamble(&mut good).unwrap();
+        assert_eq!(good.len(), 16);
+        assert!(read_preamble(&mut &good[..]).is_ok());
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(matches!(
+            read_preamble(&mut &bad_magic[..]),
+            Err(TransportError::BadMagic(_))
+        ));
+
+        let mut bad_version = good.clone();
+        bad_version[8..12].copy_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(
+            read_preamble(&mut &bad_version[..]),
+            Err(TransportError::UnsupportedVersion(9))
+        ));
+
+        for cut in 0..good.len() {
+            assert!(matches!(
+                read_preamble(&mut &good[..cut]),
+                Err(TransportError::Truncated(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn methodology_errors_round_trip_typed() {
+        let cases = vec![
+            MethodologyError::Backend("b".into()),
+            MethodologyError::InsufficientSyncData,
+            MethodologyError::NoGoldenRuns,
+            MethodologyError::EmptyProbe,
+            MethodologyError::InvalidConfig("c".into()),
+            MethodologyError::Aborted,
+            MethodologyError::Checkpoint("k".into()),
+            MethodologyError::Transport("t".into()),
+        ];
+        for e in cases {
+            let mut bytes = Vec::new();
+            e.encode(&mut bytes).unwrap();
+            let decoded = MethodologyError::decode(&mut &bytes[..]).unwrap();
+            assert_eq!(decoded, e);
+        }
+    }
+
+    #[test]
+    fn transport_error_displays() {
+        let cases: Vec<TransportError> = vec![
+            TransportError::Io(io::Error::other("x")),
+            TransportError::BadMagic(*b"NOTWIRE!"),
+            TransportError::UnsupportedVersion(9),
+            TransportError::Truncated("frame payload"),
+            TransportError::Corrupt("y".into()),
+            TransportError::DigestMismatch {
+                expected: 1,
+                found: 2,
+            },
+            TransportError::Denied {
+                code: DENY_DIGEST_MISMATCH,
+                detail: "z".into(),
+            },
+            TransportError::Checkpoint(CheckpointError::Truncated("magic")),
+            TransportError::Protocol("w".into()),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+            let _ = MethodologyError::from(e);
+        }
+    }
+}

@@ -64,6 +64,57 @@
 //! sink with [`ChannelSink::with_abort`]: once the handle fires, a send
 //! that would block drops the event instead, so the engine always reaches
 //! its next abort check even if the consumer walked away mid-stream.
+//!
+//! # Example: abort a session mid-script, keep the partial trace
+//!
+//! ```
+//! use fingrav_sim::config::SimConfig;
+//! use fingrav_sim::engine::Simulation;
+//! use fingrav_sim::kernel::KernelDesc;
+//! use fingrav_sim::power::Activity;
+//! use fingrav_sim::script::Script;
+//! use fingrav_sim::session::{AbortHandle, TelemetryEvent};
+//! use fingrav_sim::time::SimDuration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut sim = Simulation::new(SimConfig::default(), 11)?;
+//! let kernel = sim.register_kernel(KernelDesc {
+//!     name: "demo-gemm".into(),
+//!     base_exec: SimDuration::from_micros(150),
+//!     freq_insensitive_frac: 0.5,
+//!     activity: Activity::new(0.6, 0.4, 0.3),
+//!     compute_utilization: 0.5,
+//!     flops: 1e10,
+//!     hbm_bytes: 1e7,
+//!     llc_bytes: 1e8,
+//!     workgroups: 128,
+//! })?;
+//! let script = Script::builder()
+//!     .begin_run()
+//!     .start_power_logger()
+//!     .launch_timed(kernel, 64)
+//!     .stop_power_logger()
+//!     .build();
+//!
+//! // Fire the abort from inside the sink after the fourth launch: the
+//! // engine stops at its next host boundary, never mid-kernel.
+//! let abort = AbortHandle::new();
+//! let handle = abort.clone();
+//! let mut launches = 0u32;
+//! let mut sink = |event: TelemetryEvent| {
+//!     if matches!(event, TelemetryEvent::LaunchCompleted { .. }) {
+//!         launches += 1;
+//!         if launches == 4 {
+//!             handle.abort();
+//!         }
+//!     }
+//! };
+//! let trace = sim.run_script_observed(&script, &mut sink, &abort)?;
+//! assert!(trace.aborted, "the trace is tagged as partial");
+//! assert_eq!(trace.executions.len(), 4, "completed launches are kept");
+//! # Ok(())
+//! # }
+//! ```
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};

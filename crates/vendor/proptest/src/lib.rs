@@ -123,7 +123,7 @@ pub mod collection {
         VecStrategy { elem, len }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         elem: S,

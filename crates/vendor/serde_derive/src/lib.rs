@@ -4,7 +4,7 @@
 //! hand-rolled on the bare `proc_macro` API (no `syn`/`quote`). They cover
 //! exactly the shapes this workspace derives on — non-generic structs with
 //! named fields, tuple structs, and enums with unit/tuple/struct variants —
-//! and generate impls of the vendored `serde` shim's [`Value`]-based
+//! and generate impls of the vendored `serde` shim's `Value`-based
 //! `Serialize`/`Deserialize` traits, using upstream `serde_json`'s
 //! representation (field-ordered maps, transparent newtypes,
 //! externally-tagged enums).

@@ -1,0 +1,190 @@
+//! Keeps the prose documentation honest: `docs/*.md` file references
+//! must resolve, and the normative claims in `docs/FORMATS.md` (magics,
+//! versions, header layouts, frame grammar) must match the shipped
+//! codecs and the committed golden fixtures byte for byte.
+
+use std::path::Path;
+
+use fingrav::core::checkpoint::{CKPT_MAGIC, CKPT_VERSION};
+use fingrav::core::profile::ProfilePoint;
+use fingrav::core::store::{ProfileStore, STORE_MAGIC, STORE_VERSION};
+use fingrav::core::transport::{Frame, MAX_FRAME_LEN, WIRE_MAGIC, WIRE_VERSION};
+use fingrav::sim::ComponentPower;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn read_doc(name: &str) -> String {
+    let path = repo_root().join("docs").join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{} must exist and be readable: {e}", path.display()))
+}
+
+/// Every relative markdown link in `docs/*.md` (and the README) must
+/// point at a file or directory that exists.
+#[test]
+fn doc_links_resolve() {
+    let mut checked = 0usize;
+    let mut docs: Vec<(String, std::path::PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(repo_root().join("docs")).expect("docs/ exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "md") {
+            docs.push((std::fs::read_to_string(&path).unwrap(), path));
+        }
+    }
+    docs.push((
+        std::fs::read_to_string(repo_root().join("README.md")).unwrap(),
+        repo_root().join("README.md"),
+    ));
+    for (text, doc_path) in &docs {
+        let base = doc_path.parent().unwrap();
+        // Markdown links: `](target)`. External URLs and intra-page
+        // anchors are skipped; `#section` suffixes are stripped.
+        for (pos, _) in text.match_indices("](") {
+            let rest = &text[pos + 2..];
+            let Some(end) = rest.find(')') else { continue };
+            let target = &rest[..end];
+            if target.starts_with("http") || target.starts_with('#') || target.is_empty() {
+                continue;
+            }
+            let target = target.split('#').next().unwrap();
+            let resolved = base.join(target);
+            assert!(
+                resolved.exists(),
+                "{} links to `{target}`, which does not resolve ({})",
+                doc_path.display(),
+                resolved.display()
+            );
+            checked += 1;
+        }
+    }
+    assert!(
+        checked >= 10,
+        "expected to check many links, found {checked}"
+    );
+}
+
+/// The version constants and magics cited by FORMATS.md are the shipped
+/// ones — the spec cannot silently drift from the code.
+#[test]
+fn formats_spec_cites_the_shipped_constants() {
+    let spec = read_doc("FORMATS.md");
+
+    for (magic, version) in [
+        (STORE_MAGIC, STORE_VERSION),
+        (CKPT_MAGIC, CKPT_VERSION),
+        (WIRE_MAGIC, WIRE_VERSION),
+    ] {
+        let name = std::str::from_utf8(&magic).unwrap();
+        assert!(spec.contains(name), "spec must name the `{name}` magic");
+        // The hex spelling of the magic (e.g. "46 47 52 56 50 52 4F 46").
+        let hex: Vec<String> = magic.iter().map(|b| format!("{b:02X}")).collect();
+        assert!(
+            spec.contains(&hex.join(" ")),
+            "spec must spell out the `{name}` magic bytes"
+        );
+        assert_eq!(version, 1, "this spec revision documents version 1");
+    }
+
+    // The transport protocol version is recorded in exactly one code
+    // location; the spec cites it by name and value.
+    assert!(
+        spec.contains(&format!("WIRE_VERSION = {WIRE_VERSION}")),
+        "spec must cite WIRE_VERSION and its value"
+    );
+    assert!(
+        spec.contains("MAX_FRAME_LEN"),
+        "spec must name the frame length ceiling"
+    );
+    let pow = MAX_FRAME_LEN.trailing_zeros();
+    assert_eq!(
+        1u64 << pow,
+        MAX_FRAME_LEN,
+        "frame ceiling is a power of two"
+    );
+    assert!(
+        spec.contains(&format!("2^{pow}")),
+        "spec must state the frame length ceiling 2^{pow}"
+    );
+}
+
+/// The committed golden fixtures open with exactly the header this spec
+/// describes: magic, version 1, and the documented section tags.
+#[test]
+fn golden_fixture_headers_match_the_spec() {
+    for (file, section) in [
+        ("golden_manifest.fgrvckpt", 1u32),
+        ("golden_entry.fgrvckpt", 2u32),
+        ("golden_stage.fgrvckpt", 3u32),
+    ] {
+        let path = repo_root().join("tests/data").join(file);
+        let bytes = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("golden fixture {file} must exist: {e}"));
+        assert_eq!(&bytes[0..8], &CKPT_MAGIC, "{file}: magic");
+        assert_eq!(
+            u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+            CKPT_VERSION,
+            "{file}: version"
+        );
+        assert_eq!(
+            u32::from_le_bytes(bytes[12..16].try_into().unwrap()),
+            section,
+            "{file}: section tag"
+        );
+    }
+}
+
+/// A freshly encoded store lays out exactly as §2 documents: header
+/// offsets, column order, and total size.
+#[test]
+fn fgrvprof_layout_matches_the_spec() {
+    let mut store = ProfileStore::new();
+    for i in 0..3u32 {
+        store.push(ProfilePoint {
+            run: i,
+            exec_pos: Some(i * 2),
+            toi_ns: Some(100.0 + f64::from(i)),
+            run_time_ns: 10.0 * f64::from(i),
+            power: ComponentPower::new(1.0, 2.0, 3.0, 4.0),
+        });
+    }
+    let bytes = store.to_bytes();
+    let n = 3usize;
+    assert_eq!(&bytes[0..8], &STORE_MAGIC);
+    assert_eq!(
+        u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+        STORE_VERSION
+    );
+    assert_eq!(u32::from_le_bytes(bytes[12..16].try_into().unwrap()), 0);
+    assert_eq!(u64::from_le_bytes(bytes[16..24].try_into().unwrap()), 3);
+    // 24-byte header, two u32 columns, six f64 columns, one bitmap word.
+    assert_eq!(bytes.len(), 24 + n * (4 + 4 + 8 * 6) + 8);
+    // First run value sits right after the header; first exec_pos right
+    // after the run column; the bitmap word is last with 3 bits set.
+    assert_eq!(u32::from_le_bytes(bytes[24..28].try_into().unwrap()), 0);
+    assert_eq!(
+        u32::from_le_bytes(bytes[24 + 4 * n..28 + 4 * n].try_into().unwrap()),
+        0
+    );
+    let bitmap = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    assert_eq!(bitmap, 0b111);
+}
+
+/// A wire frame lays out exactly as §4.2 documents: u32 tag, u64 payload
+/// length, payload.
+#[test]
+fn fgrvwire_frame_layout_matches_the_spec() {
+    let mut bytes = Vec::new();
+    Frame::Assign { index: 7 }.write_to(&mut bytes).unwrap();
+    assert_eq!(u32::from_le_bytes(bytes[0..4].try_into().unwrap()), 5);
+    assert_eq!(u64::from_le_bytes(bytes[4..12].try_into().unwrap()), 8);
+    assert_eq!(u64::from_le_bytes(bytes[12..20].try_into().unwrap()), 7);
+    assert_eq!(bytes.len(), 20);
+
+    let mut empty = Vec::new();
+    Frame::Request.write_to(&mut empty).unwrap();
+    assert_eq!(u32::from_le_bytes(empty[0..4].try_into().unwrap()), 4);
+    assert_eq!(u64::from_le_bytes(empty[4..12].try_into().unwrap()), 0);
+    assert_eq!(empty.len(), 12);
+}

@@ -1,0 +1,747 @@
+//! Fault-injection suite for the cross-node campaign transport: workers
+//! killed (gracefully and abruptly) at and inside every entry boundary,
+//! adversarial wire peers, and local/remote checkpoint interoperability —
+//! every path must end in artifacts byte-identical to a single-node
+//! serial run.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use fingrav::core::backend::{FnBackendFactory, SimulationFactory};
+use fingrav::core::campaign::{Campaign, CampaignReport};
+use fingrav::core::checkpoint::{gather, CheckpointDir};
+use fingrav::core::error::MethodologyError;
+use fingrav::core::executor::{
+    CampaignExecutor, CampaignObserver, CancellationToken, ErrorPolicy, NoopCampaignObserver,
+};
+use fingrav::core::profile::ProfileAxis;
+use fingrav::core::report::profile_to_csv;
+use fingrav::core::runner::{KernelPowerReport, RunnerConfig};
+use fingrav::core::transport::{
+    read_preamble, work, write_preamble, Coordinator, Frame, TransportError, WorkerOptions,
+    DENY_DIGEST_MISMATCH, DENY_SEQUENCE_EARLY, DENY_SEQUENCE_PASSED, WIRE_MAGIC,
+};
+use fingrav::sim::config::SimConfig;
+use fingrav::sim::engine::Simulation;
+use fingrav::sim::kernel::KernelDesc;
+use fingrav::sim::power::Activity;
+use fingrav::sim::time::SimDuration;
+
+fn kernel(name: &str, us: u64, xcd: f64) -> KernelDesc {
+    KernelDesc {
+        name: name.into(),
+        base_exec: SimDuration::from_micros(us),
+        freq_insensitive_frac: 0.5,
+        activity: Activity::new(xcd, 0.4, 0.3),
+        compute_utilization: xcd * 0.7,
+        flops: 1e10,
+        hbm_bytes: 1e7,
+        llc_bytes: 1e8,
+        workgroups: 128,
+    }
+}
+
+fn campaign_of(n: usize) -> Campaign {
+    let mut campaign = Campaign::new(RunnerConfig::quick(6));
+    for i in 0..n {
+        campaign.add(kernel(
+            &format!("k{i}"),
+            110 + 35 * i as u64,
+            0.4 + 0.1 * i as f64,
+        ));
+    }
+    campaign
+}
+
+fn factory() -> SimulationFactory {
+    SimulationFactory::new(SimConfig::default(), 0x7EA7)
+}
+
+/// Every CSV artefact the bench layer would render from a report.
+fn csvs_of(report: &CampaignReport) -> Vec<String> {
+    report
+        .reports
+        .iter()
+        .flat_map(|r| {
+            vec![
+                profile_to_csv(&r.run_profile, ProfileAxis::RunTime),
+                profile_to_csv(&r.sse_profile, ProfileAxis::Toi),
+                profile_to_csv(&r.ssp_profile, ProfileAxis::Toi),
+            ]
+        })
+        .collect()
+}
+
+fn temp_root(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("fingrav-net-{tag}-{}", std::process::id()))
+}
+
+/// Serial single-node reference: report, gathered stores, CSVs.
+fn reference(
+    campaign: &Campaign,
+    dir: &std::path::Path,
+) -> (CampaignReport, Vec<Vec<u8>>, Vec<String>) {
+    let report = CampaignExecutor::serial()
+        .execute_sharded(campaign, &factory(), dir)
+        .unwrap()
+        .into_report()
+        .unwrap();
+    let gathered = gather(&CheckpointDir::open(dir).unwrap(), campaign).unwrap();
+    let stores = vec![
+        gathered.run.to_bytes(),
+        gathered.sse.to_bytes(),
+        gathered.ssp.to_bytes(),
+    ];
+    let csvs = csvs_of(&report);
+    (report, stores, csvs)
+}
+
+/// Asserts a served checkpoint directory + report match the reference
+/// byte for byte.
+fn assert_identical(
+    campaign: &Campaign,
+    dir: &std::path::Path,
+    report: &CampaignReport,
+    ref_report: &CampaignReport,
+    ref_stores: &[Vec<u8>],
+    ref_csvs: &[String],
+    what: &str,
+) {
+    assert_eq!(report, ref_report, "{what}: reports drifted");
+    assert_eq!(&csvs_of(report), ref_csvs, "{what}: CSV artefacts drifted");
+    let gathered = gather(&CheckpointDir::open(dir).unwrap(), campaign).unwrap();
+    for (store, reference) in [gathered.run, gathered.sse, gathered.ssp]
+        .iter()
+        .zip(ref_stores)
+    {
+        assert_eq!(
+            &store.to_bytes(),
+            reference,
+            "{what}: gathered store drifted"
+        );
+    }
+}
+
+/// Fires the worker's local cancellation token when it starts its
+/// `kill_at`-th entry (1-based), so the worker completes `kill_at - 1`
+/// entries and dies mid-measurement of the next.
+struct KillAtStart {
+    cancel: CancellationToken,
+    kill_at: usize,
+    started: AtomicUsize,
+}
+
+impl KillAtStart {
+    fn new(kill_at: usize) -> Self {
+        KillAtStart {
+            cancel: CancellationToken::new(),
+            kill_at,
+            started: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl CampaignObserver for KillAtStart {
+    fn entry_started(&self, _index: usize, _label: &str) {
+        if self.started.fetch_add(1, Ordering::SeqCst) + 1 == self.kill_at {
+            self.cancel.abort();
+        }
+    }
+}
+
+#[test]
+fn kill_and_reconnect_at_every_entry_boundary() {
+    let campaign = campaign_of(4);
+    let root = temp_root("cuts");
+    let (ref_report, ref_stores, ref_csvs) = reference(&campaign, &root.join("reference"));
+
+    // kill_at = k: the first worker finishes k-1 entries, aborts inside
+    // entry k, and a reconnecting worker re-measures it plus the rest —
+    // covering the abort *inside* every entry as well as every boundary.
+    for kill_at in 1..=campaign.len() {
+        let dir = root.join(format!("kill-{kill_at}"));
+        let coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+        let addr = coordinator.local_addr().unwrap();
+        let outcome = std::thread::scope(|s| {
+            s.spawn(|| {
+                let killer = KillAtStart::new(kill_at);
+                let stream = TcpStream::connect(addr).unwrap();
+                let summary = work(
+                    stream,
+                    &campaign,
+                    &factory(),
+                    &killer,
+                    &killer.cancel,
+                    &WorkerOptions::default(),
+                )
+                .unwrap();
+                assert_eq!(
+                    summary.completed.len(),
+                    kill_at - 1,
+                    "worker must die inside entry {kill_at}"
+                );
+                // The replacement connects only after the first worker is
+                // gone, like a restarted machine would.
+                let stream = TcpStream::connect(addr).unwrap();
+                let summary = work(
+                    stream,
+                    &campaign,
+                    &factory(),
+                    &NoopCampaignObserver,
+                    &CancellationToken::new(),
+                    &WorkerOptions::default(),
+                )
+                .unwrap();
+                assert!(summary.campaign_complete);
+            });
+            coordinator.serve(
+                &campaign,
+                &dir,
+                &NoopCampaignObserver,
+                &CancellationToken::new(),
+            )
+        })
+        .unwrap();
+        let report = outcome.into_report().unwrap();
+        assert_identical(
+            &campaign,
+            &dir,
+            &report,
+            &ref_report,
+            &ref_stores,
+            &ref_csvs,
+            &format!("kill at entry {kill_at}"),
+        );
+    }
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn abrupt_disconnects_and_corrupt_peers_replan() {
+    let campaign = campaign_of(3);
+    let root = temp_root("abrupt");
+    let (ref_report, ref_stores, ref_csvs) = reference(&campaign, &root.join("reference"));
+    let digest = fingrav::core::checkpoint::campaign_digest(&campaign);
+
+    let dir = root.join("served");
+    let coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+    let addr = coordinator.local_addr().unwrap();
+    let outcome = std::thread::scope(|s| {
+        s.spawn(|| {
+            // Peer 1: valid handshake, takes an assignment, then vanishes
+            // without a single reply frame.
+            let mut stream = TcpStream::connect(addr).unwrap();
+            write_preamble(&mut stream).unwrap();
+            Frame::Hello {
+                digest,
+                sequence: 0,
+            }
+            .write_to(&mut stream)
+            .unwrap();
+            read_preamble(&mut stream).unwrap();
+            assert!(matches!(
+                Frame::read_from(&mut stream).unwrap(),
+                Frame::Welcome { .. }
+            ));
+            Frame::Request.write_to(&mut stream).unwrap();
+            let assigned = match Frame::read_from(&mut stream).unwrap() {
+                Frame::Assign { index } => index,
+                other => panic!("expected an assignment, got {other:?}"),
+            };
+            drop(stream); // SIGKILL analogue: the entry must be re-planned.
+
+            // Peer 2: takes an assignment and dies inside a Done frame —
+            // a truncated artifact must never be trusted.
+            let mut stream = TcpStream::connect(addr).unwrap();
+            write_preamble(&mut stream).unwrap();
+            Frame::Hello {
+                digest,
+                sequence: 0,
+            }
+            .write_to(&mut stream)
+            .unwrap();
+            read_preamble(&mut stream).unwrap();
+            let _ = Frame::read_from(&mut stream).unwrap();
+            Frame::Request.write_to(&mut stream).unwrap();
+            let index = match Frame::read_from(&mut stream).unwrap() {
+                Frame::Assign { index } => index,
+                other => panic!("expected an assignment, got {other:?}"),
+            };
+            let mut done = Vec::new();
+            Frame::Done {
+                index,
+                artifact: vec![0xAB; 1024],
+            }
+            .write_to(&mut done)
+            .unwrap();
+            stream.write_all(&done[..done.len() / 2]).unwrap();
+            drop(stream);
+
+            // Peer 3: delivers a *complete but corrupt* artifact; the
+            // coordinator must reject it and re-plan, not persist it.
+            let mut stream = TcpStream::connect(addr).unwrap();
+            write_preamble(&mut stream).unwrap();
+            Frame::Hello {
+                digest,
+                sequence: 0,
+            }
+            .write_to(&mut stream)
+            .unwrap();
+            read_preamble(&mut stream).unwrap();
+            let _ = Frame::read_from(&mut stream).unwrap();
+            Frame::Request.write_to(&mut stream).unwrap();
+            let index = match Frame::read_from(&mut stream).unwrap() {
+                Frame::Assign { index } => index,
+                other => panic!("expected an assignment, got {other:?}"),
+            };
+            Frame::Done {
+                index,
+                artifact: vec![0xAB; 1024],
+            }
+            .write_to(&mut stream)
+            .unwrap();
+            // The coordinator drops the connection on the garbage.
+            let mut rest = Vec::new();
+            let _ = stream.read_to_end(&mut rest);
+            drop(stream);
+            let _ = assigned;
+
+            // A healthy worker finishes everything the saboteurs dropped.
+            let stream = TcpStream::connect(addr).unwrap();
+            let summary = work(
+                stream,
+                &campaign,
+                &factory(),
+                &NoopCampaignObserver,
+                &CancellationToken::new(),
+                &WorkerOptions::default(),
+            )
+            .unwrap();
+            assert!(summary.campaign_complete);
+            assert_eq!(summary.completed.len(), campaign.len());
+        });
+        coordinator.serve(
+            &campaign,
+            &dir,
+            &NoopCampaignObserver,
+            &CancellationToken::new(),
+        )
+    })
+    .unwrap();
+    let report = outcome.into_report().unwrap();
+    assert_identical(
+        &campaign,
+        &dir,
+        &report,
+        &ref_report,
+        &ref_stores,
+        &ref_csvs,
+        "abrupt disconnects",
+    );
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn handshake_rejects_foreign_versioned_and_mismatched_peers() {
+    let campaign = campaign_of(2);
+    let root = temp_root("handshake");
+    let dir = root.join("served");
+    let coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+    let addr = coordinator.local_addr().unwrap();
+
+    let outcome = std::thread::scope(|s| {
+        s.spawn(|| {
+            // Foreign magic: the coordinator hangs up without a reply.
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(b"HTTP/1.1 GET /\r\n").unwrap();
+            let mut buf = Vec::new();
+            let n = stream.read_to_end(&mut buf).unwrap();
+            assert_eq!(n, 0, "a foreign peer gets no bytes back");
+
+            // Future wire version: same treatment.
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(&WIRE_MAGIC).unwrap();
+            stream.write_all(&99u32.to_le_bytes()).unwrap();
+            stream.write_all(&0u32.to_le_bytes()).unwrap();
+            let mut buf = Vec::new();
+            let n = stream.read_to_end(&mut buf).unwrap();
+            assert_eq!(n, 0, "a future-versioned peer gets no bytes back");
+
+            // A worker with a *different campaign* is denied with the
+            // digest mismatch spelled out.
+            let other = campaign_of(3);
+            let stream = TcpStream::connect(addr).unwrap();
+            let err = work(
+                stream,
+                &other,
+                &factory(),
+                &NoopCampaignObserver,
+                &CancellationToken::new(),
+                &WorkerOptions::default(),
+            )
+            .unwrap_err();
+            match err {
+                TransportError::Denied { code, detail } => {
+                    assert_eq!(code, DENY_DIGEST_MISMATCH);
+                    assert!(detail.contains("digest"), "detail: {detail}");
+                }
+                other => panic!("expected Denied, got {other}"),
+            }
+
+            // The right campaign still completes afterwards.
+            let stream = TcpStream::connect(addr).unwrap();
+            work(
+                stream,
+                &campaign,
+                &factory(),
+                &NoopCampaignObserver,
+                &CancellationToken::new(),
+                &WorkerOptions::default(),
+            )
+            .unwrap();
+        });
+        coordinator.serve(
+            &campaign,
+            &dir,
+            &NoopCampaignObserver,
+            &CancellationToken::new(),
+        )
+    })
+    .unwrap();
+    assert!(outcome.is_complete());
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn served_checkpoint_resumes_locally_and_vice_versa() {
+    let campaign = campaign_of(4);
+    let root = temp_root("interop");
+    let (ref_report, ref_stores, ref_csvs) = reference(&campaign, &root.join("reference"));
+
+    // Serve → cancel the coordinator after two entries → finish the same
+    // directory with a plain local resume.
+    let dir = root.join("serve-then-resume");
+    {
+        struct CancelAfter {
+            cancel: CancellationToken,
+            limit: usize,
+            finished: AtomicUsize,
+        }
+        impl CampaignObserver for CancelAfter {
+            fn entry_finished(&self, _index: usize, _report: &KernelPowerReport) {
+                if self.finished.fetch_add(1, Ordering::SeqCst) + 1 == self.limit {
+                    self.cancel.abort();
+                }
+            }
+        }
+        let coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+        let addr = coordinator.local_addr().unwrap();
+        let observer = CancelAfter {
+            cancel: CancellationToken::new(),
+            limit: 2,
+            finished: AtomicUsize::new(0),
+        };
+        let outcome = std::thread::scope(|s| {
+            s.spawn(|| {
+                let stream = TcpStream::connect(addr).unwrap();
+                let summary = work(
+                    stream,
+                    &campaign,
+                    &factory(),
+                    &NoopCampaignObserver,
+                    &CancellationToken::new(),
+                    &WorkerOptions::default(),
+                )
+                .unwrap();
+                assert!(summary.aborted, "the worker must be told to stop");
+            });
+            coordinator.serve(&campaign, &dir, &observer, &observer.cancel)
+        })
+        .unwrap();
+        assert!(!outcome.is_complete(), "cancellation left work undone");
+
+        let report = CampaignExecutor::new(2)
+            .resume(&campaign, &factory(), &dir)
+            .unwrap()
+            .into_report()
+            .unwrap();
+        assert_identical(
+            &campaign,
+            &dir,
+            &report,
+            &ref_report,
+            &ref_stores,
+            &ref_csvs,
+            "serve then local resume",
+        );
+    }
+
+    // Local sharded run cancelled after two entries → finish the same
+    // directory over the wire.
+    let dir = root.join("local-then-serve");
+    {
+        struct CancelAfter {
+            cancel: CancellationToken,
+            limit: usize,
+            finished: AtomicUsize,
+        }
+        impl CampaignObserver for CancelAfter {
+            fn entry_finished(&self, _index: usize, _report: &KernelPowerReport) {
+                if self.finished.fetch_add(1, Ordering::SeqCst) + 1 == self.limit {
+                    self.cancel.abort();
+                }
+            }
+        }
+        let observer = CancelAfter {
+            cancel: CancellationToken::new(),
+            limit: 2,
+            finished: AtomicUsize::new(0),
+        };
+        let partial = CampaignExecutor::serial()
+            .execute_sharded_observed(&campaign, &factory(), &dir, &observer, &observer.cancel)
+            .unwrap();
+        assert!(!partial.is_complete(), "cancellation left work undone");
+
+        let coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+        let addr = coordinator.local_addr().unwrap();
+        let outcome = std::thread::scope(|s| {
+            s.spawn(|| {
+                let stream = TcpStream::connect(addr).unwrap();
+                work(
+                    stream,
+                    &campaign,
+                    &factory(),
+                    &NoopCampaignObserver,
+                    &CancellationToken::new(),
+                    &WorkerOptions::default(),
+                )
+                .unwrap();
+            });
+            coordinator.serve(
+                &campaign,
+                &dir,
+                &NoopCampaignObserver,
+                &CancellationToken::new(),
+            )
+        })
+        .unwrap();
+        let report = outcome.into_report().unwrap();
+        assert_identical(
+            &campaign,
+            &dir,
+            &report,
+            &ref_report,
+            &ref_stores,
+            &ref_csvs,
+            "local run then serve",
+        );
+    }
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn measurement_failures_follow_the_error_policy() {
+    let campaign = campaign_of(3);
+    let root = temp_root("policy");
+    let broken = FnBackendFactory(move |i: usize| {
+        if i == 1 {
+            Err(MethodologyError::Backend(format!("slot {i} is broken")))
+        } else {
+            Simulation::new(SimConfig::default(), 0x7EA7 ^ i as u64)
+                .map_err(|e| MethodologyError::Backend(e.to_string()))
+        }
+    });
+    let broken = &broken;
+    let campaign = &campaign;
+
+    for policy in [ErrorPolicy::FailFast, ErrorPolicy::CollectAll] {
+        let dir = root.join(format!("{policy:?}"));
+        let coordinator = Coordinator::bind("127.0.0.1:0")
+            .unwrap()
+            .error_policy(policy);
+        let addr = coordinator.local_addr().unwrap();
+        let outcome = std::thread::scope(|s| {
+            s.spawn(move || {
+                let stream = TcpStream::connect(addr).unwrap();
+                let summary = work(
+                    stream,
+                    campaign,
+                    broken,
+                    &NoopCampaignObserver,
+                    &CancellationToken::new(),
+                    &WorkerOptions::default(),
+                )
+                .unwrap();
+                assert!(!summary.campaign_complete);
+            });
+            coordinator.serve(
+                campaign,
+                &dir,
+                &NoopCampaignObserver,
+                &CancellationToken::new(),
+            )
+        })
+        .unwrap();
+        assert_eq!(outcome.errors.len(), 1, "{policy:?}");
+        assert_eq!(outcome.errors[0].0, 1);
+        assert!(
+            matches!(outcome.errors[0].1, MethodologyError::Backend(ref m) if m.contains("slot 1"))
+        );
+        let measured = outcome.reports.iter().filter(|r| r.is_some()).count();
+        match policy {
+            // A single serial worker claims in plan order, so entry 0
+            // completes before the failure halts assignment.
+            ErrorPolicy::FailFast => {
+                assert_eq!(measured, 1, "fail-fast stops after the failure");
+                assert_eq!(outcome.skipped, vec![2]);
+            }
+            ErrorPolicy::CollectAll => {
+                assert_eq!(measured, 2, "collect-all measures every healthy slot");
+                assert!(outcome.skipped.is_empty());
+            }
+        }
+        assert!(outcome.into_report().is_err());
+    }
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// Multi-campaign sequence negotiation: a worker asking for an earlier
+/// or later campaign position than the coordinator is serving gets the
+/// matching typed denial instead of a misleading digest mismatch.
+#[test]
+fn sequence_mismatches_get_typed_denials() {
+    let campaign = campaign_of(2);
+    let root = temp_root("sequence");
+    let dir = root.join("served");
+    let coordinator = Coordinator::bind("127.0.0.1:0").unwrap().sequence(5);
+    let addr = coordinator.local_addr().unwrap();
+
+    let outcome = std::thread::scope(|s| {
+        s.spawn(|| {
+            let ask = |sequence: u64| {
+                let stream = TcpStream::connect(addr).unwrap();
+                work(
+                    stream,
+                    &campaign,
+                    &factory(),
+                    &NoopCampaignObserver,
+                    &CancellationToken::new(),
+                    &WorkerOptions {
+                        sequence,
+                        ..WorkerOptions::default()
+                    },
+                )
+            };
+            // Behind the coordinator: that campaign is already gone.
+            match ask(4).unwrap_err() {
+                TransportError::Denied { code, .. } => assert_eq!(code, DENY_SEQUENCE_PASSED),
+                other => panic!("expected a typed denial, got {other}"),
+            }
+            // Ahead of the coordinator: told to come back.
+            match ask(6).unwrap_err() {
+                TransportError::Denied { code, .. } => assert_eq!(code, DENY_SEQUENCE_EARLY),
+                other => panic!("expected a typed denial, got {other}"),
+            }
+            // The matching sequence works the campaign to completion.
+            let summary = ask(5).unwrap();
+            assert!(summary.campaign_complete);
+        });
+        coordinator.serve(
+            &campaign,
+            &dir,
+            &NoopCampaignObserver,
+            &CancellationToken::new(),
+        )
+    })
+    .unwrap();
+    assert!(outcome.is_complete());
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// A cancelled serve must return even when no worker ever connected —
+/// the cancellation token is observed by the accept loop itself, not
+/// only by worker-driven assignment.
+#[test]
+fn cancelling_a_workerless_serve_returns() {
+    let campaign = campaign_of(2);
+    let root = temp_root("workerless");
+    let dir = root.join("served");
+    let coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+    let cancel = CancellationToken::new();
+
+    let outcome = std::thread::scope(|s| {
+        let canceller = {
+            let cancel = cancel.clone();
+            s.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(100));
+                cancel.abort();
+            })
+        };
+        let outcome = coordinator
+            .serve(&campaign, &dir, &NoopCampaignObserver, &cancel)
+            .unwrap();
+        canceller.join().unwrap();
+        outcome
+    });
+    assert!(!outcome.is_complete());
+    assert_eq!(outcome.skipped, vec![0, 1], "every entry is skipped");
+    // The checkpoint is a normal pending manifest; a local run completes it.
+    let report = CampaignExecutor::serial()
+        .resume(&campaign, &factory(), &dir)
+        .unwrap()
+        .into_report()
+        .unwrap();
+    assert_eq!(report.reports.len(), campaign.len());
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// The worker-side summary bookkeeping: max_entries leaves cleanly and
+/// fetch_reports downloads the campaign-ordered report set.
+#[test]
+fn fetch_reports_downloads_the_full_campaign() {
+    let campaign = campaign_of(3);
+    let root = temp_root("fetch");
+    let (ref_report, _, _) = reference(&campaign, &root.join("reference"));
+
+    let dir = root.join("served");
+    let coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+    let addr = coordinator.local_addr().unwrap();
+    let (outcome, fetched) = std::thread::scope(|s| {
+        let fetcher = s.spawn(|| {
+            let stream = TcpStream::connect(addr).unwrap();
+            let summary = work(
+                stream,
+                &campaign,
+                &factory(),
+                &NoopCampaignObserver,
+                &CancellationToken::new(),
+                &WorkerOptions {
+                    max_entries: None,
+                    fetch_reports: true,
+                    ..WorkerOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(summary.campaign_complete);
+            summary.reports.expect("complete campaigns are fetchable")
+        });
+        let outcome = coordinator
+            .serve(
+                &campaign,
+                &dir,
+                &NoopCampaignObserver,
+                &CancellationToken::new(),
+            )
+            .unwrap();
+        (outcome, fetcher.join().unwrap())
+    });
+    let report = outcome.into_report().unwrap();
+    assert_eq!(report, ref_report);
+    assert_eq!(
+        CampaignReport { reports: fetched },
+        ref_report,
+        "the worker's downloaded reports must match the coordinator's"
+    );
+    std::fs::remove_dir_all(&root).unwrap();
+}
