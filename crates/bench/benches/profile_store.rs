@@ -17,8 +17,9 @@
 //! fidelity) to compare against a previous run.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fingrav_core::mmap::MappedProfile;
 use fingrav_core::profile::{ProfileAxis, ProfilePoint};
-use fingrav_core::store::ProfileStore;
+use fingrav_core::store::{ProfileStore, ProfileStoreView};
 use fingrav_sim::power::ComponentPower;
 
 const RUNS: u32 = 400;
@@ -91,6 +92,9 @@ fn bench_profile_store(c: &mut Criterion) {
     group.bench_function("mean/columnar", |b| {
         b.iter(|| black_box(store.mean_power()))
     });
+    let encoded = store.to_bytes();
+    let view = ProfileStoreView::new(&encoded).expect("valid encoding");
+    group.bench_function("mean/view", |b| b.iter(|| black_box(view.mean_power())));
 
     group.bench_function("sort/aos", |b| {
         b.iter(|| {
@@ -126,6 +130,14 @@ fn bench_profile_store(c: &mut Criterion) {
             black_box(kept.len())
         })
     });
+    group.bench_function("filter/view", |b| {
+        b.iter(|| {
+            let kept = view.indices_where(|p| {
+                p.in_exec() && p.run_time_ns() >= 0.0 && p.run_time_ns() <= end_ns
+            });
+            black_box(kept.len())
+        })
+    });
 
     group.bench_function("encode/columnar-binary", |b| {
         b.iter(|| black_box(store.to_bytes().len()))
@@ -134,7 +146,38 @@ fn bench_profile_store(c: &mut Criterion) {
     group.bench_function("decode/columnar-binary", |b| {
         b.iter(|| black_box(ProfileStore::from_bytes(&bytes).expect("decodes").len()))
     });
+    // The zero-copy decode: full validation (header, layout, canonical
+    // form), zero column materialisation. This is the number that must
+    // beat `decode/columnar-binary` by the 2x acceptance floor.
+    group.bench_function("decode/view", |b| {
+        b.iter(|| black_box(ProfileStoreView::new(&bytes).expect("decodes").len()))
+    });
+    // Same decode over an mmapped file instead of an in-memory buffer
+    // (pages are hot after the first pass, so this times the decoder, not
+    // the disk).
+    let mmap_path =
+        std::env::temp_dir().join(format!("fingrav-bench-decode-{}.fgrv", std::process::id()));
+    std::fs::write(&mmap_path, &bytes).expect("bench scratch file");
+    let mapped = MappedProfile::open(&mmap_path).expect("maps");
+    group.bench_function("decode/mmap", |b| {
+        b.iter(|| black_box(mapped.view().expect("decodes").len()))
+    });
     group.finish();
+    drop(mapped);
+    let _ = std::fs::remove_file(&mmap_path);
+
+    // Sanity: the view path agrees with the owned path on every benched
+    // kernel before any of its timings are trusted.
+    assert_eq!(
+        view.to_store(),
+        store,
+        "view decode must equal owned decode"
+    );
+    assert_eq!(view.mean_power(), store.mean_power());
+    assert_eq!(
+        view.indices_where(|p| p.in_exec() && p.run_time_ns() >= 0.0 && p.run_time_ns() <= end_ns),
+        store.indices_where(|p| p.in_exec() && p.run_time_ns() >= 0.0 && p.run_time_ns() <= end_ns),
+    );
 
     // Sanity: both representations agree before any ratio is trusted.
     let aos_mean = points

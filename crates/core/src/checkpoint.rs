@@ -105,10 +105,11 @@ use crate::binning::{Bin, Binning};
 use crate::campaign::{Campaign, CampaignReport};
 use crate::error::MethodologyError;
 use crate::guidance::GuidanceEntry;
+use crate::mmap::MappedProfile;
 use crate::profile::{PowerProfile, ProfileKind};
 use crate::runner::{CollectedRun, KernelPowerReport};
 use crate::stages::{RunCollection, SspArtifact, StitchedProfiles, TimingArtifact};
-use crate::store::{ProfileStore, StoreCodecError};
+use crate::store::{ProfileStore, ProfileStoreView, StoreCodecError};
 use crate::sync::{ReadDelayCalibration, TimeSync};
 
 /// Magic bytes opening every checkpoint file.
@@ -1320,10 +1321,7 @@ impl EntryArtifact {
     ///
     /// Propagates I/O errors from the writer.
     pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
-        write_header(w, SECTION_ENTRY)?;
-        self.index.encode(w)?;
-        self.config_digest.encode(w)?;
-        self.report.encode(w)
+        write_entry_to(w, self.index, self.config_digest, &self.report)
     }
 
     /// Reads an artifact previously written by [`EntryArtifact::write_to`].
@@ -1356,6 +1354,202 @@ impl EntryArtifact {
     /// on trailing bytes.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
         from_bytes_with(bytes, |r| EntryArtifact::read_from(r))
+    }
+}
+
+fn write_entry_to<W: Write>(
+    w: &mut W,
+    index: u32,
+    config_digest: u64,
+    report: &KernelPowerReport,
+) -> io::Result<()> {
+    write_header(w, SECTION_ENTRY)?;
+    index.encode(w)?;
+    config_digest.encode(w)?;
+    report.encode(w)
+}
+
+/// Encodes an entry artifact straight from a borrowed report — the bytes
+/// [`EntryArtifact::to_bytes`] would produce, without cloning the report
+/// (and its embedded profile stores) into an owned [`EntryArtifact`]
+/// first.
+pub(crate) fn encode_entry_bytes(
+    index: u32,
+    config_digest: u64,
+    report: &KernelPowerReport,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_entry_to(&mut out, index, config_digest, report).expect("Vec writes are infallible");
+    out
+}
+
+/// One embedded profile of an [`EntryArtifactView`]: the decoded label
+/// and kind plus the borrowed store view.
+#[derive(Debug, Clone)]
+struct ProfileViewPart<'a> {
+    label: String,
+    kind: ProfileKind,
+    store: ProfileStoreView<'a>,
+}
+
+impl<'a> ProfileViewPart<'a> {
+    fn parse(r: &mut &'a [u8]) -> Result<ProfileViewPart<'a>, CheckpointError> {
+        let label = String::decode(r)?;
+        let kind = ProfileKind::decode(r)?;
+        let (store, rest) = ProfileStoreView::split_prefix(r)?;
+        *r = rest;
+        Ok(ProfileViewPart { label, kind, store })
+    }
+
+    fn to_profile(&self) -> PowerProfile {
+        PowerProfile {
+            label: self.label.clone(),
+            kind: self.kind.clone(),
+            store: self.store.to_store(),
+        }
+    }
+}
+
+/// A zero-copy parse of one persisted [`EntryArtifact`]: the report's
+/// scalar fields are decoded eagerly (they are tiny), but the three
+/// embedded `FGRVPROF` profile blocks stay as borrowed
+/// [`ProfileStoreView`]s over the source buffer — typically a
+/// [`crate::mmap::MappedProfile`] of a `shard-NN/entry-NNNN.fgrvckpt`
+/// file, or a transport frame payload straight off the wire — so
+/// validating, diffing, or concatenating an entry never materialises its
+/// per-column `Vec`s.
+///
+/// [`EntryArtifactView::parse`] performs exactly the validation of
+/// [`EntryArtifact::from_bytes`] (same error taxonomy, including the
+/// canonical-form scan of every embedded store), and
+/// [`EntryArtifactView::to_artifact`] decodes to a value equal to what
+/// `from_bytes` would have produced — the view is a lazier route to the
+/// same artifact, not a weaker one.
+#[derive(Debug, Clone)]
+pub struct EntryArtifactView<'a> {
+    /// Campaign index of the entry.
+    pub index: u32,
+    /// [`campaign_digest`] of the owning campaign, as recorded in the
+    /// artifact.
+    pub config_digest: u64,
+    label: String,
+    exec_time_ns: u64,
+    guidance: GuidanceEntry,
+    margin_frac: f64,
+    sse_index: u32,
+    ssp_index: u32,
+    executions_per_run: u32,
+    runs_executed: u32,
+    golden_runs: u32,
+    throttle_detected: bool,
+    read_delay_ns: f64,
+    estimated_drift_ppm: Option<f64>,
+    run: ProfileViewPart<'a>,
+    sse: ProfileViewPart<'a>,
+    ssp: ProfileViewPart<'a>,
+    sse_mean_total_w: Option<f64>,
+    ssp_mean_total_w: Option<f64>,
+    sse_vs_ssp_error: Option<f64>,
+}
+
+impl<'a> EntryArtifactView<'a> {
+    /// Parses an encoded entry artifact, keeping the three profile stores
+    /// as borrowed views over `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// The same typed [`CheckpointError`]s as
+    /// [`EntryArtifact::from_bytes`]: foreign magic, newer version,
+    /// truncation (with the block name), invariant violations, and
+    /// trailing bytes.
+    pub fn parse(bytes: &'a [u8]) -> Result<EntryArtifactView<'a>, CheckpointError> {
+        let mut r = bytes;
+        read_header(&mut r, SECTION_ENTRY)?;
+        let view = EntryArtifactView {
+            index: u32::decode(&mut r)?,
+            config_digest: u64::decode(&mut r)?,
+            // The scalar prefix of `KernelPowerReport::decode`, field for
+            // field (the equivalence is pinned by a unit test).
+            label: String::decode(&mut r)?,
+            exec_time_ns: u64::decode(&mut r)?,
+            guidance: GuidanceEntry::decode(&mut r)?,
+            margin_frac: f64::decode(&mut r)?,
+            sse_index: u32::decode(&mut r)?,
+            ssp_index: u32::decode(&mut r)?,
+            executions_per_run: u32::decode(&mut r)?,
+            runs_executed: u32::decode(&mut r)?,
+            golden_runs: u32::decode(&mut r)?,
+            throttle_detected: bool::decode(&mut r)?,
+            read_delay_ns: f64::decode(&mut r)?,
+            estimated_drift_ppm: Option::decode(&mut r)?,
+            run: ProfileViewPart::parse(&mut r)?,
+            sse: ProfileViewPart::parse(&mut r)?,
+            ssp: ProfileViewPart::parse(&mut r)?,
+            sse_mean_total_w: Option::decode(&mut r)?,
+            ssp_mean_total_w: Option::decode(&mut r)?,
+            sse_vs_ssp_error: Option::decode(&mut r)?,
+        };
+        if !r.is_empty() {
+            return Err(CheckpointError::Corrupt(format!(
+                "{} trailing bytes after the payload",
+                r.len()
+            )));
+        }
+        Ok(view)
+    }
+
+    /// The report's kernel label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Borrowed view of the entry's run profile store.
+    pub fn run_store(&self) -> &ProfileStoreView<'a> {
+        &self.run.store
+    }
+
+    /// Borrowed view of the entry's SSE profile store.
+    pub fn sse_store(&self) -> &ProfileStoreView<'a> {
+        &self.sse.store
+    }
+
+    /// Borrowed view of the entry's SSP profile store.
+    pub fn ssp_store(&self) -> &ProfileStoreView<'a> {
+        &self.ssp.store
+    }
+
+    /// Decodes the full report, materialising the three profile stores.
+    pub fn to_report(&self) -> KernelPowerReport {
+        KernelPowerReport {
+            label: self.label.clone(),
+            exec_time_ns: self.exec_time_ns,
+            guidance: self.guidance,
+            margin_frac: self.margin_frac,
+            sse_index: self.sse_index,
+            ssp_index: self.ssp_index,
+            executions_per_run: self.executions_per_run,
+            runs_executed: self.runs_executed,
+            golden_runs: self.golden_runs,
+            throttle_detected: self.throttle_detected,
+            read_delay_ns: self.read_delay_ns,
+            estimated_drift_ppm: self.estimated_drift_ppm,
+            run_profile: self.run.to_profile(),
+            sse_profile: self.sse.to_profile(),
+            ssp_profile: self.ssp.to_profile(),
+            sse_mean_total_w: self.sse_mean_total_w,
+            ssp_mean_total_w: self.ssp_mean_total_w,
+            sse_vs_ssp_error: self.sse_vs_ssp_error,
+        }
+    }
+
+    /// Decodes the whole artifact — equal to what
+    /// [`EntryArtifact::from_bytes`] returns on the same bytes.
+    pub fn to_artifact(&self) -> EntryArtifact {
+        EntryArtifact {
+            index: self.index,
+            config_digest: self.config_digest,
+            report: self.to_report(),
+        }
     }
 }
 
@@ -1529,7 +1723,31 @@ impl CheckpointDir {
         shard: u32,
         artifact: &EntryArtifact,
     ) -> Result<PathBuf, CheckpointError> {
-        let path = self.entry_path(shard, artifact.index as usize);
+        self.write_entry_bytes(shard, artifact.index as usize, &artifact.to_bytes())
+    }
+
+    /// Writes an already-encoded entry artifact under shard `shard`,
+    /// returning the path. This is the zero-copy persist path: a
+    /// coordinator that received an entry's bytes over the wire (and
+    /// validated them with [`EntryArtifactView::parse`]) stores the frame
+    /// payload as-is instead of decoding and re-encoding it — the
+    /// encoding is canonical, so the bytes a worker sends are exactly the
+    /// bytes [`EntryArtifact::write_to`] would produce.
+    ///
+    /// The caller is responsible for `bytes` being a valid entry-section
+    /// encoding whose artifact claims `index`; nothing is re-validated
+    /// here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_entry_bytes(
+        &self,
+        shard: u32,
+        index: usize,
+        bytes: &[u8],
+    ) -> Result<PathBuf, CheckpointError> {
+        let path = self.entry_path(shard, index);
         fs::create_dir_all(path.parent().expect("entry paths have a shard parent"))?;
         // Write-to-temp then rename, like the manifest: a crash mid-write
         // must never leave a truncated `entry-*.fgrvckpt` behind (the
@@ -1537,7 +1755,7 @@ impl CheckpointDir {
         // half-written temp is simply ignored on resume).
         let tmp = path.with_extension("fgrvckpt.tmp");
         let mut file = fs::File::create(&tmp)?;
-        artifact.write_to(&mut file)?;
+        file.write_all(bytes)?;
         file.sync_all()?;
         drop(file);
         fs::rename(&tmp, &path)?;
@@ -1630,23 +1848,48 @@ pub struct GatheredCampaign {
     pub ssp: ProfileStore,
 }
 
+/// The three campaign-wide profile stores of [`gather_stores`]:
+/// [`GatheredCampaign`] without the per-entry reports, for consumers that
+/// only chart or export the concatenated profiles.
+#[derive(Debug, Clone)]
+pub struct GatheredStores {
+    /// Every entry's run profile, concatenated in campaign order.
+    pub run: ProfileStore,
+    /// Every entry's SSE profile, concatenated in campaign order.
+    pub sse: ProfileStore,
+    /// Every entry's SSP profile, concatenated in campaign order.
+    pub ssp: ProfileStore,
+}
+
 /// Verifies two persisted copies of the same entry against each other,
-/// column by column, naming the shards and the first differing column on
-/// a mismatch. Also used by the executor's persisting observer to check a
-/// re-measured entry against a copy left by an earlier run.
-pub(crate) fn verify_duplicate(
+/// naming the shards and the first differing column on a mismatch. Also
+/// used by the executor's persisting observer and the transport
+/// coordinator to check a re-measured entry against a copy left by an
+/// earlier run.
+///
+/// The encoding is canonical (a deterministic function of the artifact),
+/// so byte-equal copies are identical copies — the common case costs one
+/// `memcmp` over the two buffers and decodes nothing. Only when the bytes
+/// differ are both copies parsed (as borrowed views) to name the first
+/// differing profile column in the error.
+pub(crate) fn verify_duplicate_bytes(
     index: usize,
     a_shard: u32,
-    a: &EntryArtifact,
+    a_bytes: &[u8],
     b_shard: u32,
-    b: &EntryArtifact,
+    b_bytes: &[u8],
 ) -> Result<(), CheckpointError> {
+    if a_bytes == b_bytes {
+        return Ok(());
+    }
+    let a = EntryArtifactView::parse(a_bytes)?;
+    let b = EntryArtifactView::parse(b_bytes)?;
     for (what, left, right) in [
-        ("run", &a.report.run_profile, &b.report.run_profile),
-        ("sse", &a.report.sse_profile, &b.report.sse_profile),
-        ("ssp", &a.report.ssp_profile, &b.report.ssp_profile),
+        ("run", a.run_store(), b.run_store()),
+        ("sse", a.sse_store(), b.sse_store()),
+        ("ssp", a.ssp_store(), b.ssp_store()),
     ] {
-        let diff = left.store.diff(&right.store);
+        let diff = left.diff(right);
         if !diff.is_identical() {
             return Err(CheckpointError::Corrupt(format!(
                 "entry {index} disagrees between shard {a_shard} and shard {b_shard}: \
@@ -1655,13 +1898,12 @@ pub(crate) fn verify_duplicate(
             )));
         }
     }
-    if a.report != b.report {
-        return Err(CheckpointError::Corrupt(format!(
-            "entry {index} disagrees between shard {a_shard} and shard {b_shard}: \
-             report scalars differ (profiles are identical)"
-        )));
-    }
-    Ok(())
+    // The bytes differ but every profile column agrees, so the
+    // disagreement is in the scalar fields (or the profile labels).
+    Err(CheckpointError::Corrupt(format!(
+        "entry {index} disagrees between shard {a_shard} and shard {b_shard}: \
+         report scalars differ (profiles are identical)"
+    )))
 }
 
 /// Merges a completed checkpoint back into a [`CampaignReport`] plus
@@ -1685,73 +1927,154 @@ pub fn gather(
     dir: &CheckpointDir,
     campaign: &Campaign,
 ) -> Result<GatheredCampaign, CheckpointError> {
+    let (stores, reports) = gather_impl(dir, campaign, true)?;
+    Ok(GatheredCampaign {
+        report: CampaignReport {
+            reports: reports.expect("reports were requested"),
+        },
+        run: stores.run,
+        sse: stores.sse,
+        ssp: stores.ssp,
+    })
+}
+
+/// Like [`gather`], but materialises only the three concatenated profile
+/// stores — no [`KernelPowerReport`]s are decoded at all, so the only
+/// owned allocations are the three output stores themselves (sized
+/// exactly, up front) plus one borrowed view per entry file. Verification
+/// is identical to [`gather`]'s.
+///
+/// # Errors
+///
+/// As [`gather`].
+pub fn gather_stores(
+    dir: &CheckpointDir,
+    campaign: &Campaign,
+) -> Result<GatheredStores, CheckpointError> {
+    Ok(gather_impl(dir, campaign, false)?.0)
+}
+
+/// Checks an entry view's self-claims against its slot: claimed index,
+/// config digest, and manifest label (in [`gather`]'s historical order).
+fn check_entry_view(
+    view: &EntryArtifactView<'_>,
+    index: usize,
+    shard: u32,
+    path: &Path,
+    manifest: &CampaignManifest,
+) -> Result<(), CheckpointError> {
+    if view.index as usize != index {
+        return Err(CheckpointError::Corrupt(format!(
+            "entry file {} claims index {} (shard {shard})",
+            path.display(),
+            view.index
+        )));
+    }
+    if view.config_digest != manifest.config_digest {
+        return Err(CheckpointError::ConfigMismatch {
+            expected: manifest.config_digest,
+            found: view.config_digest,
+        });
+    }
+    if view.label() != manifest.entries[index].label {
+        return Err(CheckpointError::Corrupt(format!(
+            "entry {index} (shard {shard}) is labelled `{}` but the manifest says `{}`",
+            view.label(),
+            manifest.entries[index].label
+        )));
+    }
+    Ok(())
+}
+
+/// The streaming merge behind [`gather`]/[`gather_stores`]: two passes
+/// over the (mmapped) entry files, each holding at most one entry — plus
+/// at most one crash-window duplicate — mapped at a time.
+///
+/// Pass 1 validates every file through a borrowed [`EntryArtifactView`]
+/// (header, digest, label, duplicate agreement, and the embedded stores'
+/// canonical form) and sums the three profile lengths. Pass 2 sizes the
+/// output stores exactly from those sums and splices each entry in with
+/// [`ProfileStore::extend_from_view`] — so gathering N large shards peaks
+/// at roughly one shard's decoded store of transient memory beyond the
+/// output, instead of keeping all N resident.
+fn gather_impl(
+    dir: &CheckpointDir,
+    campaign: &Campaign,
+    want_reports: bool,
+) -> Result<(GatheredStores, Option<Vec<KernelPowerReport>>), CheckpointError> {
     let manifest = dir.read_manifest()?;
     manifest.verify_against(campaign)?;
 
-    let digest = manifest.config_digest;
-    let mut per_entry: Vec<Option<(u32, EntryArtifact)>> = vec![None; campaign.len()];
-    for (shard, index, path) in dir.entry_files()? {
-        if index >= campaign.len() {
+    let files = dir.entry_files()?;
+    let mut covered = vec![false; campaign.len()];
+    let (mut run_total, mut sse_total, mut ssp_total) = (0usize, 0usize, 0usize);
+    // `entry_files` sorts by (index, shard), so one index's copies are
+    // adjacent: the outer loop walks primaries, the inner loop their
+    // crash-window duplicates.
+    let mut i = 0;
+    while i < files.len() {
+        let (shard, index, path) = &files[i];
+        if *index >= campaign.len() {
             return Err(CheckpointError::Corrupt(format!(
                 "shard {shard} holds entry {index} but the campaign has only {} entries",
                 campaign.len()
             )));
         }
-        let artifact = dir.read_entry(&path)?;
-        if artifact.index as usize != index {
-            return Err(CheckpointError::Corrupt(format!(
-                "entry file {} claims index {} (shard {shard})",
-                path.display(),
-                artifact.index
-            )));
+        let mapped = MappedProfile::open(path)?;
+        let view = EntryArtifactView::parse(mapped.bytes())?;
+        check_entry_view(&view, *index, *shard, path, &manifest)?;
+        covered[*index] = true;
+        run_total += view.run_store().len();
+        sse_total += view.sse_store().len();
+        ssp_total += view.ssp_store().len();
+        let mut j = i + 1;
+        while j < files.len() && files[j].1 == *index {
+            let (dup_shard, _, dup_path) = &files[j];
+            let dup = MappedProfile::open(dup_path)?;
+            let dup_view = EntryArtifactView::parse(dup.bytes())?;
+            check_entry_view(&dup_view, *index, *dup_shard, dup_path, &manifest)?;
+            verify_duplicate_bytes(*index, *shard, mapped.bytes(), *dup_shard, dup.bytes())?;
+            j += 1;
         }
-        if artifact.config_digest != digest {
-            return Err(CheckpointError::ConfigMismatch {
-                expected: digest,
-                found: artifact.config_digest,
-            });
-        }
-        if artifact.report.label != manifest.entries[index].label {
-            return Err(CheckpointError::Corrupt(format!(
-                "entry {index} (shard {shard}) is labelled `{}` but the manifest says `{}`",
-                artifact.report.label, manifest.entries[index].label
-            )));
-        }
-        match &per_entry[index] {
-            Some((first_shard, first)) => {
-                verify_duplicate(index, *first_shard, first, shard, &artifact)?
-            }
-            None => per_entry[index] = Some((shard, artifact)),
-        }
+        i = j;
     }
 
-    let missing: Vec<usize> = per_entry
+    let missing: Vec<usize> = covered
         .iter()
         .enumerate()
-        .filter(|(_, a)| a.is_none())
+        .filter(|(_, c)| !**c)
         .map(|(i, _)| i)
         .collect();
     if !missing.is_empty() {
         return Err(CheckpointError::Incomplete { missing });
     }
 
-    let mut run = ProfileStore::new();
-    let mut sse = ProfileStore::new();
-    let mut ssp = ProfileStore::new();
-    let mut reports = Vec::with_capacity(campaign.len());
-    for entry in per_entry.into_iter().flatten() {
-        let (_, artifact) = entry;
-        run.extend_from(&artifact.report.run_profile.store);
-        sse.extend_from(&artifact.report.sse_profile.store);
-        ssp.extend_from(&artifact.report.ssp_profile.store);
-        reports.push(artifact.report);
+    let mut stores = GatheredStores {
+        run: ProfileStore::with_capacity(run_total),
+        sse: ProfileStore::with_capacity(sse_total),
+        ssp: ProfileStore::with_capacity(ssp_total),
+    };
+    let mut reports = want_reports.then(|| Vec::with_capacity(campaign.len()));
+    let mut i = 0;
+    while i < files.len() {
+        let (_, index, path) = &files[i];
+        let mapped = MappedProfile::open(path)?;
+        // Pass 1 already vetted this file; the re-parse revalidates for
+        // free while slicing the column blocks (the pages are hot).
+        let view = EntryArtifactView::parse(mapped.bytes())?;
+        stores.run.extend_from_view(view.run_store());
+        stores.sse.extend_from_view(view.sse_store());
+        stores.ssp.extend_from_view(view.ssp_store());
+        if let Some(reports) = reports.as_mut() {
+            reports.push(view.to_report());
+        }
+        let mut j = i + 1;
+        while j < files.len() && files[j].1 == *index {
+            j += 1;
+        }
+        i = j;
     }
-    Ok(GatheredCampaign {
-        report: CampaignReport { reports },
-        run,
-        sse,
-        ssp,
-    })
+    Ok((stores, reports))
 }
 
 // ---------------------------------------------------------------------
@@ -1771,10 +2094,14 @@ pub(crate) type RestoredEntries = (Vec<(usize, KernelPowerReport)>, Vec<usize>);
 ///
 /// * every restored artifact's own digest, index, and label must agree
 ///   with the manifest;
-/// * crash-window duplicates must be bit-identical ([`verify_duplicate`])
-///   before any copy is trusted;
+/// * crash-window duplicates must be bit-identical
+///   ([`verify_duplicate_bytes`]) before any copy is trusted;
 /// * a `Done` entry whose file vanished is demoted to `Pending` in
 ///   `manifest` and re-planned instead of failing the restore.
+///
+/// Files are opened through [`MappedProfile`] and validated as borrowed
+/// [`EntryArtifactView`]s; only the copy actually restored decodes its
+/// profiles, and duplicates are verified without decoding at all.
 pub(crate) fn restore_done_entries(
     ckdir: &CheckpointDir,
     campaign: &Campaign,
@@ -1802,39 +2129,47 @@ pub(crate) fn restore_done_entries(
             // entry back to a re-run instead of failing.
             match copies.first() {
                 Some((shard, path)) => {
-                    let artifact = ckdir.read_entry(path)?;
-                    if artifact.config_digest != manifest.config_digest {
+                    let mapped = MappedProfile::open(path)?;
+                    let view = EntryArtifactView::parse(mapped.bytes())?;
+                    if view.config_digest != manifest.config_digest {
                         return Err(CheckpointError::ConfigMismatch {
                             expected: manifest.config_digest,
-                            found: artifact.config_digest,
+                            found: view.config_digest,
                         });
                     }
                     // The file must actually hold this slot's entry (a
                     // copied/renamed file during manual recovery would
                     // otherwise fill the slot with wrong data).
-                    if artifact.index as usize != index {
+                    if view.index as usize != index {
                         return Err(CheckpointError::Corrupt(format!(
                             "entry file {} (shard {shard}) claims index {} but sits in \
                              slot {index}",
                             path.display(),
-                            artifact.index
+                            view.index
                         )));
                     }
-                    if artifact.report.label != manifest.entries[index].label {
+                    if view.label() != manifest.entries[index].label {
                         return Err(CheckpointError::Corrupt(format!(
                             "entry {index} (shard {shard}) is labelled `{}` but the \
                              manifest says `{}`",
-                            artifact.report.label, manifest.entries[index].label
+                            view.label(),
+                            manifest.entries[index].label
                         )));
                     }
                     // Crash-window duplicates must agree before any copy
                     // is trusted (same verification gather does); a
                     // diverged copy names its shard and column.
                     for (other_shard, other_path) in &copies[1..] {
-                        let other = ckdir.read_entry(other_path)?;
-                        verify_duplicate(index, *shard, &artifact, *other_shard, &other)?;
+                        let other = MappedProfile::open(other_path)?;
+                        verify_duplicate_bytes(
+                            index,
+                            *shard,
+                            mapped.bytes(),
+                            *other_shard,
+                            other.bytes(),
+                        )?;
                     }
-                    restored.push((index, artifact.report));
+                    restored.push((index, view.to_report()));
                 }
                 None => {
                     manifest.entries[index].status = EntryStatus::Pending;
@@ -1980,6 +2315,174 @@ mod tests {
             CampaignManifest::from_bytes(&big),
             Err(CheckpointError::Truncated(_))
         ));
+    }
+
+    fn sample_store(salt: u32) -> ProfileStore {
+        let mut store = ProfileStore::new();
+        for i in 0..100u32 {
+            let valid = !(i + salt).is_multiple_of(4);
+            store.push(crate::profile::ProfilePoint {
+                run: i / 10,
+                exec_pos: valid.then_some(i % 9),
+                toi_ns: valid.then_some(f64::from(i) * 2.5),
+                run_time_ns: f64::from(i + salt) * 11.0,
+                power: ComponentPower::new(200.0 + f64::from(i), 50.0, 40.0, 30.0),
+            });
+        }
+        store
+    }
+
+    fn sample_report(label: &str) -> KernelPowerReport {
+        KernelPowerReport {
+            label: label.into(),
+            exec_time_ns: 123_456,
+            guidance: GuidanceEntry {
+                min_exec: SimDuration::from_micros(50),
+                max_exec: Some(SimDuration::from_micros(500)),
+                runs: 12,
+                loi_interval: SimDuration::from_micros(2),
+                margin_frac: 0.05,
+            },
+            margin_frac: 0.05,
+            sse_index: 3,
+            ssp_index: 5,
+            executions_per_run: 40,
+            runs_executed: 12,
+            golden_runs: 9,
+            throttle_detected: false,
+            read_delay_ns: 850.0,
+            estimated_drift_ppm: Some(1.25),
+            run_profile: PowerProfile {
+                label: label.into(),
+                kind: ProfileKind::Run,
+                store: sample_store(0),
+            },
+            sse_profile: PowerProfile {
+                label: label.into(),
+                kind: ProfileKind::Sse,
+                store: sample_store(1),
+            },
+            ssp_profile: PowerProfile {
+                label: label.into(),
+                kind: ProfileKind::Ssp,
+                store: sample_store(2),
+            },
+            sse_mean_total_w: Some(321.5),
+            ssp_mean_total_w: Some(318.25),
+            sse_vs_ssp_error: Some(0.01),
+        }
+    }
+
+    /// The zero-copy entry parse must mirror `EntryArtifact::from_bytes`
+    /// field for field — this test pins the hand-maintained field order
+    /// in `EntryArtifactView::parse` to the `Codec` implementation.
+    #[test]
+    fn entry_view_decodes_equal_to_owned_artifact() {
+        let artifact = EntryArtifact {
+            index: 7,
+            config_digest: 0xDEAD_BEEF_CAFE_F00D,
+            report: sample_report("view-eq"),
+        };
+        let bytes = artifact.to_bytes();
+        assert_eq!(
+            bytes,
+            encode_entry_bytes(7, 0xDEAD_BEEF_CAFE_F00D, &artifact.report),
+            "borrowed-report encoding matches the owned artifact encoding"
+        );
+
+        let view = EntryArtifactView::parse(&bytes).expect("parses");
+        assert_eq!(view.index, 7);
+        assert_eq!(view.config_digest, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(view.label(), "view-eq");
+        assert_eq!(
+            view.run_store().len(),
+            artifact.report.run_profile.store.len()
+        );
+        assert_eq!(
+            view.run_store().to_store(),
+            artifact.report.run_profile.store
+        );
+        assert_eq!(view.to_artifact(), artifact);
+        assert_eq!(
+            view.to_artifact(),
+            EntryArtifact::from_bytes(&bytes).unwrap()
+        );
+    }
+
+    /// Damage surfaces through the view with the same typed error the
+    /// owned decoder reports — truncations, bit flips, trailing bytes.
+    #[test]
+    fn entry_view_rejects_damage_like_owned_decode() {
+        let artifact = EntryArtifact {
+            index: 0,
+            config_digest: 1,
+            report: sample_report("damage"),
+        };
+        let good = artifact.to_bytes();
+
+        for cut in 0..good.len() {
+            let owned = EntryArtifact::from_bytes(&good[..cut]);
+            let viewed = EntryArtifactView::parse(&good[..cut]);
+            let owned = owned.expect_err("owned decode rejects truncation");
+            let viewed = viewed.expect_err("view parse rejects truncation");
+            assert_eq!(
+                std::mem::discriminant(&owned),
+                std::mem::discriminant(&viewed),
+                "cut at {cut}: owned {owned:?} vs view {viewed:?}"
+            );
+        }
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(matches!(
+            EntryArtifactView::parse(&trailing),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(matches!(
+            EntryArtifactView::parse(&bad_magic),
+            Err(CheckpointError::BadMagic(_))
+        ));
+    }
+
+    /// Byte-equal duplicates are accepted without decoding; disagreeing
+    /// ones are parsed and named by profile column or scalar.
+    #[test]
+    fn duplicate_verification_over_bytes() {
+        let mut artifact = EntryArtifact {
+            index: 2,
+            config_digest: 9,
+            report: sample_report("dups"),
+        };
+        let a = artifact.to_bytes();
+        verify_duplicate_bytes(2, 0, &a, 1, &a.clone()).expect("byte-equal copies agree");
+
+        // A diverged profile column names the shards and the column.
+        let mut tampered = artifact.clone();
+        let mut store = ProfileStore::new();
+        for (i, p) in tampered.report.sse_profile.store.iter().enumerate() {
+            let mut point = p.to_point();
+            if i == 3 {
+                point.power.hbm += 0.5;
+            }
+            store.push(point);
+        }
+        tampered.report.sse_profile.store = store;
+        let err = verify_duplicate_bytes(2, 0, &a, 5, &tampered.to_bytes())
+            .expect_err("diverged column is rejected");
+        let msg = err.to_string();
+        assert!(msg.contains("shard 0") && msg.contains("shard 5"), "{msg}");
+        assert!(
+            msg.contains("sse profile") && msg.contains("column `hbm`"),
+            "{msg}"
+        );
+
+        // Identical profiles but a diverged scalar is still a mismatch.
+        artifact.report.golden_runs += 1;
+        let err = verify_duplicate_bytes(2, 0, &a, 3, &artifact.to_bytes())
+            .expect_err("diverged scalar is rejected");
+        assert!(err.to_string().contains("report scalars differ"), "{err}");
     }
 
     #[test]

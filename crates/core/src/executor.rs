@@ -87,9 +87,7 @@ use std::sync::{mpsc, Mutex};
 
 use crate::backend::BackendFactory;
 use crate::campaign::{Campaign, CampaignReport};
-use crate::checkpoint::{
-    CampaignManifest, CheckpointDir, CheckpointError, EntryArtifact, EntryStatus,
-};
+use crate::checkpoint::{CampaignManifest, CheckpointDir, CheckpointError, EntryStatus};
 use crate::error::{MethodologyError, MethodologyResult};
 use crate::observe::{ProfilingEvent, ProfilingSink};
 use crate::runner::{FingravRunner, KernelPowerReport};
@@ -631,22 +629,27 @@ impl PersistingObserver<'_> {
             let state = self.state.lock().expect("manifest lock");
             (state.entries[index].shard, state.config_digest)
         };
-        let artifact = EntryArtifact {
-            index: index as u32,
-            config_digest: digest,
-            report: report.clone(),
-        };
         // A file for this entry may already exist (crash window between an
         // earlier entry write and its manifest update). The fresh result
         // must be bit-identical to it — slots derive solely from their
         // campaign index — so a disagreement means the checkpoint and the
         // campaign have diverged, and it is reported with the shards and
         // the first differing column rather than silently overwritten.
+        // Encoding once, from the borrowed report, serves both the
+        // comparison (the format is canonical, so byte-equality is
+        // value-equality) and the write — no report clone, no re-decode.
+        let bytes = crate::checkpoint::encode_entry_bytes(index as u32, digest, report);
         for (old_shard, path) in &self.preexisting[index] {
-            let old = self.dir.read_entry(path)?;
-            crate::checkpoint::verify_duplicate(index, *old_shard, &old, shard, &artifact)?;
+            let old = crate::mmap::MappedProfile::open(path)?;
+            crate::checkpoint::verify_duplicate_bytes(
+                index,
+                *old_shard,
+                old.bytes(),
+                shard,
+                &bytes,
+            )?;
         }
-        self.dir.write_entry(shard, &artifact)?;
+        self.dir.write_entry_bytes(shard, index, &bytes)?;
         let mut state = self.state.lock().expect("manifest lock");
         state.entries[index].status = EntryStatus::Done;
         self.dir.write_manifest(&state)

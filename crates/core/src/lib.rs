@@ -54,6 +54,7 @@ pub mod error;
 pub mod executor;
 pub mod guidance;
 pub mod insights;
+pub mod mmap;
 pub mod observe;
 pub mod outliers;
 pub mod phases;
@@ -73,17 +74,21 @@ pub use backend::{
 pub use binning::{bin_durations, Binning};
 pub use campaign::{Campaign, CampaignEntry, CampaignReport};
 pub use checkpoint::{
-    campaign_digest, gather, CampaignManifest, CheckpointDir, CheckpointError, EntryArtifact,
-    EntryStatus, GatheredCampaign, ManifestEntry, StageCheckpoint,
+    campaign_digest, gather, gather_stores, CampaignManifest, CheckpointDir, CheckpointError,
+    EntryArtifact, EntryArtifactView, EntryStatus, GatheredCampaign, GatheredStores, ManifestEntry,
+    StageCheckpoint,
 };
 pub use error::{MethodologyError, MethodologyResult};
 pub use executor::{CampaignExecutor, CampaignObserver, CampaignOutcome, ErrorPolicy};
 pub use guidance::{GuidanceEntry, GuidanceTable};
+pub use mmap::MappedProfile;
 pub use observe::{ProfilingEvent, ProfilingSink, StageKind};
 pub use profile::{PowerAxis, PowerProfile, ProfileAxis, ProfileKind, ProfilePoint};
 pub use runner::{FingravRunner, KernelPowerReport, LoggerChoice, RunnerConfig};
 pub use stages::{RunCollection, SspArtifact, StagePipeline, StitchedProfiles, TimingArtifact};
-pub use store::{ProfilePointRef, ProfileStore, StoreCodecError, StoreDiff};
+pub use store::{
+    ProfileColumns, ProfilePointRef, ProfileStore, ProfileStoreView, StoreCodecError, StoreDiff,
+};
 pub use sync::{ReadDelayCalibration, TimeSync};
 pub use transport::{
     connect_with_retry, work, work_at, Coordinator, TransportError, WorkerOptions, WorkerSummary,

@@ -10,35 +10,37 @@ use std::path::Path;
 
 use crate::profile::{PowerProfile, ProfileAxis};
 use crate::runner::KernelPowerReport;
+use crate::store::{ProfileColumns, ProfileStoreView};
 
-/// Renders a profile as CSV with header
-/// `run,exec_pos,x_ns,total_w,xcd_w,iod_w,hbm_w,rest_w`, with `x` chosen by
-/// `axis`, sorted by x.
+/// Renders any columnar store — owned [`crate::store::ProfileStore`] or
+/// borrowed [`ProfileStoreView`] — as CSV with header
+/// `run,exec_pos,x_ns,total_w,xcd_w,iod_w,hbm_w,rest_w`, with `x` chosen
+/// by `axis`, sorted by x.
 ///
-/// Rows come out of the columnar store through a stable index argsort (no
-/// point structs are materialized), and points that fell outside any
-/// execution render the historical `4294967295` (`u32::MAX`) sentinel in
-/// the `exec_pos` field, so the CSV bytes are identical to what the
-/// array-of-structs implementation produced.
-pub fn profile_to_csv(profile: &PowerProfile, axis: ProfileAxis) -> String {
-    let store = &profile.store;
+/// Rows come out of the columns through a stable index argsort (no point
+/// structs are materialized), and points that fell outside any execution
+/// render the historical `4294967295` (`u32::MAX`) sentinel in the
+/// `exec_pos` field. Both implementations of [`ProfileColumns`] drive the
+/// exact same formatting over the exact same kernel, so a view renders
+/// byte-identically to the owned store it was decoded from.
+pub fn columns_to_csv<C: ProfileColumns + ?Sized>(store: &C, axis: ProfileAxis) -> String {
     let key = |i: usize| match axis {
-        ProfileAxis::RunTime => Some(store.run_time_ns(i)),
-        ProfileAxis::Toi => store.toi_ns(i),
+        ProfileAxis::RunTime => Some(store.run_time_at(i)),
+        ProfileAxis::Toi => store.toi_at(i),
     };
     let mut out = String::from("run,exec_pos,x_ns,total_w,xcd_w,iod_w,hbm_w,rest_w\n");
-    for i in store.argsort_by_axis(axis) {
+    for i in crate::store::argsort_columns_by_axis(store, axis) {
         let i = i as usize;
         let Some(x) = key(i) else { continue };
         if !x.is_finite() {
             continue;
         }
-        let power = store.power(i);
+        let power = store.power_at(i);
         let _ = writeln!(
             out,
             "{},{},{:.1},{:.3},{:.3},{:.3},{:.3},{:.3}",
-            store.run(i),
-            store.exec_pos(i).unwrap_or(u32::MAX),
+            store.run_at(i),
+            store.exec_pos_at(i).unwrap_or(u32::MAX),
             x,
             power.total(),
             power.xcd,
@@ -48,6 +50,19 @@ pub fn profile_to_csv(profile: &PowerProfile, axis: ProfileAxis) -> String {
         );
     }
     out
+}
+
+/// Renders a profile as CSV — see [`columns_to_csv`] for the format.
+pub fn profile_to_csv(profile: &PowerProfile, axis: ProfileAxis) -> String {
+    columns_to_csv(&profile.store, axis)
+}
+
+/// Renders a zero-copy store view as CSV, byte-identical to
+/// [`profile_to_csv`] over the decoded store — the view path goes from
+/// mapped file (or wire frame) straight to CSV text without materialising
+/// the per-column `Vec`s.
+pub fn view_to_csv(view: &ProfileStoreView<'_>, axis: ProfileAxis) -> String {
+    columns_to_csv(view, axis)
 }
 
 /// Writes a profile CSV to disk.

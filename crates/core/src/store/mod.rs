@@ -70,6 +70,15 @@ use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::profile::{ProfileAxis, ProfilePoint};
 
+mod columns;
+mod view;
+
+pub(crate) use columns::argsort_by_axis as argsort_columns_by_axis;
+pub use columns::ProfileColumns;
+pub use view::{ColumnLayout, ProfileStoreView, ViewPointRef};
+
+pub(crate) use view::F64Column;
+
 /// Magic bytes opening every persisted [`ProfileStore`].
 pub const STORE_MAGIC: [u8; 8] = *b"FGRVPROF";
 /// Current binary-format version.
@@ -170,9 +179,103 @@ impl ProfileStore {
     }
 
     /// Appends every point of another store (the merge operation).
+    /// Column-wise: reserves capacity from `other.len()` up front, then
+    /// copies each column as one slice append and splices the validity
+    /// bitmap at the bit level — bit-identical to pushing every point.
     pub fn extend_from(&mut self, other: &ProfileStore) {
-        for p in other.iter() {
-            self.push(p.to_point());
+        let old_len = self.len();
+        self.reserve_columns(other.len());
+        self.run.extend_from_slice(&other.run);
+        self.exec_pos.extend_from_slice(&other.exec_pos);
+        self.toi_ns.extend_from_slice(&other.toi_ns);
+        self.run_time_ns.extend_from_slice(&other.run_time_ns);
+        self.xcd.extend_from_slice(&other.xcd);
+        self.iod.extend_from_slice(&other.iod);
+        self.hbm.extend_from_slice(&other.hbm);
+        self.rest.extend_from_slice(&other.rest);
+        append_bitmap(
+            &mut self.in_exec,
+            old_len,
+            other.in_exec.iter().copied(),
+            other.len(),
+        );
+    }
+
+    /// Appends every point of a borrowed [`ProfileStoreView`], decoding
+    /// each column block once with unaligned little-endian loads — the
+    /// streaming-merge primitive: gathering shards appends views straight
+    /// into the output store without materializing an intermediate
+    /// `ProfileStore` per shard. Bit-identical to
+    /// `extend_from(&view.to_store())`.
+    pub fn extend_from_view(&mut self, view: &ProfileStoreView<'_>) {
+        let old_len = self.len();
+        self.reserve_columns(view.len());
+        self.run
+            .extend(view.run_block().iter().map(|c| u32::from_le_bytes(*c)));
+        self.exec_pos
+            .extend(view.exec_pos_block().iter().map(|c| u32::from_le_bytes(*c)));
+        for (col, which) in [
+            (&mut self.toi_ns, F64Column::Toi),
+            (&mut self.run_time_ns, F64Column::RunTime),
+            (&mut self.xcd, F64Column::Component(Component::Xcd)),
+            (&mut self.iod, F64Column::Component(Component::Iod)),
+            (&mut self.hbm, F64Column::Component(Component::Hbm)),
+            (&mut self.rest, F64Column::Component(Component::Rest)),
+        ] {
+            col.extend(
+                view.f64_block(which)
+                    .iter()
+                    .map(|c| f64::from_bits(u64::from_le_bytes(*c))),
+            );
+        }
+        append_bitmap(
+            &mut self.in_exec,
+            old_len,
+            view.bitmap_block().iter().map(|c| u64::from_le_bytes(*c)),
+            view.len(),
+        );
+    }
+
+    /// Reserves room for `additional` more points in every column.
+    fn reserve_columns(&mut self, additional: usize) {
+        let new_len = self.len() + additional;
+        self.run.reserve(additional);
+        self.exec_pos.reserve(additional);
+        self.toi_ns.reserve(additional);
+        self.run_time_ns.reserve(additional);
+        self.xcd.reserve(additional);
+        self.iod.reserve(additional);
+        self.hbm.reserve(additional);
+        self.rest.reserve(additional);
+        self.in_exec
+            .reserve(new_len.div_ceil(64) - self.in_exec.len());
+    }
+
+    /// Builds a store directly from decoded columns that already satisfy
+    /// the canonical-form invariants (the zero-copy view checked them at
+    /// construction time).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_validated_columns(
+        run: Vec<u32>,
+        exec_pos: Vec<u32>,
+        toi_ns: Vec<f64>,
+        run_time_ns: Vec<f64>,
+        xcd: Vec<f64>,
+        iod: Vec<f64>,
+        hbm: Vec<f64>,
+        rest: Vec<f64>,
+        in_exec: Vec<u64>,
+    ) -> ProfileStore {
+        ProfileStore {
+            run,
+            exec_pos,
+            toi_ns,
+            run_time_ns,
+            xcd,
+            iod,
+            hbm,
+            rest,
+            in_exec,
         }
     }
 
@@ -291,24 +394,17 @@ impl ProfileStore {
         &self.in_exec
     }
 
-    // -- column-wise reductions -----------------------------------------
+    // -- column-wise reductions (shared kernels) ------------------------
 
     /// Sum of every point's component power, in storage order (the same
     /// f64 addition order the AoS fold used, so means are bit-identical).
     pub fn sum_power(&self) -> ComponentPower {
-        let mut acc = ComponentPower::ZERO;
-        for i in 0..self.len() {
-            acc += self.power(i);
-        }
-        acc
+        columns::sum_power(self)
     }
 
     /// Mean component power over all points; `None` if empty.
     pub fn mean_power(&self) -> Option<ComponentPower> {
-        if self.is_empty() {
-            return None;
-        }
-        Some(self.sum_power() / self.len() as f64)
+        columns::mean_power(self)
     }
 
     /// Number of points that landed inside an execution (popcount of the
@@ -332,35 +428,12 @@ impl ProfileStore {
     /// before the value, which reproduces `Option<f64>` ordering exactly
     /// (`None` first, `NaN`s incomparable ⇒ stable).
     pub fn argsort_by_axis(&self, axis: ProfileAxis) -> Vec<u32> {
-        match axis {
-            ProfileAxis::RunTime => {
-                let mut pairs: Vec<(f64, u32)> =
-                    self.run_time_ns.iter().copied().zip(0..).collect();
-                pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-                pairs.into_iter().map(|(_, i)| i).collect()
-            }
-            ProfileAxis::Toi => {
-                let mut pairs: Vec<(u8, f64, u32)> = (0..self.len() as u32)
-                    .map(|i| match self.toi_ns(i as usize) {
-                        Some(t) => (1, t, i),
-                        None => (0, 0.0, i),
-                    })
-                    .collect();
-                pairs.sort_by(|a, b| {
-                    (a.0, a.1)
-                        .partial_cmp(&(b.0, b.1))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                });
-                pairs.into_iter().map(|(_, _, i)| i).collect()
-            }
-        }
+        columns::argsort_by_axis(self, axis)
     }
 
     /// Indices of points satisfying `pred`, in storage order.
     pub fn indices_where(&self, mut pred: impl FnMut(ProfilePointRef<'_>) -> bool) -> Vec<u32> {
-        (0..self.len() as u32)
-            .filter(|&i| pred(self.get(i as usize)))
-            .collect()
+        columns::indices_where(self, |c, i| pred(c.get(i)))
     }
 
     /// Indices of the points that landed inside an execution (the LOIs).
@@ -371,11 +444,7 @@ impl ProfileStore {
     /// Gathers the given indices into a new store (also the way to apply
     /// an [`ProfileStore::argsort_by_axis`] permutation).
     pub fn select(&self, indices: &[u32]) -> ProfileStore {
-        let mut out = ProfileStore::with_capacity(indices.len());
-        for &i in indices {
-            out.push(self.point(i as usize));
-        }
-        out
+        columns::select(self, indices)
     }
 
     /// A copy sorted by the chosen time axis.
@@ -530,42 +599,23 @@ impl ProfileStore {
 
     /// Decodes a store from an owned byte buffer, rejecting trailing bytes.
     ///
+    /// Internally this validates the buffer once through the zero-copy
+    /// [`ProfileStoreView`] (exact block-size check up front) and then
+    /// decodes each column into an exactly-sized `Vec` — no incremental
+    /// growth, no second validation pass.
+    ///
     /// # Errors
     ///
     /// As [`ProfileStore::read_from`], plus [`StoreCodecError::Corrupt`]
     /// when bytes remain after the bitmap block.
     pub fn from_bytes(bytes: &[u8]) -> Result<ProfileStore, StoreCodecError> {
-        let mut cursor = bytes;
-        let store = ProfileStore::read_from(&mut cursor)?;
-        if !cursor.is_empty() {
-            return Err(StoreCodecError::Corrupt(format!(
-                "{} trailing bytes after the bitmap block",
-                cursor.len()
-            )));
-        }
-        Ok(store)
+        Ok(ProfileStoreView::new(bytes)?.to_store())
     }
 
-    /// Checks the canonical-form invariants a decoded store must satisfy.
+    /// Checks the canonical-form invariants a decoded store must satisfy
+    /// (shared kernel with the zero-copy view decoder).
     fn validate(&self) -> Result<(), StoreCodecError> {
-        let len = self.len();
-        if !len.is_multiple_of(64) {
-            if let Some(&last) = self.in_exec.last() {
-                if last >> (len % 64) != 0 {
-                    return Err(StoreCodecError::Corrupt(
-                        "validity bitmap has bits set past the point count".into(),
-                    ));
-                }
-            }
-        }
-        for i in 0..len {
-            if !self.in_exec(i) && (self.exec_pos[i] != 0 || self.toi_ns[i].to_bits() != 0) {
-                return Err(StoreCodecError::Corrupt(format!(
-                    "point {i} is outside any execution but carries non-zero exec_pos/toi"
-                )));
-            }
-        }
-        Ok(())
+        columns::validate_canonical(self)
     }
 
     // -- column-wise diffing --------------------------------------------
@@ -576,46 +626,89 @@ impl ProfileStore {
     /// delta. The report is the zero-copy substrate for diffing persisted
     /// campaign artefacts across runs.
     pub fn diff(&self, other: &ProfileStore) -> StoreDiff {
-        let n = self.len().min(other.len());
-        let mut columns = Vec::new();
-        let mut diff_u32 = |name: &'static str, a: &[u32], b: &[u32]| {
-            let mut d = ColumnDiff::new(name);
-            for i in 0..n {
-                if a[i] != b[i] {
-                    d.record(i, (f64::from(a[i]) - f64::from(b[i])).abs());
-                }
-            }
-            columns.push(d);
-        };
-        diff_u32("run", &self.run, &other.run);
-        diff_u32("exec_pos", &self.exec_pos, &other.exec_pos);
-        let mut diff_f64 = |name: &'static str, a: &[f64], b: &[f64]| {
-            let mut d = ColumnDiff::new(name);
-            for i in 0..n {
-                if a[i].to_bits() != b[i].to_bits() {
-                    d.record(i, (a[i] - b[i]).abs());
-                }
-            }
-            columns.push(d);
-        };
-        diff_f64("toi_ns", &self.toi_ns, &other.toi_ns);
-        diff_f64("run_time_ns", &self.run_time_ns, &other.run_time_ns);
-        diff_f64("xcd", &self.xcd, &other.xcd);
-        diff_f64("iod", &self.iod, &other.iod);
-        diff_f64("hbm", &self.hbm, &other.hbm);
-        diff_f64("rest", &self.rest, &other.rest);
-        let mut d = ColumnDiff::new("in_exec");
-        for i in 0..n {
-            if self.in_exec(i) != other.in_exec(i) {
-                d.record(i, 1.0);
-            }
+        columns::diff(self, other)
+    }
+
+    /// Column-wise diff against a borrowed [`ProfileStoreView`] — the
+    /// same report as [`ProfileStore::diff`], without decoding the view.
+    pub fn diff_view(&self, other: &ProfileStoreView<'_>) -> StoreDiff {
+        columns::diff(self, other)
+    }
+}
+
+impl ProfileColumns for ProfileStore {
+    #[inline]
+    fn len(&self) -> usize {
+        self.run.len()
+    }
+    #[inline]
+    fn run_at(&self, i: usize) -> u32 {
+        self.run[i]
+    }
+    #[inline]
+    fn exec_pos_raw_at(&self, i: usize) -> u32 {
+        self.exec_pos[i]
+    }
+    #[inline]
+    fn toi_bits_at(&self, i: usize) -> u64 {
+        self.toi_ns[i].to_bits()
+    }
+    #[inline]
+    fn run_time_at(&self, i: usize) -> f64 {
+        self.run_time_ns[i]
+    }
+    #[inline]
+    fn xcd_at(&self, i: usize) -> f64 {
+        self.xcd[i]
+    }
+    #[inline]
+    fn iod_at(&self, i: usize) -> f64 {
+        self.iod[i]
+    }
+    #[inline]
+    fn hbm_at(&self, i: usize) -> f64 {
+        self.hbm[i]
+    }
+    #[inline]
+    fn rest_at(&self, i: usize) -> f64 {
+        self.rest[i]
+    }
+    #[inline]
+    fn validity_word_at(&self, w: usize) -> u64 {
+        self.in_exec[w]
+    }
+}
+
+/// Appends `src_len` points' worth of bitmap words onto `dst` (which
+/// holds `dst_len` points), splicing at the bit level when `dst_len` is
+/// not word-aligned. `src` must be canonical: bits at positions
+/// `>= src_len` in its final word are zero.
+fn append_bitmap(
+    dst: &mut Vec<u64>,
+    dst_len: usize,
+    src: impl Iterator<Item = u64>,
+    src_len: usize,
+) {
+    if src_len == 0 {
+        return;
+    }
+    let off = dst_len % 64;
+    if off == 0 {
+        dst.extend(src.take(src_len.div_ceil(64)));
+        return;
+    }
+    let mut remaining = src_len;
+    for w in src {
+        if remaining == 0 {
+            break;
         }
-        columns.push(d);
-        StoreDiff {
-            len_a: self.len(),
-            len_b: other.len(),
-            columns,
+        let take = remaining.min(64);
+        *dst.last_mut()
+            .expect("unaligned dst_len implies a last word") |= w << off;
+        if take > 64 - off {
+            dst.push(w >> (64 - off));
         }
+        remaining -= take;
     }
 }
 
@@ -765,12 +858,20 @@ fn read_u64<R: Read>(r: &mut R, block: &'static str) -> Result<u64, StoreCodecEr
     Ok(u64::from_le_bytes(b))
 }
 
-/// Elements read per `read_exact` when decoding a column. Bounds both the
+/// Elements read per `read_exact` when decoding a column. Bounds the
 /// syscall count on unbuffered readers (one read per chunk, not per
-/// element) and the memory committed before truncation is detected: a
-/// corrupt header advertising billions of points allocates at most one
-/// chunk before the first short read surfaces as `Truncated`.
+/// element) and — past [`PRESIZE_MAX_ELEMS`] — the memory committed
+/// before truncation is detected.
 const READ_CHUNK_ELEMS: usize = 64 * 1024;
+
+/// Row-count ceiling up to which a streamed column pre-sizes its `Vec`
+/// to the advertised length (one exact allocation, no growth
+/// reallocation). A (possibly corrupt) header advertising more rows
+/// than this falls back to chunked growth, so an adversarial length
+/// cannot commit gigabytes before the first short read surfaces as
+/// `Truncated`. 2 M points is ~112 MiB encoded — far beyond any real
+/// campaign store, tiny as a worst-case transient reservation.
+const PRESIZE_MAX_ELEMS: usize = 2 * 1024 * 1024;
 
 fn read_column<R: Read, T>(
     r: &mut R,
@@ -781,7 +882,12 @@ fn read_column<R: Read, T>(
 ) -> Result<Vec<T>, StoreCodecError> {
     let chunk_elems = READ_CHUNK_ELEMS.min(len.max(1));
     let mut buf = vec![0u8; chunk_elems * elem_size];
-    let mut out = Vec::with_capacity(chunk_elems.min(len));
+    let presize = if len <= PRESIZE_MAX_ELEMS {
+        len
+    } else {
+        chunk_elems
+    };
+    let mut out = Vec::with_capacity(presize);
     let mut remaining = len;
     while remaining > 0 {
         let n = remaining.min(chunk_elems);

@@ -12,7 +12,7 @@
 //!   per-slot path a local executor uses
 //!   (`crate::executor`'s claim loop), streaming scoped
 //!   [`ProfilingEvent`]s back as it runs and the finished
-//!   [`EntryArtifact`] — byte-for-byte the on-disk `FGRVCKPT` entry
+//!   [`EntryArtifact`](crate::checkpoint::EntryArtifact) — byte-for-byte the on-disk `FGRVCKPT` entry
 //!   section — when it completes;
 //! * the coordinator persists every artifact into a normal
 //!   [`CheckpointDir`], so [`crate::checkpoint::gather`] and
@@ -49,7 +49,7 @@
 //! length-framed [`Frame`]s: a `u32` tag, a `u64` payload length, and a
 //! payload encoded with the same little-endian field grammar as the
 //! `FGRVCKPT` format (the on-disk format *is* the wire format — an
-//! [`EntryArtifact`] travels as the exact bytes `EntryArtifact::write_to`
+//! [`EntryArtifact`](crate::checkpoint::EntryArtifact) travels as the exact bytes `EntryArtifact::write_to`
 //! persists). `docs/FORMATS.md` is the normative byte-level spec.
 //!
 //! ## Example: a distributed campaign on TCP loopback
@@ -109,7 +109,7 @@ use std::time::{Duration, Instant};
 use crate::campaign::Campaign;
 use crate::checkpoint::{
     campaign_digest, restore_done_entries, CampaignManifest, CheckpointDir, CheckpointError, Codec,
-    EntryArtifact, EntryStatus,
+    EntryArtifactView, EntryStatus,
 };
 use crate::error::{MethodologyError, MethodologyResult};
 use crate::executor::{
@@ -130,7 +130,7 @@ pub const WIRE_MAGIC: [u8; 8] = *b"FGRVWIRE";
 pub const WIRE_VERSION: u32 = 1;
 
 /// Hard ceiling on a frame payload length. The largest legitimate payload
-/// is an [`EntryArtifact`] (a full report with embedded profiles — tens
+/// is an [`EntryArtifact`](crate::checkpoint::EntryArtifact) (a full report with embedded profiles — tens
 /// of MiB at paper scale); anything above this is a corrupt length field,
 /// not data, and must not drive allocation.
 pub const MAX_FRAME_LEN: u64 = 1 << 30;
@@ -399,11 +399,11 @@ pub enum Frame {
     },
     /// Worker → coordinator: entry `index` finished; the payload is the
     /// entry's `FGRVCKPT` artifact, byte-for-byte what
-    /// [`EntryArtifact::write_to`] persists.
+    /// [`EntryArtifact::write_to`](crate::checkpoint::EntryArtifact::write_to) persists.
     Done {
         /// Campaign index.
         index: u64,
-        /// Encoded [`EntryArtifact`].
+        /// Encoded [`EntryArtifact`](crate::checkpoint::EntryArtifact).
         artifact: Vec<u8>,
     },
     /// Worker → coordinator: entry `index` failed.
@@ -422,9 +422,9 @@ pub enum Frame {
         index: u64,
     },
     /// Coordinator → worker: reply to [`Frame::Fetch`]; encoded
-    /// [`EntryArtifact`].
+    /// [`EntryArtifact`](crate::checkpoint::EntryArtifact).
     Artifact {
-        /// Encoded [`EntryArtifact`].
+        /// Encoded [`EntryArtifact`](crate::checkpoint::EntryArtifact).
         artifact: Vec<u8>,
     },
     /// Worker → coordinator: the worker is leaving; close the connection.
@@ -1140,23 +1140,26 @@ fn entry_done(
     index: usize,
     bytes: &[u8],
 ) -> Result<(), TransportError> {
-    let artifact = EntryArtifact::from_bytes(bytes)?;
-    if artifact.index as usize != index {
+    // Parse the received frame payload in place: the three profile
+    // stores stay borrowed views over `bytes`, so validating the
+    // artifact does not materialise its per-column `Vec`s.
+    let view = EntryArtifactView::parse(bytes)?;
+    if view.index as usize != index {
         return Err(TransportError::Protocol(format!(
             "artifact claims index {} but was delivered for entry {index}",
-            artifact.index
+            view.index
         )));
     }
-    if artifact.config_digest != shared.digest {
+    if view.config_digest != shared.digest {
         return Err(TransportError::DigestMismatch {
             expected: shared.digest,
-            found: artifact.config_digest,
+            found: view.config_digest,
         });
     }
-    if artifact.report.label != shared.campaign.entries()[index].desc.name {
+    if view.label() != shared.campaign.entries()[index].desc.name {
         return Err(TransportError::Protocol(format!(
             "artifact for entry {index} is labelled `{}` but the campaign says `{}`",
-            artifact.report.label,
+            view.label(),
             shared.campaign.entries()[index].desc.name
         )));
     }
@@ -1170,8 +1173,14 @@ fn entry_done(
     // same tampered file).
     let duplicates_ok = (|| -> Result<(), CheckpointError> {
         for (old_shard, path) in &shared.preexisting[index] {
-            let old = shared.dir.read_entry(path)?;
-            crate::checkpoint::verify_duplicate(index, *old_shard, &old, shard, &artifact)?;
+            let old = crate::mmap::MappedProfile::open(path)?;
+            crate::checkpoint::verify_duplicate_bytes(
+                index,
+                *old_shard,
+                old.bytes(),
+                shard,
+                bytes,
+            )?;
         }
         Ok(())
     })();
@@ -1186,14 +1195,18 @@ fn entry_done(
         shared.cond.notify_all();
         return Ok(());
     }
+    // One decode materialises the report for the in-memory record; the
+    // file gets the received bytes verbatim (the encoding is canonical,
+    // so they are exactly what a local `write_entry` would have written).
+    let report = view.to_report();
     let persist = (|| -> Result<(), CheckpointError> {
-        shared.dir.write_entry(shard, &artifact)?;
+        shared.dir.write_entry_bytes(shard, index, bytes)?;
         let mut state = shared.lock();
         state.manifest.entries[index].shard = shard;
         state.manifest.entries[index].status = EntryStatus::Done;
         shared.dir.write_manifest(&state.manifest)?;
         state.in_flight -= 1;
-        state.reports[index] = Some(artifact.report.clone());
+        state.reports[index] = Some(report.clone());
         Ok(())
     })();
     if let Some(e) = persist.err() {
@@ -1208,10 +1221,10 @@ fn entry_done(
             state.in_flight -= 1;
         }
         drop(state);
-        shared.observer.entry_finished(index, &artifact.report);
+        shared.observer.entry_finished(index, &report);
         return Ok(());
     }
-    shared.observer.entry_finished(index, &artifact.report);
+    shared.observer.entry_finished(index, &report);
     Ok(())
 }
 
@@ -1257,22 +1270,39 @@ fn fetch_artifact(shared: &CoordShared<'_>, index: u64) -> Result<Frame, Transpo
             shared.campaign.len()
         )));
     }
+    let (has_report, shard) = {
+        let state = shared.lock();
+        (
+            state.reports[index].is_some(),
+            state.manifest.entries[index].shard,
+        )
+    };
+    if !has_report {
+        return Err(TransportError::Protocol(format!(
+            "fetch for entry {index}, which has no report"
+        )));
+    }
+    // Zero-copy path: the artifact was persisted verbatim when its Done
+    // frame arrived, so serve the file's bytes straight back instead of
+    // cloning and re-encoding the in-memory report. The cheap parse
+    // guards against a damaged or replaced file — on any doubt, fall
+    // back to re-encoding from the report.
+    if let Ok(bytes) = std::fs::read(shared.dir.entry_path(shard, index)) {
+        if EntryArtifactView::parse(&bytes)
+            .is_ok_and(|v| v.index as usize == index && v.config_digest == shared.digest)
+        {
+            return Ok(Frame::Artifact { artifact: bytes });
+        }
+    }
     let state = shared.lock();
-    let Some(report) = state.reports[index].clone() else {
+    let Some(report) = state.reports[index].as_ref() else {
         return Err(TransportError::Protocol(format!(
             "fetch for entry {index}, which has no report"
         )));
     };
-    let digest = shared.digest;
+    let bytes = crate::checkpoint::encode_entry_bytes(index as u32, shared.digest, report);
     drop(state);
-    let artifact = EntryArtifact {
-        index: index as u32,
-        config_digest: digest,
-        report,
-    };
-    Ok(Frame::Artifact {
-        artifact: artifact.to_bytes(),
-    })
+    Ok(Frame::Artifact { artifact: bytes })
 }
 
 // ---------------------------------------------------------------------
@@ -1510,14 +1540,13 @@ pub fn work<F: crate::backend::BackendFactory>(
                 }
                 match result {
                     Ok(report) => {
-                        let artifact = EntryArtifact {
-                            index: index as u32,
-                            config_digest: digest,
-                            report,
-                        };
                         send(Frame::Done {
                             index: index as u64,
-                            artifact: artifact.to_bytes(),
+                            artifact: crate::checkpoint::encode_entry_bytes(
+                                index as u32,
+                                digest,
+                                &report,
+                            ),
                         })?;
                         summary.completed.push(index);
                     }
@@ -1553,20 +1582,22 @@ pub fn work<F: crate::backend::BackendFactory>(
             })?;
             match Frame::read_from(&mut reader)? {
                 Frame::Artifact { artifact } => {
-                    let artifact = EntryArtifact::from_bytes(&artifact)?;
-                    if artifact.index as usize != index {
+                    // Validate over the frame buffer, decode the report
+                    // once — no owned intermediate artifact.
+                    let view = EntryArtifactView::parse(&artifact)?;
+                    if view.index as usize != index {
                         return Err(TransportError::Protocol(format!(
                             "fetched artifact claims index {} (wanted {index})",
-                            artifact.index
+                            view.index
                         )));
                     }
-                    if artifact.config_digest != digest {
+                    if view.config_digest != digest {
                         return Err(TransportError::DigestMismatch {
                             expected: digest,
-                            found: artifact.config_digest,
+                            found: view.config_digest,
                         });
                     }
-                    reports.push(artifact.report);
+                    reports.push(view.to_report());
                 }
                 other => {
                     return Err(TransportError::Protocol(format!(

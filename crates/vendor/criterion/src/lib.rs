@@ -18,6 +18,22 @@
 //!   `target/criterion-shim/`, and `--baseline NAME` prints the relative
 //!   mean change against the saved record, upstream-style.
 //!
+//! Shim extensions for CI regression gating (no upstream equivalent):
+//!
+//! * `--baseline-dir DIR` points baseline storage/lookup at a directory
+//!   other than `target/criterion-shim/` — e.g. a *committed* baseline
+//!   checked into the repository;
+//! * `--regress-fail-pct P` arms the regression gate: after every group
+//!   has run, the process exits nonzero if any compared benchmark's mean
+//!   regressed more than `P` percent against the baseline;
+//! * `--compare-out FILE` writes the full comparison (every benchmark's
+//!   old/new mean and change, missing baselines, gate verdicts) as one
+//!   JSON document — the artifact CI uploads.
+//!
+//! The comparison log is process-global ([`finalize_comparisons`] drains
+//! it; [`criterion_main!`] calls that automatically), so multi-group
+//! bench binaries gate over all their groups at once.
+//!
 //! Like upstream, `--bench`/`--test` style argv from `cargo bench` is
 //! accepted and a positional filter restricts which benchmarks run.
 
@@ -25,6 +41,7 @@
 #![warn(rust_2018_idioms)]
 
 use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
@@ -51,6 +68,8 @@ pub struct Criterion {
     save_baseline: Option<String>,
     compare_baseline: Option<String>,
     baseline_dir: PathBuf,
+    regress_fail_pct: Option<f64>,
+    compare_out: Option<PathBuf>,
 }
 
 impl Default for Criterion {
@@ -61,6 +80,8 @@ impl Default for Criterion {
             save_baseline: None,
             compare_baseline: None,
             baseline_dir: PathBuf::from("target").join("criterion-shim"),
+            regress_fail_pct: None,
+            compare_out: None,
         }
     }
 }
@@ -69,24 +90,45 @@ impl Criterion {
     /// Applies `cargo bench` argv: most flags are ignored,
     /// `--save-baseline NAME` / `--baseline NAME` (space- or `=`-joined,
     /// as upstream's clap accepts both) arm baseline storage and
-    /// comparison, and the first positional argument becomes a substring
-    /// filter on benchmark names.
+    /// comparison, `--baseline-dir DIR` / `--regress-fail-pct P` /
+    /// `--compare-out FILE` configure the shim's regression gate, and the
+    /// first positional argument becomes a substring filter on benchmark
+    /// names.
     #[must_use]
-    pub fn configure_from_args(mut self) -> Self {
-        let mut args = std::env::args().skip(1);
+    pub fn configure_from_args(self) -> Self {
+        self.apply_args(std::env::args().skip(1))
+    }
+
+    fn apply_args(mut self, args: impl IntoIterator<Item = String>) -> Self {
+        let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--bench" | "--test" | "--nocapture" | "--quiet" | "--exact" => {}
                 "--save-baseline" => self.save_baseline = args.next(),
                 "--baseline" => self.compare_baseline = args.next(),
+                "--baseline-dir" => {
+                    if let Some(dir) = args.next() {
+                        self.baseline_dir = PathBuf::from(dir);
+                    }
+                }
+                "--regress-fail-pct" => {
+                    self.regress_fail_pct = args.next().as_deref().and_then(parse_fail_pct);
+                }
+                "--compare-out" => self.compare_out = args.next().map(PathBuf::from),
                 "--measurement-time" | "--warm-up-time" | "--sample-size" => {
                     let _ = args.next();
                 }
                 flag if flag.starts_with("--") => {
                     if let Some(name) = flag.strip_prefix("--save-baseline=") {
                         self.save_baseline = Some(name.to_string());
+                    } else if let Some(name) = flag.strip_prefix("--baseline-dir=") {
+                        self.baseline_dir = PathBuf::from(name);
                     } else if let Some(name) = flag.strip_prefix("--baseline=") {
                         self.compare_baseline = Some(name.to_string());
+                    } else if let Some(pct) = flag.strip_prefix("--regress-fail-pct=") {
+                        self.regress_fail_pct = parse_fail_pct(pct);
+                    } else if let Some(path) = flag.strip_prefix("--compare-out=") {
+                        self.compare_out = Some(PathBuf::from(path));
                     }
                 }
                 positional => self.filter = Some(positional.to_string()),
@@ -119,6 +161,21 @@ impl Criterion {
     /// programmatic equivalent of `--baseline`).
     pub fn retain_baseline(&mut self, name: impl Into<String>) -> &mut Self {
         self.compare_baseline = Some(name.into());
+        self
+    }
+
+    /// Arms the regression gate (the programmatic equivalent of
+    /// `--regress-fail-pct`): [`finalize_comparisons`] returns nonzero if
+    /// any compared benchmark's mean regressed more than `pct` percent.
+    pub fn regress_fail_pct(&mut self, pct: f64) -> &mut Self {
+        self.regress_fail_pct = (pct.is_finite() && pct >= 0.0).then_some(pct);
+        self
+    }
+
+    /// Sets where [`finalize_comparisons`] writes the comparison JSON
+    /// document (the programmatic equivalent of `--compare-out`).
+    pub fn compare_out(&mut self, path: impl Into<PathBuf>) -> &mut Self {
+        self.compare_out = Some(path.into());
         self
     }
 
@@ -168,6 +225,8 @@ impl Criterion {
             samples.len(),
         );
         if let Some(baseline) = &self.compare_baseline {
+            let mut log = COMPARE_LOG.lock().expect("comparison log poisoned");
+            log.absorb_config(self);
             match self.load_baseline(name, baseline) {
                 Some(old) if old.mean_ns > 0.0 => {
                     let change = (stats.mean_ns - old.mean_ns) / old.mean_ns * 100.0;
@@ -178,11 +237,21 @@ impl Criterion {
                         fmt_ns(old.mean_ns),
                         fmt_ns(stats.mean_ns),
                     );
+                    log.comparisons.push(ComparisonRecord {
+                        bench: name.to_string(),
+                        baseline: baseline.clone(),
+                        old_mean_ns: old.mean_ns,
+                        new_mean_ns: stats.mean_ns,
+                        change_pct: change,
+                    });
                 }
-                _ => println!(
-                    "{:<44} no saved baseline '{baseline}' for this benchmark",
-                    ""
-                ),
+                _ => {
+                    println!(
+                        "{:<44} no saved baseline '{baseline}' for this benchmark",
+                        ""
+                    );
+                    log.missing.push(name.to_string());
+                }
             }
         }
         if let Some(baseline) = &self.save_baseline {
@@ -262,6 +331,183 @@ pub struct BaselineRecord {
     pub samples: u64,
     /// Samples rejected by the IQR fence.
     pub rejected: u64,
+}
+
+fn parse_fail_pct(value: &str) -> Option<f64> {
+    match value.parse::<f64>() {
+        Ok(pct) if pct.is_finite() && pct >= 0.0 => Some(pct),
+        _ => {
+            eprintln!("warning: ignoring invalid --regress-fail-pct value '{value}'");
+            None
+        }
+    }
+}
+
+/// One benchmark's baseline comparison, as recorded in the
+/// `--compare-out` JSON document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonRecord {
+    /// Benchmark name.
+    pub bench: String,
+    /// Baseline it was compared against.
+    pub baseline: String,
+    /// The baseline's outlier-filtered mean, ns.
+    pub old_mean_ns: f64,
+    /// This run's outlier-filtered mean, ns.
+    pub new_mean_ns: f64,
+    /// Relative mean change, percent (positive = slower than baseline).
+    pub change_pct: f64,
+}
+
+/// The `--compare-out` JSON document: every comparison made by one bench
+/// process, plus the regression-gate verdicts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonReport {
+    /// The baseline name compared against.
+    pub baseline: String,
+    /// The armed gate threshold, percent (absent when not gating).
+    pub regress_fail_pct: Option<f64>,
+    /// Every benchmark that had a saved baseline record.
+    pub comparisons: Vec<ComparisonRecord>,
+    /// Benchmarks that ran but had no saved baseline (reported, never
+    /// failed — a freshly added benchmark must not break the gate).
+    pub missing: Vec<String>,
+    /// Benchmarks whose mean regressed past the threshold.
+    pub failed: Vec<String>,
+}
+
+/// Process-global accumulator behind [`finalize_comparisons`]. Benchmark
+/// groups each build their own [`Criterion`] from argv, so per-instance
+/// state cannot gate over the whole binary; every comparing `report()`
+/// appends here instead.
+#[derive(Debug, Default)]
+struct CompareLog {
+    baseline: Option<String>,
+    fail_pct: Option<f64>,
+    out: Option<PathBuf>,
+    comparisons: Vec<ComparisonRecord>,
+    missing: Vec<String>,
+}
+
+static COMPARE_LOG: Mutex<CompareLog> = Mutex::new(CompareLog::new());
+
+impl CompareLog {
+    const fn new() -> Self {
+        CompareLog {
+            baseline: None,
+            fail_pct: None,
+            out: None,
+            comparisons: Vec::new(),
+            missing: Vec::new(),
+        }
+    }
+
+    fn absorb_config(&mut self, c: &Criterion) {
+        if let Some(b) = &c.compare_baseline {
+            self.baseline = Some(b.clone());
+        }
+        if let Some(pct) = c.regress_fail_pct {
+            self.fail_pct = Some(pct);
+        }
+        if let Some(out) = &c.compare_out {
+            self.out = Some(out.clone());
+        }
+    }
+
+    fn build_report(&self) -> Option<ComparisonReport> {
+        let baseline = self.baseline.clone()?;
+        let failed = match self.fail_pct {
+            Some(pct) => self
+                .comparisons
+                .iter()
+                .filter(|c| c.change_pct > pct)
+                .map(|c| c.bench.clone())
+                .collect(),
+            None => Vec::new(),
+        };
+        Some(ComparisonReport {
+            baseline,
+            regress_fail_pct: self.fail_pct,
+            comparisons: self.comparisons.clone(),
+            missing: self.missing.clone(),
+            failed,
+        })
+    }
+}
+
+/// Drains the process-global comparison log accumulated by `--baseline`
+/// runs: writes the `--compare-out` JSON document (if requested), prints
+/// a gate summary, and returns the process exit code — `0` when clean or
+/// not comparing, `1` when any benchmark's mean regressed more than
+/// `--regress-fail-pct` percent. [`criterion_main!`] calls this after
+/// every group has run and exits nonzero on failure.
+pub fn finalize_comparisons() -> i32 {
+    let log = std::mem::take(&mut *COMPARE_LOG.lock().expect("comparison log poisoned"));
+    write_and_gate(&log)
+}
+
+fn write_and_gate(log: &CompareLog) -> i32 {
+    let Some(report) = log.build_report() else {
+        return 0;
+    };
+    if let Some(out) = &log.out {
+        if let Some(parent) = out.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("warning: could not create {}: {e}", parent.display());
+                }
+            }
+        }
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => match std::fs::write(out, json) {
+                Ok(()) => println!("comparison report written to {}", out.display()),
+                Err(e) => eprintln!(
+                    "warning: could not write comparison report to {}: {e}",
+                    out.display()
+                ),
+            },
+            Err(e) => eprintln!("warning: could not serialize comparison report: {e}"),
+        }
+    }
+    if !report.missing.is_empty() {
+        println!(
+            "note: no saved baseline '{}' for: {}",
+            report.baseline,
+            report.missing.join(", ")
+        );
+    }
+    if report.failed.is_empty() {
+        if let Some(pct) = report.regress_fail_pct {
+            println!(
+                "regression gate: all {} compared benchmark(s) within {pct}% of baseline '{}'",
+                report.comparisons.len(),
+                report.baseline
+            );
+        }
+        0
+    } else {
+        let pct = report.regress_fail_pct.unwrap_or(0.0);
+        eprintln!(
+            "regression gate FAILED: {} benchmark(s) regressed more than {pct}% \
+             vs baseline '{}':",
+            report.failed.len(),
+            report.baseline
+        );
+        for c in report
+            .comparisons
+            .iter()
+            .filter(|c| report.failed.contains(&c.bench))
+        {
+            eprintln!(
+                "  {}: {} -> {} ({:+.2}%)",
+                c.bench,
+                fmt_ns(c.old_mean_ns),
+                fmt_ns(c.new_mean_ns),
+                c.change_pct
+            );
+        }
+        1
+    }
 }
 
 /// Summary statistics over one benchmark's samples, after IQR outlier
@@ -427,12 +673,19 @@ macro_rules! criterion_group {
 }
 
 /// Declares the bench `main` from group functions, mirroring criterion's
-/// macro of the same name.
+/// macro of the same name. After every group has run, the shim's
+/// regression gate ([`finalize_comparisons`]) writes the `--compare-out`
+/// report and exits nonzero if any benchmark regressed past
+/// `--regress-fail-pct`.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            let gate = $crate::finalize_comparisons();
+            if gate != 0 {
+                std::process::exit(gate);
+            }
         }
     };
 }
@@ -528,6 +781,148 @@ mod tests {
         assert!(c2.load_baseline("shim/baseline", "main").is_some());
         assert!(c2.load_baseline("shim/baseline", "other").is_none());
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn argv_parsing_covers_the_gate_flags() {
+        // Space-joined forms.
+        let c = Criterion::default().apply_args(argv(&[
+            "--bench",
+            "--baseline",
+            "committed",
+            "--baseline-dir",
+            "some/dir",
+            "--regress-fail-pct",
+            "10",
+            "--compare-out",
+            "out/cmp.json",
+            "view",
+        ]));
+        assert_eq!(c.compare_baseline.as_deref(), Some("committed"));
+        assert_eq!(c.baseline_dir, PathBuf::from("some/dir"));
+        assert_eq!(c.regress_fail_pct, Some(10.0));
+        assert_eq!(c.compare_out, Some(PathBuf::from("out/cmp.json")));
+        assert_eq!(c.filter.as_deref(), Some("view"));
+
+        // `=`-joined forms parse identically.
+        let c = Criterion::default().apply_args(argv(&[
+            "--baseline=committed",
+            "--baseline-dir=some/dir",
+            "--regress-fail-pct=7.5",
+            "--compare-out=out/cmp.json",
+        ]));
+        assert_eq!(c.compare_baseline.as_deref(), Some("committed"));
+        assert_eq!(c.baseline_dir, PathBuf::from("some/dir"));
+        assert_eq!(c.regress_fail_pct, Some(7.5));
+        assert_eq!(c.compare_out, Some(PathBuf::from("out/cmp.json")));
+
+        // Invalid or negative thresholds are ignored, not a panic.
+        let c = Criterion::default().apply_args(argv(&["--regress-fail-pct", "banana"]));
+        assert_eq!(c.regress_fail_pct, None);
+        let c = Criterion::default().apply_args(argv(&["--regress-fail-pct=-3"]));
+        assert_eq!(c.regress_fail_pct, None);
+    }
+
+    fn cmp(bench: &str, change_pct: f64) -> ComparisonRecord {
+        ComparisonRecord {
+            bench: bench.to_string(),
+            baseline: "committed".to_string(),
+            old_mean_ns: 100.0,
+            new_mean_ns: 100.0 * (1.0 + change_pct / 100.0),
+            change_pct,
+        }
+    }
+
+    #[test]
+    fn gate_fails_only_past_the_threshold() {
+        let log = CompareLog {
+            baseline: Some("committed".to_string()),
+            fail_pct: Some(10.0),
+            out: None,
+            comparisons: vec![cmp("a/fast", -5.0), cmp("b/flat", 9.9), cmp("c/slow", 12.0)],
+            missing: vec!["d/new".to_string()],
+        };
+        let report = log.build_report().expect("comparing");
+        assert_eq!(report.failed, vec!["c/slow".to_string()]);
+        // Missing baselines are reported but never fail the gate.
+        assert_eq!(report.missing, vec!["d/new".to_string()]);
+        assert_eq!(write_and_gate(&log), 1);
+
+        // Without an armed threshold nothing fails, even big regressions.
+        let ungated = CompareLog {
+            fail_pct: None,
+            ..log
+        };
+        assert!(ungated.build_report().expect("comparing").failed.is_empty());
+        assert_eq!(write_and_gate(&ungated), 0);
+
+        // Not comparing at all is a clean exit.
+        assert_eq!(write_and_gate(&CompareLog::new()), 0);
+    }
+
+    #[test]
+    fn compare_out_json_round_trips_through_the_gate() {
+        let out = std::env::temp_dir().join(format!(
+            "criterion-shim-compare-{}/report.json",
+            std::process::id()
+        ));
+        let log = CompareLog {
+            baseline: Some("committed".to_string()),
+            fail_pct: Some(10.0),
+            out: Some(out.clone()),
+            comparisons: vec![cmp("a/fast", -5.0), cmp("c/slow", 12.0)],
+            missing: vec![],
+        };
+        assert_eq!(write_and_gate(&log), 1);
+        let text = std::fs::read_to_string(&out).expect("report written");
+        let parsed: ComparisonReport = serde_json::from_str(&text).expect("valid JSON");
+        assert_eq!(Some(parsed.clone()), log.build_report());
+        assert_eq!(parsed.regress_fail_pct, Some(10.0));
+        assert_eq!(parsed.comparisons.len(), 2);
+        assert_eq!(parsed.failed, vec!["c/slow".to_string()]);
+        std::fs::remove_dir_all(out.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn comparing_reports_feed_the_global_log() {
+        let dir = std::env::temp_dir().join(format!("criterion-shim-log-{}", std::process::id()));
+        // Unique names: the log is process-global and other tests share it.
+        let bench = format!("shim/global-log-{}", std::process::id());
+        let mut c = Criterion::default();
+        c.sample_size(3).baseline_dir(&dir).save_baseline("gate");
+        c.bench_function(&bench, |b| b.iter(|| std::hint::black_box(6 * 7)));
+
+        let mut c2 = Criterion::default();
+        c2.sample_size(3)
+            .baseline_dir(&dir)
+            .retain_baseline("gate")
+            .regress_fail_pct(1e6)
+            .compare_out(dir.join("cmp.json"));
+        c2.bench_function(&bench, |b| b.iter(|| std::hint::black_box(6 * 7)));
+        c2.bench_function(&format!("{bench}-unsaved"), |b| {
+            b.iter(|| std::hint::black_box(6 * 7))
+        });
+
+        // Inspect without draining: finalize_comparisons would race other
+        // tests' entries in this shared log.
+        let log = COMPARE_LOG.lock().expect("comparison log");
+        assert_eq!(log.baseline.as_deref(), Some("gate"));
+        assert_eq!(log.fail_pct, Some(1e6));
+        assert_eq!(log.out, Some(dir.join("cmp.json")));
+        let rec = log
+            .comparisons
+            .iter()
+            .find(|r| r.bench == bench)
+            .expect("compared bench recorded");
+        assert!(rec.old_mean_ns > 0.0 && rec.new_mean_ns > 0.0);
+        assert!(rec.change_pct.is_finite());
+        assert!(log.missing.iter().any(|m| m == &format!("{bench}-unsaved")));
+        drop(log);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -7,7 +7,9 @@ use std::path::Path;
 
 use fingrav::core::checkpoint::{CKPT_MAGIC, CKPT_VERSION};
 use fingrav::core::profile::ProfilePoint;
-use fingrav::core::store::{ProfileStore, STORE_MAGIC, STORE_VERSION};
+use fingrav::core::store::{
+    ColumnLayout, ProfileStore, ProfileStoreView, STORE_MAGIC, STORE_VERSION,
+};
 use fingrav::core::transport::{Frame, MAX_FRAME_LEN, WIRE_MAGIC, WIRE_VERSION};
 use fingrav::sim::ComponentPower;
 
@@ -169,6 +171,75 @@ fn fgrvprof_layout_matches_the_spec() {
     );
     let bitmap = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
     assert_eq!(bitmap, 0b111);
+}
+
+/// §2.1's in-place-read rules hold as documented: `ColumnLayout` matches
+/// the §2 offset table, the documented total-size formula is exact, the
+/// spec states the unaligned-read rule by name, and a store embedded at
+/// an *odd* byte offset (so every f64 block is misaligned) still decodes
+/// in place to exactly the owned values.
+#[test]
+fn fgrvprof_inplace_read_rules_match_the_spec() {
+    let spec = read_doc("FORMATS.md");
+    for phrase in [
+        "Alignment and in-place reads",
+        "No alignment is guaranteed",
+        "from_le_bytes",
+        "f64::from_bits",
+        "ColumnLayout",
+    ] {
+        assert!(
+            spec.contains(phrase),
+            "FORMATS.md §2.1 must state `{phrase}`"
+        );
+    }
+    // The architecture doc carries the matching data-flow section.
+    let arch = read_doc("ARCHITECTURE.md");
+    for phrase in [
+        "Zero-copy data flow",
+        "ProfileStoreView",
+        "extend_from_view",
+    ] {
+        assert!(
+            arch.contains(phrase),
+            "ARCHITECTURE.md must describe `{phrase}`"
+        );
+    }
+
+    // ColumnLayout is the offset table of §2 in executable form.
+    for n in [0usize, 1, 3, 64, 65, 1000] {
+        let l = ColumnLayout::for_len(n).expect("layout fits");
+        assert_eq!(l.run, 24);
+        assert_eq!(l.exec_pos, 24 + 4 * n);
+        assert_eq!(l.toi_ns, 24 + 8 * n);
+        assert_eq!(l.run_time_ns, l.toi_ns + 8 * n);
+        assert_eq!(l.xcd, l.run_time_ns + 8 * n);
+        assert_eq!(l.iod, l.xcd + 8 * n);
+        assert_eq!(l.hbm, l.iod + 8 * n);
+        assert_eq!(l.rest, l.hbm + 8 * n);
+        assert_eq!(l.bitmap, l.rest + 8 * n);
+        // The documented closed form for the total size.
+        assert_eq!(l.total, 24 + 2 * 4 * n + 6 * 8 * n + 8 * n.div_ceil(64));
+    }
+
+    // In-place decode at an odd offset: shift the encoding by one byte so
+    // no f64 block is 8-aligned, and the view must still serve exact
+    // values (the unaligned-read rule in action).
+    let mut store = ProfileStore::new();
+    for i in 0..5u32 {
+        store.push(ProfilePoint {
+            run: i,
+            exec_pos: Some(i),
+            toi_ns: Some(0.1 + f64::from(i)),
+            run_time_ns: -3.5 * f64::from(i),
+            power: ComponentPower::new(1.25, 2.5, 3.75, 5.0),
+        });
+    }
+    let mut shifted = vec![0xAAu8];
+    shifted.extend_from_slice(&store.to_bytes());
+    let view = ProfileStoreView::new(&shifted[1..]).expect("misaligned buffer decodes");
+    assert_eq!(view.to_store(), store);
+    assert_eq!(view.mean_power(), store.mean_power());
 }
 
 /// A wire frame lays out exactly as §4.2 documents: u32 tag, u64 payload
