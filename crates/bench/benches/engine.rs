@@ -1,0 +1,156 @@
+//! Engine hot-loop benchmarks: campaign throughput of the discrete-event
+//! simulator itself.
+//!
+//! Every campaign entry ultimately drains `sim::engine`'s event loop, so
+//! these benches bound how fast the layers above (sharded executors,
+//! checkpoints, transport) can possibly go. Three benches:
+//!
+//! * `run/noop` — a full instrumented profiling run (logger bracket around
+//!   a timed GEMM launch, then an 8 ms quiescent drain) on the unobserved
+//!   `run_script` path. This is the campaign hot path; the headline number
+//!   is runs/sec.
+//! * `run/observed` — the same run streamed through a counting closure
+//!   sink, so the delta against `run/noop` is the observation overhead.
+//! * `idle/50ms` — a pure sleep window, pumping only the four periodic
+//!   telemetry streams; the headline number is events/sec.
+//!
+//! Run with `cargo bench -p fingrav-bench --bench engine`. Use
+//! `--save-baseline NAME` / `--baseline NAME` to compare runs; CI gates on
+//! the committed baselines under `crates/bench/baselines/`.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fingrav_sim::config::SimConfig;
+use fingrav_sim::engine::Simulation;
+use fingrav_sim::script::Script;
+use fingrav_sim::session::{AbortHandle, TelemetryEvent};
+use fingrav_sim::time::SimDuration;
+use fingrav_workloads::suite;
+
+/// A fresh session plus the canonical instrumented profiling run: the
+/// same shape the methodology benches execute thousands of times per
+/// campaign (logger bracket, timed launch, quiescent drain).
+fn profiling_run() -> (Simulation, Script) {
+    let machine = SimConfig::default().machine;
+    let mut sim = Simulation::new(SimConfig::default(), 7).expect("config valid");
+    let k = sim
+        .register_kernel(suite::cb_gemm(&machine, 4096))
+        .expect("valid kernel");
+    let script = Script::builder()
+        .begin_run()
+        .start_power_logger()
+        .read_gpu_timestamp()
+        .launch_timed(k, 24)
+        .sleep(SimDuration::from_millis(1))
+        .read_gpu_timestamp()
+        .stop_power_logger()
+        .sleep(SimDuration::from_millis(8))
+        .build();
+    (sim, script)
+}
+
+/// Periodic events the engine pops in a window of simulated time (the
+/// four free-running telemetry streams; host/kernel events excluded).
+fn periodic_events_in(cfg: &SimConfig, window: SimDuration) -> u64 {
+    let w = window.as_nanos();
+    w / cfg.telemetry.sensor_period.as_nanos()
+        + w / cfg.pm.control_period.as_nanos()
+        + w / cfg.telemetry.logger_period.as_nanos()
+        + w / cfg.telemetry.coarse_period.as_nanos()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    // Sanity: the noop path and the observed path agree bit for bit
+    // before either timing is trusted, and the stream actually streams.
+    {
+        let (mut noop_sim, script) = profiling_run();
+        let noop_trace = noop_sim.run_script(&script).expect("script runs");
+        let (mut obs_sim, script) = profiling_run();
+        let mut events = 0u64;
+        let mut sink = |_e: TelemetryEvent| events += 1;
+        let obs_trace = obs_sim
+            .run_script_observed(&script, &mut sink, &AbortHandle::new())
+            .expect("script runs");
+        assert_eq!(noop_trace, obs_trace, "observed run must be bit-identical");
+        assert!(events > 10, "streaming must actually stream");
+        assert_eq!(noop_trace.executions.len(), 24);
+        assert!(!noop_trace.power_logs.is_empty());
+    }
+
+    // Headline throughput, printed up front (criterion times per-iter;
+    // these lines put the absolute rates on the record).
+    const WARM_RUNS: u32 = 50;
+    let (mut sim, script) = profiling_run();
+    let start = Instant::now();
+    for _ in 0..WARM_RUNS {
+        black_box(sim.run_script(&script).expect("script runs"));
+    }
+    let noop_elapsed = start.elapsed();
+    let runs_per_sec = f64::from(WARM_RUNS) / noop_elapsed.as_secs_f64();
+    let events_per_run = sim.engine_stats().events_popped / u64::from(WARM_RUNS);
+
+    let (mut sim, script) = profiling_run();
+    let abort = AbortHandle::new();
+    let start = Instant::now();
+    for _ in 0..WARM_RUNS {
+        let mut events = 0u64;
+        let mut sink = |_e: TelemetryEvent| events += 1;
+        black_box(
+            sim.run_script_observed(&script, &mut sink, &abort)
+                .expect("script runs"),
+        );
+        black_box(events);
+    }
+    let observed_elapsed = start.elapsed();
+
+    let idle_window = SimDuration::from_millis(50);
+    let idle_events = periodic_events_in(&SimConfig::default(), idle_window);
+    let mut idle = Simulation::new(SimConfig::default(), 9).expect("config valid");
+    const WARM_IDLES: u32 = 20;
+    let start = Instant::now();
+    for _ in 0..WARM_IDLES {
+        idle.advance_idle(idle_window).expect("idle");
+    }
+    let idle_elapsed = start.elapsed();
+    let events_per_sec = (idle_events * u64::from(WARM_IDLES)) as f64 / idle_elapsed.as_secs_f64();
+
+    println!(
+        "engine throughput: {runs_per_sec:.0} runs/sec (noop, {events_per_run} events/run), \
+         observed/noop overhead {:.2}x, {:.2}M periodic events/sec idle \
+         ({idle_events} events per 50 ms window)",
+        observed_elapsed.as_secs_f64() / noop_elapsed.as_secs_f64(),
+        events_per_sec / 1e6,
+    );
+
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20);
+
+    group.bench_function("run/noop", |b| {
+        let (mut sim, script) = profiling_run();
+        b.iter(|| black_box(sim.run_script(&script).expect("script runs")));
+    });
+
+    group.bench_function("run/observed", |b| {
+        let (mut sim, script) = profiling_run();
+        let abort = AbortHandle::new();
+        b.iter(|| {
+            let mut events = 0u64;
+            let mut sink = |_e: TelemetryEvent| events += 1;
+            let trace = sim
+                .run_script_observed(&script, &mut sink, &abort)
+                .expect("script runs");
+            black_box((trace.executions.len(), events))
+        });
+    });
+
+    group.bench_function("idle/50ms", |b| {
+        let mut sim = Simulation::new(SimConfig::default(), 9).expect("config valid");
+        b.iter(|| sim.advance_idle(idle_window).expect("idle"));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

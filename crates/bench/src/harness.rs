@@ -318,17 +318,28 @@ impl CampaignObserver for CampaignProgress {
         self.tally.entry_event(index, event);
     }
 
+    fn entry_engine_stats(&self, index: usize, stats: fingrav_sim::engine::EngineStats) {
+        self.tally.entry_engine_stats(index, stats);
+    }
+
     fn entry_finished(&self, index: usize, report: &KernelPowerReport) {
         self.tally.entry_finished(index, report);
+        // Engine stats arrive just before `entry_finished`, so the tally
+        // already includes this entry's counters; the rate is campaign
+        // events over campaign wall-clock (all workers combined).
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let events = self.tally.engine_events();
         eprintln!(
-            "  [{}/{}] {} done in {:.1}s: {} logs, {} launches, {} SSP LOIs",
+            "  [{}/{}] {} done in {elapsed:.1}s: {} logs, {} launches, {} SSP LOIs, \
+             {:.1}M engine events ({:.1}M/s)",
             self.tally.finished(),
             self.total,
             report.label,
-            self.started.elapsed().as_secs_f64(),
             self.tally.logs(index),
             self.tally.launches(index),
             report.ssp_loi_count(),
+            events as f64 / 1e6,
+            events as f64 / 1e6 / elapsed.max(1e-9),
         );
     }
 

@@ -27,7 +27,7 @@
 //! workers.
 
 use fingrav_sim::config::SimConfig;
-use fingrav_sim::engine::Simulation;
+use fingrav_sim::engine::{EngineStats, Simulation};
 use fingrav_sim::kernel::{KernelDesc, KernelHandle};
 use fingrav_sim::rng::mix_seed;
 use fingrav_sim::script::Script;
@@ -74,6 +74,37 @@ pub trait PowerBackend {
     /// Returns [`MethodologyError::Backend`] on device errors.
     fn run_script(&mut self, script: &Script) -> MethodologyResult<RunTrace> {
         self.run_script_observed(script, &mut NoopSink, &AbortHandle::new())
+    }
+
+    /// Statically-dispatched variant of [`PowerBackend::run_script_observed`]
+    /// for callers that know their backend type: backends whose engine loop
+    /// is generic over the sink (the simulator) override this so the sink's
+    /// `on_event` inlines into the hot loop instead of paying virtual
+    /// dispatch per event. The default simply forwards to the dyn
+    /// primitive, so the two paths are interchangeable — and bit-identical
+    /// — for every backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MethodologyError::Backend`] on device errors.
+    fn run_script_with<S: TelemetrySink>(
+        &mut self,
+        script: &Script,
+        sink: &mut S,
+        abort: &AbortHandle,
+    ) -> MethodologyResult<RunTrace>
+    where
+        Self: Sized,
+    {
+        self.run_script_observed(script, sink, abort)
+    }
+
+    /// Cumulative engine hot-loop counters for this session (events
+    /// popped, queue high-water mark, scripts run), when the backend
+    /// tracks them. Purely informational — campaign observers surface
+    /// these as throughput telemetry. The default reports nothing.
+    fn engine_stats(&self) -> Option<EngineStats> {
+        None
     }
 
     /// Begins an observable, abortable script session: events flow into
@@ -288,6 +319,28 @@ impl PowerBackend for Simulation {
             .map_err(|e| MethodologyError::Backend(e.to_string()))
     }
 
+    /// Monomorphized fast path: the simulator's engine loop is generic
+    /// over the sink, so dispatching statically here lets `on_event`
+    /// inline into the loop body.
+    fn run_script_with<S: TelemetrySink>(
+        &mut self,
+        script: &Script,
+        sink: &mut S,
+        abort: &AbortHandle,
+    ) -> MethodologyResult<RunTrace> {
+        Simulation::run_script_observed(self, script, sink, abort)
+            .map_err(|e| MethodologyError::Backend(e.to_string()))
+    }
+
+    /// Monomorphized batch path (no-op sink inlines to nothing).
+    fn run_script(&mut self, script: &Script) -> MethodologyResult<RunTrace> {
+        Simulation::run_script(self, script).map_err(|e| MethodologyError::Backend(e.to_string()))
+    }
+
+    fn engine_stats(&self) -> Option<EngineStats> {
+        Some(Simulation::engine_stats(self))
+    }
+
     fn logger_window(&self) -> SimDuration {
         self.config().telemetry.logger_window
     }
@@ -331,6 +384,62 @@ mod tests {
         assert_eq!(trace.executions.len(), 2);
         assert_eq!(backend.logger_window(), SimDuration::from_millis(1));
         assert_eq!(backend.gpu_counter_hz(), 100e6);
+    }
+
+    #[test]
+    fn static_and_dyn_dispatch_produce_bit_identical_traces() {
+        // The monomorphized fast path must be the dyn primitive in every
+        // observable respect: same trace bits, same event stream.
+        let script = |sim: &mut Simulation| {
+            let k = PowerBackend::register_kernel(sim, &desc()).unwrap();
+            Script::builder()
+                .begin_run()
+                .start_power_logger()
+                .launch_timed(k, 3)
+                .sleep(SimDuration::from_millis(1))
+                .stop_power_logger()
+                .build()
+        };
+
+        let mut a = Simulation::new(SimConfig::default(), 31).unwrap();
+        let sc = script(&mut a);
+        let mut dyn_events = 0usize;
+        let mut dyn_sink = |_e: fingrav_sim::session::TelemetryEvent| dyn_events += 1;
+        let dyn_trace = {
+            let backend: &mut dyn PowerBackend = &mut a;
+            backend
+                .run_script_observed(&sc, &mut dyn_sink, &AbortHandle::new())
+                .unwrap()
+        };
+
+        let mut b = Simulation::new(SimConfig::default(), 31).unwrap();
+        let sc = script(&mut b);
+        let mut static_events = 0usize;
+        let mut static_sink = |_e: fingrav_sim::session::TelemetryEvent| static_events += 1;
+        let static_trace = b
+            .run_script_with(&sc, &mut static_sink, &AbortHandle::new())
+            .unwrap();
+
+        assert_eq!(dyn_trace, static_trace);
+        assert_eq!(dyn_events, static_events);
+        assert!(static_events > 10, "the stream must actually stream");
+    }
+
+    #[test]
+    fn engine_stats_surface_through_the_backend_trait() {
+        let mut sim = Simulation::new(SimConfig::default(), 3).unwrap();
+        let backend: &mut dyn PowerBackend = &mut sim;
+        assert_eq!(
+            backend.engine_stats(),
+            Some(EngineStats::default()),
+            "a fresh session has run nothing"
+        );
+        let k = backend.register_kernel(&desc()).unwrap();
+        let script = Script::builder().launch_timed(k, 2).build();
+        backend.run_script(&script).unwrap();
+        let stats = backend.engine_stats().expect("simulator tracks stats");
+        assert!(stats.events_popped > 0);
+        assert_eq!(stats.scripts_run, 1);
     }
 
     #[test]

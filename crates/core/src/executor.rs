@@ -85,12 +85,13 @@ use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 
-use crate::backend::BackendFactory;
+use crate::backend::{BackendFactory, PowerBackend};
 use crate::campaign::{Campaign, CampaignReport};
 use crate::checkpoint::{CampaignManifest, CheckpointDir, CheckpointError, EntryStatus};
 use crate::error::{MethodologyError, MethodologyResult};
 use crate::observe::{ProfilingEvent, ProfilingSink};
 use crate::runner::{FingravRunner, KernelPowerReport};
+use fingrav_sim::engine::EngineStats;
 use fingrav_sim::session::TelemetryEvent;
 
 /// Cooperative cancellation for a whole campaign: the same shared-flag
@@ -119,6 +120,13 @@ pub trait CampaignObserver: Sync {
     fn entry_finished(&self, index: usize, report: &KernelPowerReport) {
         let _ = (index, report);
     }
+    /// Engine hot-loop counters of the backend that profiled entry
+    /// `index`, harvested right before its `entry_finished`. Only emitted
+    /// for backends that track them (the simulator does); fleet-mode
+    /// workers surface these as throughput telemetry.
+    fn entry_engine_stats(&self, index: usize, stats: EngineStats) {
+        let _ = (index, stats);
+    }
     /// Entry `index` failed (including [`MethodologyError::Aborted`] when
     /// a cancellation cut its session short).
     fn entry_failed(&self, index: usize, error: &MethodologyError) {
@@ -145,6 +153,8 @@ pub struct CampaignTally {
     logs: Vec<AtomicU64>,
     launches: Vec<AtomicU64>,
     finished: AtomicUsize,
+    engine_events: AtomicU64,
+    engine_scripts: AtomicU64,
 }
 
 impl CampaignTally {
@@ -154,6 +164,8 @@ impl CampaignTally {
             logs: (0..entries).map(|_| AtomicU64::new(0)).collect(),
             launches: (0..entries).map(|_| AtomicU64::new(0)).collect(),
             finished: AtomicUsize::new(0),
+            engine_events: AtomicU64::new(0),
+            engine_scripts: AtomicU64::new(0),
         }
     }
 
@@ -170,6 +182,18 @@ impl CampaignTally {
     /// Entries that have produced a report so far.
     pub fn finished(&self) -> usize {
         self.finished.load(Ordering::Relaxed)
+    }
+
+    /// Engine events popped across all finished entries (simulator
+    /// backends only — the hot-loop throughput counter).
+    pub fn engine_events(&self) -> u64 {
+        self.engine_events.load(Ordering::Relaxed)
+    }
+
+    /// Engine scripts run across all finished entries (simulator backends
+    /// only).
+    pub fn engine_scripts(&self) -> u64 {
+        self.engine_scripts.load(Ordering::Relaxed)
     }
 }
 
@@ -190,6 +214,13 @@ impl CampaignObserver for CampaignTally {
 
     fn entry_finished(&self, _index: usize, _report: &KernelPowerReport) {
         self.finished.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn entry_engine_stats(&self, _index: usize, stats: EngineStats) {
+        self.engine_events
+            .fetch_add(stats.events_popped, Ordering::Relaxed);
+        self.engine_scripts
+            .fetch_add(stats.scripts_run, Ordering::Relaxed);
     }
 }
 
@@ -678,6 +709,10 @@ impl CampaignObserver for PersistingObserver<'_> {
         self.inner.entry_finished(index, report);
     }
 
+    fn entry_engine_stats(&self, index: usize, stats: EngineStats) {
+        self.inner.entry_engine_stats(index, stats);
+    }
+
     fn entry_failed(&self, index: usize, error: &MethodologyError) {
         let status = if matches!(error, MethodologyError::Aborted) {
             EntryStatus::Aborted
@@ -727,18 +762,31 @@ pub(crate) fn profile_slot<F: BackendFactory>(
     observer.entry_started(index, &entry.desc.name);
     let result = (|| {
         let mut backend = factory.create(index)?;
-        let mut sink = SlotSink { index, observer };
-        let mut runner =
-            FingravRunner::new(&mut backend, entry.effective_config(campaign.config()))
-                .with_observer(&mut sink)
-                .with_abort(cancel.clone());
-        runner.profile(&entry.desc)
+        let report = {
+            let mut sink = SlotSink { index, observer };
+            let mut runner =
+                FingravRunner::new(&mut backend, entry.effective_config(campaign.config()))
+                    .with_observer(&mut sink)
+                    .with_abort(cancel.clone());
+            runner.profile(&entry.desc)?
+        };
+        // The runner's borrow has ended: harvest the engine's hot-loop
+        // counters so fleet-mode workers can report throughput.
+        Ok((report, backend.engine_stats()))
     })();
-    match &result {
-        Ok(report) => observer.entry_finished(index, report),
-        Err(e) => observer.entry_failed(index, e),
+    match result {
+        Ok((report, stats)) => {
+            if let Some(stats) = stats {
+                observer.entry_engine_stats(index, stats);
+            }
+            observer.entry_finished(index, &report);
+            Ok(report)
+        }
+        Err(e) => {
+            observer.entry_failed(index, &e);
+            Err(e)
+        }
     }
-    result
 }
 
 /// Per-slot outcome of a sharded campaign, in campaign order.
@@ -848,6 +896,30 @@ mod tests {
             .run(|i| Simulation::new(SimConfig::default(), factory.slot_seed(i)).expect("valid"))
             .unwrap();
         assert_eq!(serial, legacy);
+    }
+
+    #[test]
+    fn engine_stats_reach_campaign_observers() {
+        let campaign = campaign_of(2);
+        let factory = SimulationFactory::new(SimConfig::default(), 501);
+        let tally = CampaignTally::new(2);
+        let outcome = CampaignExecutor::serial().execute_observed(
+            &campaign,
+            &factory,
+            &tally,
+            &CancellationToken::new(),
+        );
+        assert!(outcome.is_complete());
+        assert!(
+            tally.engine_events() > 1_000,
+            "profiling pops thousands of engine events, saw {}",
+            tally.engine_events()
+        );
+        assert!(
+            tally.engine_scripts() >= 2,
+            "each entry runs several scripts, saw {}",
+            tally.engine_scripts()
+        );
     }
 
     #[test]

@@ -176,15 +176,18 @@ impl<'a, B: PowerBackend> StagePipeline<'a, B> {
     /// here, so the observed and unobserved paths issue the identical
     /// backend call sequence.
     fn run_script(&mut self, script: &Script) -> MethodologyResult<RunTrace> {
+        // Both arms use the statically-dispatched `run_script_with` (B is
+        // Sized here), so a monomorphizing backend inlines the sink into
+        // its event loop — NoopSink in particular costs nothing per event.
         let trace = match self.observer.as_deref_mut() {
             Some(sink) => {
                 let mut forward = ForwardDeviceEvents(sink);
                 self.backend
-                    .run_script_observed(script, &mut forward, &self.abort)?
+                    .run_script_with(script, &mut forward, &self.abort)?
             }
             None => self
                 .backend
-                .run_script_observed(script, &mut NoopSink, &self.abort)?,
+                .run_script_with(script, &mut NoopSink, &self.abort)?,
         };
         if trace.aborted {
             return Err(MethodologyError::Aborted);

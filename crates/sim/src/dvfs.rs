@@ -151,6 +151,13 @@ impl PmFirmware {
     }
 
     /// Runs one control tick and returns the (possibly unchanged) frequency.
+    ///
+    /// Contract relied on by the engine's hot loop: when
+    /// `input.busy_in_window` is false, `avg_power_w` is **never read** —
+    /// the idle path only consults `idle_for`. The engine exploits this to
+    /// skip the O(window) power fold on idle control ticks, passing NaN as
+    /// a poison value so any future read of the average on the idle path
+    /// would surface immediately (see the idle-path poison test below).
     pub fn tick(&mut self, input: PmInput) -> f64 {
         let c = self.cfg;
         if !input.busy_in_window {
@@ -338,6 +345,38 @@ mod tests {
         let in_band = PmConfig::default().power_cap_w * 0.97;
         pm.tick(busy(in_band));
         assert_eq!(pm.f_mhz(), f);
+    }
+
+    #[test]
+    fn idle_path_never_reads_the_power_average() {
+        // The engine skips the O(window) power fold on idle control ticks
+        // and passes NaN for the average. The idle path must behave
+        // identically whether the average is a real number or poison:
+        // park decisions depend only on `idle_for`.
+        let run = |avg: f64| {
+            let mut pm = PmFirmware::default();
+            for _ in 0..20 {
+                pm.tick(busy(300.0));
+            }
+            let mut fs = Vec::new();
+            for idle_us in [0, 100, 400, 600, 5_000] {
+                fs.push(pm.tick(PmInput {
+                    avg_power_w: avg,
+                    busy_in_window: false,
+                    idle_for: SimDuration::from_micros(idle_us),
+                }));
+            }
+            (fs, pm)
+        };
+        let (fs_real, pm_real) = run(150.0);
+        let (fs_nan, pm_nan) = run(f64::NAN);
+        assert_eq!(fs_real, fs_nan);
+        assert_eq!(pm_real, pm_nan);
+        assert_eq!(
+            *fs_nan.last().unwrap(),
+            PmConfig::default().idle_f_mhz,
+            "long idle still parks"
+        );
     }
 
     #[test]

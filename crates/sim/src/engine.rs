@@ -14,9 +14,9 @@ use crate::config::SimConfig;
 use crate::device::GpuDevice;
 use crate::dvfs::{PmFirmware, PmInput};
 use crate::error::{SimError, SimResult};
-use crate::event::EventQueue;
+use crate::event::{HybridQueue, Popped};
 use crate::kernel::{KernelDesc, KernelHandle};
-use crate::power::PowerModel;
+use crate::power::{FreqFactors, PowerModel};
 use crate::rng::SimRng;
 use crate::script::{HostOp, Script};
 use crate::session::{AbortHandle, NoopSink, TelemetryEvent, TelemetrySink};
@@ -25,17 +25,21 @@ use crate::thermal::ThermalState;
 use crate::time::{CpuTime, SimDuration, SimTime};
 use crate::trace::{RunTrace, TimedExecution, TimestampRead, TrueExecution};
 
-/// Internal simulator events.
+/// Periodic slots of the hot-loop queue: the four free-running
+/// telemetry/control streams occupy fixed O(1) cursors in the
+/// [`HybridQueue`]; only the irregular host/kernel events below go
+/// through its heap half.
+const SLOT_SENSOR: usize = 0;
+const SLOT_PM_TICK: usize = 1;
+const SLOT_LOGGER_EMIT: usize = 2;
+const SLOT_COARSE_EMIT: usize = 3;
+/// Number of periodic slots.
+const PERIODIC_SLOTS: usize = 4;
+
+/// Irregular simulator events (the heap half of the queue); the strictly
+/// periodic streams are the `SLOT_*` cursors above.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Event {
-    /// Periodic instantaneous power sample.
-    Sensor,
-    /// Power-management firmware control tick.
-    PmTick,
-    /// Fine logger emission tick.
-    LoggerEmit,
-    /// Coarse logger emission tick.
-    CoarseEmit,
     /// Host continues execution.
     HostResume(HostPhase),
     /// The running kernel (of this generation) finishes.
@@ -71,6 +75,42 @@ struct ScriptState {
     pending_op: Option<usize>,
     /// Set when an abort cut the script short.
     aborted: bool,
+}
+
+/// Cumulative hot-loop counters for one simulated session.
+///
+/// Harvested by the campaign executor after each entry so fleet-mode
+/// workers can report engine throughput alongside their results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events popped off the queue across all scripts run so far.
+    pub events_popped: u64,
+    /// High-water mark of the pending-event count.
+    pub max_queue_depth: usize,
+    /// Scripts run to completion (including aborted ones).
+    pub scripts_run: u64,
+}
+
+/// Loop-invariant values hoisted out of the per-event handlers: periods,
+/// window lengths, fallback constants, and the sensor-cadence thermal
+/// decay are fixed for the life of a session (the configuration is
+/// immutable after construction), so the hot loop never re-derives them.
+#[derive(Debug, Clone, Copy)]
+struct HotLoop {
+    sensor_period: SimDuration,
+    pm_period: SimDuration,
+    logger_period: SimDuration,
+    coarse_period: SimDuration,
+    power_window: SimDuration,
+    /// Busy detection reacts fast (a couple of control periods); only
+    /// the cap decision uses the long slow-PPT power window.
+    busy_window: SimDuration,
+    /// `idle_for` handed to the firmware when the device has never run.
+    idle_fallback: SimDuration,
+    /// Thermal relaxation factor for one sensor period.
+    sensor_decay: f64,
+    completion_latency: SimDuration,
+    record_instant_trace: bool,
 }
 
 /// A persistent simulated profiling session on one GPU.
@@ -116,7 +156,7 @@ pub struct Simulation {
     cfg: SimConfig,
     master_seed: u64,
     now: SimTime,
-    queue: EventQueue<Event>,
+    queue: HybridQueue<Event, PERIODIC_SLOTS>,
     cpu_clock: CpuClock,
     gpu_clock: GpuClock,
     device: GpuDevice,
@@ -129,6 +169,15 @@ pub struct Simulation {
     pm_hist: VecDeque<(SimTime, f64)>,
     rng: SimRng,
     script: Option<ScriptState>,
+    hot: HotLoop,
+    /// Frequency-dependent power factors cached on the exact bit pattern
+    /// of the core frequency they were computed for: DVFS moves a few
+    /// dozen times per run while the sensor fires thousands of times.
+    freq_cache: (u64, FreqFactors),
+    /// Pooled ops buffer, reused across scripts instead of a per-run
+    /// `to_vec`.
+    ops_scratch: Vec<HostOp>,
+    stats: EngineStats,
 }
 
 impl Simulation {
@@ -153,10 +202,24 @@ impl Simulation {
         let pm = PmFirmware::new(cfg.pm);
         let logger = AveragingPowerLogger::new(cfg.telemetry.logger_window);
         let coarse = AveragingPowerLogger::new(cfg.telemetry.coarse_window);
+        let hot = HotLoop {
+            sensor_period: cfg.telemetry.sensor_period,
+            pm_period: cfg.pm.control_period,
+            logger_period: cfg.telemetry.logger_period,
+            coarse_period: cfg.telemetry.coarse_period,
+            power_window: cfg.pm.power_window,
+            busy_window: cfg.pm.control_period * 2,
+            idle_fallback: SimDuration::from_millis(1_000_000),
+            sensor_decay: thermal.decay_for(cfg.telemetry.sensor_period.as_secs_f64()),
+            completion_latency: cfg.host.completion_latency,
+            record_instant_trace: cfg.telemetry.record_instant_trace,
+        };
+        let f0 = device.f_mhz();
+        let freq_cache = (f0.to_bits(), power_model.freq_factors(f0));
         Ok(Simulation {
             now: SimTime::ZERO,
             master_seed: seed,
-            queue: EventQueue::new(),
+            queue: HybridQueue::new(),
             cpu_clock,
             gpu_clock,
             device,
@@ -168,6 +231,10 @@ impl Simulation {
             pm_hist: VecDeque::new(),
             rng: SimRng::from_streams(seed, 0),
             script: None,
+            hot,
+            freq_cache,
+            ops_scratch: Vec::new(),
+            stats: EngineStats::default(),
             cfg,
         })
     }
@@ -238,6 +305,15 @@ impl Simulation {
         self.device.f_mhz()
     }
 
+    /// Cumulative hot-loop counters for this session: events popped,
+    /// queue-depth high-water mark, scripts completed.
+    pub fn engine_stats(&self) -> EngineStats {
+        EngineStats {
+            max_queue_depth: self.queue.high_water(),
+            ..self.stats
+        }
+    }
+
     /// Registers a kernel for launching, validating its descriptor.
     ///
     /// # Errors
@@ -278,34 +354,57 @@ impl Simulation {
     /// take effect between ops and between launch executions, the device
     /// is always quiescent afterwards and the session remains usable.
     ///
+    /// The loop is monomorphized over the sink type: statically-known
+    /// sinks (closures, [`NoopSink`]) inline their `on_event` into the
+    /// loop body, while object-safe callers can still pass
+    /// `&mut dyn TelemetrySink` (`S = dyn TelemetrySink`).
+    ///
     /// See [`crate::session`] for the event-ordering guarantees.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::UnknownKernel`] if the script launches an
     /// unregistered kernel.
-    pub fn run_script_observed(
+    pub fn run_script_observed<S: TelemetrySink + ?Sized>(
         &mut self,
         script: &Script,
-        sink: &mut dyn TelemetrySink,
+        sink: &mut S,
         abort: &AbortHandle,
     ) -> SimResult<RunTrace> {
-        // Validate all kernel references up front.
+        // Validate all kernel references up front, counting the expected
+        // trace sizes in the same pass so the vectors never regrow.
+        let mut expected_execs = 0usize;
+        let mut expected_reads = 0usize;
         for op in script.ops() {
-            if let HostOp::LaunchTimed { kernel, .. } = op {
-                if self.device.kernel(*kernel).is_none() {
-                    return Err(SimError::UnknownKernel {
-                        index: kernel.index(),
-                    });
+            match op {
+                HostOp::LaunchTimed { kernel, executions } => {
+                    if self.device.kernel(*kernel).is_none() {
+                        return Err(SimError::UnknownKernel {
+                            index: kernel.index(),
+                        });
+                    }
+                    expected_execs += *executions as usize;
                 }
+                HostOp::ReadGpuTimestamp => expected_reads += 1,
+                _ => {}
             }
         }
 
+        let mut ops = std::mem::take(&mut self.ops_scratch);
+        ops.clear();
+        ops.extend_from_slice(script.ops());
+        let mut trace = RunTrace::default();
+        trace.executions.reserve(expected_execs);
+        trace.truth.executions.reserve(expected_execs);
+        trace.timestamp_reads.reserve(expected_reads);
+        // DVFS moves a few dozen times per run at most.
+        trace.truth.freq_changes.reserve(32);
+
         self.script = Some(ScriptState {
-            ops: script.ops().to_vec(),
+            ops,
             op_idx: 0,
             launch: None,
-            trace: RunTrace::default(),
+            trace,
             done: false,
             pending_op: None,
             aborted: false,
@@ -313,10 +412,10 @@ impl Simulation {
 
         // Seed the recurring background events on their global grids so the
         // loggers are effectively free-running across scripts.
-        self.schedule_on_grid(self.cfg.telemetry.sensor_period, Event::Sensor);
-        self.schedule_on_grid(self.cfg.pm.control_period, Event::PmTick);
-        self.schedule_on_grid(self.cfg.telemetry.logger_period, Event::LoggerEmit);
-        self.schedule_on_grid(self.cfg.telemetry.coarse_period, Event::CoarseEmit);
+        self.arm_on_grid(self.hot.sensor_period, SLOT_SENSOR);
+        self.arm_on_grid(self.hot.pm_period, SLOT_PM_TICK);
+        self.arm_on_grid(self.hot.logger_period, SLOT_LOGGER_EMIT);
+        self.arm_on_grid(self.hot.coarse_period, SLOT_COARSE_EMIT);
 
         // Record the initial frequency so the truth timeline has an origin.
         let f0 = self.device.f_mhz();
@@ -338,23 +437,32 @@ impl Simulation {
                 .expect("no pending events while the script is blocked");
             debug_assert!(t >= self.now, "event time precedes current time");
             self.now = t;
+            self.stats.events_popped += 1;
             match ev {
-                Event::Sensor => self.handle_sensor(),
-                Event::PmTick => self.handle_pm_tick(),
-                Event::LoggerEmit => self.handle_logger_emit(sink),
-                Event::CoarseEmit => self.handle_coarse_emit(sink),
-                Event::HostResume(phase) => self.handle_host(phase, sink, abort),
-                Event::KernelEnd { generation } => self.handle_kernel_end(generation),
+                Popped::Periodic(SLOT_SENSOR) => self.handle_sensor(),
+                Popped::Periodic(SLOT_PM_TICK) => self.handle_pm_tick(),
+                Popped::Periodic(SLOT_LOGGER_EMIT) => self.handle_logger_emit(sink),
+                Popped::Periodic(SLOT_COARSE_EMIT) => self.handle_coarse_emit(sink),
+                Popped::Periodic(slot) => unreachable!("unknown periodic slot {slot}"),
+                Popped::Irregular(Event::HostResume(phase)) => {
+                    self.handle_host(phase, sink, abort);
+                }
+                Popped::Irregular(Event::KernelEnd { generation }) => {
+                    self.handle_kernel_end(generation);
+                }
             }
         }
 
         let mut state = self.script.take().expect("script state");
+        // Return the ops buffer to the pool for the next script.
+        self.ops_scratch = std::mem::take(&mut state.ops);
         state.trace.aborted = state.aborted;
         state.trace.power_logs = self.logger.drain_logs();
         state.trace.coarse_logs = self.coarse.drain_logs();
         state.trace.truth.final_temp_c = self.thermal.temp_c();
         // Drop leftover background/stale events; the next script reseeds.
         self.queue.clear();
+        self.stats.scripts_run += 1;
         sink.on_event(TelemetryEvent::ScriptDone {
             aborted: state.aborted,
         });
@@ -375,28 +483,54 @@ impl Simulation {
     // Event handlers
     // ------------------------------------------------------------------
 
-    fn schedule_on_grid(&mut self, period: SimDuration, ev: Event) {
+    /// Arms a periodic slot on its global grid, exactly where the old
+    /// heap-based queue scheduled the matching event: both the seeding at
+    /// script start and the re-arm after each firing use the same
+    /// `(now / p + 1) · p` formula (for a firing at a multiple of `p`
+    /// this equals `t + p`), so the sequence counter advances at
+    /// identical program points and FIFO tie order is preserved.
+    fn arm_on_grid(&mut self, period: SimDuration, slot: usize) {
         let p = period.as_nanos();
         let next = (self.now.as_nanos() / p + 1) * p;
-        self.queue.schedule(SimTime::from_nanos(next), ev);
+        self.queue.arm(slot, SimTime::from_nanos(next));
+    }
+
+    /// Re-arms a periodic slot from inside its own handler, where `now` is
+    /// the slot's armed firing time and therefore already a multiple of
+    /// `period` — so `now + period` equals [`Simulation::arm_on_grid`]'s
+    /// `(now / p + 1) · p` exactly, without the division. The division-free
+    /// form matters: the grid divide was the single largest per-event cost
+    /// left in the loop (one `u64` divide per periodic event).
+    fn rearm_from_handler(&mut self, period: SimDuration, slot: usize) {
+        debug_assert_eq!(
+            self.now.as_nanos() % period.as_nanos(),
+            0,
+            "periodic handler fired off its own grid"
+        );
+        self.queue.arm(
+            slot,
+            SimTime::from_nanos(self.now.as_nanos() + period.as_nanos()),
+        );
     }
 
     fn handle_sensor(&mut self) {
         let t = self.now;
-        let power = self.power_model.instantaneous(
+        let f = self.device.f_mhz();
+        if f.to_bits() != self.freq_cache.0 {
+            self.freq_cache = (f.to_bits(), self.power_model.freq_factors(f));
+        }
+        let power = self.power_model.instantaneous_with(
             self.device.activity(),
-            self.device.f_mhz(),
+            self.freq_cache.1,
             self.thermal.temp_c(),
         );
-        self.thermal.step(
-            self.cfg.telemetry.sensor_period.as_secs_f64(),
-            power.total(),
-        );
+        self.thermal
+            .step_decayed(self.hot.sensor_decay, power.total());
         self.logger.push_sample(t, power);
         self.coarse.push_sample(t, power);
 
         self.pm_hist.push_back((t, power.total()));
-        let cutoff = t.saturating_sub(self.cfg.pm.power_window);
+        let cutoff = t.saturating_sub(self.hot.power_window);
         while let Some(&(front, _)) = self.pm_hist.front() {
             if front < cutoff {
                 self.pm_hist.pop_front();
@@ -405,31 +539,31 @@ impl Simulation {
             }
         }
 
-        if self.cfg.telemetry.record_instant_trace {
+        if self.hot.record_instant_trace {
             if let Some(s) = self.script.as_mut() {
                 s.trace.truth.instant_power.push((t, power));
             }
         }
-        self.schedule_on_grid(self.cfg.telemetry.sensor_period, Event::Sensor);
+        self.rearm_from_handler(self.hot.sensor_period, SLOT_SENSOR);
     }
 
     fn handle_pm_tick(&mut self) {
         let t = self.now;
-        let avg_power_w = if self.pm_hist.is_empty() {
+        let busy_in_window = self.device.busy_within(t, self.hot.busy_window);
+        // The firmware's idle path never reads the window average (a
+        // documented contract of `PmFirmware::tick`), so the O(window)
+        // fold is skipped on idle control ticks; NaN poisons any
+        // accidental read.
+        let avg_power_w = if !busy_in_window {
+            f64::NAN
+        } else if self.pm_hist.is_empty() {
             self.power_model
                 .idle_power(self.device.f_mhz(), self.thermal.temp_c())
                 .total()
         } else {
             self.pm_hist.iter().map(|&(_, p)| p).sum::<f64>() / self.pm_hist.len() as f64
         };
-        // Busy detection reacts fast (a couple of control periods); only
-        // the cap decision uses the long slow-PPT power window.
-        let busy_window = self.cfg.pm.control_period * 2;
-        let busy_in_window = self.device.busy_within(t, busy_window);
-        let idle_for = self
-            .device
-            .idle_for(t)
-            .unwrap_or(SimDuration::from_millis(1_000_000));
+        let idle_for = self.device.idle_for(t).unwrap_or(self.hot.idle_fallback);
         let new_f = self.pm.tick(PmInput {
             avg_power_w,
             busy_in_window,
@@ -443,29 +577,29 @@ impl Simulation {
                 self.queue.schedule(end, Event::KernelEnd { generation });
             }
         }
-        self.schedule_on_grid(self.cfg.pm.control_period, Event::PmTick);
+        self.rearm_from_handler(self.hot.pm_period, SLOT_PM_TICK);
     }
 
-    fn handle_logger_emit(&mut self, sink: &mut dyn TelemetrySink) {
+    fn handle_logger_emit<S: TelemetrySink + ?Sized>(&mut self, sink: &mut S) {
         let ticks = self.gpu_clock.ticks_at(self.now);
         if let Some(log) = self.logger.emit(self.now, ticks) {
             sink.on_event(TelemetryEvent::PowerLogEmitted { coarse: false, log });
         }
-        self.schedule_on_grid(self.cfg.telemetry.logger_period, Event::LoggerEmit);
+        self.rearm_from_handler(self.hot.logger_period, SLOT_LOGGER_EMIT);
     }
 
-    fn handle_coarse_emit(&mut self, sink: &mut dyn TelemetrySink) {
+    fn handle_coarse_emit<S: TelemetrySink + ?Sized>(&mut self, sink: &mut S) {
         let ticks = self.gpu_clock.ticks_at(self.now);
         if let Some(log) = self.coarse.emit(self.now, ticks) {
             sink.on_event(TelemetryEvent::PowerLogEmitted { coarse: true, log });
         }
-        self.schedule_on_grid(self.cfg.telemetry.coarse_period, Event::CoarseEmit);
+        self.rearm_from_handler(self.hot.coarse_period, SLOT_COARSE_EMIT);
     }
 
     fn handle_kernel_end(&mut self, generation: u64) {
         let t = self.now;
         if let Some(record) = self.device.complete(generation, t) {
-            let completion = self.cfg.host.completion_latency;
+            let completion = self.hot.completion_latency;
             let s = self.script.as_mut().expect("script in progress");
             let index = s.launch.as_ref().map(|l| l.completed).unwrap_or(u32::MAX);
             s.trace.truth.executions.push(TrueExecution {
@@ -507,7 +641,12 @@ impl Simulation {
             .schedule(t + d, Event::HostResume(HostPhase::KernelBegin));
     }
 
-    fn handle_host(&mut self, phase: HostPhase, sink: &mut dyn TelemetrySink, abort: &AbortHandle) {
+    fn handle_host<S: TelemetrySink + ?Sized>(
+        &mut self,
+        phase: HostPhase,
+        sink: &mut S,
+        abort: &AbortHandle,
+    ) {
         let t = self.now;
         match phase {
             HostPhase::KernelBegin => {
@@ -555,7 +694,7 @@ impl Simulation {
 
     /// Emits the `OpFinished` of the blocking op that just completed, if
     /// one is pending.
-    fn finish_pending_op(&mut self, sink: &mut dyn TelemetrySink) {
+    fn finish_pending_op<S: TelemetrySink + ?Sized>(&mut self, sink: &mut S) {
         if let Some(index) = self.script.as_mut().and_then(|s| s.pending_op.take()) {
             sink.on_event(TelemetryEvent::OpFinished { index });
         }
@@ -563,7 +702,7 @@ impl Simulation {
 
     /// Interprets script operations until one blocks (schedules a resume
     /// event), the script ends, or an abort is observed at an op boundary.
-    fn process_ops(&mut self, sink: &mut dyn TelemetrySink, abort: &AbortHandle) {
+    fn process_ops<S: TelemetrySink + ?Sized>(&mut self, sink: &mut S, abort: &AbortHandle) {
         self.finish_pending_op(sink);
         loop {
             let t = self.now;
@@ -1018,6 +1157,25 @@ mod tests {
         let trace = s.run_script(&script).unwrap();
         assert!(trace.executions.is_empty());
         assert!(trace.truth.executions.is_empty());
+    }
+
+    #[test]
+    fn engine_stats_accumulate_across_scripts() {
+        let mut s = sim(70);
+        assert_eq!(s.engine_stats(), EngineStats::default());
+        s.advance_idle(SimDuration::from_millis(1)).unwrap();
+        let first = s.engine_stats();
+        assert!(first.events_popped > 0, "popped {}", first.events_popped);
+        assert!(
+            first.max_queue_depth >= 4,
+            "four periodic streams plus the host must be pending at once, depth {}",
+            first.max_queue_depth
+        );
+        assert_eq!(first.scripts_run, 1);
+        s.advance_idle(SimDuration::from_millis(1)).unwrap();
+        let second = s.engine_stats();
+        assert!(second.events_popped > first.events_popped);
+        assert_eq!(second.scripts_run, 2);
     }
 
     #[test]

@@ -338,6 +338,17 @@ impl Default for PowerModelConfig {
     }
 }
 
+/// Frequency-dependent scale factors of the power model, computed once per
+/// core-frequency change by [`PowerModel::freq_factors`] and reused across
+/// sensor samples by [`PowerModel::instantaneous_with`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FreqFactors {
+    /// Dynamic-power scale for the XCDs: `(V/V_ref)² · (f/f_ref)`.
+    pub scale: f64,
+    /// Milder scale for data movement (IOD/HBM).
+    pub mem_scale: f64,
+}
+
 /// Evaluates instantaneous component power for a machine state.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PowerModel {
@@ -374,20 +385,42 @@ impl PowerModel {
     /// Instantaneous power at the given activity, core frequency, and die
     /// temperature.
     pub fn instantaneous(&self, activity: Activity, f_mhz: f64, temp_c: f64) -> ComponentPower {
+        self.instantaneous_with(activity, self.freq_factors(f_mhz), temp_c)
+    }
+
+    /// The frequency-dependent scale factors of the model, split out so the
+    /// engine can cache them between frequency changes: the DVFS clock only
+    /// moves a few dozen times per run while the sensor samples thousands
+    /// of times, and the VF-curve lookup plus `powi` dominate
+    /// [`PowerModel::instantaneous`] otherwise. For any `f_mhz`,
+    /// `instantaneous_with(a, freq_factors(f), t)` is bit-identical to
+    /// `instantaneous(a, f, t)` — it *is* that call.
+    pub fn freq_factors(&self, f_mhz: f64) -> FreqFactors {
         let c = &self.cfg;
         let v = c.vf.voltage(f_mhz);
         let v_ref = c.vf.voltage(c.f_ref_mhz);
         let scale = (v / v_ref).powi(2) * (f_mhz.min(c.vf.f_max_mhz()) / c.f_ref_mhz);
-
-        let leak_mult = 1.0 + c.leak_per_deg_c * (temp_c - c.t_ref_c);
-        let leak_mult = leak_mult.max(0.5);
-
-        let dyn_xcd = activity.xcd * c.dyn_max.xcd * scale;
         // IOD/HBM activity tracks data movement, which is largely
         // independent of the core clock: only a milder frequency dependence.
         let mem_scale = 0.25 + 0.75 * (f_mhz / c.f_ref_mhz).clamp(0.0, 1.0);
-        let dyn_iod = activity.iod * c.dyn_max.iod * mem_scale;
-        let dyn_hbm = activity.hbm * c.dyn_max.hbm * mem_scale;
+        FreqFactors { scale, mem_scale }
+    }
+
+    /// Instantaneous power with precomputed frequency factors (see
+    /// [`PowerModel::freq_factors`]).
+    pub fn instantaneous_with(
+        &self,
+        activity: Activity,
+        factors: FreqFactors,
+        temp_c: f64,
+    ) -> ComponentPower {
+        let c = &self.cfg;
+        let leak_mult = 1.0 + c.leak_per_deg_c * (temp_c - c.t_ref_c);
+        let leak_mult = leak_mult.max(0.5);
+
+        let dyn_xcd = activity.xcd * c.dyn_max.xcd * factors.scale;
+        let dyn_iod = activity.iod * c.dyn_max.iod * factors.mem_scale;
+        let dyn_hbm = activity.hbm * c.dyn_max.hbm * factors.mem_scale;
 
         let delivered = ComponentPower {
             xcd: c.idle.xcd * leak_mult + dyn_xcd,
@@ -537,6 +570,33 @@ mod tests {
             xcd_drop > hbm_drop,
             "core clock halving must hit XCD harder: xcd {xcd_drop:.3} hbm {hbm_drop:.3}"
         );
+    }
+
+    #[test]
+    fn cached_freq_factors_are_bit_identical_to_direct_evaluation() {
+        // The engine caches FreqFactors between DVFS changes; the split
+        // path must reproduce `instantaneous` to the last bit across the
+        // whole operating envelope (including off-curve frequencies).
+        let m = model();
+        let a = Activity::new(0.73, 0.41, 0.58);
+        let mut f = 200.0;
+        while f <= 2600.0 {
+            let factors = m.freq_factors(f);
+            let mut t = 20.0;
+            while t <= 110.0 {
+                let direct = m.instantaneous(a, f, t);
+                let cached = m.instantaneous_with(a, factors, t);
+                for c in Component::ALL {
+                    assert_eq!(
+                        direct.get(c).to_bits(),
+                        cached.get(c).to_bits(),
+                        "component {c} differs at f={f} t={t}"
+                    );
+                }
+                t += 7.3;
+            }
+            f += 93.7;
+        }
     }
 
     #[test]

@@ -88,8 +88,21 @@ impl ThermalState {
     /// change the trajectory.
     pub fn step(&mut self, dt_s: f64, power_w: f64) {
         debug_assert!(dt_s >= 0.0);
+        self.step_decayed(self.decay_for(dt_s), power_w);
+    }
+
+    /// The relaxation factor for a step of `dt_s` seconds, split out so a
+    /// fixed-cadence caller (the engine's sensor tick) can evaluate the
+    /// exponential once and reuse it: `step_decayed(decay_for(dt), p)` is
+    /// bit-identical to `step(dt, p)` — it *is* that call.
+    pub fn decay_for(&self, dt_s: f64) -> f64 {
+        (-dt_s / self.cfg.tau_s).exp()
+    }
+
+    /// Advances the model by one step with a precomputed relaxation factor
+    /// (see [`ThermalState::decay_for`]).
+    pub fn step_decayed(&mut self, decay: f64, power_w: f64) {
         let target = self.steady_state_c(power_w);
-        let decay = (-dt_s / self.cfg.tau_s).exp();
         self.temp_c = target + (self.temp_c - target) * decay;
     }
 
@@ -158,6 +171,22 @@ mod tests {
         }
         let delta = t.temp_c() - ThermalConfig::default().initial_c;
         assert!(delta > 0.1 && delta < 5.0, "delta {delta}");
+    }
+
+    #[test]
+    fn precomputed_decay_is_bit_identical_to_step() {
+        // The engine hoists `decay_for(sensor_period)` out of the sensor
+        // handler; the trajectory must match `step` to the last bit.
+        let mut a = state();
+        let mut b = state();
+        let decay = b.decay_for(20e-6);
+        let mut p = 150.0;
+        for _ in 0..5000 {
+            a.step(20e-6, p);
+            b.step_decayed(decay, p);
+            assert_eq!(a.temp_c().to_bits(), b.temp_c().to_bits());
+            p = 150.0 + (p * 1.01) % 600.0;
+        }
     }
 
     #[test]

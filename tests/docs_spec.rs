@@ -259,3 +259,25 @@ fn fgrvwire_frame_layout_matches_the_spec() {
     assert_eq!(u64::from_le_bytes(empty[4..12].try_into().unwrap()), 0);
     assert_eq!(empty.len(), 12);
 }
+
+/// The architecture doc's engine hot-loop section names the actual
+/// scheduling and dispatch machinery the engine is built on, so the doc
+/// cannot silently rot away from the code.
+#[test]
+fn engine_hot_loop_section_matches_the_engine() {
+    let arch = read_doc("ARCHITECTURE.md");
+    for phrase in [
+        "Engine hot loop",
+        "HybridQueue",
+        "sequence counter",
+        "monomorphizes",
+        "TelemetrySink",
+        "run_script_with",
+        "EngineStats",
+    ] {
+        assert!(
+            arch.contains(phrase),
+            "ARCHITECTURE.md engine hot-loop section must describe `{phrase}`"
+        );
+    }
+}
