@@ -15,6 +15,8 @@
 //! All baselines run under the same conditions as the FinGraV runner
 //! (same scripts, delays, and idle gaps) via [`common::BaselineConfig`].
 
+// No unsafe anywhere in this crate; `fgrv-lint`'s unsafe-audit keeps it so.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -18,6 +18,8 @@
 //! | Fig. 10  | [`experiments::fig10`]   | collectives vs CB-8K-GEMM, per component |
 //! | Table II | [`experiments::table2`]  | takeaway/recommendation verification |
 
+// No unsafe anywhere in this crate; `fgrv-lint`'s unsafe-audit keeps it so.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -260,6 +260,17 @@ pub(crate) fn read_exact_ck<R: Read>(
     })
 }
 
+/// Decodes a `u64` count/index and converts it to `usize`, surfacing
+/// values that do not fit the host address width as typed corruption
+/// instead of silently truncating (a 32-bit host reading a 64-bit
+/// producer's checkpoint).
+fn decode_usize<R: Read>(r: &mut R) -> Result<usize, CheckpointError> {
+    let v = u64::decode(r)?;
+    usize::try_from(v).map_err(|_| {
+        CheckpointError::Corrupt(format!("count {v} does not fit the host address width"))
+    })
+}
+
 /// Binary little-endian encode/decode of one checkpoint field.
 ///
 /// Floats travel as raw bit patterns, so every round trip is bit-exact —
@@ -329,7 +340,7 @@ impl Codec for String {
         w.write_all(self.as_bytes())
     }
     fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
-        let len = u64::decode(r)? as usize;
+        let len = decode_usize(r)?;
         if len > MAX_STR_LEN {
             return Err(CheckpointError::Corrupt(format!(
                 "implausible string length {len}"
@@ -374,7 +385,7 @@ impl<T: Codec> Codec for Vec<T> {
         Ok(())
     }
     fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
-        let len = u64::decode(r)? as usize;
+        let len = decode_usize(r)?;
         if len > MAX_SEQ_LEN {
             return Err(CheckpointError::Corrupt(format!(
                 "implausible sequence length {len}"
@@ -410,11 +421,11 @@ macro_rules! u64_newtype_codec {
         impl Codec for $t {
             const BLOCK: &'static str = $label;
             fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
-                #[allow(clippy::redundant_closure_call)]
+                #[allow(clippy::redundant_closure_call)] // macro-passed closure, called once
                 ($get)(self).encode(w)
             }
             fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
-                #[allow(clippy::redundant_closure_call)]
+                #[allow(clippy::redundant_closure_call)] // macro-passed closure, called once
                 Ok(($make)(u64::decode(r)?))
             }
         }
@@ -667,14 +678,14 @@ impl Codec for TelemetryEvent {
     fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
         match u8::decode(r)? {
             0 => Ok(TelemetryEvent::ScriptStarted {
-                ops: u64::decode(r)? as usize,
+                ops: decode_usize(r)?,
             }),
             1 => Ok(TelemetryEvent::OpStarted {
-                index: u64::decode(r)? as usize,
+                index: decode_usize(r)?,
                 op: HostOp::decode(r)?,
             }),
             2 => Ok(TelemetryEvent::OpFinished {
-                index: u64::decode(r)? as usize,
+                index: decode_usize(r)?,
             }),
             3 => Ok(TelemetryEvent::PowerLogEmitted {
                 coarse: bool::decode(r)?,
@@ -818,7 +829,7 @@ impl Codec for Binning {
     }
     fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
         let bins: Vec<Bin> = Vec::decode(r)?;
-        let golden = u64::decode(r)? as usize;
+        let golden = decode_usize(r)?;
         // A valid binning always holds at least one bin (the golden one),
         // so an empty bin list is rejected here too — `golden_bin()`
         // indexes `bins[golden]` and must never panic on decoded data.
@@ -1748,7 +1759,9 @@ impl CheckpointDir {
         bytes: &[u8],
     ) -> Result<PathBuf, CheckpointError> {
         let path = self.entry_path(shard, index);
-        fs::create_dir_all(path.parent().expect("entry paths have a shard parent"))?;
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
         // Write-to-temp then rename, like the manifest: a crash mid-write
         // must never leave a truncated `entry-*.fgrvckpt` behind (the
         // `.tmp` suffix keeps it invisible to the entry-file scan, so a

@@ -575,7 +575,7 @@ impl CampaignExecutor {
     /// observer in the persisting observer, runs the plan over the (possibly
     /// prefilled) outcome, then surfaces any persistence failure recorded
     /// along the way.
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // internal driver; args mirror run()'s knobs
     fn run_checkpointed<F: BackendFactory>(
         &self,
         campaign: &Campaign,

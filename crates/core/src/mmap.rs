@@ -93,14 +93,14 @@ impl MappedProfile {
     pub fn open<P: AsRef<Path>>(path: P) -> io::Result<MappedProfile> {
         let file = File::open(path.as_ref())?;
         let len = file.metadata()?.len();
-        if len > usize::MAX as u64 {
-            return Err(io::Error::new(
+        let len = usize::try_from(len).map_err(|_| {
+            io::Error::new(
                 io::ErrorKind::InvalidData,
                 "file larger than the address space",
-            ));
-        }
+            )
+        })?;
         Ok(MappedProfile {
-            backing: Self::map_or_read(file, len as usize)?,
+            backing: Self::map_or_read(file, len)?,
         })
     }
 
@@ -199,9 +199,7 @@ impl Drop for MappedProfile {
             // SAFETY: `ptr`/`len` came from a successful `mmap` and are
             // unmapped exactly once; no `bytes()` borrow can outlive
             // `self`.
-            unsafe {
-                sys::munmap(ptr, len);
-            }
+            unsafe { sys::munmap(ptr, len) };
         }
     }
 }

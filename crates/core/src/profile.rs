@@ -477,7 +477,7 @@ mod tests {
             run_time_ns: 0.0,
             power: ComponentPower::ZERO,
         };
-        #[allow(deprecated)]
+        #[allow(deprecated)] // the deprecated accessor is the test subject
         let raw = pt.raw_exec_pos();
         assert_eq!(raw, u32::MAX);
     }

@@ -153,7 +153,7 @@ impl PolyFit {
 /// Solves `A x = b` by Gaussian elimination with partial pivoting.
 // Index-based row elimination mirrors the textbook algorithm; iterator
 // adaptors over split borrows of `a` would obscure it.
-#[allow(clippy::needless_range_loop)]
+#[allow(clippy::needless_range_loop)] // textbook index form, see comment above
 fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, FitError> {
     let n = b.len();
     for col in 0..n {

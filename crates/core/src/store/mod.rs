@@ -254,7 +254,7 @@ impl ProfileStore {
     /// Builds a store directly from decoded columns that already satisfy
     /// the canonical-form invariants (the zero-copy view checked them at
     /// construction time).
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // one argument per column, by design
     pub(crate) fn from_validated_columns(
         run: Vec<u32>,
         exec_pos: Vec<u32>,
@@ -565,14 +565,18 @@ impl ProfileStore {
             return Err(StoreCodecError::UnsupportedVersion(version));
         }
         let _flags = read_u32(r, "flags")?;
-        let len = read_u64(r, "length")? as usize;
+        let len = read_u64(r, "length")?;
         // 2^32 points would be a ≥256 GiB store; anything larger is a
-        // corrupt header, not data, and must not drive allocation.
-        if len > u32::MAX as usize {
+        // corrupt header, not data, and must not drive allocation. The
+        // range check runs on the decoded u64 *before* any narrowing, so
+        // a huge length cannot wrap on 32-bit targets.
+        if len > u64::from(u32::MAX) {
             return Err(StoreCodecError::Corrupt(format!(
                 "implausible point count {len}"
             )));
         }
+        let len = usize::try_from(len)
+            .map_err(|_| StoreCodecError::Corrupt(format!("implausible point count {len}")))?;
         let run = read_u32_column(r, len, "run")?;
         let exec_pos = read_u32_column(r, len, "exec_pos")?;
         let toi_ns = read_f64_column(r, len, "toi_ns")?;
@@ -1067,7 +1071,9 @@ impl Deserialize for ProfileStore {
             .as_map()
             .ok_or_else(|| DeError::expected("map", "ProfileStore", v))?;
         let field = |name: &str| serde::map_field(entries, name, "ProfileStore");
-        let len = u64::from_value(field("len")?)? as usize;
+        let len = u64::from_value(field("len")?)?;
+        let len = usize::try_from(len)
+            .map_err(|_| DeError(format!("ProfileStore len = {len} does not fit usize")))?;
         let store = ProfileStore {
             run: Vec::<u32>::from_value(field("run")?)?,
             exec_pos: Vec::<u32>::from_value(field("exec_pos")?)?,

@@ -37,6 +37,25 @@ fn le_u64(block: &[[u8; 8]], i: usize) -> u64 {
     u64::from_le_bytes(block[i])
 }
 
+/// Copies the `N`-byte header block starting at `at` out of `bytes`,
+/// or returns the given truncation error. `get`-based, so a short
+/// buffer becomes a typed error rather than a panic.
+#[inline]
+fn take_block<const N: usize>(
+    bytes: &[u8],
+    at: usize,
+    block: &'static str,
+) -> Result<[u8; N], StoreCodecError> {
+    match bytes.get(at..at + N) {
+        Some(b) => {
+            let mut out = [0u8; N];
+            out.copy_from_slice(b);
+            Ok(out)
+        }
+        None => Err(StoreCodecError::Truncated(block)),
+    }
+}
+
 /// Re-slices a `4·k`-byte block as `k` unaligned 4-byte elements.
 #[inline]
 fn chunks4(block: &[u8]) -> &[[u8; 4]] {
@@ -234,34 +253,25 @@ impl<'a> ProfileStoreView<'a> {
         bytes: &'a [u8],
     ) -> Result<(ProfileStoreView<'a>, &'a [u8]), StoreCodecError> {
         // Header: mirror the streaming decoder's block labels exactly.
-        if bytes.len() < 8 {
-            return Err(StoreCodecError::Truncated("magic"));
-        }
-        if bytes[0..8] != STORE_MAGIC {
-            let mut magic = [0u8; 8];
-            magic.copy_from_slice(&bytes[0..8]);
+        let magic: [u8; 8] = take_block(bytes, 0, "magic")?;
+        if magic != STORE_MAGIC {
             return Err(StoreCodecError::BadMagic(magic));
         }
-        if bytes.len() < 12 {
-            return Err(StoreCodecError::Truncated("version"));
-        }
-        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte chunk"));
+        let version = u32::from_le_bytes(take_block(bytes, 8, "version")?);
         if version != STORE_VERSION {
             return Err(StoreCodecError::UnsupportedVersion(version));
         }
         if bytes.len() < 16 {
             return Err(StoreCodecError::Truncated("flags"));
         }
-        if bytes.len() < 24 {
-            return Err(StoreCodecError::Truncated("length"));
-        }
-        let len = u64::from_le_bytes(bytes[16..24].try_into().expect("8-byte chunk"));
+        let len = u64::from_le_bytes(take_block(bytes, 16, "length")?);
         if len > u64::from(u32::MAX) {
             return Err(StoreCodecError::Corrupt(format!(
                 "implausible point count {len}"
             )));
         }
-        let len = len as usize;
+        let len = usize::try_from(len)
+            .map_err(|_| StoreCodecError::Corrupt(format!("implausible point count {len}")))?;
         let layout = ColumnLayout::for_len(len)
             .ok_or_else(|| StoreCodecError::Corrupt(format!("implausible point count {len}")))?;
         if bytes.len() < layout.total {

@@ -451,7 +451,8 @@ fn read_bounded<R: Read>(
             "implausible byte-block length {len}"
         )));
     }
-    let len = len as usize;
+    let len = usize::try_from(len)
+        .map_err(|_| CheckpointError::Corrupt(format!("implausible byte-block length {len}")))?;
     let mut out = Vec::with_capacity(len.min(READ_CHUNK));
     let mut remaining = len;
     let mut chunk = [0u8; 4096];
@@ -1485,7 +1486,7 @@ pub fn work<F: crate::backend::BackendFactory>(
     read_preamble(&mut reader)?;
     let shard = match Frame::read_from(&mut reader)? {
         Frame::Welcome { shard, entries } => {
-            if entries as usize != campaign.len() {
+            if entries != campaign.len() as u64 {
                 return Err(TransportError::Protocol(format!(
                     "coordinator serves {entries} entries but the local campaign has {}",
                     campaign.len()

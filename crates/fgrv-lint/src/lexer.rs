@@ -1,0 +1,410 @@
+//! A hand-rolled Rust lexer, sufficient for invariant linting.
+//!
+//! The lexer turns a source file into a flat token stream plus a
+//! per-line comment map. It understands everything that can *hide*
+//! tokens from a naive text scan — string/char/byte literals, raw
+//! strings with `#` fences, nested block comments, lifetimes — so the
+//! rules never fire inside a string or a comment, and comment-adjacency
+//! checks (`// SAFETY:`, trailing justifications) see exactly the
+//! comments the compiler would.
+//!
+//! It deliberately does **not** build an AST: the FinGraV invariant
+//! rules are all expressible over token patterns plus brace tracking,
+//! which keeps the tool dependency-free and fast.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `unsafe`, `mod`, ...).
+    Ident,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal, suffix included (`1_000u64`, `0x2F`).
+    Num,
+    /// Any single punctuation character (`::` is two `:` tokens).
+    Punct,
+}
+
+/// One lexed token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Verbatim source text. For [`TokKind::Str`] this is the *raw*
+    /// literal including quotes and any `r#` fences.
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// True for an identifier token with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for a punctuation token with exactly this character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A comment attached to a source line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-indexed line the comment starts on.
+    pub line: usize,
+    /// Comment text, delimiters stripped, for line comments; block
+    /// comments keep interior newlines.
+    pub text: String,
+    /// True when code tokens precede the comment on its line — a
+    /// *trailing* comment in the justification-comment sense.
+    pub after_code: bool,
+}
+
+/// Lex result: tokens, comments, and which lines hold code.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order (doc comments included).
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// True when any comment *starting* within `lines` (inclusive
+    /// range) contains `needle`. Block comments count on their start
+    /// line only, which is adjacent enough for `SAFETY:` checks.
+    pub fn comment_in_lines_contains(&self, lo: usize, hi: usize, needle: &str) -> bool {
+        self.comments
+            .iter()
+            .any(|c| c.line >= lo && c.line <= hi && c.text.contains(needle))
+    }
+
+    /// The trailing comment on `line`, if any.
+    pub fn trailing_comment(&self, line: usize) -> Option<&Comment> {
+        self.comments
+            .iter()
+            .find(|c| c.line == line && c.after_code)
+    }
+}
+
+/// Lexes `src`. Unterminated literals/comments are tolerated (the rest
+/// of the file is consumed) — the linter is not a compiler and must
+/// never panic on weird input.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    // Lines on which at least one token has been emitted, tracked to
+    // mark comments as trailing. Only the current line matters.
+    let mut code_on_line = false;
+    let mut cur_line_no = 1usize;
+
+    macro_rules! mark_line {
+        () => {
+            if line != cur_line_no {
+                cur_line_no = line;
+                code_on_line = false;
+            }
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i] as char;
+        mark_line!();
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: src[start..j].to_string(),
+                    after_code: code_on_line,
+                });
+                i = j;
+            }
+            '/' if b.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let after = code_on_line;
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == b'/' && b.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && b.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(i + 2);
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: src[i + 2..end.min(src.len())].to_string(),
+                    after_code: after,
+                });
+                i = j;
+            }
+            '"' => {
+                let (j, nl) = scan_string(b, i + 1, 0);
+                push_tok(&mut out, TokKind::Str, src, i, j, line);
+                line += nl;
+                i = j;
+                code_on_line = true;
+            }
+            'r' | 'b' if starts_raw_or_byte_literal(b, i) => {
+                let (kind, j, nl) = scan_prefixed_literal(b, src, i);
+                push_tok(&mut out, kind, src, i, j, line);
+                line += nl;
+                i = j;
+                code_on_line = true;
+            }
+            '\'' => {
+                // Lifetime or char literal. `'a` followed by something
+                // other than a closing quote is a lifetime; `'a'`,
+                // `'\n'`, `'\u{1F}'` are char literals.
+                if is_lifetime_at(b, i) {
+                    let mut j = i + 1;
+                    while j < b.len() && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    push_tok(&mut out, TokKind::Lifetime, src, i, j, line);
+                    i = j;
+                } else {
+                    let (j, nl) = scan_char(b, i + 1);
+                    push_tok(&mut out, TokKind::Char, src, i, j, line);
+                    line += nl;
+                    i = j;
+                }
+                code_on_line = true;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < b.len() && (is_ident_continue(b[j]) || b[j] == b'.') {
+                    // A second dot ends the number (`0..8` is a range).
+                    if b[j] == b'.' && b.get(j + 1) == Some(&b'.') {
+                        break;
+                    }
+                    j += 1;
+                }
+                push_tok(&mut out, TokKind::Num, src, i, j, line);
+                i = j;
+                code_on_line = true;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < b.len() && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                push_tok(&mut out, TokKind::Ident, src, i, j, line);
+                i = j;
+                code_on_line = true;
+            }
+            _ => {
+                push_tok(&mut out, TokKind::Punct, src, i, i + c.len_utf8(), line);
+                i += c.len_utf8();
+                code_on_line = true;
+            }
+        }
+    }
+    out
+}
+
+fn push_tok(out: &mut Lexed, kind: TokKind, src: &str, lo: usize, hi: usize, line: usize) {
+    out.tokens.push(Token {
+        kind,
+        text: src[lo..hi.min(src.len())].to_string(),
+        line,
+    });
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Scans past a `"`-terminated string body starting at `i` (after the
+/// opening quote), honouring `\"` escapes; `hashes` raw-string fences
+/// disable escapes. Returns (index past closing delimiter, newlines).
+fn scan_string(b: &[u8], mut i: usize, hashes: usize) -> (usize, usize) {
+    let mut nl = 0usize;
+    while i < b.len() {
+        match b[i] {
+            b'\n' => {
+                nl += 1;
+                i += 1;
+            }
+            b'\\' if hashes == 0 => {
+                // A line-continuation escape still ends a source line.
+                if b.get(i + 1) == Some(&b'\n') {
+                    nl += 1;
+                }
+                i += 2;
+            }
+            b'"' => {
+                if hashes == 0 {
+                    return (i + 1, nl);
+                }
+                let mut k = 0usize;
+                while k < hashes && b.get(i + 1 + k) == Some(&b'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    return (i + 1 + hashes, nl);
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, nl)
+}
+
+/// Scans a char/byte-char body starting after the opening `'`.
+fn scan_char(b: &[u8], mut i: usize) -> (usize, usize) {
+    let mut nl = 0usize;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return (i + 1, nl),
+            b'\n' => {
+                nl += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, nl)
+}
+
+/// True when `b[i..]` opens a raw string (`r"`, `r#`), byte string
+/// (`b"`, `br`), or byte char (`b'`).
+fn starts_raw_or_byte_literal(b: &[u8], i: usize) -> bool {
+    match b[i] {
+        b'r' => matches!(b.get(i + 1), Some(b'"') | Some(b'#')),
+        b'b' => matches!(
+            (b.get(i + 1), b.get(i + 2)),
+            (Some(b'"'), _)
+                | (Some(b'\''), _)
+                | (Some(b'r'), Some(b'"'))
+                | (Some(b'r'), Some(b'#'))
+        ),
+        _ => false,
+    }
+}
+
+/// Scans one `r…`/`b…` literal at `i`; the caller verified the prefix.
+fn scan_prefixed_literal(b: &[u8], _src: &str, i: usize) -> (TokKind, usize, usize) {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'\'' {
+        let (end, nl) = scan_char(b, j + 1);
+        return (TokKind::Char, end, nl);
+    }
+    let mut hashes = 0usize;
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        while j < b.len() && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    // `j` now sits on the opening quote.
+    let (end, nl) = scan_string(b, j + 1, hashes);
+    (TokKind::Str, end, nl)
+}
+
+/// Disambiguates `'a` (lifetime) from `'a'` (char literal) at `i`
+/// (which holds the `'`).
+fn is_lifetime_at(b: &[u8], i: usize) -> bool {
+    match b.get(i + 1) {
+        Some(&c) if c.is_ascii_alphabetic() || c == b'_' => {
+            // A lifetime's ident run is not followed by a closing quote.
+            let mut j = i + 2;
+            while j < b.len() && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            b.get(j) != Some(&b'\'')
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let lx =
+            lex("let s = \"unwrap() // not a comment\"; // trailing\n/* unwrap() */ let t = 1;");
+        assert!(!lx.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert_eq!(lx.comments.len(), 2);
+        assert!(lx.comments[0].after_code);
+        assert!(!lx.comments[1].after_code);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let lx = lex("let s = r#\"has \"quotes\" and unwrap()\"#; x.unwrap();");
+        let unwraps: Vec<_> = lx.tokens.iter().filter(|t| t.is_ident("unwrap")).collect();
+        assert_eq!(unwraps.len(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let lx = lex("fn f<'a>(x: &'a str) -> char { 'a' }");
+        assert_eq!(
+            lx.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            lx.tokens.iter().filter(|t| t.kind == TokKind::Char).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn byte_strings_and_magics() {
+        let lx = lex("pub const M: [u8; 8] = *b\"FGRVPROF\";");
+        let s = lx.tokens.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(s.text, "b\"FGRVPROF\"");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lx = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert!(lx.tokens[0].is_ident("fn"));
+        assert_eq!(lx.comments.len(), 1);
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_strings() {
+        let lx = lex("let s = \"a\nb\nc\";\nfn g() {}");
+        let g = lx.tokens.iter().find(|t| t.is_ident("g")).unwrap();
+        assert_eq!(g.line, 4);
+    }
+}

@@ -1,0 +1,123 @@
+//! End-to-end fixture tests for the lint scan: the seeded-violation
+//! tree produces exactly the golden diagnostics (asserted verbatim),
+//! the clean tree produces none, and the real workspace at HEAD scans
+//! clean — which is what makes `cargo test` itself a lint gate.
+
+use std::path::PathBuf;
+
+use fgrv_lint::{run, Config};
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// The bad fixture holds one violation per rule class; the rendering is
+/// asserted byte-for-byte so diagnostic wording, ordering, and the
+/// summary line are all pinned.
+#[test]
+fn bad_fixture_golden_output() {
+    let report = run(&Config::for_root(fixture_root("bad")));
+    let expected = "\
+docs/FORMATS.md: [format-constants] doc never spells out the `WIRE_MAGIC` bytes (42 41 44 46 52 4D 54 21); the layout table must show them
+lint-allow.toml:4: [allowlist-integrity] stale allowlist entry: no `codec-hygiene` finding in src/store/decode.rs matches `this pattern matches no source line` — delete it
+src/annot.rs:3: [annotation-hygiene] `#[allow(…)]` without a trailing justification comment: say why the suppressed lint does not apply
+    | #[allow(dead_code)]
+src/engine.rs:7: [atomics-discipline] `Ordering::SeqCst` outside the allowlist: add a lint-allow.toml entry whose justification states the happens-before argument
+    | flag.store(true, Ordering::SeqCst);
+src/mmap.rs:5: [unsafe-audit] `unsafe` site is not in the committed unsafe-registry.toml: new unsafe must be an explicit reviewed diff
+    | unsafe { *p }
+src/mmap.rs:5: [unsafe-audit] `unsafe` without an adjacent `// SAFETY:` comment: state the soundness argument directly above the unsafe site
+    | unsafe { *p }
+src/store/decode.rs:6: [codec-hygiene] truncating `as u32` cast on a length-derived value: use `try_from`/a checked helper so oversized lengths become typed errors
+    | let n = len as u32;
+src/store/decode.rs:7: [codec-hygiene] `.unwrap()` in a decoder module: return the typed codec error instead (or allowlist with a proof of infallibility)
+    | let first = bytes.first().unwrap();
+src/store/decode.rs:8: [codec-hygiene] direct slice indexing in a decoder module: use a bounded-read helper (`get`/`split_at_checked`-based) so corrupt offsets become typed errors
+    | first + bytes[n as usize]
+tests/data/corrupt.fgrvckpt: [format-constants] fixture magic does not match CKPT_MAGIC
+fgrv-lint: 10 finding(s) in 5 files scanned
+";
+    assert_eq!(report.render_human(), expected);
+}
+
+/// Every rule class fires exactly once in the bad fixture — the seeded
+/// violations stay in one-to-one correspondence with the rule table.
+#[test]
+fn bad_fixture_covers_every_rule_class() {
+    let report = run(&Config::for_root(fixture_root("bad")));
+    for rule in fgrv_lint::RULES {
+        let hits = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == rule.name)
+            .count();
+        assert!(
+            hits > 0,
+            "rule `{}` produced no finding in the bad fixture",
+            rule.name
+        );
+    }
+}
+
+/// The clean fixture (a well-written decoder among other code) must not
+/// trip any rule: the negative control against false positives.
+#[test]
+fn clean_fixture_is_clean() {
+    let report = run(&Config::for_root(fixture_root("clean")));
+    assert!(
+        report.is_clean(),
+        "clean fixture produced findings:\n{}",
+        report.render_human()
+    );
+    assert_eq!(report.files_scanned, 2);
+}
+
+/// The workspace at HEAD scans clean — the same gate CI enforces, so a
+/// plain `cargo test` catches a violation (or a stale allowlist entry)
+/// before a push does.
+#[test]
+fn workspace_head_scans_clean() {
+    let report = run(&Config::for_root(fgrv_lint::workspace_root()));
+    assert!(
+        report.is_clean(),
+        "workspace scan is not clean:\n{}",
+        report.render_human()
+    );
+}
+
+/// `--format json` output must be real JSON: parsed back with the
+/// vendored serde_json, field by field, against the typed report.
+#[test]
+fn json_output_round_trips() {
+    let report = run(&Config::for_root(fixture_root("bad")));
+    let value: serde_json::Value =
+        serde_json::from_str(&report.render_json()).expect("render_json emits valid JSON");
+    let map = value.as_map().expect("top level is an object");
+    let top = |name: &str| {
+        map.iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| panic!("missing field {name}"))
+    };
+    assert_eq!(
+        top("count"),
+        serde_json::Value::UInt(report.diagnostics.len() as u64)
+    );
+    let diags_value = top("diagnostics");
+    let diags = diags_value.as_seq().expect("diagnostics array");
+    assert_eq!(diags.len(), report.diagnostics.len());
+    for (json, diag) in diags.iter().zip(&report.diagnostics) {
+        let obj = json.as_map().expect("diagnostic object");
+        let field = |name: &str| {
+            obj.iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("missing field {name}"))
+        };
+        assert_eq!(field("file").as_str(), Some(diag.file.as_str()));
+        assert_eq!(field("rule").as_str(), Some(diag.rule));
+        assert_eq!(field("line"), serde_json::Value::UInt(diag.line as u64));
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture: a lint suppression with no trailing justification.
+
+#[allow(dead_code)]
+fn unused() {}

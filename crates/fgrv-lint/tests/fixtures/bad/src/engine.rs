@@ -1,0 +1,8 @@
+//! Fixture: an atomic ordering with no allowlist entry.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One atomics-discipline finding.
+pub fn spin(flag: &AtomicBool) {
+    flag.store(true, Ordering::SeqCst);
+}

@@ -1,0 +1,9 @@
+//! Fixture: format constants cross-checked against `docs/FORMATS.md`
+//! and the corrupt golden fixture under `tests/data/`.
+
+/// Checkpoint magic — agrees with the doc, disagrees with the fixture.
+pub const CKPT_MAGIC: [u8; 8] = *b"FGRVCKPT";
+/// Checkpoint version — agrees with both.
+pub const CKPT_VERSION: u32 = 1;
+/// Wire magic — named in the doc, but its byte spelling is missing.
+pub const WIRE_MAGIC: [u8; 8] = *b"BADFRMT!";

@@ -1,0 +1,6 @@
+//! Fixture: unsafe with no SAFETY comment and no registry entry.
+
+/// Two unsafe-audit findings on the same line.
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

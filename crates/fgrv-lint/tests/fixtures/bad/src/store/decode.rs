@@ -1,0 +1,9 @@
+//! Fixture: one of each codec-hygiene violation class in a decoder
+//! module (`store/` path component).
+
+/// A truncating cast, an unwrap, and a direct index — three findings.
+pub fn decode(bytes: &[u8], len: u64) -> u8 {
+    let n = len as u32;
+    let first = bytes.first().unwrap();
+    first + bytes[n as usize]
+}

@@ -1,0 +1,6 @@
+//! Fixture: a file with none of the flagged patterns.
+
+/// Safe arithmetic, no codec/unsafe/atomic/annotation material.
+pub fn double(x: u32) -> u64 {
+    u64::from(x) * 2
+}

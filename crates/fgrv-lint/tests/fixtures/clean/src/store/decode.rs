@@ -1,0 +1,9 @@
+//! Fixture: a decoder module written the way the codec-hygiene rule
+//! wants — bounded reads, typed errors, checked conversions.
+
+/// Decodes a length-prefixed byte, returning `None` on any shortfall.
+pub fn decode(bytes: &[u8]) -> Option<u8> {
+    let len_bytes: [u8; 8] = bytes.get(0..8)?.try_into().ok()?;
+    let len = usize::try_from(u64::from_le_bytes(len_bytes)).ok()?;
+    bytes.get(8..)?.get(len).copied()
+}

@@ -57,6 +57,8 @@
 //! # }
 //! ```
 
+// No unsafe anywhere in this crate; `fgrv-lint`'s unsafe-audit keeps it so.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

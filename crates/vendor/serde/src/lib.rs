@@ -146,6 +146,21 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// `Value` round-trips through itself, as in upstream serde_json — this
+// is what lets callers parse arbitrary JSON (`from_str::<Value>`) and
+// inspect it structurally.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)

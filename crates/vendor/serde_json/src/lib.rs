@@ -11,7 +11,9 @@
 
 use std::fmt;
 
-use serde::{DeError, Deserialize, Serialize, Value};
+use serde::{DeError, Deserialize, Serialize};
+
+pub use serde::Value;
 
 /// JSON serialization/deserialization failure.
 #[derive(Debug, Clone, PartialEq, Eq)]

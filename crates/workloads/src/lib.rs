@@ -28,6 +28,8 @@
 //! assert!(gemm.desc.base_exec.as_millis_f64() > 1.0);
 //! ```
 
+// No unsafe anywhere in this crate; `fgrv-lint`'s unsafe-audit keeps it so.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -6,7 +6,7 @@
 //!
 //! Each integration test is its own crate, so this module is compiled
 //! per test binary; not every binary uses every helper.
-#![allow(dead_code)]
+#![allow(dead_code)] // per-binary compilation: see note above
 
 use fingrav::core::profile::ProfilePoint;
 use fingrav::core::store::ProfileStore;

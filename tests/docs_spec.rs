@@ -281,3 +281,42 @@ fn engine_hot_loop_section_matches_the_engine() {
         );
     }
 }
+
+/// The analysis doc's rule catalogue is cross-checked against the
+/// linter's registered rule table: every rule appears as a table row,
+/// the row count matches (no phantom documented rules), and the doc
+/// names exactly the suppressible rules in its allowlist section.
+#[test]
+fn analysis_doc_matches_the_registered_lint_rules() {
+    let doc = read_doc("ANALYSIS.md");
+    let table_rows: Vec<&str> = doc
+        .lines()
+        .filter(|l| l.starts_with("| `") && l.ends_with("|"))
+        .collect();
+    assert_eq!(
+        table_rows.len(),
+        fgrv_lint::RULES.len(),
+        "ANALYSIS.md rule table must have one row per registered rule"
+    );
+    for rule in fgrv_lint::RULES {
+        let cell = format!("| `{}` |", rule.name);
+        assert!(
+            table_rows.iter().any(|row| row.starts_with(&cell)),
+            "ANALYSIS.md rule table is missing a row for `{}`",
+            rule.name
+        );
+        if rule.suppressible {
+            assert!(
+                doc.contains(&format!("`{}`, ", rule.name))
+                    || doc.contains(&format!(", `{}`", rule.name)),
+                "ANALYSIS.md must list `{}` among the suppressible rules",
+                rule.name
+            );
+        }
+    }
+    let suppressible = fgrv_lint::RULES.iter().filter(|r| r.suppressible).count();
+    assert_eq!(
+        suppressible, 2,
+        "the doc describes exactly two suppressible rules"
+    );
+}

@@ -49,8 +49,12 @@ fn on_dealloc(n: usize) {
     CURRENT.fetch_sub(n, Ordering::SeqCst);
 }
 
+// SAFETY: every method delegates verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the wrapper only adjusts counters around the
+// delegated calls and never fabricates or retains pointers.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: caller contract is forwarded unchanged to `System.alloc`.
         let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
             on_alloc(layout.size());
@@ -58,12 +62,17 @@ unsafe impl GlobalAlloc for CountingAlloc {
         p
     }
 
+    // SAFETY: same delegation argument as the impl-level comment.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` come from our `alloc`, which returned
+        // them from `System.alloc` with the same layout.
         unsafe { System.dealloc(ptr, layout) };
         on_dealloc(layout.size());
     }
 
+    // SAFETY: same delegation argument as the impl-level comment.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: caller contract is forwarded unchanged to `System.realloc`.
         let p = unsafe { System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
             on_dealloc(layout.size());
