@@ -132,11 +132,13 @@ static CONNECT_OVERRIDE: Mutex<Option<String>> = Mutex::new(None);
 /// "coordinator still draining the previous campaign" from "coordinator
 /// already restored this campaign from a checkpoint".
 static CAMPAIGN_SEQUENCE: AtomicUsize = AtomicUsize::new(0);
-/// The one listener a `--serve` process hosts every campaign on, bound
-/// at the first serve. Rebinding the fixed address per campaign could
+/// The one persistent campaign service a `--serve` process hosts every
+/// campaign on, started at the first serve. One listener for the whole
+/// process (rebinding the fixed address per campaign could
 /// intermittently fail with `EADDRINUSE` while the previous campaign's
-/// closed connections sit in TIME_WAIT.
-static SERVE_LISTENER: Mutex<Option<std::net::TcpListener>> = Mutex::new(None);
+/// closed connections sit in TIME_WAIT), one service thread draining
+/// submissions in campaign-ordinal order.
+static SERVE_SERVICE: Mutex<Option<fingrav_core::transport::CampaignService>> = Mutex::new(None);
 /// Whether this `--connect` process has completed at least one campaign
 /// over the wire. Once it has, a refused connection means the serving
 /// process exited (its listener lives for the process lifetime), so
@@ -400,7 +402,7 @@ pub fn named_campaign_report(campaign: &Campaign, names: Vec<String>) -> Vec<Ker
         Simulation::new(SimConfig::default(), seed_for(&names[i]))
             .map_err(|e| fingrav_core::error::MethodologyError::Backend(e.to_string()))
     });
-    let progress = CampaignProgress::new(campaign.len());
+    let progress = std::sync::Arc::new(CampaignProgress::new(campaign.len()));
     let cancel = fingrav_core::executor::CancellationToken::new();
     let sequence = CAMPAIGN_SEQUENCE.fetch_add(1, Ordering::SeqCst) as u64;
 
@@ -410,7 +412,7 @@ pub fn named_campaign_report(campaign: &Campaign, names: Vec<String>) -> Vec<Ker
         let local_fallback = |why: &str| {
             eprintln!("  campaign #{sequence}: {why}; measuring locally");
             CampaignExecutor::new(default_workers())
-                .execute_observed(campaign, &factory, &progress, &cancel)
+                .execute_observed(campaign, &factory, &*progress, &cancel)
                 .into_report()
                 .expect("experiment kernels profile cleanly")
                 .reports
@@ -442,12 +444,13 @@ pub fn named_campaign_report(campaign: &Campaign, names: Vec<String>) -> Vec<Ker
                 stream,
                 campaign,
                 &factory,
-                &progress,
+                &*progress,
                 &cancel,
                 &fingrav_core::transport::WorkerOptions {
                     max_entries: None,
                     fetch_reports: true,
                     sequence,
+                    ..Default::default()
                 },
             ) {
                 Ok(summary) => {
@@ -543,16 +546,17 @@ pub fn named_campaign_report(campaign: &Campaign, names: Vec<String>) -> Vec<Ker
         if !resume_override() && dir.exists() {
             std::fs::remove_dir_all(&dir).expect("stale serve checkpoint removes");
         }
-        // One listener hosts every campaign of this process (bound at
-        // the first serve); each campaign gets a clone. The bind itself
-        // retries: a previous process on this address (an earlier child
-        // of `all --serve`) leaves TIME_WAIT connections that can hold
-        // the port for up to a minute.
-        let listener = {
-            let mut slot = SERVE_LISTENER.lock().expect("serve listener");
-            slot.get_or_insert_with(|| {
+        // One persistent campaign service hosts every campaign of this
+        // process (started at the first serve); each campaign is one
+        // submission. The bind itself retries: a previous process on
+        // this address (an earlier child of `all --serve`) leaves
+        // TIME_WAIT connections that can hold the port for up to a
+        // minute.
+        let ticket = {
+            let mut slot = SERVE_SERVICE.lock().expect("serve service");
+            let service = slot.get_or_insert_with(|| {
                 let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
-                loop {
+                let listener = loop {
                     match std::net::TcpListener::bind(addr.as_str()) {
                         Ok(listener) => break listener,
                         Err(e) if std::time::Instant::now() < deadline => {
@@ -561,65 +565,70 @@ pub fn named_campaign_report(campaign: &Campaign, names: Vec<String>) -> Vec<Ker
                         }
                         Err(e) => panic!("coordinator address {addr} never bound: {e}"),
                     }
-                }
-            })
-            .try_clone()
-            .expect("listener clones")
+                };
+                fingrav_core::transport::CampaignService::from_listener(
+                    listener,
+                    fingrav_core::transport::ServiceConfig::default(),
+                )
+            });
+            service.submit_with(
+                campaign.clone(),
+                dir.clone(),
+                Default::default(),
+                Some(progress.clone()),
+            )
         };
-        let coordinator =
-            fingrav_core::transport::Coordinator::from_listener(listener).sequence(sequence);
-        // Serve with a no-progress watchdog: Coordinator::serve blocks
-        // until workers finish the campaign, so a connect process that
+        // Both processes count campaigns identically and this process
+        // submits each exactly once, so the service-assigned wire
+        // sequence must track the campaign ordinal.
+        assert_eq!(
+            ticket.sequence(),
+            sequence,
+            "service submission order diverged from the campaign ordinal"
+        );
+        // Wait with a no-progress watchdog: the ticket resolves only
+        // once workers finish the campaign, so a connect process that
         // died (or gave up and measured locally) would otherwise hang
         // this process forever. Five minutes with zero finished entries
         // is a wedged run, not a slow one — cancel and fail loudly.
-        let watchdog_fired = AtomicBool::new(false);
-        let serve_done = AtomicBool::new(false);
-        let outcome = std::thread::scope(|s| {
-            s.spawn(|| {
-                // Progress is any live signal — finished entries OR the
-                // per-slot log/launch counters the workers stream — so a
-                // single legitimately slow entry on a healthy worker
-                // never trips the watchdog.
-                let observed = || {
-                    let tally = progress.tally();
-                    (0..campaign.len())
-                        .map(|i| tally.logs(i) + tally.launches(i))
-                        .sum::<u64>()
-                        + tally.finished() as u64
-                };
-                let mut last = observed();
-                let mut stalled_for = std::time::Duration::ZERO;
-                // Short ticks so the scope join after serve() returns is
-                // prompt; the stall threshold is what bounds patience.
-                let tick = std::time::Duration::from_millis(500);
-                while !serve_done.load(Ordering::Acquire) {
-                    std::thread::sleep(tick);
-                    let now = observed();
-                    if now != last {
-                        last = now;
-                        stalled_for = std::time::Duration::ZERO;
-                    } else {
-                        stalled_for += tick;
-                        if stalled_for >= std::time::Duration::from_secs(300) {
-                            eprintln!(
-                                "  campaign #{sequence}: no worker progress for \
-                                 {}s; cancelling the serve",
-                                stalled_for.as_secs()
-                            );
-                            watchdog_fired.store(true, Ordering::Release);
-                            cancel.abort();
-                            return;
-                        }
-                    }
+        // Progress is any live signal — finished entries OR the
+        // per-slot log/launch counters the workers stream — so a
+        // single legitimately slow entry on a healthy worker never
+        // trips the watchdog.
+        let observed = || {
+            let tally = progress.tally();
+            (0..campaign.len())
+                .map(|i| tally.logs(i) + tally.launches(i))
+                .sum::<u64>()
+                + tally.finished() as u64
+        };
+        let mut last = observed();
+        let mut stalled_for = std::time::Duration::ZERO;
+        let tick = std::time::Duration::from_millis(500);
+        let watchdog_fired = loop {
+            if ticket.phase() == fingrav_core::transport::CampaignPhase::Done {
+                break false;
+            }
+            std::thread::sleep(tick);
+            let now = observed();
+            if now != last {
+                last = now;
+                stalled_for = std::time::Duration::ZERO;
+            } else {
+                stalled_for += tick;
+                if stalled_for >= std::time::Duration::from_secs(300) {
+                    eprintln!(
+                        "  campaign #{sequence}: no worker progress for \
+                         {}s; cancelling the serve",
+                        stalled_for.as_secs()
+                    );
+                    ticket.cancel();
+                    break true;
                 }
-            });
-            let outcome = coordinator.serve(campaign, &dir, &progress, &cancel);
-            serve_done.store(true, Ordering::Release);
-            outcome
-        })
-        .expect("served campaign persists cleanly");
-        if watchdog_fired.load(Ordering::Acquire) {
+            }
+        };
+        let outcome = ticket.wait().expect("served campaign persists cleanly");
+        if watchdog_fired {
             panic!(
                 "campaign #{sequence}: no worker made progress within the watchdog \
                  window — is the --connect process running and pointed at this address?"
@@ -637,13 +646,13 @@ pub fn named_campaign_report(campaign: &Campaign, names: Vec<String>) -> Vec<Ker
             let dir = root.join(key);
             let manifest = dir.join(fingrav_core::checkpoint::MANIFEST_FILE);
             if resume_override() && manifest.is_file() {
-                executor.resume_observed(campaign, &factory, &dir, &progress, &cancel)
+                executor.resume_observed(campaign, &factory, &dir, &*progress, &cancel)
             } else {
-                executor.execute_sharded_observed(campaign, &factory, &dir, &progress, &cancel)
+                executor.execute_sharded_observed(campaign, &factory, &dir, &*progress, &cancel)
             }
             .expect("campaign checkpoint is writable and consistent")
         }
-        None => executor.execute_observed(campaign, &factory, &progress, &cancel),
+        None => executor.execute_observed(campaign, &factory, &*progress, &cancel),
     };
     outcome
         .into_report()

@@ -2196,6 +2196,115 @@ pub(crate) fn restore_done_entries(
     Ok((restored, plan))
 }
 
+// ---------------------------------------------------------------------------
+// Assignment leases
+// ---------------------------------------------------------------------------
+
+/// In-memory lease on one in-flight distributed assignment.
+///
+/// The transport coordinator grants a lease when it assigns an entry to a
+/// worker shard and renews it on every frame (including heartbeats) that
+/// arrives from that worker. A lease whose renewal silence exceeds its
+/// deadline marks the assignment evictable: the coordinator abandons the
+/// connection and re-queues the entry to the front of the plan.
+///
+/// Leases are *not* part of any on-disk format — `FGRVCKPT` manifests are
+/// unchanged — because a coordinator restart already recovers in-flight
+/// entries through the ordinary pending-status re-plan. The lease only has
+/// to outlive the connection it guards.
+#[derive(Debug, Clone)]
+pub struct AssignmentLease {
+    /// Campaign index of the leased entry.
+    pub index: usize,
+    /// Worker shard holding the lease.
+    pub shard: u32,
+    /// When the lease was granted.
+    pub granted_at: std::time::Instant,
+    /// Last proof of life from the owning worker.
+    pub renewed_at: std::time::Instant,
+    /// Maximum renewal silence before the assignment is evictable.
+    pub deadline: std::time::Duration,
+}
+
+impl AssignmentLease {
+    /// Grants a fresh lease on `index` to worker `shard`.
+    pub fn grant(index: usize, shard: u32, deadline: std::time::Duration) -> Self {
+        let now = std::time::Instant::now();
+        AssignmentLease {
+            index,
+            shard,
+            granted_at: now,
+            renewed_at: now,
+            deadline,
+        }
+    }
+
+    /// Records proof of life from the owning worker.
+    pub fn renew(&mut self) {
+        self.renewed_at = std::time::Instant::now();
+    }
+
+    /// Time since the last renewal.
+    pub fn silence(&self) -> std::time::Duration {
+        self.renewed_at.elapsed()
+    }
+
+    /// True once renewal silence has met or exceeded the deadline.
+    pub fn lapsed(&self) -> bool {
+        self.silence() >= self.deadline
+    }
+}
+
+/// The coordinator's live set of [`AssignmentLease`]s, keyed by campaign
+/// index. Small (bounded by connected workers), so a flat `Vec` beats a
+/// map; entries are removed eagerly on release.
+#[derive(Debug, Default)]
+pub struct LeaseTable {
+    leases: Vec<AssignmentLease>,
+}
+
+impl LeaseTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        LeaseTable::default()
+    }
+
+    /// Grants (or re-grants, replacing any stale lease on the same index)
+    /// a lease on `index` to worker `shard`.
+    pub fn grant(&mut self, index: usize, shard: u32, deadline: std::time::Duration) {
+        self.release(index);
+        self.leases
+            .push(AssignmentLease::grant(index, shard, deadline));
+    }
+
+    /// Renews the lease on `index`, if one is held.
+    pub fn renew(&mut self, index: usize) {
+        if let Some(lease) = self.leases.iter_mut().find(|l| l.index == index) {
+            lease.renew();
+        }
+    }
+
+    /// Drops the lease on `index`, if one is held.
+    pub fn release(&mut self, index: usize) {
+        self.leases.retain(|l| l.index != index);
+    }
+
+    /// The lease on `index`, if one is held.
+    pub fn get(&self, index: usize) -> Option<&AssignmentLease> {
+        self.leases.iter().find(|l| l.index == index)
+    }
+
+    /// Number of live leases.
+    pub fn len(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// True when no leases are held.
+    pub fn is_empty(&self) -> bool {
+        self.leases.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2525,5 +2634,46 @@ mod tests {
         for e in cases {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn lease_table_grants_renews_and_releases() {
+        let deadline = std::time::Duration::from_secs(60);
+        let mut table = LeaseTable::new();
+        assert!(table.is_empty());
+
+        table.grant(3, 1, deadline);
+        table.grant(5, 2, deadline);
+        assert_eq!(table.len(), 2);
+        let lease = table.get(3).expect("lease on 3");
+        assert_eq!(lease.shard, 1);
+        assert!(!lease.lapsed(), "fresh lease must not have lapsed");
+        assert!(lease.silence() < deadline);
+
+        // Re-granting the same index (re-planned entry picked up by a new
+        // worker) replaces, not duplicates.
+        table.grant(3, 7, deadline);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.get(3).expect("re-granted lease").shard, 7);
+
+        // Renewing moves the proof-of-life forward.
+        let before = table.get(5).expect("lease on 5").renewed_at;
+        table.renew(5);
+        assert!(table.get(5).expect("lease on 5").renewed_at >= before);
+        table.renew(99); // unknown index is a no-op
+
+        table.release(3);
+        assert!(table.get(3).is_none());
+        table.release(3); // double-release is a no-op
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn lease_lapses_after_deadline_silence() {
+        let lease = AssignmentLease::grant(0, 0, std::time::Duration::ZERO);
+        // A zero deadline lapses immediately: silence() >= ZERO always.
+        assert!(lease.lapsed());
+        let patient = AssignmentLease::grant(0, 0, std::time::Duration::from_secs(3600));
+        assert!(!patient.lapsed());
     }
 }

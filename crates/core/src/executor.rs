@@ -136,6 +136,15 @@ pub trait CampaignObserver: Sync {
     fn entry_skipped(&self, index: usize) {
         let _ = index;
     }
+    /// A distributed worker holding entry `index` went byte-silent past
+    /// its idle deadline; the coordinator abandoned the connection and
+    /// re-queued the entry to the front of the plan. Only emitted by
+    /// [`crate::transport::Coordinator`] — local executors never evict.
+    /// The entry will be `entry_started` again when another worker (or
+    /// the same one, reconnected) claims it.
+    fn entry_evicted(&self, index: usize) {
+        let _ = index;
+    }
 }
 
 /// A [`CampaignObserver`] that ignores everything.
@@ -728,6 +737,10 @@ impl CampaignObserver for PersistingObserver<'_> {
     fn entry_skipped(&self, index: usize) {
         self.inner.entry_skipped(index);
     }
+
+    fn entry_evicted(&self, index: usize) {
+        self.inner.entry_evicted(index);
+    }
 }
 
 /// Forwards one slot's profiling events to the campaign observer.
@@ -799,6 +812,13 @@ pub struct CampaignOutcome {
     pub errors: Vec<(usize, MethodologyError)>,
     /// Indices never started (fail-fast cancellation), ascending.
     pub skipped: Vec<usize>,
+    /// Indices whose assignment was evicted from a silent worker and
+    /// re-planned, in eviction order. An index can repeat (a re-planned
+    /// entry can be evicted again); every evicted entry still resolves
+    /// into exactly one of `reports`/`errors`/`skipped`, so this is
+    /// diagnostic fleet telemetry, not an outcome slot. Always empty for
+    /// local (non-transport) executions.
+    pub evictions: Vec<usize>,
 }
 
 impl CampaignOutcome {
@@ -810,6 +830,7 @@ impl CampaignOutcome {
             reports,
             errors: Vec::new(),
             skipped: Vec::new(),
+            evictions: Vec::new(),
         }
     }
 
@@ -1015,6 +1036,7 @@ mod tests {
             reports: vec![None],
             errors: Vec::new(),
             skipped: Vec::new(),
+            evictions: Vec::new(),
         };
         assert!(matches!(
             missing_report.into_report(),
@@ -1024,6 +1046,7 @@ mod tests {
             reports: vec![None],
             errors: Vec::new(),
             skipped: vec![0],
+            evictions: Vec::new(),
         };
         assert!(matches!(
             unexplained_skip.into_report(),

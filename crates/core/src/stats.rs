@@ -17,12 +17,18 @@ pub fn std_dev(xs: &[f64]) -> Option<f64> {
 }
 
 /// Median (average of the middle two for even lengths); `None` if empty.
+///
+/// Sorts by [`f64::total_cmp`], so NaN inputs never panic: negative NaNs
+/// order below `-inf` and positive NaNs above `+inf`. A NaN therefore only
+/// reaches the middle of the sorted slice — and poisons the result — when
+/// NaNs make up enough of the input to span it; isolated NaNs at the
+/// extremes leave the median finite.
 pub fn median(xs: &[f64]) -> Option<f64> {
     if xs.is_empty() {
         return None;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in medians"));
+    v.sort_by(f64::total_cmp);
     let n = v.len();
     Some(if n % 2 == 1 {
         v[n / 2]
@@ -32,6 +38,11 @@ pub fn median(xs: &[f64]) -> Option<f64> {
 }
 
 /// Integer-median convenience for nanosecond durations.
+///
+/// The even-length midpoint is computed as `lo + (hi - lo) / 2`, which
+/// cannot overflow — raw device tick counters and absolute-epoch
+/// nanosecond stamps routinely sit above `u64::MAX / 2`, where the naive
+/// `(lo + hi) / 2` would wrap.
 pub fn median_u64(xs: &[u64]) -> Option<u64> {
     if xs.is_empty() {
         return None;
@@ -42,17 +53,23 @@ pub fn median_u64(xs: &[u64]) -> Option<u64> {
     Some(if n % 2 == 1 {
         v[n / 2]
     } else {
-        (v[n / 2 - 1] + v[n / 2]) / 2
+        let (lo, hi) = (v[n / 2 - 1], v[n / 2]);
+        lo + (hi - lo) / 2
     })
 }
 
 /// The `p`-quantile (0.0..=1.0) by linear interpolation; `None` if empty.
+///
+/// Sorts by [`f64::total_cmp`] (see [`median`] for the NaN placement):
+/// NaNs never panic, they gather at the ends of the sorted slice —
+/// positive NaNs above `+inf`, negative below `-inf` — so only quantiles
+/// that land on (or interpolate across) a NaN come back NaN.
 pub fn quantile(xs: &[f64], p: f64) -> Option<f64> {
     if xs.is_empty() {
         return None;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in quantiles"));
+    v.sort_by(f64::total_cmp);
     let p = p.clamp(0.0, 1.0);
     let pos = p * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
@@ -65,7 +82,11 @@ pub fn quantile(xs: &[f64], p: f64) -> Option<f64> {
     }
 }
 
-/// Relative difference `|a - b| / b`; `None` when `b` is zero.
+/// Relative difference `|a - b| / |b|`; `None` when `b` is zero.
+///
+/// The reference magnitude is `|b|`, so a negative reference yields the
+/// same (non-negative) relative difference as its positive mirror:
+/// `relative_diff(-110.0, -100.0) == relative_diff(110.0, 100.0)`.
 pub fn relative_diff(a: f64, b: f64) -> Option<f64> {
     if b == 0.0 {
         None
@@ -102,6 +123,38 @@ mod tests {
     }
 
     #[test]
+    fn median_u64_survives_values_above_half_range() {
+        // Absolute-epoch stamps live near the top of the u64 range; the
+        // naive (lo + hi) / 2 midpoint wraps here.
+        assert_eq!(median_u64(&[u64::MAX, u64::MAX - 2]), Some(u64::MAX - 1));
+        assert_eq!(median_u64(&[u64::MAX, u64::MAX]), Some(u64::MAX));
+        let above_half = u64::MAX / 2 + 1;
+        assert_eq!(
+            median_u64(&[above_half, above_half + 2]),
+            Some(above_half + 1)
+        );
+        // Odd lengths index straight into the sorted slice and were
+        // never at risk; pin that they still work at the boundary.
+        assert_eq!(median_u64(&[u64::MAX, 0, u64::MAX]), Some(u64::MAX));
+    }
+
+    #[test]
+    fn median_and_quantile_tolerate_nans() {
+        // A single NaN sorts to an extreme (total order) and must not
+        // panic nor displace a finite median.
+        assert_eq!(median(&[1.0, f64::NAN, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[-f64::NAN, 1.0, 2.0, 3.0]), Some(1.5));
+        // All-NaN input stays NaN rather than aborting the process.
+        assert!(median(&[f64::NAN, f64::NAN]).unwrap().is_nan());
+        // Quantiles at the NaN-bearing extreme observe the NaN; interior
+        // quantiles stay finite.
+        let xs = [1.0, 2.0, 3.0, f64::NAN];
+        assert!(quantile(&xs, 1.0).unwrap().is_nan());
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert!(quantile(&xs, 0.5).unwrap().is_finite());
+    }
+
+    #[test]
     fn quantiles() {
         let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
         assert_eq!(quantile(&xs, 0.0), Some(1.0));
@@ -116,5 +169,17 @@ mod tests {
         assert_eq!(relative_diff(110.0, 100.0), Some(0.1));
         assert_eq!(relative_diff(90.0, 100.0), Some(0.1));
         assert_eq!(relative_diff(1.0, 0.0), None);
+    }
+
+    #[test]
+    fn relative_diff_divides_by_reference_magnitude() {
+        // Negative references divide by |b|: the result stays
+        // non-negative and mirrors the positive-reference case.
+        assert_eq!(relative_diff(-110.0, -100.0), Some(0.1));
+        assert_eq!(relative_diff(-90.0, -100.0), Some(0.1));
+        assert_eq!(relative_diff(110.0, -100.0), Some(2.1));
+        assert_eq!(relative_diff(-0.0, 5.0), Some(1.0));
+        // Signed zero is still zero.
+        assert_eq!(relative_diff(1.0, -0.0), None);
     }
 }

@@ -33,6 +33,31 @@
 //! [`ProfileStore::diff`](crate::store::ProfileStore::diff)-based check
 //! the local executor and `gather` apply).
 //!
+//! Silence is a fault too, not just observed drops: every stream carries
+//! read/write deadlines, workers pump [`Frame::Heartbeat`] frames (a
+//! dedicated thread, so a long-running measurement still proves
+//! liveness), the coordinator heartbeats back while it deliberates an
+//! assignment, and a peer that stays byte-silent past the configured
+//! idle deadline ([`Coordinator::idle_timeout`],
+//! [`WorkerOptions::io_timeout`]) is presumed wedged: its connection is
+//! abandoned with [`TransportError::DeadlineLapsed`] and any in-flight
+//! assignment is evicted — re-queued to the *front* of the queue,
+//! exactly like the dropped-connection path, so byte-identity is
+//! preserved. Each in-flight assignment is tracked as an
+//! [`AssignmentLease`](crate::checkpoint::AssignmentLease), renewed by
+//! every frame (heartbeats included) its worker delivers.
+//!
+//! ## Campaign service
+//!
+//! [`CampaignService`] promotes the one-shot [`Coordinator`] into an
+//! always-on daemon: one listener accepts many campaigns back to back
+//! through a submission queue ([`CampaignService::submit`] returns a
+//! [`CampaignTicket`]), each submission advancing the
+//! sequence-negotiated handshake, with a graceful drain on
+//! [`CampaignService::shutdown`]. Workers dial the same address for
+//! every campaign and ride [`connect_with_retry`]'s exponential backoff
+//! across `ConnectionRefused` gaps instead of dying.
+//!
 //! Lifecycle note: because an entry can be attempted more than once, a
 //! [`CampaignObserver`] watching a served campaign may see
 //! `entry_started` (and a trailing `entry_failed`) again for a slot that
@@ -103,13 +128,13 @@ use std::fmt;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::campaign::Campaign;
 use crate::checkpoint::{
     campaign_digest, restore_done_entries, CampaignManifest, CheckpointDir, CheckpointError, Codec,
-    EntryArtifactView, EntryStatus,
+    EntryArtifactView, EntryStatus, LeaseTable,
 };
 use crate::error::{MethodologyError, MethodologyResult};
 use crate::executor::{
@@ -127,7 +152,10 @@ pub const WIRE_MAGIC: [u8; 8] = *b"FGRVWIRE";
 /// both peers send it in their preamble and refuse a mismatch, and
 /// `docs/FORMATS.md` (the normative spec) cites the same value — a repo
 /// test cross-checks the two, so bumping one without the other fails CI.
-pub const WIRE_VERSION: u32 = 1;
+///
+/// v2 added the bidirectional [`Frame::Heartbeat`] (receivers of v1
+/// would treat the new tag as corruption, hence the bump).
+pub const WIRE_VERSION: u32 = 2;
 
 /// Hard ceiling on a frame payload length. The largest legitimate payload
 /// is an [`EntryArtifact`](crate::checkpoint::EntryArtifact) (a full report with embedded profiles — tens
@@ -158,6 +186,36 @@ const READ_CHUNK: usize = 64 * 1024;
 /// How long assignment waiters sleep between cancellation checks, and how
 /// long the accept loop sleeps between polls.
 const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Default maximum byte-silence tolerated from a connected peer before it
+/// is presumed wedged and its connection (plus any in-flight assignment)
+/// is abandoned. Generous: heartbeats arrive every
+/// [`DEFAULT_HEARTBEAT_INTERVAL`] from a live peer, so hitting this means
+/// an order of magnitude of missed beats.
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default interval between worker [`Frame::Heartbeat`] frames (the
+/// coordinator derives its own reply-side heartbeat cadence from its idle
+/// timeout, capped at this value).
+pub const DEFAULT_HEARTBEAT_INTERVAL: Duration = Duration::from_secs(2);
+
+/// Granularity of the socket read timeout used to poll for deadline and
+/// eviction checks: a fraction of the idle deadline, bounded so short
+/// test deadlines still get several polls and long production deadlines
+/// don't spin.
+fn read_poll(idle: Duration) -> Duration {
+    (idle / 8).clamp(Duration::from_millis(5), Duration::from_millis(50))
+}
+
+/// True for the error kinds a timed-out socket read/write surfaces
+/// (`WouldBlock` on Unix, `TimedOut` on Windows) — a *deadline tick*,
+/// distinct from corruption or a dead connection.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
 
 // ---------------------------------------------------------------------
 // Errors
@@ -194,6 +252,14 @@ pub enum TransportError {
     Checkpoint(CheckpointError),
     /// The peer sent a frame the protocol does not allow in this state.
     Protocol(String),
+    /// The peer sent no bytes (not even a heartbeat) for the configured
+    /// idle deadline: it is presumed wedged or gone, and the connection
+    /// is abandoned. On the coordinator this evicts and re-plans the
+    /// connection's in-flight assignment.
+    DeadlineLapsed {
+        /// How long the stream stayed byte-silent.
+        silent_for: Duration,
+    },
 }
 
 impl fmt::Display for TransportError {
@@ -223,6 +289,10 @@ impl fmt::Display for TransportError {
             }
             TransportError::Checkpoint(e) => write!(f, "embedded checkpoint block: {e}"),
             TransportError::Protocol(why) => write!(f, "protocol violation: {why}"),
+            TransportError::DeadlineLapsed { silent_for } => write!(
+                f,
+                "peer byte-silent for {silent_for:?}; idle deadline lapsed, connection abandoned"
+            ),
         }
     }
 }
@@ -332,6 +402,7 @@ const TAG_FAILED: u32 = 11;
 const TAG_FETCH: u32 = 12;
 const TAG_ARTIFACT: u32 = 13;
 const TAG_BYE: u32 = 14;
+const TAG_HEARTBEAT: u32 = 15;
 
 /// One protocol message. See the module docs for the conversation and
 /// `docs/FORMATS.md` for the byte-level layout.
@@ -429,6 +500,13 @@ pub enum Frame {
     },
     /// Worker → coordinator: the worker is leaving; close the connection.
     Bye,
+    /// Either direction: liveness proof, empty payload (since wire v2).
+    /// Workers pump one every [`WorkerOptions::heartbeat`] from a
+    /// dedicated thread (so a long-running measurement still beats); the
+    /// coordinator beats back while it deliberates an assignment.
+    /// Receivers renew the peer's idle deadline and otherwise ignore it —
+    /// a heartbeat is valid in any protocol state after the handshake.
+    Heartbeat,
 }
 
 fn write_bytes<W: Write>(w: &mut W, bytes: &[u8]) -> io::Result<()> {
@@ -487,6 +565,7 @@ impl Frame {
             Frame::Fetch { .. } => TAG_FETCH,
             Frame::Artifact { .. } => TAG_ARTIFACT,
             Frame::Bye => TAG_BYE,
+            Frame::Heartbeat => TAG_HEARTBEAT,
         }
     }
 
@@ -510,7 +589,7 @@ impl Frame {
                 code.encode(w)?;
                 detail.encode(w)
             }
-            Frame::Request | Frame::Abort | Frame::Bye => Ok(()),
+            Frame::Request | Frame::Abort | Frame::Bye | Frame::Heartbeat => Ok(()),
             Frame::Assign { index } | Frame::Fetch { index } => index.encode(w),
             Frame::Finished { complete } => complete.encode(w),
             Frame::Started { index, label } => {
@@ -579,6 +658,7 @@ impl Frame {
                 artifact: read_bytes(r, "artifact")?,
             }),
             TAG_BYE => Ok(Frame::Bye),
+            TAG_HEARTBEAT => Ok(Frame::Heartbeat),
             other => Err(CheckpointError::Corrupt(format!(
                 "unknown frame tag {other}"
             ))),
@@ -659,6 +739,118 @@ pub fn read_preamble<R: Read>(r: &mut R) -> Result<(), TransportError> {
 }
 
 // ---------------------------------------------------------------------
+// Deadline-tolerant reads
+// ---------------------------------------------------------------------
+//
+// A socket with a read timeout surfaces `WouldBlock`/`TimedOut` mid-read;
+// `read_exact` would lose any bytes it had already consumed, so these
+// helpers accumulate into caller-held buffers — a deadline tick never
+// discards partial progress, and only *silence* (no bytes at all for the
+// whole idle budget) abandons the connection. Every arriving byte resets
+// the budget, so heartbeats are all a live-but-slow peer needs.
+
+/// Fills `buf` exactly, tolerating timeout ticks. `tick` runs on every
+/// timeout wakeup (for cancellation or eviction checks); returning an
+/// error from it abandons the read.
+fn fill_budgeted<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    block: &'static str,
+    idle: Duration,
+    tick: &mut dyn FnMut() -> Result<(), TransportError>,
+) -> Result<(), TransportError> {
+    let mut filled = 0;
+    let mut last_progress = Instant::now();
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Err(TransportError::Truncated(block)),
+            Ok(n) => {
+                filled += n;
+                last_progress = Instant::now();
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => {
+                tick()?;
+                let silent_for = last_progress.elapsed();
+                if silent_for >= idle {
+                    return Err(TransportError::DeadlineLapsed { silent_for });
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// [`read_preamble`] over a deadline-carrying stream. Validates the magic
+/// as soon as its 8 bytes arrive (a foreign peer is rejected without
+/// waiting for a full preamble it will never send).
+fn read_preamble_budgeted<R: Read>(
+    r: &mut R,
+    idle: Duration,
+    tick: &mut dyn FnMut() -> Result<(), TransportError>,
+) -> Result<(), TransportError> {
+    let mut magic = [0u8; 8];
+    fill_budgeted(r, &mut magic, "preamble magic", idle, tick)?;
+    if magic != WIRE_MAGIC {
+        return Err(TransportError::BadMagic(magic));
+    }
+    let mut version = [0u8; 4];
+    fill_budgeted(r, &mut version, "preamble version", idle, tick)?;
+    let mut reserved = [0u8; 4];
+    fill_budgeted(r, &mut reserved, "preamble reserved", idle, tick)?;
+    let version = u32::from_le_bytes(version);
+    if version != WIRE_VERSION {
+        return Err(TransportError::UnsupportedVersion(version));
+    }
+    Ok(())
+}
+
+/// [`Frame::read_from`] over a deadline-carrying stream: same validation
+/// (length ceiling before allocation, chunked payload reads), but timeout
+/// ticks run `tick` and only sustained silence fails.
+fn read_frame_budgeted<R: Read>(
+    r: &mut R,
+    idle: Duration,
+    tick: &mut dyn FnMut() -> Result<(), TransportError>,
+) -> Result<Frame, TransportError> {
+    let mut tag = [0u8; 4];
+    fill_budgeted(r, &mut tag, "frame tag", idle, tick)?;
+    let mut len = [0u8; 8];
+    fill_budgeted(r, &mut len, "frame length", idle, tick)?;
+    let tag = u32::from_le_bytes(tag);
+    let len = u64::from_le_bytes(len);
+    if len > MAX_FRAME_LEN {
+        return Err(TransportError::Corrupt(format!(
+            "implausible frame length {len}"
+        )));
+    }
+    let len = usize::try_from(len)
+        .map_err(|_| TransportError::Corrupt(format!("implausible frame length {len}")))?;
+    let mut payload = Vec::with_capacity(len.min(READ_CHUNK));
+    let mut remaining = len;
+    let mut chunk = [0u8; 4096];
+    while remaining > 0 {
+        let take = remaining.min(chunk.len());
+        fill_budgeted(r, &mut chunk[..take], "frame payload", idle, tick)?;
+        payload.extend_from_slice(&chunk[..take]);
+        remaining -= take;
+    }
+    Ok(Frame::decode_payload(tag, &payload)?)
+}
+
+/// Reads the next non-heartbeat frame (the worker-side read: heartbeats
+/// renew the deadline by arriving, then vanish).
+fn next_frame<R: Read>(r: &mut R, idle: Duration) -> Result<Frame, TransportError> {
+    loop {
+        match read_frame_budgeted(r, idle, &mut || Ok(()))? {
+            Frame::Heartbeat => {}
+            frame => return Ok(frame),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Coordinator
 // ---------------------------------------------------------------------
 
@@ -670,6 +862,7 @@ pub struct Coordinator {
     listener: TcpListener,
     policy: ErrorPolicy,
     sequence: u64,
+    idle: Duration,
 }
 
 struct CoordState {
@@ -683,6 +876,13 @@ struct CoordState {
     next_shard: u32,
     connections: usize,
     persist_failure: Option<CheckpointError>,
+    /// One live lease per in-flight assignment; granted on Assign,
+    /// renewed by every frame the owning worker delivers, released on
+    /// Done/Failed or eviction.
+    leases: LeaseTable,
+    /// Entries whose lease deadline lapsed and were re-planned, in
+    /// eviction order (an entry can appear more than once).
+    evictions: Vec<usize>,
 }
 
 impl CoordState {
@@ -708,6 +908,12 @@ struct CoordShared<'a> {
     /// Entry files found on disk before serving started, per campaign
     /// index (re-measured entries must agree with them byte for byte).
     preexisting: Vec<Vec<(u32, PathBuf)>>,
+    /// Maximum peer byte-silence before eviction.
+    idle: Duration,
+    /// Cadence of coordinator → worker heartbeats while an assignment
+    /// deliberates (derived from `idle`, so a worker with a matching
+    /// deadline always hears several beats per budget).
+    heartbeat: Duration,
     state: Mutex<CoordState>,
     cond: Condvar,
 }
@@ -733,6 +939,7 @@ impl Coordinator {
             listener,
             policy: ErrorPolicy::default(),
             sequence: 0,
+            idle: DEFAULT_IDLE_TIMEOUT,
         }
     }
 
@@ -750,6 +957,19 @@ impl Coordinator {
     #[must_use]
     pub fn error_policy(mut self, policy: ErrorPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Sets the idle deadline: a connected worker that stays byte-silent
+    /// this long (no frames, no heartbeats) is presumed wedged, its
+    /// connection is abandoned, and its in-flight assignment is evicted
+    /// and re-planned onto the front of the queue. Workers heartbeat
+    /// every [`DEFAULT_HEARTBEAT_INTERVAL`] by default, so the deadline
+    /// should sit well above that; the default is
+    /// [`DEFAULT_IDLE_TIMEOUT`].
+    #[must_use]
+    pub fn idle_timeout(mut self, idle: Duration) -> Self {
+        self.idle = idle;
         self
     }
 
@@ -848,6 +1068,8 @@ impl Coordinator {
             digest: manifest.config_digest,
             sequence: self.sequence,
             preexisting,
+            idle: self.idle,
+            heartbeat: (self.idle / 4).clamp(POLL_INTERVAL, DEFAULT_HEARTBEAT_INTERVAL),
             state: Mutex::new(CoordState {
                 manifest,
                 queue: plan.iter().copied().collect(),
@@ -858,6 +1080,8 @@ impl Coordinator {
                 next_shard: 0,
                 connections: 0,
                 persist_failure: None,
+                leases: LeaseTable::new(),
+                evictions: Vec::new(),
             }),
             cond: Condvar::new(),
         };
@@ -880,6 +1104,7 @@ impl Coordinator {
             })
             .collect();
         outcome.skipped.sort_unstable();
+        outcome.evictions = std::mem::take(&mut state.evictions);
         for &index in &outcome.skipped {
             observer.entry_skipped(index);
         }
@@ -939,16 +1164,26 @@ impl<'a> CoordShared<'a> {
 /// loop: a faulty connection re-plans its in-flight entry and dies alone.
 fn serve_connection(shared: &CoordShared<'_>, stream: TcpStream) {
     let mut current: Option<usize> = None;
-    let _ = handle_connection(shared, stream, &mut current);
+    let result = handle_connection(shared, stream, &mut current);
+    let deadline_lapsed = matches!(result, Err(TransportError::DeadlineLapsed { .. }));
     let mut state = shared.lock();
+    let mut evicted = None;
     if let Some(index) = current.take() {
         // The worker vanished mid-entry: put the entry back at the front
         // of the queue so another worker picks it up promptly.
         state.queue.push_front(index);
         state.in_flight -= 1;
+        state.leases.release(index);
+        if deadline_lapsed {
+            state.evictions.push(index);
+            evicted = Some(index);
+        }
     }
     state.connections -= 1;
     drop(state);
+    if let Some(index) = evicted {
+        shared.observer.entry_evicted(index);
+    }
     shared.cond.notify_all();
 }
 
@@ -958,13 +1193,22 @@ fn handle_connection(
     current: &mut Option<usize>,
 ) -> Result<(), TransportError> {
     stream.set_nodelay(true).ok();
+    // Deadline discipline: reads wake every poll tick so silence is
+    // *observed* instead of wedging the thread; writes cannot block past
+    // the idle budget either (a dead peer with a full TCP window).
+    stream
+        .set_read_timeout(Some(read_poll(shared.idle)))
+        .map_err(io_err)?;
+    stream
+        .set_write_timeout(Some(shared.idle))
+        .map_err(io_err)?;
     let mut reader = BufReader::new(stream.try_clone().map_err(io_err)?);
     let mut writer = BufWriter::new(stream);
 
     // Handshake: the worker leads with its preamble and Hello; the
     // coordinator answers with its preamble and Welcome or Deny.
-    read_preamble(&mut reader)?;
-    let hello = Frame::read_from(&mut reader)?;
+    read_preamble_budgeted(&mut reader, shared.idle, &mut || Ok(()))?;
+    let hello = read_frame_budgeted(&mut reader, shared.idle, &mut || Ok(()))?;
     let (digest, sequence) = match hello {
         Frame::Hello { digest, sequence } => (digest, sequence),
         other => {
@@ -1036,12 +1280,29 @@ fn handle_connection(
     writer.flush().map_err(io_err)?;
 
     loop {
-        match Frame::read_from(&mut reader)? {
-            Frame::Request => {
-                let reply = next_assignment(shared, current);
-                reply.write_to(&mut writer).map_err(io_err)?;
-                writer.flush().map_err(io_err)?;
-            }
+        let frame = read_frame_budgeted(&mut reader, shared.idle, &mut || Ok(()))?;
+        if let Some(index) = *current {
+            // Any frame from the owning worker — heartbeats included —
+            // proves the assignment is still alive.
+            shared.lock().leases.renew(index);
+        }
+        match frame {
+            Frame::Request => loop {
+                match next_assignment_step(shared, current, shard, shared.heartbeat) {
+                    Some(reply) => {
+                        reply.write_to(&mut writer).map_err(io_err)?;
+                        writer.flush().map_err(io_err)?;
+                        break;
+                    }
+                    None => {
+                        // Still deliberating (another worker holds the
+                        // queue's tail): beat so the waiting worker can
+                        // tell a thinking coordinator from a dead one.
+                        Frame::Heartbeat.write_to(&mut writer).map_err(io_err)?;
+                        writer.flush().map_err(io_err)?;
+                    }
+                }
+            },
             Frame::Started { index, label } => {
                 let index = expect_current(shared, *current, index)?;
                 shared.observer.entry_started(index, &label);
@@ -1053,12 +1314,14 @@ fn handle_connection(
             Frame::Done { index, artifact } => {
                 let index = expect_current(shared, *current, index)?;
                 entry_done(shared, shard, index, &artifact)?;
+                shared.lock().leases.release(index);
                 *current = None;
                 shared.cond.notify_all();
             }
             Frame::Failed { index, error } => {
                 let index = expect_current(shared, *current, index)?;
                 entry_failed(shared, index, error);
+                shared.lock().leases.release(index);
                 *current = None;
                 shared.cond.notify_all();
             }
@@ -1068,6 +1331,7 @@ fn handle_connection(
                 writer.flush().map_err(io_err)?;
             }
             Frame::Bye => return Ok(()),
+            Frame::Heartbeat => {}
             other => {
                 return Err(TransportError::Protocol(format!(
                     "unexpected worker frame {other:?}"
@@ -1077,32 +1341,44 @@ fn handle_connection(
     }
 }
 
-/// Blocks until an entry is assignable, the campaign is over, or it is
-/// cancelled; returns the frame to send.
-fn next_assignment(shared: &CoordShared<'_>, current: &mut Option<usize>) -> Frame {
+/// Waits up to `budget` for an entry to become assignable, the campaign
+/// to end, or a cancellation; `Some` is the frame to send, `None` means
+/// the budget ran out undecided (the caller heartbeats and tries again,
+/// so the waiting worker's own idle deadline keeps getting fed).
+fn next_assignment_step(
+    shared: &CoordShared<'_>,
+    current: &mut Option<usize>,
+    shard: u32,
+    budget: Duration,
+) -> Option<Frame> {
+    let started = Instant::now();
     let mut state = shared.lock();
     loop {
         if shared.cancel.is_aborted() {
             state.halted = true;
-            return Frame::Abort;
+            return Some(Frame::Abort);
         }
         if state.persist_failure.is_some() {
             state.halted = true;
-            return Frame::Abort;
+            return Some(Frame::Abort);
         }
         if !state.halted {
             if let Some(index) = state.queue.pop_front() {
                 state.in_flight += 1;
+                state.leases.grant(index, shard, shared.idle);
                 *current = Some(index);
-                return Frame::Assign {
+                return Some(Frame::Assign {
                     index: index as u64,
-                };
+                });
             }
         }
         if state.over() {
-            return Frame::Finished {
+            return Some(Frame::Finished {
                 complete: state.complete(),
-            };
+            });
+        }
+        if started.elapsed() >= budget {
+            return None;
         }
         let (next, _timeout) = shared
             .cond
@@ -1311,7 +1587,7 @@ fn fetch_artifact(shared: &CoordShared<'_>, index: u64) -> Result<Frame, Transpo
 // ---------------------------------------------------------------------
 
 /// Knobs for [`work`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct WorkerOptions {
     /// Leave (with a clean [`Frame::Bye`]) after measuring this many
     /// entries; `None` works until the coordinator says the campaign is
@@ -1325,6 +1601,28 @@ pub struct WorkerOptions {
     /// This campaign's position in a multi-campaign sequence (see
     /// [`Coordinator::sequence`]); 0 for standalone campaigns.
     pub sequence: u64,
+    /// Maximum coordinator byte-silence (no reply frames, no heartbeats)
+    /// before this worker abandons the connection with
+    /// [`TransportError::DeadlineLapsed`]. Default
+    /// [`DEFAULT_IDLE_TIMEOUT`].
+    pub io_timeout: Duration,
+    /// Interval between this worker's [`Frame::Heartbeat`] frames
+    /// (pumped from a dedicated thread, so long measurements still
+    /// beat). Must sit well under the coordinator's idle deadline.
+    /// Default [`DEFAULT_HEARTBEAT_INTERVAL`].
+    pub heartbeat: Duration,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            max_entries: None,
+            fetch_reports: false,
+            sequence: 0,
+            io_timeout: DEFAULT_IDLE_TIMEOUT,
+            heartbeat: DEFAULT_HEARTBEAT_INTERVAL,
+        }
+    }
 }
 
 /// What a worker did during one [`work`] call.
@@ -1415,24 +1713,92 @@ impl<W: Write + Send> CampaignObserver for WireObserver<'_, W> {
     }
 }
 
-/// Connects to a coordinator, retrying while the address refuses — the
-/// coordinator may simply not have started yet (multi-node launches are
-/// not synchronized, and a multi-campaign process binds its listener
-/// lazily at its first serve).
+/// Stop signal for the worker's heartbeat pump thread: a plain
+/// mutex-and-condvar flag, so stopping wakes the pump immediately instead
+/// of waiting out a sleep.
+struct PumpStop {
+    stopped: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl PumpStop {
+    fn new() -> Self {
+        PumpStop {
+            stopped: Mutex::new(false),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn stop(&self) {
+        *self.stopped.lock().expect("pump stop lock") = true;
+        self.cond.notify_all();
+    }
+
+    /// Waits out one heartbeat interval; true when stopped meanwhile.
+    fn wait(&self, interval: Duration) -> bool {
+        let deadline = Instant::now() + interval;
+        let mut stopped = self.stopped.lock().expect("pump stop lock");
+        loop {
+            if *stopped {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (next, _timeout) = self
+                .cond
+                .wait_timeout(stopped, deadline - now)
+                .expect("pump stop lock");
+            stopped = next;
+        }
+    }
+}
+
+/// Pumps [`Frame::Heartbeat`] every `interval` until stopped. Runs for
+/// the whole connection (the writer mutex keeps frames whole), so a
+/// worker blocked in a long measurement *or* waiting out another
+/// worker's long entry keeps proving liveness either way. A write
+/// failure just stops the pump — the work loop hits the same fault on
+/// its own next write or read and surfaces it typed.
+fn heartbeat_pump<W: Write>(writer: &Mutex<W>, stop: &PumpStop, interval: Duration) {
+    loop {
+        if stop.wait(interval) {
+            return;
+        }
+        let mut w = writer.lock().expect("worker writer lock");
+        let sent = Frame::Heartbeat.write_to(&mut *w).and_then(|()| w.flush());
+        drop(w);
+        if sent.is_err() {
+            return;
+        }
+    }
+}
+
+/// Connects to a coordinator, retrying with exponential backoff while the
+/// address refuses — the coordinator may simply not have started yet
+/// (multi-node launches are not synchronized, a multi-campaign process
+/// binds its listener lazily at its first serve, and a
+/// [`CampaignService`] may be between campaigns). Backoff starts at 10 ms
+/// and doubles to a 1 s ceiling, so a worker riding out a long gap costs
+/// one probe per second instead of a tight retry loop.
 ///
 /// # Errors
 ///
 /// Returns the last connection error once `timeout` elapses.
 pub fn connect_with_retry<A: ToSocketAddrs>(addr: A, timeout: Duration) -> io::Result<TcpStream> {
     let started = Instant::now();
+    let mut backoff = Duration::from_millis(10);
     loop {
         match TcpStream::connect(&addr) {
             Ok(stream) => return Ok(stream),
             Err(e) => {
-                if started.elapsed() >= timeout {
+                let elapsed = started.elapsed();
+                if elapsed >= timeout {
                     return Err(e);
                 }
-                std::thread::sleep(Duration::from_millis(25));
+                std::thread::sleep(backoff.min(timeout - elapsed));
+                backoff = (backoff * 2).min(Duration::from_secs(1));
             }
         }
     }
@@ -1462,6 +1828,13 @@ pub fn work<F: crate::backend::BackendFactory>(
     options: &WorkerOptions,
 ) -> Result<WorkerSummary, TransportError> {
     stream.set_nodelay(true).ok();
+    let idle = options.io_timeout;
+    // Same deadline discipline as the coordinator: reads tick instead of
+    // wedging, writes cannot block past the idle budget.
+    stream
+        .set_read_timeout(Some(read_poll(idle)))
+        .map_err(io_err)?;
+    stream.set_write_timeout(Some(idle)).map_err(io_err)?;
     let mut reader = BufReader::new(stream.try_clone().map_err(io_err)?);
     let writer = Mutex::new(BufWriter::new(stream));
     let digest = campaign_digest(campaign);
@@ -1483,8 +1856,8 @@ pub fn work<F: crate::backend::BackendFactory>(
         .map_err(io_err)?;
         w.flush().map_err(io_err)?;
     }
-    read_preamble(&mut reader)?;
-    let shard = match Frame::read_from(&mut reader)? {
+    read_preamble_budgeted(&mut reader, idle, &mut || Ok(()))?;
+    let shard = match next_frame(&mut reader, idle)? {
         Frame::Welcome { shard, entries } => {
             if entries != campaign.len() as u64 {
                 return Err(TransportError::Protocol(format!(
@@ -1510,107 +1883,120 @@ pub fn work<F: crate::backend::BackendFactory>(
         reports: None,
     };
 
-    loop {
-        if cancel.is_aborted() {
-            break;
-        }
-        if options
-            .max_entries
-            .is_some_and(|max| summary.completed.len() >= max)
-        {
-            break;
-        }
-        send(Frame::Request)?;
-        match Frame::read_from(&mut reader)? {
-            Frame::Assign { index } => {
-                let index = index as usize;
-                if index >= campaign.len() {
-                    return Err(TransportError::Protocol(format!(
-                        "assigned entry {index} but the campaign has only {} entries",
-                        campaign.len()
-                    )));
+    // The heartbeat pump shares the frame-atomic writer mutex for the
+    // rest of the connection; the scope joins it (after `stop`) before
+    // the writer can be dropped.
+    let stop = PumpStop::new();
+    let run = std::thread::scope(|scope| {
+        scope.spawn(|| heartbeat_pump(&writer, &stop, options.heartbeat));
+        let result = (|| -> Result<(), TransportError> {
+            loop {
+                if cancel.is_aborted() {
+                    break;
                 }
-                let wire = WireObserver {
-                    writer: &writer,
-                    inner: observer,
-                    failure: Mutex::new(None),
-                };
-                let result = crate::executor::profile_slot(campaign, factory, index, &wire, cancel);
-                if let Some(e) = wire.failure.into_inner().expect("worker failure lock") {
-                    return Err(TransportError::Io(e));
+                if options
+                    .max_entries
+                    .is_some_and(|max| summary.completed.len() >= max)
+                {
+                    break;
                 }
-                match result {
-                    Ok(report) => {
-                        send(Frame::Done {
-                            index: index as u64,
-                            artifact: crate::checkpoint::encode_entry_bytes(
-                                index as u32,
-                                digest,
-                                &report,
-                            ),
-                        })?;
-                        summary.completed.push(index);
+                send(Frame::Request)?;
+                match next_frame(&mut reader, idle)? {
+                    Frame::Assign { index } => {
+                        let index = index as usize;
+                        if index >= campaign.len() {
+                            return Err(TransportError::Protocol(format!(
+                                "assigned entry {index} but the campaign has only {} entries",
+                                campaign.len()
+                            )));
+                        }
+                        let wire = WireObserver {
+                            writer: &writer,
+                            inner: observer,
+                            failure: Mutex::new(None),
+                        };
+                        let result =
+                            crate::executor::profile_slot(campaign, factory, index, &wire, cancel);
+                        if let Some(e) = wire.failure.into_inner().expect("worker failure lock") {
+                            return Err(TransportError::Io(e));
+                        }
+                        match result {
+                            Ok(report) => {
+                                send(Frame::Done {
+                                    index: index as u64,
+                                    artifact: crate::checkpoint::encode_entry_bytes(
+                                        index as u32,
+                                        digest,
+                                        &report,
+                                    ),
+                                })?;
+                                summary.completed.push(index);
+                            }
+                            Err(error) => {
+                                send(Frame::Failed {
+                                    index: index as u64,
+                                    error,
+                                })?;
+                            }
+                        }
                     }
-                    Err(error) => {
-                        send(Frame::Failed {
-                            index: index as u64,
-                            error,
-                        })?;
+                    Frame::Finished { complete } => {
+                        summary.campaign_complete = complete;
+                        break;
                     }
-                }
-            }
-            Frame::Finished { complete } => {
-                summary.campaign_complete = complete;
-                break;
-            }
-            Frame::Abort => {
-                summary.aborted = true;
-                break;
-            }
-            other => {
-                return Err(TransportError::Protocol(format!(
-                    "expected Assign, Finished, or Abort, got {other:?}"
-                )))
-            }
-        }
-    }
-
-    if options.fetch_reports && summary.campaign_complete {
-        let mut reports = Vec::with_capacity(campaign.len());
-        for index in 0..campaign.len() {
-            send(Frame::Fetch {
-                index: index as u64,
-            })?;
-            match Frame::read_from(&mut reader)? {
-                Frame::Artifact { artifact } => {
-                    // Validate over the frame buffer, decode the report
-                    // once — no owned intermediate artifact.
-                    let view = EntryArtifactView::parse(&artifact)?;
-                    if view.index as usize != index {
+                    Frame::Abort => {
+                        summary.aborted = true;
+                        break;
+                    }
+                    other => {
                         return Err(TransportError::Protocol(format!(
-                            "fetched artifact claims index {} (wanted {index})",
-                            view.index
-                        )));
+                            "expected Assign, Finished, or Abort, got {other:?}"
+                        )))
                     }
-                    if view.config_digest != digest {
-                        return Err(TransportError::DigestMismatch {
-                            expected: digest,
-                            found: view.config_digest,
-                        });
-                    }
-                    reports.push(view.to_report());
-                }
-                other => {
-                    return Err(TransportError::Protocol(format!(
-                        "expected Artifact, got {other:?}"
-                    )))
                 }
             }
-        }
-        summary.reports = Some(reports);
-    }
 
-    send(Frame::Bye)?;
+            if options.fetch_reports && summary.campaign_complete {
+                let mut reports = Vec::with_capacity(campaign.len());
+                for index in 0..campaign.len() {
+                    send(Frame::Fetch {
+                        index: index as u64,
+                    })?;
+                    match next_frame(&mut reader, idle)? {
+                        Frame::Artifact { artifact } => {
+                            // Validate over the frame buffer, decode the
+                            // report once — no owned intermediate artifact.
+                            let view = EntryArtifactView::parse(&artifact)?;
+                            if view.index as usize != index {
+                                return Err(TransportError::Protocol(format!(
+                                    "fetched artifact claims index {} (wanted {index})",
+                                    view.index
+                                )));
+                            }
+                            if view.config_digest != digest {
+                                return Err(TransportError::DigestMismatch {
+                                    expected: digest,
+                                    found: view.config_digest,
+                                });
+                            }
+                            reports.push(view.to_report());
+                        }
+                        other => {
+                            return Err(TransportError::Protocol(format!(
+                                "expected Artifact, got {other:?}"
+                            )))
+                        }
+                    }
+                }
+                summary.reports = Some(reports);
+            }
+
+            send(Frame::Bye)
+        })();
+        stop.stop();
+        result
+    });
+    run?;
     Ok(summary)
 }
 
@@ -1635,6 +2021,331 @@ pub fn work_at<A: ToSocketAddrs, F: crate::backend::BackendFactory>(
         &CancellationToken::new(),
         options,
     )
+}
+
+// ---------------------------------------------------------------------
+// Campaign service
+// ---------------------------------------------------------------------
+
+/// Knobs for [`CampaignService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Idle deadline applied to every served campaign (see
+    /// [`Coordinator::idle_timeout`]).
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            idle_timeout: DEFAULT_IDLE_TIMEOUT,
+        }
+    }
+}
+
+/// Where a submitted campaign sits in the service's pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignPhase {
+    /// Waiting behind earlier submissions.
+    Queued,
+    /// Being served right now (workers are connecting / measuring).
+    Serving,
+    /// Finished; [`CampaignTicket::wait`] returns without blocking.
+    Done,
+}
+
+/// One queued campaign, owned by the service thread once popped.
+struct Submission {
+    id: u64,
+    campaign: Campaign,
+    dir: PathBuf,
+    policy: ErrorPolicy,
+    observer: Option<Arc<dyn CampaignObserver + Send + Sync>>,
+    cancel: CancellationToken,
+}
+
+/// Submission-order record of one campaign's lifecycle; indexed by id.
+struct ServiceRecord {
+    phase: CampaignPhase,
+    cancel: CancellationToken,
+    outcome: Option<MethodologyResult<CampaignOutcome>>,
+}
+
+struct ServiceShared {
+    listener: TcpListener,
+    idle: Duration,
+    state: Mutex<ServiceState>,
+    cond: Condvar,
+}
+
+struct ServiceState {
+    submissions: VecDeque<Submission>,
+    records: Vec<ServiceRecord>,
+    draining: bool,
+}
+
+impl ServiceShared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, ServiceState> {
+        self.state.lock().expect("campaign service state")
+    }
+}
+
+/// Handle on one campaign submitted to a [`CampaignService`].
+///
+/// Clonable and sendable; any holder can watch the campaign's
+/// [`phase`](CampaignTicket::phase), [`cancel`](CampaignTicket::cancel)
+/// it, or [`wait`](CampaignTicket::wait) for its outcome.
+#[derive(Clone)]
+pub struct CampaignTicket {
+    shared: Arc<ServiceShared>,
+    id: u64,
+}
+
+impl CampaignTicket {
+    /// The wire sequence number this campaign was assigned (submission
+    /// order, starting at 0). Workers must pass the same number in
+    /// [`WorkerOptions::sequence`] so the handshake routes them to this
+    /// campaign (early arrivals are told to retry, late ones that their
+    /// campaign already completed).
+    pub fn sequence(&self) -> u64 {
+        self.id
+    }
+
+    /// Where the campaign currently sits.
+    pub fn phase(&self) -> CampaignPhase {
+        self.shared.lock().records[self.id as usize].phase
+    }
+
+    /// Cancels the campaign: a queued submission returns an
+    /// all-skipped outcome once its turn comes; a serving one stops
+    /// assigning and drains exactly like [`Coordinator::serve`] under
+    /// cancellation.
+    pub fn cancel(&self) {
+        self.shared.lock().records[self.id as usize].cancel.abort();
+    }
+
+    /// Blocks until the campaign finishes and returns its outcome (the
+    /// same value [`Coordinator::serve`] would return, cloned so every
+    /// ticket holder can read it).
+    ///
+    /// # Errors
+    ///
+    /// As [`Coordinator::serve`].
+    pub fn wait(&self) -> MethodologyResult<CampaignOutcome> {
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(outcome) = &state.records[self.id as usize].outcome {
+                return outcome.clone();
+            }
+            state = self
+                .shared
+                .cond
+                .wait(state)
+                .expect("campaign service state");
+        }
+    }
+}
+
+/// An always-on, multi-campaign coordinator daemon: one listener, many
+/// campaigns served back to back by a dedicated service thread.
+///
+/// Each [`submit`](CampaignService::submit) enqueues a campaign and
+/// returns a [`CampaignTicket`]; the service thread pops submissions in
+/// order and serves each through [`Coordinator::serve`] with the
+/// submission index as its wire sequence number, so the existing
+/// sequence-negotiated handshake routes every worker to the right
+/// campaign without the listener ever rebinding. Per-connection faults,
+/// silent-worker evictions, and worker reconnects are all absorbed by
+/// the underlying coordinator — a wedged or vanished worker can stall
+/// one campaign for at most the configured idle deadline, never the
+/// service.
+///
+/// [`shutdown`](CampaignService::shutdown) drains gracefully (queued
+/// campaigns still run); dropping the service instead cancels whatever
+/// is queued or serving and joins the thread.
+pub struct CampaignService {
+    shared: Arc<ServiceShared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl fmt::Debug for CampaignService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.shared.lock();
+        f.debug_struct("CampaignService")
+            .field("queued", &state.submissions.len())
+            .field("campaigns", &state.records.len())
+            .field("draining", &state.draining)
+            .finish()
+    }
+}
+
+impl CampaignService {
+    /// Binds the service's listener and starts its serving thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServiceConfig) -> io::Result<CampaignService> {
+        Ok(CampaignService::from_listener(
+            TcpListener::bind(addr)?,
+            config,
+        ))
+    }
+
+    /// Wraps an already-bound listener and starts the serving thread.
+    pub fn from_listener(listener: TcpListener, config: ServiceConfig) -> CampaignService {
+        let shared = Arc::new(ServiceShared {
+            listener,
+            idle: config.idle_timeout,
+            state: Mutex::new(ServiceState {
+                submissions: VecDeque::new(),
+                records: Vec::new(),
+                draining: false,
+            }),
+            cond: Condvar::new(),
+        });
+        let thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || service_loop(&shared))
+        };
+        CampaignService {
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.shared.listener.local_addr()
+    }
+
+    /// Enqueues a campaign with the default error policy and no
+    /// observer. See [`submit_with`](CampaignService::submit_with).
+    pub fn submit(&self, campaign: Campaign, dir: impl Into<PathBuf>) -> CampaignTicket {
+        self.submit_with(campaign, dir, ErrorPolicy::default(), None)
+    }
+
+    /// Enqueues a campaign; the service thread will serve it (in
+    /// submission order) exactly as [`Coordinator::serve`] would with
+    /// this policy, observer, and the service's idle deadline,
+    /// persisting into `dir`. The returned ticket's
+    /// [`sequence`](CampaignTicket::sequence) is what workers must pass
+    /// as [`WorkerOptions::sequence`].
+    pub fn submit_with(
+        &self,
+        campaign: Campaign,
+        dir: impl Into<PathBuf>,
+        policy: ErrorPolicy,
+        observer: Option<Arc<dyn CampaignObserver + Send + Sync>>,
+    ) -> CampaignTicket {
+        let cancel = CancellationToken::new();
+        let id = {
+            let mut state = self.shared.lock();
+            let id = state.records.len() as u64;
+            state.records.push(ServiceRecord {
+                phase: CampaignPhase::Queued,
+                cancel: cancel.clone(),
+                outcome: None,
+            });
+            state.submissions.push_back(Submission {
+                id,
+                campaign,
+                dir: dir.into(),
+                policy,
+                observer,
+                cancel,
+            });
+            id
+        };
+        self.shared.cond.notify_all();
+        CampaignTicket {
+            shared: Arc::clone(&self.shared),
+            id,
+        }
+    }
+
+    /// Graceful drain: already-submitted campaigns (queued or serving)
+    /// run to completion, then the service thread exits and is joined.
+    pub fn shutdown(mut self) {
+        self.shared.lock().draining = true;
+        self.shared.cond.notify_all();
+        if let Some(thread) = self.thread.take() {
+            thread.join().expect("campaign service thread");
+        }
+    }
+}
+
+impl Drop for CampaignService {
+    /// Hard stop: cancels every queued and serving campaign, then joins
+    /// the service thread. Bounded by the coordinator's own
+    /// cancellation drain (entry-granular cancel plus the idle
+    /// deadline), so a wedged worker cannot wedge the drop.
+    fn drop(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return; // shutdown() already joined
+        };
+        {
+            let mut state = self.shared.lock();
+            state.draining = true;
+            for record in &state.records {
+                record.cancel.abort();
+            }
+        }
+        self.shared.cond.notify_all();
+        thread.join().expect("campaign service thread");
+    }
+}
+
+/// The service thread: pops submissions in order and serves each one.
+fn service_loop(shared: &ServiceShared) {
+    loop {
+        let submission = {
+            let mut state = shared.lock();
+            loop {
+                if let Some(s) = state.submissions.pop_front() {
+                    break s;
+                }
+                if state.draining {
+                    return;
+                }
+                state = shared.cond.wait(state).expect("campaign service state");
+            }
+        };
+        let id = submission.id as usize;
+        shared.lock().records[id].phase = CampaignPhase::Serving;
+        shared.cond.notify_all();
+
+        let result = match shared.listener.try_clone() {
+            Ok(listener) => {
+                let coordinator = Coordinator::from_listener(listener)
+                    .sequence(submission.id)
+                    .error_policy(submission.policy)
+                    .idle_timeout(shared.idle);
+                let observer: &dyn CampaignObserver = match &submission.observer {
+                    Some(o) => o.as_ref(),
+                    None => &NoopCampaignObserver,
+                };
+                coordinator.serve(
+                    &submission.campaign,
+                    &submission.dir,
+                    observer,
+                    &submission.cancel,
+                )
+            }
+            Err(e) => Err(MethodologyError::from(TransportError::Io(e))),
+        };
+
+        let mut state = shared.lock();
+        let record = &mut state.records[id];
+        record.outcome = Some(result);
+        record.phase = CampaignPhase::Done;
+        drop(state);
+        shared.cond.notify_all();
+    }
 }
 
 #[cfg(test)]
@@ -1668,6 +2379,7 @@ mod tests {
                 detail: "nope".into(),
             },
             Frame::Request,
+            Frame::Heartbeat,
             Frame::Assign { index: 7 },
             Frame::Finished { complete: true },
             Frame::Finished { complete: false },
@@ -1808,6 +2520,89 @@ mod tests {
     }
 
     #[test]
+    fn next_frame_skips_heartbeats() {
+        let mut bytes = Vec::new();
+        Frame::Heartbeat.write_to(&mut bytes).unwrap();
+        Frame::Heartbeat.write_to(&mut bytes).unwrap();
+        Frame::Assign { index: 3 }.write_to(&mut bytes).unwrap();
+        let mut cursor = &bytes[..];
+        let frame = next_frame(&mut cursor, Duration::from_secs(1)).unwrap();
+        assert!(matches!(frame, Frame::Assign { index: 3 }));
+        assert!(cursor.is_empty(), "heartbeats consumed alongside");
+    }
+
+    /// Yields its script of reads in order: `Ok(bytes)` delivers them,
+    /// `Err(kind)` surfaces that error once.
+    struct ScriptedReader {
+        script: std::collections::VecDeque<Result<Vec<u8>, io::ErrorKind>>,
+    }
+
+    impl Read for ScriptedReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.script.pop_front() {
+                Some(Ok(bytes)) => {
+                    let n = bytes.len().min(buf.len());
+                    buf[..n].copy_from_slice(&bytes[..n]);
+                    Ok(n)
+                }
+                Some(Err(kind)) => Err(kind.into()),
+                None => Ok(0),
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_reads_keep_partial_bytes_across_timeout_ticks() {
+        // Two bytes, a timeout tick, two more bytes: the fill must
+        // deliver all four — a tick never discards partial progress.
+        let mut r = ScriptedReader {
+            script: [
+                Ok(vec![1, 2]),
+                Err(io::ErrorKind::WouldBlock),
+                Ok(vec![3, 4]),
+            ]
+            .into_iter()
+            .collect(),
+        };
+        let mut buf = [0u8; 4];
+        let mut ticks = 0;
+        fill_budgeted(
+            &mut r,
+            &mut buf,
+            "test",
+            Duration::from_secs(5),
+            &mut || {
+                ticks += 1;
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+        assert_eq!(ticks, 1, "the timeout wakeup ran the tick hook");
+    }
+
+    #[test]
+    fn budgeted_reads_lapse_only_after_sustained_silence() {
+        // A zero idle budget lapses on the first silent tick…
+        let mut r = ScriptedReader {
+            script: [Err(io::ErrorKind::WouldBlock)].into_iter().collect(),
+        };
+        let mut buf = [0u8; 1];
+        match fill_budgeted(&mut r, &mut buf, "test", Duration::ZERO, &mut || Ok(())) {
+            Err(TransportError::DeadlineLapsed { .. }) => {}
+            other => panic!("expected DeadlineLapsed, got {other:?}"),
+        }
+        // …while EOF stays a typed truncation, not a deadline fault.
+        let mut r = ScriptedReader {
+            script: VecDeque::new(),
+        };
+        match fill_budgeted(&mut r, &mut buf, "test", Duration::ZERO, &mut || Ok(())) {
+            Err(TransportError::Truncated("test")) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn transport_error_displays() {
         let cases: Vec<TransportError> = vec![
             TransportError::Io(io::Error::other("x")),
@@ -1825,6 +2620,9 @@ mod tests {
             },
             TransportError::Checkpoint(CheckpointError::Truncated("magic")),
             TransportError::Protocol("w".into()),
+            TransportError::DeadlineLapsed {
+                silent_for: Duration::from_secs(30),
+            },
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());

@@ -20,8 +20,16 @@
 //! 5. the coordinator's checkpoint directory `gather`s into profile
 //!    stores — and reports and CSVs — compared byte for byte against the
 //!    serial reference.
+//!
+//! The transport here runs with the v2 deadline discipline: the
+//! coordinator enforces an idle byte-silence budget (`idle_timeout`) and
+//! evicts wedged assignments, workers pump `Heartbeat` frames while a
+//! measurement makes no wire progress (`WorkerOptions::heartbeat`), and
+//! connections are established with `connect_with_retry`'s exponential
+//! backoff instead of dying on a transient `ConnectionRefused`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 use fingrav::core::backend::SimulationFactory;
 use fingrav::core::campaign::Campaign;
@@ -32,7 +40,7 @@ use fingrav::core::executor::{
 use fingrav::core::profile::ProfileAxis;
 use fingrav::core::report::profile_to_csv;
 use fingrav::core::runner::RunnerConfig;
-use fingrav::core::transport::{work, Coordinator, WorkerOptions};
+use fingrav::core::transport::{connect_with_retry, work, Coordinator, WorkerOptions};
 use fingrav::sim::SimConfig;
 use fingrav::workloads::suite;
 
@@ -83,8 +91,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2–4. The same campaign served over TCP loopback.
     // ------------------------------------------------------------------
     println!("\ndistributed: serving the campaign on 127.0.0.1");
-    let coordinator = Coordinator::bind("127.0.0.1:0")?;
+    // A 10 s byte-silence budget: generous for loopback, but it means a
+    // wedged worker (open socket, no bytes) is evicted and its entry
+    // re-planned instead of hanging the campaign forever.
+    let coordinator = Coordinator::bind("127.0.0.1:0")?.idle_timeout(Duration::from_secs(10));
     let addr = coordinator.local_addr()?;
+    // Workers heartbeat well inside that budget while measuring.
+    let options = WorkerOptions {
+        heartbeat: Duration::from_millis(500),
+        ..WorkerOptions::default()
+    };
 
     let outcome = std::thread::scope(|s| {
         // Worker 1: killed mid-entry by its own cancellation token.
@@ -93,14 +109,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 cancel: CancellationToken::new(),
                 started: AtomicUsize::new(0),
             };
-            let stream = std::net::TcpStream::connect(addr).expect("loopback connect");
+            let stream =
+                connect_with_retry(addr, Duration::from_secs(5)).expect("loopback connect");
             let summary = work(
                 stream,
                 &campaign,
                 &factory,
                 &killer,
                 &killer.cancel,
-                &WorkerOptions::default(),
+                &options,
             )
             .expect("a killed worker still leaves cleanly");
             println!(
@@ -115,7 +132,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         });
         // Worker 2: measures two entries, then leaves.
         s.spawn(|| {
-            let stream = std::net::TcpStream::connect(addr).expect("loopback connect");
+            let stream =
+                connect_with_retry(addr, Duration::from_secs(5)).expect("loopback connect");
             let summary = work(
                 stream,
                 &campaign,
@@ -124,7 +142,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 &CancellationToken::new(),
                 &WorkerOptions {
                     max_entries: Some(2),
-                    ..WorkerOptions::default()
+                    ..options.clone()
                 },
             )
             .expect("worker 2 leaves cleanly");
@@ -132,14 +150,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // Worker 3: "reconnects" (same machine, fresh connection) and
             // finishes whatever remains — including the entry worker 1
             // dropped mid-measurement.
-            let stream = std::net::TcpStream::connect(addr).expect("loopback reconnect");
+            let stream =
+                connect_with_retry(addr, Duration::from_secs(5)).expect("loopback reconnect");
             let summary = work(
                 stream,
                 &campaign,
                 &factory,
                 &NoopCampaignObserver,
                 &CancellationToken::new(),
-                &WorkerOptions::default(),
+                &options,
             )
             .expect("worker 3 finishes the campaign");
             println!(
@@ -154,6 +173,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &CancellationToken::new(),
         )
     })?;
+    if outcome.evictions.is_empty() {
+        println!("  no deadline evictions: every worker stayed live");
+    } else {
+        println!("  deadline evictions re-planned: {:?}", outcome.evictions);
+    }
     let distributed = outcome.into_report()?;
 
     // ------------------------------------------------------------------

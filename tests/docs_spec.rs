@@ -73,10 +73,12 @@ fn doc_links_resolve() {
 fn formats_spec_cites_the_shipped_constants() {
     let spec = read_doc("FORMATS.md");
 
-    for (magic, version) in [
-        (STORE_MAGIC, STORE_VERSION),
-        (CKPT_MAGIC, CKPT_VERSION),
-        (WIRE_MAGIC, WIRE_VERSION),
+    for (magic, version, expected) in [
+        (STORE_MAGIC, STORE_VERSION, 1),
+        (CKPT_MAGIC, CKPT_VERSION, 1),
+        // The wire moved to v2 when the Heartbeat frame landed; the
+        // store and checkpoint encodings are unchanged.
+        (WIRE_MAGIC, WIRE_VERSION, 2),
     ] {
         let name = std::str::from_utf8(&magic).unwrap();
         assert!(spec.contains(name), "spec must name the `{name}` magic");
@@ -86,7 +88,10 @@ fn formats_spec_cites_the_shipped_constants() {
             spec.contains(&hex.join(" ")),
             "spec must spell out the `{name}` magic bytes"
         );
-        assert_eq!(version, 1, "this spec revision documents version 1");
+        assert_eq!(
+            version, expected,
+            "this spec revision documents `{name}` version {expected}"
+        );
     }
 
     // The transport protocol version is recorded in exactly one code
@@ -258,6 +263,43 @@ fn fgrvwire_frame_layout_matches_the_spec() {
     assert_eq!(u32::from_le_bytes(empty[0..4].try_into().unwrap()), 4);
     assert_eq!(u64::from_le_bytes(empty[4..12].try_into().unwrap()), 0);
     assert_eq!(empty.len(), 12);
+}
+
+/// The transport-hardening claims stay in the docs: FORMATS.md must
+/// carry the v2 heartbeat frame row and the deadline fault rules, and
+/// ARCHITECTURE.md must describe the campaign service the daemon mode
+/// is built on.
+#[test]
+fn transport_hardening_sections_match_the_code() {
+    let spec = read_doc("FORMATS.md");
+    for phrase in [
+        "`Heartbeat`",
+        "Deadline rule (v2)",
+        "byte-silence",
+        "idle_timeout",
+        "io_timeout",
+        "evicted",
+    ] {
+        assert!(
+            spec.contains(phrase),
+            "FORMATS.md §4 must state `{phrase}` (heartbeat/deadline rules)"
+        );
+    }
+    let arch = read_doc("ARCHITECTURE.md");
+    for phrase in [
+        "Campaign service",
+        "CampaignService",
+        "CampaignTicket",
+        "AssignmentLease",
+        "Deadline discipline",
+        "exponential backoff",
+        "DENY_SEQUENCE_EARLY",
+    ] {
+        assert!(
+            arch.contains(phrase),
+            "ARCHITECTURE.md must describe `{phrase}` (campaign service section)"
+        );
+    }
 }
 
 /// The architecture doc's engine hot-loop section names the actual

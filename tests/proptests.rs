@@ -4,6 +4,7 @@ use fingrav::core::binning::bin_durations;
 use fingrav::core::energy::{energy_joules, sequence_energy_joules, SequenceStep};
 use fingrav::core::guidance::GuidanceTable;
 use fingrav::core::regression::PolyFit;
+use fingrav::core::stats::{median, median_u64, quantile};
 use fingrav::core::sync::{ReadDelayCalibration, TimeSync};
 use fingrav::sim::telemetry::AveragingPowerLogger;
 use fingrav::sim::{ComponentPower, CpuTime, GpuTicks, SimDuration, SimTime};
@@ -121,6 +122,59 @@ proptest! {
         let hi = in_window.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9,
             "avg {avg} outside [{lo}, {hi}]");
+    }
+
+    // ------------------------------------------------------------------
+    // Stats
+    // ------------------------------------------------------------------
+
+    /// `median`/`quantile` tolerate NaN-poisoned samples (reachable since
+    /// the DVFS idle-power windows poison with NaN): no panic, and any
+    /// non-NaN result is bounded by the finite samples. NaN-free inputs
+    /// keep the textbook median.
+    #[test]
+    fn stats_tolerate_nan_poisoned_inputs(
+        vals in prop::collection::vec(-1000.0f64..1000.0, 1..40),
+        nan_mask in 0u64..u64::MAX,
+        p in 0.0f64..1.0,
+    ) {
+        let poisoned: Vec<f64> = vals.iter().enumerate()
+            .map(|(i, &v)| if nan_mask & (1 << (i % 64)) != 0 { f64::NAN } else { v })
+            .collect();
+        let med = median(&poisoned).expect("non-empty input");
+        let q = quantile(&poisoned, p).expect("non-empty input");
+        let finite: Vec<f64> = poisoned.iter().copied().filter(|v| !v.is_nan()).collect();
+        let lo = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if !med.is_nan() {
+            prop_assert!(med >= lo && med <= hi, "median {med} outside [{lo}, {hi}]");
+        }
+        if !q.is_nan() {
+            prop_assert!(q >= lo && q <= hi, "quantile {q} outside [{lo}, {hi}]");
+        }
+        if finite.len() == poisoned.len() {
+            let mut sorted = finite;
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let n = sorted.len();
+            let want = if n % 2 == 1 {
+                sorted[n / 2]
+            } else {
+                0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+            };
+            prop_assert_eq!(med, want);
+        }
+    }
+
+    /// `median_u64` stays within the sample range even when every sample
+    /// sits above `u64::MAX / 2` (absolute-ns stamps, raw tick counters).
+    #[test]
+    fn median_u64_never_overflows(
+        vals in prop::collection::vec(u64::MAX / 2..u64::MAX, 1..40),
+    ) {
+        let m = median_u64(&vals).expect("non-empty input");
+        let lo = *vals.iter().min().unwrap();
+        let hi = *vals.iter().max().unwrap();
+        prop_assert!(m >= lo && m <= hi, "median {m} outside [{lo}, {hi}]");
     }
 
     // ------------------------------------------------------------------

@@ -6,7 +6,8 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
 
 use fingrav::core::backend::{FnBackendFactory, SimulationFactory};
 use fingrav::core::campaign::{Campaign, CampaignReport};
@@ -19,8 +20,9 @@ use fingrav::core::profile::ProfileAxis;
 use fingrav::core::report::profile_to_csv;
 use fingrav::core::runner::{KernelPowerReport, RunnerConfig};
 use fingrav::core::transport::{
-    read_preamble, work, write_preamble, Coordinator, Frame, TransportError, WorkerOptions,
-    DENY_DIGEST_MISMATCH, DENY_SEQUENCE_EARLY, DENY_SEQUENCE_PASSED, WIRE_MAGIC,
+    connect_with_retry, read_preamble, work, write_preamble, CampaignPhase, CampaignService,
+    Coordinator, Frame, ServiceConfig, TransportError, WorkerOptions, DENY_DIGEST_MISMATCH,
+    DENY_SEQUENCE_EARLY, DENY_SEQUENCE_PASSED, WIRE_MAGIC,
 };
 use fingrav::sim::config::SimConfig;
 use fingrav::sim::engine::Simulation;
@@ -742,6 +744,270 @@ fn fetch_reports_downloads_the_full_campaign() {
         CampaignReport { reports: fetched },
         ref_report,
         "the worker's downloaded reports must match the coordinator's"
+    );
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// The deadline-hardening tentpole: a worker that takes an assignment
+/// and then goes byte-silent *without closing its socket* (a wedged
+/// process, a dead NIC, a half-open connection) must not wedge the
+/// campaign. The coordinator's idle deadline evicts the lapsed
+/// assignment, re-queues the entry at the front of the plan, and a live
+/// worker finishes the campaign with byte-identical artifacts.
+#[test]
+fn silent_unclosed_worker_is_evicted_and_replanned() {
+    let campaign = campaign_of(3);
+    let root = temp_root("silent");
+    let (ref_report, ref_stores, ref_csvs) = reference(&campaign, &root.join("reference"));
+    let digest = fingrav::core::checkpoint::campaign_digest(&campaign);
+
+    let dir = root.join("served");
+    let coordinator = Coordinator::bind("127.0.0.1:0")
+        .unwrap()
+        .idle_timeout(Duration::from_millis(400));
+    let addr = coordinator.local_addr().unwrap();
+
+    let assigned = AtomicUsize::new(usize::MAX);
+    let served = AtomicBool::new(false);
+    let outcome = std::thread::scope(|s| {
+        // The silent peer: a complete handshake, one assignment, one
+        // Started frame — then nothing, with the socket deliberately
+        // held open (no FIN) until the campaign is over.
+        s.spawn(|| {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            write_preamble(&mut stream).unwrap();
+            Frame::Hello {
+                digest,
+                sequence: 0,
+            }
+            .write_to(&mut stream)
+            .unwrap();
+            read_preamble(&mut stream).unwrap();
+            assert!(matches!(
+                Frame::read_from(&mut stream).unwrap(),
+                Frame::Welcome { .. }
+            ));
+            Frame::Request.write_to(&mut stream).unwrap();
+            let index = match Frame::read_from(&mut stream).unwrap() {
+                Frame::Assign { index } => index,
+                other => panic!("expected an assignment, got {other:?}"),
+            };
+            Frame::Started {
+                index,
+                label: format!("k{index}"),
+            }
+            .write_to(&mut stream)
+            .unwrap();
+            assigned.store(index as usize, Ordering::SeqCst);
+            while !served.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            drop(stream);
+        });
+        // The live worker starts only once the silent peer holds its
+        // assignment, so the eviction path is guaranteed to run.
+        s.spawn(|| {
+            while assigned.load(Ordering::SeqCst) == usize::MAX {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let stream = TcpStream::connect(addr).unwrap();
+            let summary = work(
+                stream,
+                &campaign,
+                &factory(),
+                &NoopCampaignObserver,
+                &CancellationToken::new(),
+                &WorkerOptions {
+                    heartbeat: Duration::from_millis(50),
+                    ..WorkerOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(summary.campaign_complete);
+        });
+        let outcome = coordinator
+            .serve(
+                &campaign,
+                &dir,
+                &NoopCampaignObserver,
+                &CancellationToken::new(),
+            )
+            .unwrap();
+        served.store(true, Ordering::SeqCst);
+        outcome
+    });
+    assert_eq!(
+        outcome.evictions,
+        vec![assigned.load(Ordering::SeqCst)],
+        "exactly the silent peer's assignment is evicted"
+    );
+    assert!(outcome.is_complete());
+    let report = outcome.into_report().unwrap();
+    assert_identical(
+        &campaign,
+        &dir,
+        &report,
+        &ref_report,
+        &ref_stores,
+        &ref_csvs,
+        "silent-worker eviction",
+    );
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// The liveness half of the deadline contract: a worker whose entry
+/// measurement makes no wire progress for longer than the coordinator's
+/// idle budget must NOT be evicted — the background heartbeat pump
+/// proves the connection is alive while the measurement runs.
+struct SlowFirstEntry {
+    started: AtomicUsize,
+}
+
+impl CampaignObserver for SlowFirstEntry {
+    fn entry_started(&self, _index: usize, _label: &str) {
+        if self.started.fetch_add(1, Ordering::SeqCst) == 0 {
+            std::thread::sleep(Duration::from_millis(1200));
+        }
+    }
+}
+
+#[test]
+fn heartbeats_keep_slow_entries_alive() {
+    let campaign = campaign_of(2);
+    let root = temp_root("slow");
+    let (ref_report, ref_stores, ref_csvs) = reference(&campaign, &root.join("reference"));
+
+    let dir = root.join("served");
+    let coordinator = Coordinator::bind("127.0.0.1:0")
+        .unwrap()
+        .idle_timeout(Duration::from_millis(400));
+    let addr = coordinator.local_addr().unwrap();
+    let outcome = std::thread::scope(|s| {
+        s.spawn(|| {
+            let observer = SlowFirstEntry {
+                started: AtomicUsize::new(0),
+            };
+            let stream = TcpStream::connect(addr).unwrap();
+            let summary = work(
+                stream,
+                &campaign,
+                &factory(),
+                &observer,
+                &CancellationToken::new(),
+                &WorkerOptions {
+                    heartbeat: Duration::from_millis(40),
+                    ..WorkerOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(summary.campaign_complete);
+        });
+        coordinator.serve(
+            &campaign,
+            &dir,
+            &NoopCampaignObserver,
+            &CancellationToken::new(),
+        )
+    })
+    .unwrap();
+    assert!(
+        outcome.evictions.is_empty(),
+        "heartbeats must prove liveness through a slow entry: {:?}",
+        outcome.evictions
+    );
+    let report = outcome.into_report().unwrap();
+    assert_identical(
+        &campaign,
+        &dir,
+        &report,
+        &ref_report,
+        &ref_stores,
+        &ref_csvs,
+        "slow entry under heartbeats",
+    );
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// The persistence half of the tentpole: one `CampaignService` listener
+/// serves two campaigns back-to-back with no rebind, routing workers by
+/// wire sequence number, and both artifact trees stay byte-identical to
+/// their serial references.
+#[test]
+fn persistent_service_serves_campaigns_back_to_back() {
+    let first = campaign_of(3);
+    let second = campaign_of(2);
+    let root = temp_root("service");
+    let (ref_a, stores_a, csvs_a) = reference(&first, &root.join("ref-a"));
+    let (ref_b, stores_b, csvs_b) = reference(&second, &root.join("ref-b"));
+
+    let service = CampaignService::bind("127.0.0.1:0", ServiceConfig::default()).unwrap();
+    let addr = service.local_addr().unwrap();
+    let dir_a = root.join("served-a");
+    let dir_b = root.join("served-b");
+    let ticket_a = service.submit(first.clone(), dir_a.clone());
+    let ticket_b = service.submit(second.clone(), dir_b.clone());
+    assert_eq!(ticket_a.sequence(), 0, "tickets are numbered in order");
+    assert_eq!(ticket_b.sequence(), 1, "tickets are numbered in order");
+
+    let (outcome_a, outcome_b) = std::thread::scope(|s| {
+        // One worker serves both campaigns through the same address; a
+        // connection that lands while the service is still on an
+        // earlier campaign gets the typed early denial and retries.
+        s.spawn(|| {
+            for (sequence, campaign) in [(0u64, &first), (1u64, &second)] {
+                loop {
+                    let stream = connect_with_retry(addr, Duration::from_secs(10)).unwrap();
+                    match work(
+                        stream,
+                        campaign,
+                        &factory(),
+                        &NoopCampaignObserver,
+                        &CancellationToken::new(),
+                        &WorkerOptions {
+                            sequence,
+                            ..WorkerOptions::default()
+                        },
+                    ) {
+                        Ok(summary) => {
+                            assert!(summary.campaign_complete);
+                            break;
+                        }
+                        Err(TransportError::Denied { code, .. }) if code == DENY_SEQUENCE_EARLY => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(other) => panic!("worker failed on sequence {sequence}: {other}"),
+                    }
+                }
+            }
+        });
+        let outcome_a = ticket_a.wait().unwrap();
+        let outcome_b = ticket_b.wait().unwrap();
+        (outcome_a, outcome_b)
+    });
+    assert_eq!(ticket_a.phase(), CampaignPhase::Done);
+    assert_eq!(ticket_b.phase(), CampaignPhase::Done);
+    service.shutdown();
+
+    assert!(outcome_a.is_complete() && outcome_b.is_complete());
+    let report_a = outcome_a.into_report().unwrap();
+    let report_b = outcome_b.into_report().unwrap();
+    assert_identical(
+        &first,
+        &dir_a,
+        &report_a,
+        &ref_a,
+        &stores_a,
+        &csvs_a,
+        "first campaign through the service",
+    );
+    assert_identical(
+        &second,
+        &dir_b,
+        &report_b,
+        &ref_b,
+        &stores_b,
+        &csvs_b,
+        "second campaign through the service",
     );
     std::fs::remove_dir_all(&root).unwrap();
 }
