@@ -103,6 +103,7 @@ use fingrav_sim::trace::{GroundTruth, RunTrace, TimedExecution, TimestampRead, T
 
 use crate::binning::{Bin, Binning};
 use crate::campaign::{Campaign, CampaignReport};
+use crate::cover;
 use crate::error::MethodologyError;
 use crate::guidance::GuidanceEntry;
 use crate::mmap::MappedProfile;
@@ -267,8 +268,24 @@ pub(crate) fn read_exact_ck<R: Read>(
 fn decode_usize<R: Read>(r: &mut R) -> Result<usize, CheckpointError> {
     let v = u64::decode(r)?;
     usize::try_from(v).map_err(|_| {
+        cover::hit(cover::CKPT_COUNT_OVERFLOW);
         CheckpointError::Corrupt(format!("count {v} does not fit the host address width"))
     })
+}
+
+/// Decodes a `u64` count/index and additionally enforces the
+/// format-wide [`MAX_SEQ_LEN`] ceiling: every count or index travelling
+/// in a checkpoint refers to a sequence the format already bounds, so a
+/// larger value is a corrupt field — rejecting it here keeps a hostile
+/// stream from planting absurd counts that downstream code would loop
+/// or allocate over.
+fn decode_count<R: Read>(r: &mut R, what: &'static str) -> Result<usize, CheckpointError> {
+    let v = decode_usize(r)?;
+    if v > MAX_SEQ_LEN {
+        cover::hit(cover::CKPT_COUNT_IMPLAUSIBLE);
+        return Err(CheckpointError::Corrupt(format!("implausible {what} {v}")));
+    }
+    Ok(v)
 }
 
 /// Binary little-endian encode/decode of one checkpoint field.
@@ -326,9 +343,12 @@ impl Codec for bool {
         match u8::decode(r)? {
             0 => Ok(false),
             1 => Ok(true),
-            other => Err(CheckpointError::Corrupt(format!(
-                "bool field holds {other} (expected 0 or 1)"
-            ))),
+            other => {
+                cover::hit(cover::CKPT_BOOL_BAD);
+                Err(CheckpointError::Corrupt(format!(
+                    "bool field holds {other} (expected 0 or 1)"
+                )))
+            }
         }
     }
 }
@@ -342,14 +362,17 @@ impl Codec for String {
     fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
         let len = decode_usize(r)?;
         if len > MAX_STR_LEN {
+            cover::hit(cover::CKPT_STR_IMPLAUSIBLE);
             return Err(CheckpointError::Corrupt(format!(
                 "implausible string length {len}"
             )));
         }
         let mut buf = vec![0u8; len];
         read_exact_ck(r, &mut buf, Self::BLOCK)?;
-        String::from_utf8(buf)
-            .map_err(|_| CheckpointError::Corrupt("string is not valid UTF-8".into()))
+        String::from_utf8(buf).map_err(|_| {
+            cover::hit(cover::CKPT_STR_BAD_UTF8);
+            CheckpointError::Corrupt("string is not valid UTF-8".into())
+        })
     }
 }
 
@@ -368,9 +391,12 @@ impl<T: Codec> Codec for Option<T> {
         match u8::decode(r)? {
             0 => Ok(None),
             1 => Ok(Some(T::decode(r)?)),
-            other => Err(CheckpointError::Corrupt(format!(
-                "option tag holds {other} (expected 0 or 1)"
-            ))),
+            other => {
+                cover::hit(cover::CKPT_OPT_BAD);
+                Err(CheckpointError::Corrupt(format!(
+                    "option tag holds {other} (expected 0 or 1)"
+                )))
+            }
         }
     }
 }
@@ -387,6 +413,7 @@ impl<T: Codec> Codec for Vec<T> {
     fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
         let len = decode_usize(r)?;
         if len > MAX_SEQ_LEN {
+            cover::hit(cover::CKPT_SEQ_IMPLAUSIBLE);
             return Err(CheckpointError::Corrupt(format!(
                 "implausible sequence length {len}"
             )));
@@ -447,12 +474,28 @@ u64_newtype_codec!(
     |t: &SimDuration| t.as_nanos(),
     SimDuration::from_nanos
 );
-u64_newtype_codec!(
-    KernelHandle,
-    "kernel handle",
-    |k: &KernelHandle| k.index() as u64,
-    |v| KernelHandle::from_index(v as usize)
-);
+impl Codec for KernelHandle {
+    const BLOCK: &'static str = "kernel handle";
+    fn encode<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        (self.index() as u64).encode(w)
+    }
+    fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        // A handle indexes the campaign's kernel table, which is itself
+        // a decoded sequence bounded by `MAX_SEQ_LEN` — so a larger (or
+        // non-address-width) value is corruption, not data. Checked
+        // here instead of `as usize` so a 64-bit producer's handle can
+        // never silently truncate on a 32-bit consumer.
+        let v = u64::decode(r)?;
+        let index = usize::try_from(v)
+            .ok()
+            .filter(|&i| i <= MAX_SEQ_LEN)
+            .ok_or_else(|| {
+                cover::hit(cover::CKPT_HANDLE_IMPLAUSIBLE);
+                CheckpointError::Corrupt(format!("implausible kernel-handle index {v}"))
+            })?;
+        Ok(KernelHandle::from_index(index))
+    }
+}
 
 impl Codec for ComponentPower {
     const BLOCK: &'static str = "component power";
@@ -625,9 +668,12 @@ impl Codec for HostOp {
             6 => Ok(HostOp::StartCoarseLogger),
             7 => Ok(HostOp::StopCoarseLogger),
             8 => Ok(HostOp::BeginRun),
-            other => Err(CheckpointError::Corrupt(format!(
-                "unknown host-op tag {other}"
-            ))),
+            other => {
+                cover::hit(cover::CKPT_HOSTOP_BAD_TAG);
+                Err(CheckpointError::Corrupt(format!(
+                    "unknown host-op tag {other}"
+                )))
+            }
         }
     }
 }
@@ -678,14 +724,14 @@ impl Codec for TelemetryEvent {
     fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
         match u8::decode(r)? {
             0 => Ok(TelemetryEvent::ScriptStarted {
-                ops: decode_usize(r)?,
+                ops: decode_count(r, "script op count")?,
             }),
             1 => Ok(TelemetryEvent::OpStarted {
-                index: decode_usize(r)?,
+                index: decode_count(r, "script op index")?,
                 op: HostOp::decode(r)?,
             }),
             2 => Ok(TelemetryEvent::OpFinished {
-                index: decode_usize(r)?,
+                index: decode_count(r, "script op index")?,
             }),
             3 => Ok(TelemetryEvent::PowerLogEmitted {
                 coarse: bool::decode(r)?,
@@ -700,9 +746,12 @@ impl Codec for TelemetryEvent {
             6 => Ok(TelemetryEvent::ScriptDone {
                 aborted: bool::decode(r)?,
             }),
-            other => Err(CheckpointError::Corrupt(format!(
-                "unknown telemetry-event tag {other}"
-            ))),
+            other => {
+                cover::hit(cover::CKPT_EVENT_BAD_TAG);
+                Err(CheckpointError::Corrupt(format!(
+                    "unknown telemetry-event tag {other}"
+                )))
+            }
         }
     }
 }
@@ -809,13 +858,28 @@ impl Codec for Bin {
         members.encode(w)
     }
     fn decode<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
+        let low_ns = u64::decode(r)?;
+        let high_ns = u64::decode(r)?;
+        let raw = Vec::<u64>::decode(r)?;
+        // Members index the entry's run list, itself a `MAX_SEQ_LEN`-
+        // bounded sequence; convert checked instead of `as usize` so a
+        // wide index can neither truncate on 32-bit hosts nor smuggle
+        // an absurd run number past the decoder.
+        let mut members = Vec::with_capacity(raw.len());
+        for m in raw {
+            let index = usize::try_from(m)
+                .ok()
+                .filter(|&i| i <= MAX_SEQ_LEN)
+                .ok_or_else(|| {
+                    cover::hit(cover::CKPT_BIN_BAD_MEMBER);
+                    CheckpointError::Corrupt(format!("implausible bin member index {m}"))
+                })?;
+            members.push(index);
+        }
         Ok(Bin {
-            low_ns: u64::decode(r)?,
-            high_ns: u64::decode(r)?,
-            members: Vec::<u64>::decode(r)?
-                .into_iter()
-                .map(|m| m as usize)
-                .collect(),
+            low_ns,
+            high_ns,
+            members,
         })
     }
 }
@@ -834,6 +898,7 @@ impl Codec for Binning {
         // so an empty bin list is rejected here too — `golden_bin()`
         // indexes `bins[golden]` and must never panic on decoded data.
         if golden >= bins.len() {
+            cover::hit(cover::CKPT_BINNING_BAD_GOLDEN);
             return Err(CheckpointError::Corrupt(format!(
                 "golden-bin index {golden} out of range for {} bins",
                 bins.len()
@@ -868,9 +933,12 @@ impl Codec for ProfileKind {
             2 => Ok(ProfileKind::Ssp),
             3 => Ok(ProfileKind::Outlier),
             4 => Ok(ProfileKind::Custom(String::decode(r)?)),
-            other => Err(CheckpointError::Corrupt(format!(
-                "unknown profile-kind tag {other}"
-            ))),
+            other => {
+                cover::hit(cover::CKPT_KIND_BAD_TAG);
+                Err(CheckpointError::Corrupt(format!(
+                    "unknown profile-kind tag {other}"
+                )))
+            }
         }
     }
 }
@@ -1001,18 +1069,22 @@ fn read_header<R: Read>(r: &mut R, expected_section: u32) -> Result<(), Checkpoi
     let mut magic = [0u8; 8];
     read_exact_ck(r, &mut magic, "magic")?;
     if magic != CKPT_MAGIC {
+        cover::hit(cover::CKPT_BAD_MAGIC);
         return Err(CheckpointError::BadMagic(magic));
     }
     let version = u32::decode(r)?;
     if version != CKPT_VERSION {
+        cover::hit(cover::CKPT_BAD_VERSION);
         return Err(CheckpointError::UnsupportedVersion(version));
     }
     let section = u32::decode(r)?;
     if section != expected_section {
+        cover::hit(cover::CKPT_BAD_SECTION);
         return Err(CheckpointError::Corrupt(format!(
             "section tag {section} where {expected_section} was expected"
         )));
     }
+    cover::hit(cover::CKPT_HEADER_OK);
     Ok(())
 }
 
@@ -1023,6 +1095,7 @@ pub(crate) fn from_bytes_with<T>(
     let mut cursor = bytes;
     let value = read(&mut cursor)?;
     if !cursor.is_empty() {
+        cover::hit(cover::CKPT_TRAILING);
         return Err(CheckpointError::Corrupt(format!(
             "{} trailing bytes after the payload",
             cursor.len()
@@ -1114,9 +1187,12 @@ impl Codec for EntryStatus {
             1 => Ok(EntryStatus::Done),
             2 => Ok(EntryStatus::Failed),
             3 => Ok(EntryStatus::Aborted),
-            other => Err(CheckpointError::Corrupt(format!(
-                "unknown entry-status tag {other}"
-            ))),
+            other => {
+                cover::hit(cover::CKPT_STATUS_BAD_TAG);
+                Err(CheckpointError::Corrupt(format!(
+                    "unknown entry-status tag {other}"
+                )))
+            }
         }
     }
 }
@@ -1251,11 +1327,13 @@ impl CampaignManifest {
     /// or invariant-violating streams.
     pub fn read_from<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
         read_header(r, SECTION_MANIFEST)?;
-        Ok(CampaignManifest {
+        let manifest = CampaignManifest {
             config_digest: u64::decode(r)?,
             workers: u32::decode(r)?,
             entries: Vec::decode(r)?,
-        })
+        };
+        cover::hit(cover::CKPT_MANIFEST_OK);
+        Ok(manifest)
     }
 
     /// Encodes to an owned buffer.
@@ -1343,11 +1421,13 @@ impl EntryArtifact {
     /// or invariant-violating streams.
     pub fn read_from<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
         read_header(r, SECTION_ENTRY)?;
-        Ok(EntryArtifact {
+        let artifact = EntryArtifact {
             index: u32::decode(r)?,
             config_digest: u64::decode(r)?,
             report: KernelPowerReport::decode(r)?,
-        })
+        };
+        cover::hit(cover::CKPT_ENTRY_OK);
+        Ok(artifact)
     }
 
     /// Encodes to an owned buffer.
@@ -1501,11 +1581,13 @@ impl<'a> EntryArtifactView<'a> {
             sse_vs_ssp_error: Option::decode(&mut r)?,
         };
         if !r.is_empty() {
+            cover::hit(cover::CKPT_TRAILING);
             return Err(CheckpointError::Corrupt(format!(
                 "{} trailing bytes after the payload",
                 r.len()
             )));
         }
+        cover::hit(cover::CKPT_ENTRY_VIEW_OK);
         Ok(view)
     }
 
@@ -1611,13 +1693,15 @@ impl StageCheckpoint {
     /// or invariant-violating streams.
     pub fn read_from<R: Read>(r: &mut R) -> Result<Self, CheckpointError> {
         read_header(r, SECTION_STAGE)?;
-        Ok(StageCheckpoint {
+        let stage = StageCheckpoint {
             label: String::decode(r)?,
             calibration: ReadDelayCalibration::decode(r)?,
             timing: Option::decode(r)?,
             ssp: Option::decode(r)?,
             collection: Option::decode(r)?,
-        })
+        };
+        cover::hit(cover::CKPT_STAGE_OK);
+        Ok(stage)
     }
 
     /// Encodes to an owned buffer.

@@ -52,6 +52,7 @@ pub mod binning;
 pub mod campaign;
 pub mod chart;
 pub mod checkpoint;
+pub mod cover;
 pub mod differentiation;
 pub mod energy;
 pub mod error;

@@ -201,9 +201,12 @@ impl Codec for ProfilingEvent {
                 stage: StageKind::decode(r)?,
             }),
             2 => Ok(ProfilingEvent::Device(TelemetryEvent::decode(r)?)),
-            other => Err(CheckpointError::Corrupt(format!(
-                "unknown profiling-event tag {other}"
-            ))),
+            other => {
+                crate::cover::hit(crate::cover::WIRE_EVENT_BAD_TAG);
+                Err(CheckpointError::Corrupt(format!(
+                    "unknown profiling-event tag {other}"
+                )))
+            }
         }
     }
 }

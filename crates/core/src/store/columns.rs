@@ -188,6 +188,7 @@ pub(crate) fn validate_canonical<C: ProfileColumns + ?Sized>(c: &C) -> Result<()
     if !len.is_multiple_of(64) && len > 0 {
         let last = c.validity_word_at(len.div_ceil(64) - 1);
         if last >> (len % 64) != 0 {
+            crate::cover::hit(crate::cover::STORE_CANON_STRAY_BITS);
             return Err(StoreCodecError::Corrupt(
                 "validity bitmap has bits set past the point count".into(),
             ));
@@ -195,6 +196,7 @@ pub(crate) fn validate_canonical<C: ProfileColumns + ?Sized>(c: &C) -> Result<()
     }
     for i in 0..len {
         if !c.in_exec_at(i) && (c.exec_pos_raw_at(i) != 0 || c.toi_bits_at(i) != 0) {
+            crate::cover::hit(crate::cover::STORE_CANON_DIRTY_SLOT);
             return Err(StoreCodecError::Corrupt(format!(
                 "point {i} is outside any execution but carries non-zero exec_pos/toi"
             )));

@@ -558,10 +558,12 @@ impl ProfileStore {
         let mut magic = [0u8; 8];
         read_exact(r, &mut magic, "magic")?;
         if magic != STORE_MAGIC {
+            crate::cover::hit(crate::cover::STORE_READ_BAD_MAGIC);
             return Err(StoreCodecError::BadMagic(magic));
         }
         let version = read_u32(r, "version")?;
         if version != STORE_VERSION {
+            crate::cover::hit(crate::cover::STORE_READ_BAD_VERSION);
             return Err(StoreCodecError::UnsupportedVersion(version));
         }
         let _flags = read_u32(r, "flags")?;
@@ -571,6 +573,7 @@ impl ProfileStore {
         // range check runs on the decoded u64 *before* any narrowing, so
         // a huge length cannot wrap on 32-bit targets.
         if len > u64::from(u32::MAX) {
+            crate::cover::hit(crate::cover::STORE_READ_IMPLAUSIBLE_LEN);
             return Err(StoreCodecError::Corrupt(format!(
                 "implausible point count {len}"
             )));
@@ -598,6 +601,7 @@ impl ProfileStore {
             in_exec,
         };
         store.validate()?;
+        crate::cover::hit(crate::cover::STORE_READ_OK);
         Ok(store)
     }
 

@@ -17,6 +17,7 @@
 
 use super::columns::{self, ProfileColumns};
 use super::{ProfileStore, StoreCodecError, StoreDiff, STORE_MAGIC, STORE_VERSION};
+use crate::cover;
 use crate::profile::{ProfileAxis, ProfilePoint};
 use fingrav_sim::power::{Component, ComponentPower};
 
@@ -232,6 +233,7 @@ impl<'a> ProfileStoreView<'a> {
     pub fn new(bytes: &'a [u8]) -> Result<ProfileStoreView<'a>, StoreCodecError> {
         let (view, rest) = ProfileStoreView::split_prefix(bytes)?;
         if !rest.is_empty() {
+            cover::hit(cover::STORE_VIEW_TRAILING);
             return Err(StoreCodecError::Corrupt(format!(
                 "{} trailing bytes after the bitmap block",
                 rest.len()
@@ -253,28 +255,41 @@ impl<'a> ProfileStoreView<'a> {
         bytes: &'a [u8],
     ) -> Result<(ProfileStoreView<'a>, &'a [u8]), StoreCodecError> {
         // Header: mirror the streaming decoder's block labels exactly.
-        let magic: [u8; 8] = take_block(bytes, 0, "magic")?;
+        let magic: [u8; 8] = take_block(bytes, 0, "magic").inspect_err(|_| {
+            cover::hit(cover::STORE_VIEW_TRUNC_HEADER);
+        })?;
         if magic != STORE_MAGIC {
+            cover::hit(cover::STORE_VIEW_BAD_MAGIC);
             return Err(StoreCodecError::BadMagic(magic));
         }
-        let version = u32::from_le_bytes(take_block(bytes, 8, "version")?);
+        let version = u32::from_le_bytes(take_block(bytes, 8, "version").inspect_err(|_| {
+            cover::hit(cover::STORE_VIEW_TRUNC_HEADER);
+        })?);
         if version != STORE_VERSION {
+            cover::hit(cover::STORE_VIEW_BAD_VERSION);
             return Err(StoreCodecError::UnsupportedVersion(version));
         }
         if bytes.len() < 16 {
+            cover::hit(cover::STORE_VIEW_TRUNC_HEADER);
             return Err(StoreCodecError::Truncated("flags"));
         }
-        let len = u64::from_le_bytes(take_block(bytes, 16, "length")?);
+        let len = u64::from_le_bytes(take_block(bytes, 16, "length").inspect_err(|_| {
+            cover::hit(cover::STORE_VIEW_TRUNC_HEADER);
+        })?);
         if len > u64::from(u32::MAX) {
+            cover::hit(cover::STORE_VIEW_IMPLAUSIBLE_LEN);
             return Err(StoreCodecError::Corrupt(format!(
                 "implausible point count {len}"
             )));
         }
         let len = usize::try_from(len)
             .map_err(|_| StoreCodecError::Corrupt(format!("implausible point count {len}")))?;
-        let layout = ColumnLayout::for_len(len)
-            .ok_or_else(|| StoreCodecError::Corrupt(format!("implausible point count {len}")))?;
+        let layout = ColumnLayout::for_len(len).ok_or_else(|| {
+            cover::hit(cover::STORE_VIEW_IMPLAUSIBLE_LEN);
+            StoreCodecError::Corrupt(format!("implausible point count {len}"))
+        })?;
         if bytes.len() < layout.total {
+            cover::hit(cover::STORE_VIEW_TRUNC_BODY);
             return Err(StoreCodecError::Truncated(
                 layout.truncated_block(bytes.len()),
             ));
@@ -292,6 +307,7 @@ impl<'a> ProfileStoreView<'a> {
             in_exec: chunks8(&bytes[layout.bitmap..layout.total]),
         };
         columns::validate_canonical(&view)?;
+        cover::hit(cover::STORE_VIEW_OK);
         Ok((view, &bytes[layout.total..]))
     }
 

@@ -136,6 +136,7 @@ use crate::checkpoint::{
     campaign_digest, restore_done_entries, CampaignManifest, CheckpointDir, CheckpointError, Codec,
     EntryArtifactView, EntryStatus, LeaseTable,
 };
+use crate::cover;
 use crate::error::{MethodologyError, MethodologyResult};
 use crate::executor::{
     CampaignObserver, CampaignOutcome, CancellationToken, ErrorPolicy, NoopCampaignObserver,
@@ -377,9 +378,12 @@ impl Codec for MethodologyError {
             5 => Ok(MethodologyError::Aborted),
             6 => Ok(MethodologyError::Checkpoint(String::decode(r)?)),
             7 => Ok(MethodologyError::Transport(String::decode(r)?)),
-            other => Err(CheckpointError::Corrupt(format!(
-                "unknown methodology-error tag {other}"
-            ))),
+            other => {
+                cover::hit(cover::WIRE_ERROR_BAD_TAG);
+                Err(CheckpointError::Corrupt(format!(
+                    "unknown methodology-error tag {other}"
+                )))
+            }
         }
     }
 }
@@ -525,6 +529,7 @@ fn read_bounded<R: Read>(
     block: &'static str,
 ) -> Result<Vec<u8>, CheckpointError> {
     if len > MAX_FRAME_LEN {
+        cover::hit(cover::WIRE_BLOCK_IMPLAUSIBLE_LEN);
         return Err(CheckpointError::Corrupt(format!(
             "implausible byte-block length {len}"
         )));
@@ -613,8 +618,29 @@ impl Frame {
         result.map(|()| out)
     }
 
+    /// The coverage site lit when a frame with `tag` decodes cleanly.
+    fn ok_site(tag: u32) -> u16 {
+        match tag {
+            TAG_HELLO => cover::WIRE_OK_HELLO,
+            TAG_WELCOME => cover::WIRE_OK_WELCOME,
+            TAG_DENY => cover::WIRE_OK_DENY,
+            TAG_REQUEST => cover::WIRE_OK_REQUEST,
+            TAG_ASSIGN => cover::WIRE_OK_ASSIGN,
+            TAG_FINISHED => cover::WIRE_OK_FINISHED,
+            TAG_ABORT => cover::WIRE_OK_ABORT,
+            TAG_STARTED => cover::WIRE_OK_STARTED,
+            TAG_EVENT => cover::WIRE_OK_EVENT,
+            TAG_DONE => cover::WIRE_OK_DONE,
+            TAG_FAILED => cover::WIRE_OK_FAILED,
+            TAG_FETCH => cover::WIRE_OK_FETCH,
+            TAG_ARTIFACT => cover::WIRE_OK_ARTIFACT,
+            TAG_BYE => cover::WIRE_OK_BYE,
+            _ => cover::WIRE_OK_HEARTBEAT,
+        }
+    }
+
     fn decode_payload(tag: u32, payload: &[u8]) -> Result<Frame, CheckpointError> {
-        crate::checkpoint::from_bytes_with(payload, |r| match tag {
+        let frame = crate::checkpoint::from_bytes_with(payload, |r| match tag {
             TAG_HELLO => Ok(Frame::Hello {
                 digest: u64::decode(r)?,
                 sequence: u64::decode(r)?,
@@ -659,10 +685,15 @@ impl Frame {
             }),
             TAG_BYE => Ok(Frame::Bye),
             TAG_HEARTBEAT => Ok(Frame::Heartbeat),
-            other => Err(CheckpointError::Corrupt(format!(
-                "unknown frame tag {other}"
-            ))),
-        })
+            other => {
+                cover::hit(cover::WIRE_BAD_TAG);
+                Err(CheckpointError::Corrupt(format!(
+                    "unknown frame tag {other}"
+                )))
+            }
+        })?;
+        cover::hit(Frame::ok_site(tag));
+        Ok(frame)
     }
 
     /// Writes the frame (tag, payload length, payload). The caller
@@ -693,6 +724,7 @@ impl Frame {
         crate::checkpoint::read_exact_ck(r, &mut len, "frame length")?;
         let len = u64::from_le_bytes(len);
         if len > MAX_FRAME_LEN {
+            cover::hit(cover::WIRE_FRAME_IMPLAUSIBLE_LEN);
             return Err(TransportError::Corrupt(format!(
                 "implausible frame length {len}"
             )));
@@ -725,16 +757,19 @@ pub fn read_preamble<R: Read>(r: &mut R) -> Result<(), TransportError> {
     let mut magic = [0u8; 8];
     crate::checkpoint::read_exact_ck(r, &mut magic, "preamble magic")?;
     if magic != WIRE_MAGIC {
+        cover::hit(cover::WIRE_PREAMBLE_BAD_MAGIC);
         return Err(TransportError::BadMagic(magic));
     }
     let mut version = [0u8; 4];
     crate::checkpoint::read_exact_ck(r, &mut version, "preamble version")?;
     let version = u32::from_le_bytes(version);
     if version != WIRE_VERSION {
+        cover::hit(cover::WIRE_PREAMBLE_BAD_VERSION);
         return Err(TransportError::UnsupportedVersion(version));
     }
     let mut reserved = [0u8; 4];
     crate::checkpoint::read_exact_ck(r, &mut reserved, "preamble reserved")?;
+    cover::hit(cover::WIRE_PREAMBLE_OK);
     Ok(())
 }
 
@@ -793,6 +828,7 @@ fn read_preamble_budgeted<R: Read>(
     let mut magic = [0u8; 8];
     fill_budgeted(r, &mut magic, "preamble magic", idle, tick)?;
     if magic != WIRE_MAGIC {
+        cover::hit(cover::WIRE_PREAMBLE_BAD_MAGIC);
         return Err(TransportError::BadMagic(magic));
     }
     let mut version = [0u8; 4];
@@ -801,8 +837,10 @@ fn read_preamble_budgeted<R: Read>(
     fill_budgeted(r, &mut reserved, "preamble reserved", idle, tick)?;
     let version = u32::from_le_bytes(version);
     if version != WIRE_VERSION {
+        cover::hit(cover::WIRE_PREAMBLE_BAD_VERSION);
         return Err(TransportError::UnsupportedVersion(version));
     }
+    cover::hit(cover::WIRE_PREAMBLE_OK);
     Ok(())
 }
 
@@ -821,6 +859,7 @@ fn read_frame_budgeted<R: Read>(
     let tag = u32::from_le_bytes(tag);
     let len = u64::from_le_bytes(len);
     if len > MAX_FRAME_LEN {
+        cover::hit(cover::WIRE_FRAME_IMPLAUSIBLE_LEN);
         return Err(TransportError::Corrupt(format!(
             "implausible frame length {len}"
         )));
@@ -844,10 +883,28 @@ fn read_frame_budgeted<R: Read>(
 fn next_frame<R: Read>(r: &mut R, idle: Duration) -> Result<Frame, TransportError> {
     loop {
         match read_frame_budgeted(r, idle, &mut || Ok(()))? {
-            Frame::Heartbeat => {}
+            Frame::Heartbeat => cover::hit(cover::WIRE_HEARTBEAT_SKIPPED),
             frame => return Ok(frame),
         }
     }
+}
+
+/// Reads the next non-heartbeat frame from a stream, tolerating timeout
+/// ticks up to `idle` of total byte-silence — the exact read loop both
+/// protocol ends run between protocol states (heartbeats renew the
+/// deadline by arriving, then vanish before the caller sees them).
+///
+/// Public so stream consumers outside the coordinator/worker pair — the
+/// `fgrv-fuzz` wire harness, protocol probes, tests — can exercise the
+/// production read path, v2 heartbeat skipping and deadline accounting
+/// included, instead of approximating it with [`Frame::read_from`].
+///
+/// # Errors
+///
+/// As [`Frame::read_from`], plus [`TransportError::DeadlineLapsed`] when
+/// the stream stays byte-silent past `idle`.
+pub fn read_next_frame<R: Read>(r: &mut R, idle: Duration) -> Result<Frame, TransportError> {
+    next_frame(r, idle)
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,214 @@
+//! Coverage accounting and corpus retention.
+//!
+//! Coverage has two ingredients, merged into one novelty test:
+//!
+//! * **Branch buckets** — the `fingrav_core::cover` per-site hit
+//!   counters, bucketed AFL-style into log₂ count classes (1, 2, 3,
+//!   4–7, 8–15, …), so "took this branch 9 times" is novel over "took
+//!   it once" but 9 vs 10 is not. All-zero without the `cover` feature.
+//! * **Error-taxonomy buckets** — FNV hashes of the typed-error Debug
+//!   renderings an input produced. These work in every build and give
+//!   the mutation loop feedback even on uninstrumented decoders.
+//!
+//! An input is retained iff it lights a (site, class) pair or a
+//! taxonomy hash the corpus has not seen. Retention runs
+//! single-threaded in batch order, which is what makes the final corpus
+//! digest independent of the worker-thread count.
+
+use std::collections::BTreeSet;
+
+use fingrav_core::cover;
+
+/// 64-bit FNV-1a over `bytes`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Folds `word` into an FNV-1a accumulator (little-endian bytes).
+pub fn fnv1a_add(h: u64, word: u64) -> u64 {
+    let mut h = h;
+    for b in word.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Hashes an error's `Debug` rendering into a taxonomy bucket, with
+/// every run of ASCII digits collapsed to one `#`. Error messages embed
+/// the offending values (`implausible length 12345`), and hashing those
+/// verbatim would mint a "novel" bucket per mutated length — unbounded
+/// corpus growth with no new behavior. Collapsing digits keeps distinct
+/// error *shapes* distinct and nothing else.
+pub fn taxonomy_hash(rendered: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut in_digits = false;
+    for &b in rendered.as_bytes() {
+        let digit = b.is_ascii_digit();
+        if digit && in_digits {
+            continue;
+        }
+        in_digits = digit;
+        h ^= u64::from(if digit { b'#' } else { b });
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Folds a length-framed byte string into an FNV-1a accumulator, so
+/// `[1,2]+[3]` and `[1]+[2,3]` fold differently.
+pub fn fnv1a_fold(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = fnv1a_add(h, bytes.len() as u64);
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Log₂ count class of one hit counter: 0 for zero hits, else
+/// `1 + min(7, floor(log2(count)))`, giving classes for 1, 2, 3, 4–7,
+/// 8–15, … ≥64 hits.
+fn class_of(count: u32) -> u8 {
+    if count == 0 {
+        0
+    } else {
+        1 + (31 - count.leading_zeros()).min(6) as u8
+    }
+}
+
+/// The coverage state of a corpus: which (site, count-class) pairs and
+/// which error-taxonomy hashes have been observed so far.
+#[derive(Debug, Default, Clone)]
+pub struct CoverageMap {
+    /// Bit `c` of `classes[site]` set ⇔ class `c` seen at `site`.
+    classes: Vec<u8>,
+    /// Ordered so iteration (and hence any derived digest) is
+    /// deterministic.
+    taxonomy: BTreeSet<u64>,
+}
+
+impl CoverageMap {
+    /// An empty map sized for the instrumentation site table.
+    pub fn new() -> CoverageMap {
+        CoverageMap {
+            classes: vec![0; cover::SITE_COUNT],
+            taxonomy: BTreeSet::new(),
+        }
+    }
+
+    /// Merges one execution's observations (a counter snapshot plus the
+    /// taxonomy hashes of its typed errors); returns true when anything
+    /// was new.
+    pub fn observe(&mut self, snapshot: &[u32; cover::SITE_COUNT], taxonomy: &[u64]) -> bool {
+        let mut novel = false;
+        for (site, &count) in snapshot.iter().enumerate() {
+            let class = class_of(count);
+            if class == 0 {
+                continue;
+            }
+            let bit = 1u8 << (class - 1);
+            if self.classes[site] & bit == 0 {
+                self.classes[site] |= bit;
+                novel = true;
+            }
+        }
+        for &h in taxonomy {
+            novel |= self.taxonomy.insert(h);
+        }
+        novel
+    }
+
+    /// Total distinct buckets seen: (site, class) pairs plus taxonomy
+    /// hashes.
+    pub fn buckets(&self) -> usize {
+        self.classes
+            .iter()
+            .map(|&bits| bits.count_ones() as usize)
+            .sum::<usize>()
+            + self.taxonomy.len()
+    }
+}
+
+/// The retained input set plus its coverage map.
+#[derive(Debug, Default, Clone)]
+pub struct Corpus {
+    /// Retained inputs, in retention order (seeds first).
+    pub entries: Vec<Vec<u8>>,
+    /// Coverage accumulated over every retained input.
+    pub map: CoverageMap,
+}
+
+impl Corpus {
+    /// An empty corpus.
+    pub fn new() -> Corpus {
+        Corpus {
+            entries: Vec::new(),
+            map: CoverageMap::new(),
+        }
+    }
+
+    /// Order-sensitive digest of the retained inputs: equal corpora in
+    /// equal order digest equal, which is what the determinism suite
+    /// pins across thread counts.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for entry in &self.entries {
+            h = fnv1a_fold(h, entry);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_classes_bucket_log2() {
+        assert_eq!(class_of(0), 0);
+        assert_eq!(class_of(1), 1);
+        assert_eq!(class_of(2), 2);
+        assert_eq!(class_of(3), 2);
+        assert_eq!(class_of(4), 3);
+        assert_eq!(class_of(7), 3);
+        assert_eq!(class_of(8), 4);
+        assert_eq!(class_of(64), 7);
+        assert_eq!(class_of(u32::MAX), 7);
+    }
+
+    #[test]
+    fn novelty_latches() {
+        let mut map = CoverageMap::new();
+        let mut snap = [0u32; cover::SITE_COUNT];
+        snap[0] = 1;
+        assert!(map.observe(&snap, &[]));
+        assert!(!map.observe(&snap, &[]));
+        snap[0] = 9; // new count class at the same site
+        assert!(map.observe(&snap, &[]));
+        assert!(map.observe(&[0; cover::SITE_COUNT], &[42]));
+        assert!(!map.observe(&[0; cover::SITE_COUNT], &[42]));
+        assert_eq!(map.buckets(), 3);
+    }
+
+    #[test]
+    fn corpus_digest_is_order_sensitive() {
+        let mut a = Corpus::new();
+        a.entries.push(vec![1, 2]);
+        a.entries.push(vec![3]);
+        let mut b = Corpus::new();
+        b.entries.push(vec![3]);
+        b.entries.push(vec![1, 2]);
+        assert_ne!(a.digest(), b.digest());
+        // And framing matters: [1,2]+[3] must not equal [1]+[2,3].
+        let mut c = Corpus::new();
+        c.entries.push(vec![1]);
+        c.entries.push(vec![2, 3]);
+        assert_ne!(a.digest(), c.digest());
+    }
+}

@@ -1,0 +1,201 @@
+//! Deterministic splice/havoc/structure-aware mutators.
+//!
+//! Every mutation draws from the caller's [`Rng`], so the schedule is a
+//! pure function of (seed, corpus) — the property the determinism suite
+//! pins. The structure-aware moves know the FGRV* container grammar:
+//! the three 8-byte magics, the version word at offset 8, the
+//! `FGRVCKPT` section tag at offset 12, and little-endian length fields
+//! — so mutants concentrate on the validation branches instead of dying
+//! at the magic check.
+
+use crate::rng::Rng;
+
+/// The three container magics (`FGRVPROF`, `FGRVCKPT`, `FGRVWIRE`).
+pub const MAGICS: [[u8; 8]; 3] = [*b"FGRVPROF", *b"FGRVCKPT", *b"FGRVWIRE"];
+
+/// Values worth planting in integer fields: bucket boundaries of every
+/// documented cap plus the usual two's-complement edge cases.
+const INTERESTING: [u64; 18] = [
+    0,
+    1,
+    2,
+    3,
+    63,
+    64,
+    65,
+    255,
+    256,
+    1 << 20, // MAX_STR_LEN
+    (1 << 20) + 1,
+    1 << 30, // MAX_FRAME_LEN
+    (1 << 30) + 1,
+    u32::MAX as u64 - 1, // MAX_SEQ_LEN boundary
+    u32::MAX as u64,
+    u32::MAX as u64 + 1,
+    u64::MAX - 1,
+    u64::MAX,
+];
+
+/// Ceiling on mutant size: big enough for multi-frame streams and
+/// multi-profile entries, small enough that a runaway insert loop
+/// cannot balloon the corpus.
+pub const INPUT_LEN_CAP: usize = 1 << 20;
+
+/// Produces one mutant of `base`, optionally splicing with `other`
+/// (another corpus entry). Applies a stack of 1–8 randomly chosen
+/// operations.
+pub fn mutate(rng: &mut Rng, base: &[u8], other: Option<&[u8]>) -> Vec<u8> {
+    let mut out = base.to_vec();
+    let rounds = 1 + rng.below(8);
+    for _ in 0..rounds {
+        apply_one(rng, &mut out, other);
+    }
+    out.truncate(INPUT_LEN_CAP);
+    out
+}
+
+fn apply_one(rng: &mut Rng, out: &mut Vec<u8>, other: Option<&[u8]>) {
+    match rng.below(13) {
+        // Bit flip.
+        0 => {
+            if !out.is_empty() {
+                let at = rng.below(out.len());
+                out[at] ^= 1 << rng.below(8);
+            }
+        }
+        // Byte overwrite.
+        1 => {
+            if !out.is_empty() {
+                let at = rng.below(out.len());
+                out[at] = rng.byte();
+            }
+        }
+        // Insert a short run of random bytes.
+        2 => {
+            let at = rng.below(out.len() + 1);
+            let n = 1 + rng.below(8);
+            for i in 0..n {
+                out.insert((at + i).min(out.len()), rng.byte());
+            }
+        }
+        // Delete a short range.
+        3 => {
+            if !out.is_empty() {
+                let at = rng.below(out.len());
+                let n = (1 + rng.below(8)).min(out.len() - at);
+                out.drain(at..at + n);
+            }
+        }
+        // Truncate.
+        4 => {
+            if !out.is_empty() {
+                out.truncate(rng.below(out.len()));
+            }
+        }
+        // Plant an interesting u32.
+        5 => {
+            if out.len() >= 4 {
+                let at = rng.below(out.len() - 3);
+                let v = INTERESTING[rng.below(INTERESTING.len())] as u32;
+                out[at..at + 4].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        // Plant an interesting u64 (length-field sabotage).
+        6 => {
+            if out.len() >= 8 {
+                let at = rng.below(out.len() - 7);
+                let v = INTERESTING[rng.below(INTERESTING.len())];
+                out[at..at + 8].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        // Swap in one of the three container magics at offset 0.
+        7 => {
+            let magic = MAGICS[rng.below(MAGICS.len())];
+            if out.len() < 8 {
+                out.resize(8, 0);
+            }
+            out[..8].copy_from_slice(&magic);
+        }
+        // Version-field sabotage (u32 at offset 8 in every container).
+        8 => {
+            if out.len() >= 12 {
+                let v: u32 = [0, 1, 2, 3, u32::MAX][rng.below(5)];
+                out[8..12].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        // Section/flags-field sabotage (u32 at offset 12: the FGRVCKPT
+        // section tag, the FGRVPROF flags word, the wire reserved word).
+        9 => {
+            if out.len() >= 16 {
+                let v: u32 = [0, 1, 2, 3, 4, u32::MAX][rng.below(6)];
+                out[12..16].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        // Nudge a plausible length field: find a u64 whose value is at
+        // most the input length (so it is probably a length/count) and
+        // push it just past a boundary.
+        10 => {
+            if out.len() >= 8 {
+                let at = rng.below(out.len() - 7);
+                let mut word = [0u8; 8];
+                word.copy_from_slice(&out[at..at + 8]);
+                let v = u64::from_le_bytes(word);
+                if v as usize <= out.len() {
+                    let nudged = match rng.below(4) {
+                        0 => v.wrapping_add(1),
+                        1 => v.wrapping_sub(1),
+                        2 => v.wrapping_mul(2),
+                        _ => v.wrapping_add(out.len() as u64),
+                    };
+                    out[at..at + 8].copy_from_slice(&nudged.to_le_bytes());
+                }
+            }
+        }
+        // Splice: our prefix, the other entry's suffix.
+        11 => {
+            if let Some(other) = other {
+                if !out.is_empty() && !other.is_empty() {
+                    let cut_a = rng.below(out.len());
+                    let cut_b = rng.below(other.len());
+                    out.truncate(cut_a);
+                    out.extend_from_slice(&other[cut_b..]);
+                }
+            }
+        }
+        // Append junk (trailing-bytes detectors).
+        _ => {
+            let n = 1 + rng.below(8);
+            for _ in 0..n {
+                out.push(rng.byte());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutation_is_deterministic() {
+        let base = b"FGRVPROF\x01\x00\x00\x00\x00\x00\x00\x00".to_vec();
+        let other = vec![0xA5; 32];
+        let run = |seed: u64| -> Vec<Vec<u8>> {
+            let mut rng = Rng::new(seed);
+            (0..32)
+                .map(|_| mutate(&mut rng, &base, Some(&other)))
+                .collect()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn mutants_respect_the_size_ceiling() {
+        let base = vec![0u8; INPUT_LEN_CAP];
+        let mut rng = Rng::new(1);
+        for _ in 0..64 {
+            assert!(mutate(&mut rng, &base, None).len() <= INPUT_LEN_CAP);
+        }
+    }
+}

@@ -278,7 +278,7 @@ pub enum ConstVal {
     Int(u64),
 }
 
-/// Extracts `MAGIC`/`VERSION`/`TAG_*`/`SECTION_*`/`MAX_FRAME_LEN`
+/// Extracts `MAGIC`/`VERSION`/`TAG_*`/`SECTION_*`/`MAX_*`
 /// constants from a file's non-test code.
 pub fn extract_format_consts(ctx: &FileCtx<'_>, out: &mut Vec<FormatConst>) {
     if ctx.is_test_file {
@@ -297,7 +297,7 @@ pub fn extract_format_consts(ctx: &FileCtx<'_>, out: &mut Vec<FormatConst>) {
             || name.ends_with("_VERSION")
             || name.starts_with("TAG_")
             || name.starts_with("SECTION_")
-            || name == "MAX_FRAME_LEN";
+            || name.starts_with("MAX_");
         if name_tok.kind != TokKind::Ident || !interesting {
             continue;
         }
@@ -320,10 +320,17 @@ pub fn extract_format_consts(ctx: &FileCtx<'_>, out: &mut Vec<FormatConst>) {
 }
 
 /// Parses the right-hand side of a format constant: `*b"…"`, an integer
-/// literal, or `a << b`. Anything else is ignored (not every constant
-/// matching the name filter is checkable).
+/// literal, `a << b`, or `u32::MAX` (with an optional cast). Anything
+/// else is ignored (not every constant matching the name filter is
+/// checkable).
 fn parse_const_value(toks: &[&Token]) -> Option<ConstVal> {
     match toks {
+        // `u32::MAX as usize` — the decode-cap idiom (`MAX_SEQ_LEN`).
+        [t, c1, c2, m, ..]
+            if t.is_ident("u32") && c1.is_punct(':') && c2.is_punct(':') && m.is_ident("MAX") =>
+        {
+            Some(ConstVal::Int(u64::from(u32::MAX)))
+        }
         [star, s] if star.is_punct('*') && s.kind == TokKind::Str => {
             byte_string_value(&s.text).map(ConstVal::Bytes)
         }
@@ -503,17 +510,27 @@ pub fn check_format_consts(
                     );
                 }
             }
-            ("MAX_FRAME_LEN", ConstVal::Int(v)) => {
-                let spelled = if v.is_power_of_two() {
-                    format!("2^{}", v.trailing_zeros())
+            (name, ConstVal::Int(v)) if name.starts_with("MAX_") => {
+                // Decode caps may be spelled `2^n`, `1 << n`, `u32::MAX`,
+                // or in plain decimal — any of them pins the value.
+                let spellings: Vec<String> = if v.is_power_of_two() {
+                    vec![
+                        format!("2^{}", v.trailing_zeros()),
+                        format!("1 << {}", v.trailing_zeros()),
+                    ]
+                } else if *v == u64::from(u32::MAX) {
+                    vec!["u32::MAX".to_string(), format!("{v}")]
                 } else {
-                    format!("{v}")
+                    vec![format!("{v}")]
                 };
-                if !doc.contains(&spelled) {
+                if !spellings.iter().any(|s| doc.contains(s.as_str())) {
                     push(
                         doc_rel,
                         0,
-                        format!("doc never states the frame ceiling {spelled} (MAX_FRAME_LEN)"),
+                        format!(
+                            "doc never states the `{name}` cap (accepted spellings: {})",
+                            spellings.join(", ")
+                        ),
                     );
                 }
             }

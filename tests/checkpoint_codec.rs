@@ -14,7 +14,7 @@ use fingrav::core::checkpoint::{
 };
 use fingrav::core::guidance::GuidanceEntry;
 use fingrav::core::profile::{PowerProfile, ProfileKind};
-use fingrav::core::runner::{CollectedRun, KernelPowerReport, RunnerConfig};
+use fingrav::core::runner::{CollectedRun, RunnerConfig};
 use fingrav::core::stages::{RunCollection, SspArtifact, StitchedProfiles, TimingArtifact};
 use fingrav::core::sync::ReadDelayCalibration;
 use fingrav::sim::{SimConfig, SimDuration};
@@ -22,133 +22,10 @@ use fingrav::workloads::suite;
 use proptest::prelude::*;
 
 mod common;
-use common::{assert_all_truncations_rejected, build_store, build_trace, identity_sync};
-
-// ---------------------------------------------------------------------
-// Deterministic fixtures (also the committed golden files)
-// ---------------------------------------------------------------------
-
-fn golden_manifest() -> CampaignManifest {
-    CampaignManifest {
-        config_digest: 0x0123_4567_89ab_cdef,
-        workers: 3,
-        entries: vec![
-            ManifestEntry {
-                label: "CB-4K-GEMM".to_string(),
-                seed: Some(0xdead_beef),
-                status: EntryStatus::Done,
-                shard: 0,
-            },
-            ManifestEntry {
-                label: "MB-8K-GEMV".to_string(),
-                seed: None,
-                status: EntryStatus::Aborted,
-                shard: 1,
-            },
-            ManifestEntry {
-                label: "allreduce-64MB".to_string(),
-                seed: Some(7),
-                status: EntryStatus::Pending,
-                shard: 2,
-            },
-        ],
-    }
-}
-
-fn golden_profile(label: &str, kind: ProfileKind, salt: u32) -> PowerProfile {
-    let runs: Vec<u32> = (0..12).map(|i| (i + salt) % 5).collect();
-    let vals: Vec<f64> = (0..12)
-        .map(|i| f64::from(i) * 13.25 - f64::from(salt))
-        .collect();
-    let execs: Vec<u32> = (0..12).map(|i| (i * 7 + salt) % 9).collect();
-    PowerProfile {
-        label: label.to_string(),
-        kind,
-        store: build_store(&runs, &vals, &execs),
-    }
-}
-
-fn golden_entry() -> EntryArtifact {
-    EntryArtifact {
-        index: 1,
-        config_digest: 0x0123_4567_89ab_cdef,
-        report: KernelPowerReport {
-            label: "MB-8K-GEMV".to_string(),
-            exec_time_ns: 123_456,
-            guidance: GuidanceEntry {
-                min_exec: SimDuration::from_micros(50),
-                max_exec: Some(SimDuration::from_micros(200)),
-                runs: 200,
-                loi_interval: SimDuration::from_micros(10),
-                margin_frac: 0.05,
-            },
-            margin_frac: 0.05,
-            sse_index: 3,
-            ssp_index: 11,
-            executions_per_run: 14,
-            runs_executed: 20,
-            golden_runs: 17,
-            throttle_detected: true,
-            read_delay_ns: 750.25,
-            estimated_drift_ppm: Some(-17.5),
-            run_profile: golden_profile("MB-8K-GEMV", ProfileKind::Run, 0),
-            sse_profile: golden_profile("MB-8K-GEMV", ProfileKind::Sse, 1),
-            ssp_profile: golden_profile("MB-8K-GEMV", ProfileKind::Ssp, 2),
-            sse_mean_total_w: None,
-            ssp_mean_total_w: Some(812.0625),
-            sse_vs_ssp_error: None,
-        },
-    }
-}
-
-fn golden_stage() -> StageCheckpoint {
-    let starts: Vec<u64> = (0..6).map(|i| 10_000 + i * 40_000).collect();
-    let ticks: Vec<u64> = (0..15).map(|i| 500 + i * 2_500).collect();
-    let collected: Vec<CollectedRun> = (0..3)
-        .map(|r| CollectedRun {
-            trace: build_trace(&starts, &ticks),
-            sync: identity_sync(),
-            steady_median_ns: 40_000 + r * 10,
-        })
-        .collect();
-    let medians: Vec<u64> = collected.iter().map(|c| c.steady_median_ns).collect();
-    let binning = bin_durations(&medians, 0.05).expect("non-empty");
-    StageCheckpoint {
-        label: "stage-golden".to_string(),
-        calibration: ReadDelayCalibration {
-            median_rtt_ns: 1_500,
-            assumed_sample_frac: 0.5,
-        },
-        timing: Some(TimingArtifact {
-            sse_index: 2,
-            exec_time_ns: 40_005,
-            guidance: GuidanceEntry {
-                min_exec: SimDuration::from_micros(25),
-                max_exec: Some(SimDuration::from_micros(50)),
-                runs: 400,
-                loi_interval: SimDuration::from_micros(5),
-                margin_frac: 0.05,
-            },
-            runs: 400,
-            margin_frac: 0.05,
-        }),
-        ssp: Some(SspArtifact {
-            ssp_index: 24,
-            throttle_detected: false,
-            executions_per_run: 27,
-            loi_target: 8,
-        }),
-        collection: Some(RunCollection {
-            collected,
-            binning,
-            profiles: StitchedProfiles {
-                run: golden_profile("stage-golden", ProfileKind::Run, 3),
-                sse: golden_profile("stage-golden", ProfileKind::Sse, 4),
-                ssp: golden_profile("stage-golden", ProfileKind::Ssp, 5),
-            },
-        }),
-    }
-}
+use common::{
+    assert_all_truncations_rejected, build_store, build_trace, golden_entry, golden_manifest,
+    golden_stage, identity_sync,
+};
 
 // ---------------------------------------------------------------------
 // Golden fixture: committed v1 bytes must keep decoding forever

@@ -324,6 +324,65 @@ fn engine_hot_loop_section_matches_the_engine() {
     }
 }
 
+/// The fuzzing doc's target table mirrors the shipped target list
+/// (`fgrv_fuzz::targets::TARGETS`) row for row, in order: same count,
+/// same CLI names, same descriptions. Adding, removing, renaming, or
+/// re-describing a fuzz target without updating `docs/FUZZING.md`
+/// fails here.
+#[test]
+fn fuzzing_doc_matches_the_shipped_targets() {
+    let doc = read_doc("FUZZING.md");
+    let rows: Vec<&str> = doc
+        .lines()
+        .filter(|l| l.starts_with("| `") && l.ends_with('|'))
+        .collect();
+    assert_eq!(
+        rows.len(),
+        fgrv_fuzz::targets::TARGETS.len(),
+        "FUZZING.md target table must have one row per shipped target"
+    );
+    for (row, info) in rows.iter().zip(fgrv_fuzz::targets::TARGETS) {
+        assert!(
+            row.starts_with(&format!("| `{}` |", info.name)),
+            "FUZZING.md table row order/name drifted: expected `{}`, row is {row:?}",
+            info.name
+        );
+        assert!(
+            row.contains(info.description),
+            "FUZZING.md row for `{}` must carry its shipped description {:?}",
+            info.name,
+            info.description
+        );
+    }
+
+    // The oracle contract stays documented by name.
+    for phrase in [
+        "No panics",
+        "Bounded allocation",
+        "Owned ≡ view",
+        "Round trips",
+        "NaN-safe",
+        "tests/data/fuzz/",
+        "--features cover",
+    ] {
+        assert!(
+            doc.contains(phrase),
+            "FUZZING.md must state `{phrase}` (oracle/corpus contract)"
+        );
+    }
+
+    // The committed corpus the doc describes exists for every target.
+    for info in fgrv_fuzz::targets::TARGETS {
+        let dir = repo_root().join("tests/data/fuzz").join(info.name);
+        assert!(
+            dir.is_dir() && std::fs::read_dir(&dir).unwrap().next().is_some(),
+            "committed corpus for `{}` missing or empty at {}",
+            info.name,
+            dir.display()
+        );
+    }
+}
+
 /// The analysis doc's rule catalogue is cross-checked against the
 /// linter's registered rule table: every rule appears as a table row,
 /// the row count matches (no phantom documented rules), and the doc

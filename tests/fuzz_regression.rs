@@ -1,0 +1,226 @@
+//! Fuzz regression suite: replays the committed seed corpus under
+//! `tests/data/fuzz/<target>/` through the `fgrv-fuzz` oracles on every
+//! test run, pins the harness's thread-count determinism at integration
+//! level, and keeps sentinel rejection tests for each target (the
+//! campaign that produced the corpus — ≥1M inputs per target — ended
+//! with zero findings, so there are no crash fixtures to promote; the
+//! sentinels guarantee the oracles still *can* reject). See
+//! `docs/FUZZING.md` for the corpus workflow.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use fgrv_fuzz::exec::run_one;
+use fgrv_fuzz::targets::{self, Target, TARGETS};
+use fgrv_fuzz::{run, FuzzConfig, BATCH};
+use fingrav::core::checkpoint::{CheckpointDir, CheckpointError};
+use fingrav::core::store::ProfileStore;
+
+mod common;
+use common::{build_store, golden_entry, golden_manifest};
+
+fn corpus_dir(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data/fuzz")
+        .join(name)
+}
+
+fn corpus_entries(name: &str) -> Vec<Vec<u8>> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(corpus_dir(name))
+        .unwrap_or_else(|e| panic!("committed corpus dir for {name} missing: {e}"))
+        .map(|e| e.expect("corpus dir entry reads").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "bin"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| fs::read(p).expect("corpus file reads"))
+        .collect()
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fingrav-fuzz-regression-{tag}-{}",
+        std::process::id()
+    ));
+    if dir.exists() {
+        fs::remove_dir_all(&dir).expect("stale scratch dir removes");
+    }
+    fs::create_dir_all(&dir).expect("scratch dir creates");
+    dir
+}
+
+// ---------------------------------------------------------------------
+// Committed corpus: every retained input stays oracle-clean
+// ---------------------------------------------------------------------
+
+/// Every `.bin` in the committed corpus replays through the full oracle
+/// (differential decode, round trip, panic containment) with zero
+/// findings — a decoder regression that breaks any retained input fails
+/// here before the fuzzer ever runs.
+#[test]
+fn committed_corpus_replays_clean() {
+    for info in TARGETS {
+        let entries = corpus_entries(info.name);
+        assert!(
+            !entries.is_empty(),
+            "{}: committed corpus is empty — regenerate with \
+             `fgrv-fuzz run {} --corpus tests/data/fuzz/{}`",
+            info.name,
+            info.name,
+            info.name
+        );
+        for (i, input) in entries.iter().enumerate() {
+            let result = run_one(info.target, input);
+            assert!(
+                result.finding.is_none(),
+                "{} corpus entry {i} ({} bytes): {:?}",
+                info.name,
+                input.len(),
+                result.finding
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sentinels: each target still rejects its own damaged golden seed
+// ---------------------------------------------------------------------
+
+/// Flipping the first byte (the format magic) of each target's first
+/// structured seed must produce a typed rejection — recorded in the
+/// error taxonomy — and never a panic or an oracle violation. This is
+/// the standing guarantee that the oracles have teeth: a decoder change
+/// that starts accepting arbitrary magic trips this before anything
+/// else.
+#[test]
+fn each_target_rejects_its_mutated_golden_seed() {
+    for info in TARGETS {
+        let seed = targets::seeds(info.target)
+            .into_iter()
+            .find(|s| !s.is_empty())
+            .unwrap_or_else(|| panic!("{}: no structured seed", info.name));
+        let mut mutated = seed.clone();
+        mutated[0] ^= 0xFF;
+        let result = run_one(info.target, &mutated);
+        assert!(
+            result.finding.is_none(),
+            "{}: mutated seed violated an oracle: {:?}",
+            info.name,
+            result.finding
+        );
+        assert!(
+            !result.taxonomy.is_empty(),
+            "{}: mutated magic was accepted (no typed error recorded)",
+            info.name
+        );
+    }
+}
+
+/// Regression for a fuzzer-found false positive: a `FGRVPROF` store
+/// whose float columns hold NaN is a *valid* input, and the owned/view
+/// differential must compare it NaN-safely (`StoreDiff` bit-compares)
+/// instead of through `PartialEq` (where NaN ≠ NaN reported a bogus
+/// divergence on accepted inputs).
+#[test]
+fn nan_payloads_replay_without_divergence() {
+    let store = build_store(
+        &[0, 1, 2, 3],
+        &[f64::NAN, 1.5, f64::NEG_INFINITY, -0.0],
+        &[1, 2, 4, 5],
+    );
+    let bytes = store.to_bytes();
+    assert!(
+        ProfileStore::from_bytes(&bytes)
+            .expect("NaN store decodes")
+            .run_time_ns(0)
+            .is_nan(),
+        "fixture must actually carry a NaN payload"
+    );
+    let result = run_one(Target::Prof, &bytes);
+    assert!(result.finding.is_none(), "{:?}", result.finding);
+}
+
+/// The `CheckpointDir`-mediated read path (what campaign resume uses)
+/// agrees with the raw decoder: a persisted golden entry reads back
+/// equal, and a damaged file surfaces the typed error — never a panic,
+/// never a wrong artifact.
+#[test]
+fn checkpoint_dir_reads_reject_damaged_entries() {
+    let root = scratch_dir("ckptdir");
+    let dir = CheckpointDir::create(&root).expect("checkpoint dir creates");
+    dir.write_manifest(&golden_manifest())
+        .expect("manifest writes");
+
+    let entry = golden_entry();
+    let good_path = dir.write_entry(0, &entry).expect("entry writes");
+    let read_back = dir.read_entry(&good_path).expect("entry reads back");
+    assert_eq!(read_back.to_bytes(), entry.to_bytes());
+
+    // Same bytes with a flipped version field, persisted through the
+    // zero-copy path the coordinator uses for wire payloads.
+    let mut damaged = entry.to_bytes();
+    damaged[8] ^= 0x01;
+    let bad_path = dir
+        .write_entry_bytes(1, entry.index as usize, &damaged)
+        .expect("damaged bytes persist");
+    assert!(matches!(
+        dir.read_entry(&bad_path),
+        Err(CheckpointError::UnsupportedVersion(_))
+    ));
+
+    fs::remove_dir_all(&root).ok();
+}
+
+// ---------------------------------------------------------------------
+// Determinism: same seed + committed corpus ⇒ same schedule, any threads
+// ---------------------------------------------------------------------
+
+/// An iteration-budgeted campaign seeded from the committed corpus is a
+/// pure function of `(target, seed, corpus)`: 1, 2, and 8 worker
+/// threads produce the byte-identical mutation schedule and the same
+/// final corpus digest. (Each thread count gets its own scratch copy of
+/// the corpus so the committed tree is never written to.)
+#[test]
+fn fuzz_campaign_is_deterministic_across_thread_counts() {
+    let committed = corpus_entries("prof");
+    let mut reports = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let scratch = scratch_dir(&format!("det-{threads}"));
+        for input in &committed {
+            fs::write(
+                scratch.join(format!("{:016x}.bin", fgrv_fuzz::corpus::fnv1a(input))),
+                input,
+            )
+            .expect("scratch corpus writes");
+        }
+        let report = run(&FuzzConfig {
+            target: Target::Prof,
+            seed: 42,
+            threads,
+            iters: Some(BATCH as u64),
+            seconds: None,
+            corpus_dir: Some(scratch.clone()),
+        })
+        .expect("campaign runs");
+        assert!(
+            report.findings.is_empty(),
+            "threads={threads}: {:?}",
+            report.findings
+        );
+        reports.push((threads, report));
+        fs::remove_dir_all(&scratch).ok();
+    }
+    let (_, first) = &reports[0];
+    for (threads, report) in &reports[1..] {
+        assert_eq!(
+            report.schedule_digest, first.schedule_digest,
+            "mutation schedule drifted at {threads} threads"
+        );
+        assert_eq!(
+            report.corpus_digest, first.corpus_digest,
+            "final corpus drifted at {threads} threads"
+        );
+        assert_eq!(report.executed, first.executed);
+    }
+}
